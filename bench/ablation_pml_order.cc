@@ -1,0 +1,86 @@
+// Ablation: PML landmark ordering (DESIGN.md §4).
+//
+// The preprocessor orders landmarks by descending degree, the Akiba et al.
+// heuristic: in small-world networks high-degree hubs cover most shortest
+// paths, so pruned BFS from them terminates the rest of the construction
+// early and keeps per-vertex labels tiny. This bench quantifies that choice
+// against vertex-id and random orderings on the three dataset analogs:
+// index size, construction time, and distance-query latency.
+
+#include <cstdio>
+
+#include "bench_util/dataset_registry.h"
+#include "bench_util/flags.h"
+#include "bench_util/reporting.h"
+#include "pml/pml_index.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  bool help = false;
+  auto flags_or = ParseCommonFlags(argc, argv, &help);
+  if (help) return 0;
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const CommonFlags& flags = *flags_or;
+  auto datasets = flags.datasets;
+  if (datasets.empty()) {
+    // Flickr's degree-ordered build is the expensive one; keep the default
+    // run to the two quick analogs (pass --datasets=flickr to include it).
+    datasets = {graph::DatasetKind::kWordNet, graph::DatasetKind::kDblp};
+  }
+
+  PrintBanner("Ablation: PML landmark ordering", "DESIGN.md §4");
+  struct OrderCase {
+    const char* name;
+    pml::LandmarkOrdering ordering;
+  };
+  const OrderCase kCases[] = {
+      {"degree", pml::LandmarkOrdering::kDegreeDescending},
+      {"vertex-id", pml::LandmarkOrdering::kVertexId},
+      {"random", pml::LandmarkOrdering::kRandom},
+  };
+
+  Table table({"dataset", "ordering", "build_s", "avg_label", "index_size",
+               "t_avg_us"});
+  for (graph::DatasetKind kind : datasets) {
+    graph::DatasetSpec spec{kind, flags.scale, flags.seed};
+    auto g_or = graph::GenerateDataset(spec);
+    if (!g_or.ok()) {
+      std::fprintf(stderr, "%s\n", g_or.status().ToString().c_str());
+      return 1;
+    }
+    for (const OrderCase& order_case : kCases) {
+      auto index_or =
+          pml::PmlIndex::Build(*g_or, order_case.ordering, flags.seed);
+      if (!index_or.ok()) {
+        std::fprintf(stderr, "%s\n", index_or.status().ToString().c_str());
+        return 1;
+      }
+      const double t_avg =
+          pml::EstimateAvgEdgeTime(*g_or, *index_or, 50000, flags.seed);
+      table.AddRow({graph::DatasetKindName(kind), order_case.name,
+                    StrFormat("%.2f", index_or->build_stats().build_seconds),
+                    StrFormat("%.1f", index_or->build_stats().avg_label_size),
+                    HumanBytes(index_or->MemoryBytes()),
+                    StrFormat("%.2f", t_avg * 1e6)});
+    }
+  }
+  table.Print();
+  PrintPaperShape(
+      "degree ordering gives the smallest labels, fastest build and fastest "
+      "queries; random/id orderings inflate all three — justifying the "
+      "preprocessor's hub-first heuristic.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer
+
+int main(int argc, char** argv) { return boomer::bench::Main(argc, argv); }

@@ -1,0 +1,52 @@
+// Exp 3 / Figure 9: average CAP index size for IC / DR / DI.
+//
+// Paper shape: deferment yields a smaller index on WordNet (expensive edges
+// are processed after pruning has shrunk their candidate sets); sizes are
+// similar when no edge defers.
+
+#include <cstdio>
+
+#include "exp3_common.h"
+
+namespace boomer {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  bool help = false;
+  auto flags_or = ParseCommonFlags(argc, argv, &help);
+  if (help) return 0;
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  PrintBanner("Exp 3: Avg CAP index size for IC / DR / DI", "Figure 9");
+  auto cells_or = RunExp3Grid(*flags_or, /*run_bu=*/false);
+  if (!cells_or.ok()) {
+    std::fprintf(stderr, "%s\n", cells_or.status().ToString().c_str());
+    return 1;
+  }
+  Table table({"dataset", "query", "cap_size_IC", "cap_size_DR",
+               "cap_size_DI", "pairs_IC", "pairs_DI"});
+  for (const Exp3Cell& cell : *cells_or) {
+    table.AddRow({graph::DatasetKindName(cell.dataset),
+                  query::TemplateName(cell.tmpl),
+                  HumanBytes(static_cast<uint64_t>(cell.cap_bytes[0])),
+                  HumanBytes(static_cast<uint64_t>(cell.cap_bytes[1])),
+                  HumanBytes(static_cast<uint64_t>(cell.cap_bytes[2])),
+                  StrFormat("%.0f", cell.cap_pairs[0]),
+                  StrFormat("%.0f", cell.cap_pairs[2])});
+  }
+  table.Print();
+  PrintPaperShape(
+      "CAP stays far below the quadratic worst case (Lemma 5.2) thanks to "
+      "pruning; deferment shrinks it further on WordNet where |V_qi| is "
+      "large.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer
+
+int main(int argc, char** argv) { return boomer::bench::Main(argc, argv); }

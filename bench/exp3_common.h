@@ -1,0 +1,115 @@
+// Shared driver for Exp 3 (Figures 7/8/9): runs the IC/DR/DI strategies
+// (and optionally BU) over the template queries with the Section-7.2 bound
+// overrides on the three dataset analogs, and aggregates per-cell means.
+
+#ifndef BOOMER_BENCH_EXP3_COMMON_H_
+#define BOOMER_BENCH_EXP3_COMMON_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/dataset_registry.h"
+#include "bench_util/experiment.h"
+#include "bench_util/flags.h"
+#include "bench_util/reporting.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace bench {
+
+struct Exp3Cell {
+  graph::DatasetKind dataset;
+  query::TemplateId tmpl;
+  /// Mean SRT per strategy (seconds); index by Strategy enum order.
+  double srt[3] = {0, 0, 0};
+  double cap_time[3] = {0, 0, 0};
+  double cap_bytes[3] = {0, 0, 0};
+  double cap_pairs[3] = {0, 0, 0};
+  double bu_srt = 0.0;
+  bool bu_timed_out = false;
+  size_t results = 0;
+};
+
+inline constexpr core::Strategy kExp3Strategies[3] = {
+    core::Strategy::kImmediate, core::Strategy::kDeferToRun,
+    core::Strategy::kDeferToIdle};
+
+/// Runs the Exp-3 grid. `run_bu` controls whether the (slow) baseline runs.
+inline StatusOr<std::vector<Exp3Cell>> RunExp3Grid(const CommonFlags& flags,
+                                                   bool run_bu) {
+  auto datasets = flags.datasets;
+  if (datasets.empty()) {
+    datasets = {graph::DatasetKind::kWordNet, graph::DatasetKind::kDblp,
+                graph::DatasetKind::kFlickr};
+  }
+  auto queries = flags.queries;
+  if (queries.empty()) {
+    queries.assign(std::begin(query::kAllTemplates),
+                   std::end(query::kAllTemplates));
+  }
+
+  DatasetRegistry registry(flags.cache_dir);
+  std::vector<Exp3Cell> cells;
+  for (graph::DatasetKind kind : datasets) {
+    graph::DatasetSpec spec{kind, flags.scale, flags.seed};
+    BOOMER_ASSIGN_OR_RETURN(LoadedDataset dataset, registry.Get(spec));
+    for (query::TemplateId tmpl : queries) {
+      Exp3Cell cell;
+      cell.dataset = kind;
+      cell.tmpl = tmpl;
+      auto overrides = Exp3Overrides(kind, tmpl);
+      auto instances_or =
+          MakeInstances(dataset, tmpl, flags.instances, flags.seed + 3,
+                        overrides);
+      if (!instances_or.ok()) {
+        std::fprintf(stderr, "skip %s/%s: %s\n", graph::DatasetKindName(kind),
+                     query::TemplateName(tmpl),
+                     instances_or.status().ToString().c_str());
+        continue;
+      }
+      std::vector<double> srt[3], cap_time[3], cap_bytes[3], cap_pairs[3];
+      std::vector<double> bu_srt;
+      for (const query::BphQuery& q : *instances_or) {
+        for (int s = 0; s < 3; ++s) {
+          BlendRunSpec run;
+          run.strategy = kExp3Strategies[s];
+          run.max_results = flags.max_results;
+          run.latency_factor = flags.LatencyFactor();
+          BOOMER_ASSIGN_OR_RETURN(BlendRunResult result,
+                                  RunBlend(dataset, q, run));
+          srt[s].push_back(result.report.srt_seconds);
+          cap_time[s].push_back(result.report.cap_build_wall_seconds);
+          cap_bytes[s].push_back(
+              static_cast<double>(result.report.cap_stats.size_bytes));
+          cap_pairs[s].push_back(static_cast<double>(
+              result.report.cap_stats.num_adjacency_pairs));
+          if (s == 0) cell.results += result.report.num_results;
+        }
+        if (run_bu) {
+          BOOMER_ASSIGN_OR_RETURN(
+              BuRunResult bu,
+              RunBu(dataset, q, flags.bu_timeout_seconds, flags.max_results));
+          if (bu.report.timed_out) {
+            cell.bu_timed_out = true;
+          } else {
+            bu_srt.push_back(bu.report.srt_seconds);
+          }
+        }
+      }
+      for (int s = 0; s < 3; ++s) {
+        cell.srt[s] = Mean(srt[s]);
+        cell.cap_time[s] = Mean(cap_time[s]);
+        cell.cap_bytes[s] = Mean(cap_bytes[s]);
+        cell.cap_pairs[s] = Mean(cap_pairs[s]);
+      }
+      cell.bu_srt = Mean(bu_srt);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace bench
+}  // namespace boomer
+
+#endif  // BOOMER_BENCH_EXP3_COMMON_H_

@@ -1,0 +1,53 @@
+// Exp 3 / Figure 7: SRT of BU vs IC vs DR vs DI with the Section-7.2 bound
+// overrides, on all three dataset analogs.
+//
+// Paper shape: BU is at least one order of magnitude slower than IC (and
+// DNFs on some WordNet queries); IC is in turn at least one order slower
+// than DR/DI on WordNet and DBLP; DI <= DR.
+
+#include <cstdio>
+
+#include "exp3_common.h"
+
+namespace boomer {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  bool help = false;
+  auto flags_or = ParseCommonFlags(argc, argv, &help);
+  if (help) return 0;
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  PrintBanner("Exp 3: SRT of BU / IC / DR / DI", "Figure 7");
+  auto cells_or = RunExp3Grid(*flags_or, /*run_bu=*/true);
+  if (!cells_or.ok()) {
+    std::fprintf(stderr, "%s\n", cells_or.status().ToString().c_str());
+    return 1;
+  }
+  Table table({"dataset", "query", "srt_BU", "srt_IC", "srt_DR", "srt_DI",
+               "results"});
+  for (const Exp3Cell& cell : *cells_or) {
+    table.AddRow({graph::DatasetKindName(cell.dataset),
+                  query::TemplateName(cell.tmpl),
+                  cell.bu_timed_out ? "DNF" : StrFormat("%.4f s", cell.bu_srt),
+                  StrFormat("%.4f s", cell.srt[0]),
+                  StrFormat("%.4f s", cell.srt[1]),
+                  StrFormat("%.4f s", cell.srt[2]),
+                  StrFormat("%zu", cell.results)});
+  }
+  table.Print();
+  PrintPaperShape(
+      "BU >> IC >> DR ~ DI on WordNet and DBLP (an order of magnitude per "
+      "step); BU may DNF at the timeout; DI <= DR since idle latency drains "
+      "the pool before Run.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer
+
+int main(int argc, char** argv) { return boomer::bench::Main(argc, argv); }

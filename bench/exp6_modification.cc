@@ -1,0 +1,151 @@
+// Exp 6 / Table 1: query-modification cost under the Defer-to-Idle strategy
+// on WordNet and Flickr for Q4, Q5, Q6. Three modification kinds, as in the
+// paper:
+//   * delete e1 (the worst-case rollback),
+//   * tighten e3..e6 from [1,2] to [1,1],
+//   * loosen e3..e6 from [1,2] to [1,3].
+// The reported number is the CAP maintenance time per modification (msec).
+//
+// Paper shape: tightening is cognitively negligible (~1-30 ms); deletion and
+// loosening cost more (hundreds of ms to seconds) but stay reasonable
+// (< 4 s); WordNet costs more than Flickr because its |V_qi| is much larger.
+
+#include <cstdio>
+
+#include "bench_util/dataset_registry.h"
+#include "bench_util/experiment.h"
+#include "bench_util/flags.h"
+#include "bench_util/reporting.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace bench {
+namespace {
+
+using gui::Action;
+using query::Bounds;
+using query::TemplateId;
+
+int Main(int argc, char** argv) {
+  bool help = false;
+  auto flags_or = ParseCommonFlags(argc, argv, &help);
+  if (help) return 0;
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const CommonFlags& flags = *flags_or;
+  auto datasets = flags.datasets;
+  if (datasets.empty()) {
+    datasets = {graph::DatasetKind::kWordNet, graph::DatasetKind::kFlickr};
+  }
+  auto queries = flags.queries;
+  if (queries.empty()) {
+    queries = {TemplateId::kQ4, TemplateId::kQ5, TemplateId::kQ6};
+  }
+
+  PrintBanner("Exp 6: Query modification cost (DI)", "Table 1");
+  DatasetRegistry registry(flags.cache_dir);
+  Table table({"dataset", "query", "modification", "edge", "avg_ms"});
+  for (graph::DatasetKind kind : datasets) {
+    graph::DatasetSpec spec{kind, flags.scale, flags.seed};
+    auto dataset_or = registry.Get(spec);
+    if (!dataset_or.ok()) {
+      std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+      return 1;
+    }
+    const LoadedDataset& dataset = *dataset_or;
+    for (TemplateId tmpl : queries) {
+      // Table 1 uses [1,2] as the pre-modification bound on e3..e6.
+      const auto& t = query::GetTemplate(tmpl);
+      std::vector<std::optional<Bounds>> overrides(t.edges.size());
+      for (size_t e = 2; e < t.edges.size(); ++e) overrides[e] = Bounds{1, 2};
+      auto instances_or = MakeInstances(dataset, tmpl, flags.instances,
+                                        flags.seed + 6, overrides);
+      if (!instances_or.ok()) continue;
+
+      // One run per (modification kind, edge).
+      struct ModCase {
+        const char* name;
+        Action action;
+      };
+      std::vector<ModCase> cases;
+      cases.push_back({"delete", Action::DeleteEdge(0, 0)});
+      for (size_t e = 2; e < t.edges.size(); ++e) {
+        cases.push_back(
+            {"tighten", Action::SetBounds(static_cast<uint32_t>(e),
+                                          Bounds{1, 1}, 0)});
+        cases.push_back(
+            {"loosen", Action::SetBounds(static_cast<uint32_t>(e),
+                                         Bounds{1, 3}, 0)});
+      }
+      for (const ModCase& mod_case : cases) {
+        std::vector<double> times;
+        for (const query::BphQuery& q : *instances_or) {
+          // Table 1 measures the CAP *maintenance* cost of the modification
+          // itself, so the session is driven through formulation + the
+          // modification but not Run (deleting e1 of the star Q5 leaves a
+          // disconnected query that could not be executed anyway).
+          gui::LatencyModel latency;
+          auto trace_or =
+              gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+          if (!trace_or.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         trace_or.status().ToString().c_str());
+            return 1;
+          }
+          core::BlenderOptions options;
+          options.strategy = core::Strategy::kDeferToIdle;
+          options.max_results = flags.max_results;
+          options.t_lat_seconds = 2.0 * flags.LatencyFactor();
+          core::Blender blender(*dataset.graph, *dataset.prep, options);
+          Status status = Status::OK();
+          for (const Action& a : trace_or->actions()) {
+            if (a.kind == gui::ActionKind::kRun) break;
+            status = blender.OnAction(a);
+            if (!status.ok()) break;
+          }
+          const double cap_wall_before =
+              status.ok() ? blender.report().cap_build_wall_seconds : 0.0;
+          if (status.ok()) {
+            Action mod = mod_case.action;
+            mod.latency_micros = 2000000;
+            status = blender.OnAction(mod);
+          }
+          if (status.ok()) {
+            // Rollbacks re-pool the affected edges and DI re-processes them
+            // in subsequent idle time; the paper's Table-1 numbers include
+            // that re-processing, so grant one long idle window (a dummy
+            // follow-up vertex) and charge everything after the edit.
+            status = blender.OnAction(Action::NewVertex(
+                static_cast<query::QueryVertexId>(q.NumVertices()), 0,
+                3600000000LL));
+          }
+          if (!status.ok()) {
+            std::fprintf(stderr, "%s\n", status.ToString().c_str());
+            return 1;
+          }
+          times.push_back(blender.report().cap_build_wall_seconds -
+                          cap_wall_before);
+        }
+        table.AddRow({graph::DatasetKindName(kind), query::TemplateName(tmpl),
+                      mod_case.name,
+                      StrFormat("e%u", mod_case.action.target_edge + 1),
+                      StrFormat("%.2f", Mean(times) * 1e3)});
+      }
+    }
+  }
+  table.Print();
+  PrintPaperShape(
+      "tightening is near-free (pair re-check only); deletion and loosening "
+      "cost more (component rollback + re-pooled edges) but stay within a "
+      "few seconds; costs are higher on WordNet (larger |V_qi|) than "
+      "Flickr — modification cost is not very sensitive to graph size.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer
+
+int main(int argc, char** argv) { return boomer::bench::Main(argc, argv); }

@@ -1,0 +1,185 @@
+// google-benchmark micro-kernels for the hot paths under the experiment
+// harness: PML distance queries, the three PVS strategies, CAP pruning and
+// the DFS result enumeration. These are the building blocks whose constants
+// decide whether an edge fits in the GUI latency window.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/cap_index.h"
+#include "core/pvs.h"
+#include "core/result_gen.h"
+#include "core/lower_bound.h"
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "query/templates.h"
+#include "util/rng.h"
+
+namespace boomer {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct Fixture {
+  Fixture() {
+    auto g_or = graph::GenerateBarabasiAlbert(20000, 6, 50, 99);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    auto pml_or = pml::PmlIndex::Build(g);
+    BOOMER_CHECK(pml_or.ok());
+    pml = std::make_unique<pml::PmlIndex>(std::move(pml_or).value());
+    two_hop = pml::ComputeTwoHopCounts(g);
+  }
+  Graph g;
+  std::unique_ptr<pml::PmlIndex> pml;
+  std::vector<uint32_t> two_hop;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_PmlDistance(benchmark::State& state) {
+  auto& f = GetFixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto u = static_cast<VertexId>(rng.Uniform(f.g.NumVertices()));
+    auto v = static_cast<VertexId>(rng.Uniform(f.g.NumVertices()));
+    benchmark::DoNotOptimize(f.pml->Distance(u, v));
+  }
+}
+BENCHMARK(BM_PmlDistance);
+
+void BM_PmlWithinDistance(benchmark::State& state) {
+  auto& f = GetFixture();
+  Rng rng(2);
+  const uint32_t bound = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto u = static_cast<VertexId>(rng.Uniform(f.g.NumVertices()));
+    auto v = static_cast<VertexId>(rng.Uniform(f.g.NumVertices()));
+    benchmark::DoNotOptimize(f.pml->WithinDistance(u, v, bound));
+  }
+}
+BENCHMARK(BM_PmlWithinDistance)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_PvsStrategy(benchmark::State& state) {
+  auto& f = GetFixture();
+  const uint32_t upper = static_cast<uint32_t>(state.range(0));
+  core::PvsContext ctx;
+  ctx.graph = &f.g;
+  ctx.oracle = f.pml.get();
+  ctx.two_hop_counts = &f.two_hop;
+  for (auto _ : state) {
+    core::CapIndex cap;
+    auto si = f.g.VerticesWithLabel(0);
+    auto sj = f.g.VerticesWithLabel(1);
+    cap.AddLevel(0, {si.begin(), si.end()});
+    cap.AddLevel(1, {sj.begin(), sj.end()});
+    cap.AddEdgeAdjacency(0, 0, 1);
+    benchmark::DoNotOptimize(
+        core::PopulateVertexSet(ctx, &cap, 0, 0, 1, upper));
+  }
+  state.SetLabel("upper=" + std::to_string(upper));
+}
+BENCHMARK(BM_PvsStrategy)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PvsLargeUpperOnly(benchmark::State& state) {
+  auto& f = GetFixture();
+  const uint32_t upper = static_cast<uint32_t>(state.range(0));
+  core::PvsContext ctx;
+  ctx.graph = &f.g;
+  ctx.oracle = f.pml.get();
+  ctx.two_hop_counts = &f.two_hop;
+  ctx.mode = core::PvsMode::kLargeUpperOnly;
+  for (auto _ : state) {
+    core::CapIndex cap;
+    auto si = f.g.VerticesWithLabel(0);
+    auto sj = f.g.VerticesWithLabel(1);
+    cap.AddLevel(0, {si.begin(), si.end()});
+    cap.AddLevel(1, {sj.begin(), sj.end()});
+    cap.AddEdgeAdjacency(0, 0, 1);
+    benchmark::DoNotOptimize(
+        core::PopulateVertexSet(ctx, &cap, 0, 0, 1, upper));
+  }
+}
+BENCHMARK(BM_PvsLargeUpperOnly)->Arg(1)->Arg(2);
+
+void BM_PruneIsolated(benchmark::State& state) {
+  auto& f = GetFixture();
+  core::PvsContext ctx;
+  ctx.graph = &f.g;
+  ctx.oracle = f.pml.get();
+  ctx.two_hop_counts = &f.two_hop;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::CapIndex cap;
+    auto si = f.g.VerticesWithLabel(0);
+    auto sj = f.g.VerticesWithLabel(1);
+    cap.AddLevel(0, {si.begin(), si.end()});
+    cap.AddLevel(1, {sj.begin(), sj.end()});
+    cap.AddEdgeAdjacency(0, 0, 1);
+    core::PopulateVertexSet(ctx, &cap, 0, 0, 1, 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cap.PruneIsolated(0));
+  }
+}
+BENCHMARK(BM_PruneIsolated);
+
+void BM_ResultEnumeration(benchmark::State& state) {
+  auto& f = GetFixture();
+  auto q_or = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  BOOMER_CHECK(q_or.ok());
+  const query::BphQuery& q = *q_or;
+  core::PvsContext ctx;
+  ctx.graph = &f.g;
+  ctx.oracle = f.pml.get();
+  ctx.two_hop_counts = &f.two_hop;
+  core::CapIndex cap;
+  for (query::QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    auto span = f.g.VerticesWithLabel(q.Label(v));
+    cap.AddLevel(v, {span.begin(), span.end()});
+  }
+  for (query::QueryEdgeId e : q.LiveEdges()) {
+    const auto& edge = q.Edge(e);
+    cap.AddEdgeAdjacency(e, edge.src, edge.dst);
+    core::PopulateVertexSet(ctx, &cap, e, edge.src, edge.dst,
+                            edge.bounds.upper);
+    cap.PruneIsolated(e);
+  }
+  for (auto _ : state) {
+    auto results = core::PartialVertexSetsGen(q, cap, 100000);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_ResultEnumeration);
+
+void BM_DetectPath(benchmark::State& state) {
+  auto& f = GetFixture();
+  Rng rng(7);
+  const uint32_t lower = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto u = static_cast<VertexId>(rng.Uniform(f.g.NumVertices()));
+    auto v = static_cast<VertexId>(rng.Uniform(f.g.NumVertices()));
+    if (u == v) continue;
+    auto path =
+        core::DetectPath(f.g, *f.pml, u, v, {lower, lower + 3});
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_DetectPath)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_TwoHopCountsBuild(benchmark::State& state) {
+  auto& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pml::ComputeTwoHopCounts(f.g));
+  }
+}
+BENCHMARK(BM_TwoHopCountsBuild);
+
+}  // namespace
+}  // namespace boomer
+
+BENCHMARK_MAIN();

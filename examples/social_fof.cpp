@@ -1,0 +1,87 @@
+// Friends-of-friends (FOF) exploration on a social network (Section 3.1).
+//
+// "Given a user A in a social network, we may wish to explore the
+//  friends-of-friends neighborhood of A. In this case the query edge
+//  connecting A to a vertex in FOF has a lower bound of 2."
+//
+// We generate a preferential-attachment social graph whose labels are user
+// roles (e.g. "designer", "engineer", ...), then ask: find pairs
+// (manager M, designer D) where D is in M's strict FOF ring — reachable in
+// exactly 2 hops, *not* a direct friend — and both know a common engineer
+// within one hop. The lower bound 2 on the (M, D) edge is what subgraph
+// isomorphism cannot express.
+
+#include <cstdio>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/trace_builder.h"
+#include "query/bph_query.h"
+
+using namespace boomer;
+
+int main() {
+  // Roles: 0 = manager, 1 = engineer, 2 = designer, 3 = analyst.
+  auto graph_or = graph::GenerateBarabasiAlbert(/*n=*/3000,
+                                                /*edges_per_vertex=*/3,
+                                                /*num_labels=*/4,
+                                                /*seed=*/2024);
+  BOOMER_CHECK_OK(graph_or.status());
+  const graph::Graph& g = *graph_or;
+  std::printf("social graph: %zu users, %zu friendships\n", g.NumVertices(),
+              g.NumEdges());
+
+  auto prep_or = core::Preprocess(g, {.t_avg_samples = 20000});
+  BOOMER_CHECK_OK(prep_or.status());
+
+  // Query: manager -[2,2]- designer (strict FOF), manager -[1,1]- engineer,
+  // designer -[1,1]- engineer (shared direct friend).
+  query::BphQuery q;
+  auto manager = q.AddVertex(0);
+  auto engineer = q.AddVertex(1);
+  auto designer = q.AddVertex(2);
+  BOOMER_CHECK(q.AddEdge(manager, designer, {2, 2}).ok());
+  BOOMER_CHECK(q.AddEdge(manager, engineer, {1, 1}).ok());
+  BOOMER_CHECK(q.AddEdge(designer, engineer, {1, 1}).ok());
+  std::printf("FOF query: %s\n", q.ToString().c_str());
+
+  gui::LatencyModel latency;
+  auto trace_or = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+  BOOMER_CHECK_OK(trace_or.status());
+
+  core::BlenderOptions options;
+  options.strategy = core::Strategy::kDeferToIdle;
+  options.max_results = 50000;
+  core::Blender blender(g, *prep_or, options);
+  BOOMER_CHECK_OK(blender.RunTrace(*trace_or));
+
+  // The CAP honors the *upper* bounds; the lower bound (>= 2 between
+  // manager and designer) is applied just-in-time per result.
+  size_t strict_fof = 0, direct_friends = 0, shown = 0;
+  for (size_t i = 0; i < blender.Results().size(); ++i) {
+    auto subgraph_or = blender.GenerateResultSubgraph(i);
+    if (!subgraph_or.ok()) {
+      // Match failed the lower bound: manager and designer are adjacent and
+      // no simple 2-hop detour path exists between them.
+      ++direct_friends;
+      continue;
+    }
+    ++strict_fof;
+    if (shown < 5) {
+      const auto& m = subgraph_or->match.assignment;
+      const auto& fof_path = subgraph_or->paths[0].path;
+      std::printf("  manager u%u -- designer u%u via u%u (engineer friend "
+                  "u%u)\n",
+                  m[0], m[2], fof_path[1], m[1]);
+      ++shown;
+    }
+  }
+  std::printf(
+      "upper-bound matches: %zu; strict FOF (lower bound 2 satisfied): %zu; "
+      "rejected at lower-bound check: %zu\n",
+      blender.Results().size(), strict_fof, direct_friends);
+  std::printf("SRT: %.3f ms after the Run click (QFT %.1f s simulated)\n",
+              blender.report().srt_seconds * 1e3,
+              blender.report().qft_seconds);
+  return 0;
+}

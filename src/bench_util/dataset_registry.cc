@@ -1,0 +1,74 @@
+#include "bench_util/dataset_registry.h"
+
+#include <filesystem>
+
+#include "graph/io.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace boomer {
+namespace bench {
+
+StatusOr<LoadedDataset> DatasetRegistry::Get(const graph::DatasetSpec& spec) {
+  const std::string key = graph::DatasetCacheKey(spec);
+  for (const auto& [cached_key, dataset] : memory_cache_) {
+    if (cached_key == key) return dataset;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir_, ec);
+  const std::string prefix = cache_dir_ + "/" + key;
+
+  LoadedDataset dataset;
+  dataset.spec = spec;
+
+  core::PreprocessOptions prep_options;
+  prep_options.t_avg_samples = t_avg_samples_;
+  prep_options.seed = spec.seed;
+
+  // Try the disk cache first.
+  if (std::filesystem::exists(prefix + ".graph")) {
+    auto graph_or = graph::LoadBinary(prefix + ".graph");
+    if (graph_or.ok()) {
+      auto g = std::make_shared<graph::Graph>(std::move(graph_or).value());
+      auto prep_or =
+          core::PreprocessResult::Load(prefix, *g, prep_options);
+      if (prep_or.ok()) {
+        dataset.graph = g;
+        dataset.prep = std::make_shared<core::PreprocessResult>(
+            std::move(prep_or).value());
+        memory_cache_.emplace_back(key, dataset);
+        return dataset;
+      }
+      BOOMER_LOG(Warning) << "stale preprocess cache for " << key << ": "
+                          << prep_or.status() << "; rebuilding";
+    }
+  }
+
+  WallTimer timer;
+  BOOMER_LOG(Info) << "generating dataset " << key;
+  BOOMER_ASSIGN_OR_RETURN(graph::Graph g, graph::GenerateDataset(spec));
+  BOOMER_LOG(Info) << "  |V|=" << g.NumVertices() << " |E|=" << g.NumEdges()
+                   << " (" << timer.ElapsedSeconds() << "s); preprocessing";
+  timer.Restart();
+  BOOMER_ASSIGN_OR_RETURN(core::PreprocessResult prep,
+                          core::Preprocess(g, prep_options));
+  BOOMER_LOG(Info) << "  PML build " << prep.pml_build_seconds()
+                   << "s, t_avg " << prep.t_avg_seconds() * 1e6 << "us";
+
+  dataset.graph = std::make_shared<graph::Graph>(std::move(g));
+  dataset.prep = std::make_shared<core::PreprocessResult>(std::move(prep));
+
+  // Best effort disk cache.
+  Status save = graph::SaveBinary(*dataset.graph, prefix + ".graph");
+  if (save.ok()) save = dataset.prep->Save(prefix);
+  if (!save.ok()) {
+    BOOMER_LOG(Warning) << "could not cache dataset " << key << ": " << save;
+  }
+
+  memory_cache_.emplace_back(key, dataset);
+  return dataset;
+}
+
+}  // namespace bench
+}  // namespace boomer

@@ -1,0 +1,47 @@
+// Dataset registry for the benchmark harness.
+//
+// Generating a dataset analog and building its PML index dominates bench
+// startup, so both are cached on disk under a directory (default "data/")
+// keyed by (dataset, scale, seed). All Exp-* binaries share one registry.
+
+#ifndef BOOMER_BENCH_UTIL_DATASET_REGISTRY_H_
+#define BOOMER_BENCH_UTIL_DATASET_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/preprocessor.h"
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace bench {
+
+/// A loaded dataset: the graph plus its preprocessing artifact.
+struct LoadedDataset {
+  graph::DatasetSpec spec;
+  std::shared_ptr<const graph::Graph> graph;
+  std::shared_ptr<const core::PreprocessResult> prep;
+};
+
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(std::string cache_dir = "data",
+                           size_t t_avg_samples = 200000)
+      : cache_dir_(std::move(cache_dir)), t_avg_samples_(t_avg_samples) {}
+
+  /// Returns the dataset for `spec`, generating + preprocessing and caching
+  /// on first use (both in-memory and on disk).
+  StatusOr<LoadedDataset> Get(const graph::DatasetSpec& spec);
+
+ private:
+  std::string cache_dir_;
+  size_t t_avg_samples_;
+  std::vector<std::pair<std::string, LoadedDataset>> memory_cache_;
+};
+
+}  // namespace bench
+}  // namespace boomer
+
+#endif  // BOOMER_BENCH_UTIL_DATASET_REGISTRY_H_

@@ -1,0 +1,112 @@
+#include "bench_util/experiment.h"
+
+namespace boomer {
+namespace bench {
+
+using query::Bounds;
+using query::TemplateId;
+
+StatusOr<BlendRunResult> RunBlend(const LoadedDataset& dataset,
+                                  const query::BphQuery& q,
+                                  const BlendRunSpec& spec,
+                                  std::vector<gui::Action> modifications) {
+  gui::LatencyParams latency_params;
+  latency_params.movement_seconds *= spec.latency_factor;
+  latency_params.selection_seconds *= spec.latency_factor;
+  latency_params.drag_seconds *= spec.latency_factor;
+  latency_params.edge_seconds *= spec.latency_factor;
+  latency_params.bounds_seconds *= spec.latency_factor;
+  gui::LatencyModel latency(latency_params, spec.latency_seed);
+  gui::FormulationSequence sequence =
+      spec.sequence.empty() ? gui::DefaultSequence(q) : spec.sequence;
+  BOOMER_ASSIGN_OR_RETURN(
+      gui::ActionTrace trace,
+      gui::BuildTrace(q, sequence, &latency, std::move(modifications)));
+
+  core::BlenderOptions options;
+  options.t_lat_seconds = latency_params.edge_seconds;  // t_lat = t_e
+  options.strategy = spec.strategy;
+  options.pvs_mode = spec.pvs_mode;
+  options.prune_isolated = spec.prune_isolated;
+  options.max_results = spec.max_results;
+  core::Blender blender(*dataset.graph, *dataset.prep, options);
+  BOOMER_RETURN_NOT_OK(blender.RunTrace(trace));
+
+  BlendRunResult result;
+  result.report = blender.report();
+  result.final_query = blender.current_query();
+  return result;
+}
+
+StatusOr<BuRunResult> RunBu(const LoadedDataset& dataset,
+                            const query::BphQuery& q, double timeout_seconds,
+                            size_t max_results) {
+  core::BuOptions options;
+  options.timeout_seconds = timeout_seconds;
+  options.max_results = max_results;
+  BOOMER_ASSIGN_OR_RETURN(
+      core::BuOutcome outcome,
+      core::EvaluateBu(*dataset.graph, dataset.prep->pml(), q, options));
+  BuRunResult result;
+  result.report = outcome.report;
+  return result;
+}
+
+StatusOr<std::vector<query::BphQuery>> MakeInstances(
+    const LoadedDataset& dataset, TemplateId tmpl, size_t count,
+    uint64_t seed, const std::vector<std::optional<Bounds>>& overrides) {
+  query::QueryInstantiator inst(*dataset.graph, seed);
+  std::vector<query::BphQuery> instances;
+  for (size_t i = 0; i < count; ++i) {
+    BOOMER_ASSIGN_OR_RETURN(query::BphQuery q,
+                            inst.Instantiate(tmpl, overrides));
+    instances.push_back(std::move(q));
+  }
+  return instances;
+}
+
+std::vector<std::optional<Bounds>> Exp3Overrides(graph::DatasetKind kind,
+                                                 TemplateId tmpl) {
+  const auto& t = query::GetTemplate(tmpl);
+  std::vector<std::optional<Bounds>> overrides(t.edges.size());
+  auto set_upper = [&](size_t edge_index, uint32_t upper) {
+    if (edge_index < overrides.size()) {
+      overrides[edge_index] = Bounds{1, upper};
+    }
+  };
+  switch (kind) {
+    case graph::DatasetKind::kWordNet:
+      set_upper(0, tmpl == TemplateId::kQ5 ? 4 : 5);
+      if (tmpl == TemplateId::kQ1 || tmpl == TemplateId::kQ5) set_upper(1, 1);
+      if (tmpl == TemplateId::kQ3 || tmpl == TemplateId::kQ5) set_upper(2, 1);
+      if (tmpl == TemplateId::kQ6) {
+        set_upper(4, 1);
+        set_upper(5, 2);
+      }
+      break;
+    case graph::DatasetKind::kFlickr:
+    case graph::DatasetKind::kDblp:
+      set_upper(0, 5);
+      set_upper(1, 5);
+      if (tmpl == TemplateId::kQ3) set_upper(2, 1);
+      if (tmpl == TemplateId::kQ5) {
+        set_upper(2, kind == graph::DatasetKind::kDblp ? 3 : 1);
+      }
+      if (tmpl == TemplateId::kQ6) {
+        set_upper(4, 1);
+        set_upper(5, 2);
+      }
+      break;
+  }
+  return overrides;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace bench
+}  // namespace boomer

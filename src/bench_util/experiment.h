@@ -1,0 +1,87 @@
+// Shared experiment runner: executes one blend (or BU evaluation) of a query
+// instance on a loaded dataset and returns the metrics the paper's figures
+// plot. All Exp-* binaries are thin loops around RunBlend/RunBu.
+
+#ifndef BOOMER_BENCH_UTIL_EXPERIMENT_H_
+#define BOOMER_BENCH_UTIL_EXPERIMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "bench_util/dataset_registry.h"
+#include "core/blender.h"
+#include "core/bu_evaluator.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace bench {
+
+struct BlendRunSpec {
+  core::Strategy strategy = core::Strategy::kDeferToIdle;
+  core::PvsMode pvs_mode = core::PvsMode::kThreeStrategy;
+  bool prune_isolated = true;
+  /// Empty = default (creation-order) sequence.
+  gui::FormulationSequence sequence;
+  size_t max_results = 2000000;
+  uint64_t latency_seed = 7;
+  /// Scales every GUI latency (t_m, t_s, t_d, t_e, t_b) and hence t_lat.
+  ///
+  /// Rationale: CAP-building work per edge is Θ(|V_qi| * |V_qj|), which
+  /// shrinks *quadratically* when the dataset is scaled down by `s`, while
+  /// human latency stays constant — at small scales every edge would fit in
+  /// the 2 s window and the immediate/deferment trade-off the paper studies
+  /// would vanish. Setting latency_factor = s² restores the paper's
+  /// processing-to-latency ratio, so the *shape* of every comparison
+  /// (which edges defer, who backlogs at Run) is preserved. The benchmark
+  /// flags default to this; pass --latency-scale=1 for real-time latencies.
+  double latency_factor = 1.0;
+};
+
+/// Result of one blend run, flattened for table rendering.
+struct BlendRunResult {
+  core::BlendReport report;
+  /// Query the blender finished with (post-modifications).
+  query::BphQuery final_query;
+};
+
+/// Runs one blend session of `q` on `dataset`. `modifications` (optional)
+/// are appended to the trace before Run (Exp 6).
+StatusOr<BlendRunResult> RunBlend(const LoadedDataset& dataset,
+                                  const query::BphQuery& q,
+                                  const BlendRunSpec& spec,
+                                  std::vector<gui::Action> modifications = {});
+
+struct BuRunResult {
+  core::BuReport report;
+};
+
+/// Runs the BU baseline on the same query.
+StatusOr<BuRunResult> RunBu(const LoadedDataset& dataset,
+                            const query::BphQuery& q, double timeout_seconds,
+                            size_t max_results);
+
+/// Instantiates `count` query instances of `tmpl` on the dataset with the
+/// given per-edge bound overrides (applied to every instance).
+StatusOr<std::vector<query::BphQuery>> MakeInstances(
+    const LoadedDataset& dataset, query::TemplateId tmpl, size_t count,
+    uint64_t seed,
+    const std::vector<std::optional<query::Bounds>>& overrides = {});
+
+/// The Exp-3 bound-override schedule of Section 7.2 for (dataset, template):
+/// WordNet: e1.upper = 5 (4 for Q5); e2.upper = 1 for Q1, Q5;
+///          e3.upper = 1 for Q3, Q5; Q6: e5.upper = 1, e6.upper = 2.
+/// Flickr:  e1.upper = 5; e2.upper = 5; e3.upper = 1 for Q3, Q5;
+///          Q6: e5.upper = 1, e6.upper = 2.
+/// DBLP:    as Flickr, except Q5's e3.upper = 3.
+std::vector<std::optional<query::Bounds>> Exp3Overrides(
+    graph::DatasetKind kind, query::TemplateId tmpl);
+
+/// Mean of a sample (0 for empty).
+double Mean(const std::vector<double>& values);
+
+}  // namespace bench
+}  // namespace boomer
+
+#endif  // BOOMER_BENCH_UTIL_EXPERIMENT_H_

@@ -1,0 +1,105 @@
+#include "bench_util/flags.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace bench {
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "Common flags:\n"
+      "  --scale=<0..1>        fraction of the paper's dataset size "
+      "(default 0.02)\n"
+      "  --seed=<n>            RNG seed (default 42)\n"
+      "  --datasets=a,b        wordnet|dblp|flickr (default: experiment "
+      "specific)\n"
+      "  --queries=Q1,..,Q6    template queries (default: experiment "
+      "specific)\n"
+      "  --instances=<n>       query instances per cell (default 2)\n"
+      "  --cache-dir=<path>    dataset cache directory (default data)\n"
+      "  --bu-timeout=<sec>    BU baseline timeout (default 10)\n"
+      "  --max-results=<n>     result cap, 0 = unlimited (default 2000000)\n"
+      "  --latency-scale=<f>   GUI latency multiplier; 0 = auto scale^2\n"
+      "  --help\n");
+}
+
+StatusOr<query::TemplateId> TemplateFromName(std::string_view name) {
+  for (query::TemplateId id : query::kAllTemplates) {
+    if (name == query::TemplateName(id)) return id;
+  }
+  return Status::InvalidArgument("unknown template: " + std::string(name));
+}
+
+}  // namespace
+
+StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
+                                       bool* help_requested) {
+  CommonFlags flags;
+  *help_requested = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      *help_requested = true;
+      return flags;
+    }
+    auto eat = [&](std::string_view prefix,
+                   std::string_view* value) {
+      if (!StartsWith(arg, prefix)) return false;
+      *value = arg.substr(prefix.size());
+      return true;
+    };
+    std::string_view value;
+    if (eat("--scale=", &value)) {
+      BOOMER_ASSIGN_OR_RETURN(flags.scale, ParseDouble(value));
+      if (flags.scale <= 0.0 || flags.scale > 1.0) {
+        return Status::InvalidArgument("--scale must be in (0, 1]");
+      }
+    } else if (eat("--seed=", &value)) {
+      BOOMER_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(value));
+      flags.seed = static_cast<uint64_t>(seed);
+    } else if (eat("--datasets=", &value)) {
+      flags.datasets.clear();
+      for (std::string_view name : Split(value, ',')) {
+        BOOMER_ASSIGN_OR_RETURN(
+            graph::DatasetKind kind,
+            graph::DatasetKindFromName(std::string(name)));
+        flags.datasets.push_back(kind);
+      }
+    } else if (eat("--queries=", &value)) {
+      flags.queries.clear();
+      for (std::string_view name : Split(value, ',')) {
+        BOOMER_ASSIGN_OR_RETURN(query::TemplateId id, TemplateFromName(name));
+        flags.queries.push_back(id);
+      }
+    } else if (eat("--instances=", &value)) {
+      BOOMER_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      if (n <= 0) return Status::InvalidArgument("--instances must be > 0");
+      flags.instances = static_cast<size_t>(n);
+    } else if (eat("--cache-dir=", &value)) {
+      flags.cache_dir = std::string(value);
+    } else if (eat("--bu-timeout=", &value)) {
+      BOOMER_ASSIGN_OR_RETURN(flags.bu_timeout_seconds, ParseDouble(value));
+    } else if (eat("--max-results=", &value)) {
+      BOOMER_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      if (n < 0) return Status::InvalidArgument("--max-results must be >= 0");
+      flags.max_results = static_cast<size_t>(n);
+    } else if (eat("--latency-scale=", &value)) {
+      BOOMER_ASSIGN_OR_RETURN(flags.latency_scale, ParseDouble(value));
+      if (flags.latency_scale < 0.0) {
+        return Status::InvalidArgument("--latency-scale must be >= 0");
+      }
+    } else {
+      PrintUsage();
+      return Status::InvalidArgument("unknown flag: " + std::string(arg));
+    }
+  }
+  return flags;
+}
+
+}  // namespace bench
+}  // namespace boomer

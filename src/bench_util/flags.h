@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing shared by the experiment binaries
+// (--scale=0.1 --seed=42 --queries=Q2,Q5 --datasets=wordnet,flickr ...).
+
+#ifndef BOOMER_BENCH_UTIL_FLAGS_H_
+#define BOOMER_BENCH_UTIL_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "query/templates.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace bench {
+
+struct CommonFlags {
+  double scale = 0.02;
+  uint64_t seed = 42;
+  /// Empty = experiment default.
+  std::vector<graph::DatasetKind> datasets;
+  /// Empty = experiment default.
+  std::vector<query::TemplateId> queries;
+  /// Query instances per (dataset, template) cell.
+  size_t instances = 2;
+  std::string cache_dir = "data";
+  /// BU timeout; the paper uses 2 h — the scaled default keeps suites quick.
+  double bu_timeout_seconds = 10.0;
+  /// Safety cap on enumerated matches (0 = unlimited).
+  size_t max_results = 2000000;
+  /// GUI latency scaling; 0 = auto (scale², see BlendRunSpec::latency_factor).
+  double latency_scale = 0.0;
+
+  /// Effective latency factor: explicit --latency-scale, else scale².
+  double LatencyFactor() const {
+    return latency_scale > 0.0 ? latency_scale : scale * scale;
+  }
+};
+
+/// Parses argv; unknown flags are an error. `--help` prints usage and sets
+/// `help_requested`.
+StatusOr<CommonFlags> ParseCommonFlags(int argc, char** argv,
+                                       bool* help_requested);
+
+}  // namespace bench
+}  // namespace boomer
+
+#endif  // BOOMER_BENCH_UTIL_FLAGS_H_

@@ -1,0 +1,54 @@
+#include "bench_util/reporting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace boomer {
+namespace bench {
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << cell;
+      if (c + 1 < widths.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+void PrintPaperShape(const std::string& text) {
+  std::printf("# paper-shape: %s\n", text.c_str());
+}
+
+void PrintBanner(const std::string& experiment, const std::string& figure) {
+  std::printf("\n==== %s (%s) ====\n", experiment.c_str(), figure.c_str());
+}
+
+}  // namespace bench
+}  // namespace boomer

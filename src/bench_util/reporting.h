@@ -1,0 +1,43 @@
+// Textual table rendering for the experiment harness: each Exp binary prints
+// rows comparable to the paper's figures/tables, plus a "# paper-shape"
+// comment stating the qualitative relationship the paper reports so that
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+
+#ifndef BOOMER_BENCH_UTIL_REPORTING_H_
+#define BOOMER_BENCH_UTIL_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+namespace boomer {
+namespace bench {
+
+/// Fixed-width text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment; ends with a newline.
+  std::string Render() const;
+
+  /// Prints Render() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "# paper-shape: ..." annotation line.
+void PrintPaperShape(const std::string& text);
+
+/// Prints an experiment banner.
+void PrintBanner(const std::string& experiment, const std::string& figure);
+
+}  // namespace bench
+}  // namespace boomer
+
+#endif  // BOOMER_BENCH_UTIL_REPORTING_H_

@@ -1,0 +1,330 @@
+#include "core/blender.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/timer.h"
+
+namespace boomer {
+namespace core {
+
+using graph::VertexId;
+using gui::Action;
+using gui::ActionKind;
+using gui::ModifyKind;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kImmediate:
+      return "IC";
+    case Strategy::kDeferToRun:
+      return "DR";
+    case Strategy::kDeferToIdle:
+      return "DI";
+  }
+  return "??";
+}
+
+Blender::Blender(const graph::Graph& g, const PreprocessResult& prep,
+                 BlenderOptions options)
+    : graph_(g), prep_(prep), options_(options) {
+  pvs_ctx_.graph = &graph_;
+  pvs_ctx_.oracle = &prep_.pml();
+  pvs_ctx_.two_hop_counts = &prep_.two_hop_counts();
+  pvs_ctx_.mode = options_.pvs_mode;
+}
+
+double Blender::EstimateEdgeCost(QueryEdgeId e) const {
+  const query::QueryEdge& edge = query_.Edge(e);
+  const double size_i =
+      static_cast<double>(cap_.Candidates(edge.src).size());
+  const double size_j =
+      static_cast<double>(cap_.Candidates(edge.dst).size());
+  return size_i * size_j * prep_.t_avg_seconds();
+}
+
+bool Blender::IsExpensive(QueryEdgeId e) const {
+  const query::QueryEdge& edge = query_.Edge(e);
+  if (edge.bounds.upper < 3) return false;
+  return EstimateEdgeCost(e) > options_.t_lat_seconds;
+}
+
+void Blender::Charge(double wall_seconds) {
+  const int64_t start =
+      std::max(engine_free_at_micros_, clock_.NowMicros());
+  engine_free_at_micros_ = start + static_cast<int64_t>(wall_seconds * 1e6);
+}
+
+double Blender::ProcessEdgeNow(QueryEdgeId e) {
+  WallTimer timer;
+  const query::QueryEdge& edge = query_.Edge(e);
+  cap_.AddEdgeAdjacency(e, edge.src, edge.dst);
+  PvsCounters counters = PopulateVertexSet(pvs_ctx_, &cap_, e, edge.src,
+                                           edge.dst, edge.bounds.upper);
+  report_.pvs_totals.out_scans += counters.out_scans;
+  report_.pvs_totals.in_scans += counters.in_scans;
+  report_.pvs_totals.pairs_added += counters.pairs_added;
+  report_.pvs_totals.distance_queries += counters.distance_queries;
+  if (options_.prune_isolated) {
+    report_.prune_removals += cap_.PruneIsolated(e);
+  }
+  const double wall = timer.ElapsedSeconds();
+  report_.cap_build_wall_seconds += wall;
+  return wall;
+}
+
+QueryEdgeId Blender::MinPoolEdge() const {
+  QueryEdgeId best = query::kInvalidQueryEdge;
+  double best_cost = 0.0;
+  for (QueryEdgeId e : pool_) {
+    const double cost = EstimateEdgeCost(e);
+    if (best == query::kInvalidQueryEdge || cost < best_cost) {
+      best = e;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void Blender::RemoveFromPool(QueryEdgeId e) {
+  pool_.erase(std::remove(pool_.begin(), pool_.end(), e), pool_.end());
+}
+
+void Blender::ProbePool(int64_t deadline_micros) {
+  // Algorithm 10: keep processing the cheapest pooled edge while its
+  // estimate fits in the remaining idle window. A fresh GUI action ends the
+  // window — in trace-driven simulation the window is exactly
+  // [engine_free_at, next-action arrival).
+  while (!pool_.empty()) {
+    const int64_t available =
+        deadline_micros - std::max(engine_free_at_micros_, clock_.NowMicros());
+    if (available <= 0) return;
+    const QueryEdgeId e = MinPoolEdge();
+    const double estimate = EstimateEdgeCost(e);
+    if (static_cast<int64_t>(estimate * 1e6) > available) return;
+    RemoveFromPool(e);
+    Charge(ProcessEdgeNow(e));
+    ++report_.edges_processed_idle;
+  }
+}
+
+void Blender::DrainPool() {
+  while (!pool_.empty()) {
+    const QueryEdgeId e = MinPoolEdge();
+    RemoveFromPool(e);
+    Charge(ProcessEdgeNow(e));
+    ++report_.edges_processed_at_run;
+  }
+}
+
+Status Blender::OnAction(const Action& action) {
+  if (run_complete_) {
+    return Status::FailedPrecondition("actions after Run are not allowed");
+  }
+  const int64_t arrival = clock_.NowMicros() + action.latency_micros;
+  // The user is busy forming this action; DI exploits the window.
+  if (options_.strategy == Strategy::kDeferToIdle) {
+    ProbePool(arrival);
+  }
+  clock_.AdvanceTo(arrival);
+
+  switch (action.kind) {
+    case ActionKind::kNewVertex:
+      return HandleNewVertex(action);
+    case ActionKind::kNewEdge:
+      return HandleNewEdge(action);
+    case ActionKind::kModify:
+      return HandleModify(action);
+    case ActionKind::kRun:
+      return HandleRun();
+  }
+  return Status::Internal("unknown action kind");
+}
+
+Status Blender::RunTrace(const gui::ActionTrace& trace) {
+  for (const Action& a : trace.actions()) {
+    BOOMER_RETURN_NOT_OK(OnAction(a));
+  }
+  if (!run_complete_) {
+    return Status::FailedPrecondition("trace did not end with Run");
+  }
+  return Status::OK();
+}
+
+Status Blender::HandleNewVertex(const Action& a) {
+  const QueryVertexId q = query_.AddVertex(a.label);
+  if (a.vertex != query::kInvalidQueryVertex && a.vertex != q) {
+    return Status::InvalidArgument("trace vertex id out of sequence");
+  }
+  WallTimer timer;
+  cap_.AddLevel(q,
+                query::SimilarCandidates(graph_, a.label, options_.similarity));
+  const double wall = timer.ElapsedSeconds();
+  report_.cap_build_wall_seconds += wall;
+  Charge(wall);
+  return Status::OK();
+}
+
+Status Blender::HandleNewEdge(const Action& a) {
+  BOOMER_ASSIGN_OR_RETURN(QueryEdgeId e,
+                          query_.AddEdge(a.src, a.dst, a.bounds));
+  const bool defer = options_.strategy != Strategy::kImmediate &&
+                     IsExpensive(e);
+  if (defer) {
+    pool_.push_back(e);
+    ++report_.edges_deferred;
+    return Status::OK();
+  }
+  Charge(ProcessEdgeNow(e));
+  ++report_.edges_processed_immediately;
+  return Status::OK();
+}
+
+Status Blender::HandleRun() {
+  DrainPool();
+  WallTimer timer;
+  BOOMER_ASSIGN_OR_RETURN(
+      results_, PartialVertexSetsGen(query_, cap_, options_.max_results));
+  const double gen_wall = timer.ElapsedSeconds();
+  report_.enumeration_wall_seconds = gen_wall;
+  Charge(gen_wall);
+
+  run_complete_ = true;
+  report_.qft_seconds = clock_.NowSeconds();
+  report_.srt_seconds =
+      std::max<int64_t>(0, engine_free_at_micros_ - clock_.NowMicros()) * 1e-6;
+  report_.cap_stats = cap_.ComputeStats();
+  report_.num_results = results_.size();
+  return Status::OK();
+}
+
+StatusOr<ResultSubgraph> Blender::GenerateResultSubgraph(size_t index) const {
+  if (!run_complete_) {
+    return Status::FailedPrecondition("query has not been run");
+  }
+  if (index >= results_.size()) {
+    return Status::OutOfRange("result index out of range");
+  }
+  return FilterByLowerBound(query_, results_[index], graph_, prep_.pml());
+}
+
+// ---- Query modification (Section 6) -----------------------------------------
+
+Status Blender::HandleModify(const Action& a) {
+  WallTimer timer;
+  Status status;
+  if (a.modify_kind == ModifyKind::kDeleteEdge) {
+    status = DeleteEdgeModification(a.target_edge);
+  } else {
+    status = BoundsModification(a.target_edge, a.new_bounds);
+  }
+  const double wall = timer.ElapsedSeconds();
+  report_.modification_wall_seconds += wall;
+  report_.cap_build_wall_seconds += wall;
+  ++report_.modifications;
+  Charge(wall);
+  return status;
+}
+
+Status Blender::DeleteEdgeModification(QueryEdgeId e) {
+  if (!query_.EdgeAlive(e)) {
+    return Status::NotFound("cannot delete: edge does not exist");
+  }
+  const bool pooled =
+      std::find(pool_.begin(), pool_.end(), e) != pool_.end();
+  if (pooled) {
+    // Unprocessed edge: drop from the pool; CAP untouched (Section 6).
+    RemoveFromPool(e);
+  } else if (cap_.EdgeProcessed(e)) {
+    RollbackComponent(e, /*include_edge=*/false);
+  }
+  return query_.RemoveEdge(e);
+}
+
+Status Blender::BoundsModification(QueryEdgeId e, query::Bounds new_bounds) {
+  if (!query_.EdgeAlive(e)) {
+    return Status::NotFound("cannot modify: edge does not exist");
+  }
+  if (!new_bounds.Valid()) {
+    return Status::InvalidArgument("invalid bounds");
+  }
+  const query::Bounds old_bounds = query_.Edge(e).bounds;
+  BOOMER_RETURN_NOT_OK(query_.SetBounds(e, new_bounds));
+
+  const bool processed = cap_.EdgeProcessed(e);
+  if (!processed) {
+    // Pooled or not-yet-seen edge: the pool reads bounds from the query, so
+    // nothing else to do (Section 6: "updates the bound ... in the edge
+    // pool"). Lower-bound-only changes never touch the CAP either.
+    return Status::OK();
+  }
+  if (new_bounds.upper < old_bounds.upper) {
+    TightenProcessedEdge(e, new_bounds.upper);
+  } else if (new_bounds.upper > old_bounds.upper) {
+    // Loosening may admit pairs the index never recorded; rebuild the
+    // affected component with the edge re-pooled (Section 6).
+    RollbackComponent(e, /*include_edge=*/true);
+  }
+  return Status::OK();
+}
+
+void Blender::RollbackComponent(QueryEdgeId e, bool include_edge) {
+  // Connected component over *processed* query edges containing e's
+  // endpoints (GetConnectedComponent of Algorithm 5).
+  const query::QueryEdge& seed = query_.Edge(e);
+  std::vector<bool> in_component(query_.NumVertices(), false);
+  std::deque<QueryVertexId> frontier{seed.src, seed.dst};
+  in_component[seed.src] = in_component[seed.dst] = true;
+  std::vector<QueryEdgeId> component_edges;
+  std::vector<bool> edge_seen(query_.EdgeSlots(), false);
+  while (!frontier.empty()) {
+    const QueryVertexId q = frontier.front();
+    frontier.pop_front();
+    for (QueryEdgeId incident : query_.IncidentEdges(q)) {
+      if (!cap_.EdgeProcessed(incident) || edge_seen[incident]) continue;
+      edge_seen[incident] = true;
+      component_edges.push_back(incident);
+      const QueryVertexId other = query_.Edge(incident).Other(q);
+      if (!in_component[other]) {
+        in_component[other] = true;
+        frontier.push_back(other);
+      }
+    }
+  }
+
+  // Roll back: recreate the levels of affected vertices from the raw label
+  // candidates (their AIVS die with RemoveLevel).
+  for (QueryVertexId q = 0; q < query_.NumVertices(); ++q) {
+    if (!in_component[q]) continue;
+    cap_.RemoveLevel(q);
+    cap_.AddLevel(q, query::SimilarCandidates(graph_, query_.Label(q),
+                                              options_.similarity));
+  }
+  // Re-pool the component's edges (except the deleted one).
+  for (QueryEdgeId ce : component_edges) {
+    if (ce == e && !include_edge) continue;
+    pool_.push_back(ce);
+  }
+}
+
+void Blender::TightenProcessedEdge(QueryEdgeId e, uint32_t new_upper) {
+  const query::QueryEdge& edge = query_.Edge(e);
+  // Algorithm 15: re-check every indexed pair against the stricter bound.
+  std::vector<std::pair<VertexId, VertexId>> doomed;
+  for (VertexId vi : cap_.Candidates(edge.src)) {
+    for (VertexId vj : cap_.Aivs(e, edge.src, vi)) {
+      if (!prep_.pml().WithinDistance(vi, vj, new_upper)) {
+        doomed.emplace_back(vi, vj);
+      }
+    }
+  }
+  for (const auto& [vi, vj] : doomed) cap_.RemovePair(e, vi, vj);
+  if (options_.prune_isolated) {
+    report_.prune_removals += cap_.PruneIsolated(e);
+  }
+}
+
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,169 @@
+#include "core/bu_evaluator.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace boomer {
+namespace core {
+
+using graph::Graph;
+using graph::VertexId;
+using query::BphQuery;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+namespace {
+
+/// Size-ascending connected order over raw candidate counts (BU has no CAP
+/// to consult).
+StatusOr<query::MatchingOrder> RawReorder(
+    const BphQuery& q,
+    const std::vector<std::vector<VertexId>>& candidates) {
+  const size_t n = q.NumVertices();
+  auto size_of = [&](QueryVertexId v) { return candidates[v].size(); };
+  query::MatchingOrder order;
+  std::vector<bool> placed(n, false);
+  QueryVertexId first = 0;
+  for (QueryVertexId v = 1; v < n; ++v) {
+    if (size_of(v) < size_of(first)) first = v;
+  }
+  order.push_back(first);
+  placed[first] = true;
+  while (order.size() < n) {
+    QueryVertexId best = query::kInvalidQueryVertex;
+    for (QueryVertexId v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      bool adjacent = false;
+      for (QueryEdgeId e : q.IncidentEdges(v)) {
+        if (placed[q.Edge(e).Other(v)]) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) continue;
+      if (best == query::kInvalidQueryVertex || size_of(v) < size_of(best)) {
+        best = v;
+      }
+    }
+    if (best == query::kInvalidQueryVertex) {
+      return Status::FailedPrecondition("query is not connected");
+    }
+    order.push_back(best);
+    placed[best] = true;
+  }
+  return order;
+}
+
+struct BuSearch {
+  const Graph* g;
+  const pml::DistanceOracle* oracle;
+  const BphQuery* q;
+  const query::MatchingOrder* order;
+  const std::vector<std::vector<VertexId>>* candidates;
+  const BuOptions* options;
+  WallTimer timer;
+  BuReport report;
+  std::vector<VertexId> assignment;
+  std::vector<bool> used;
+  std::vector<PartialMatch> results;
+  bool aborted = false;
+  size_t steps_since_clock_check = 0;
+
+  bool TimedOut() {
+    // Check the clock every few thousand steps to keep overhead negligible.
+    if (++steps_since_clock_check < 4096) return false;
+    steps_since_clock_check = 0;
+    if (timer.ElapsedSeconds() > options->timeout_seconds) {
+      report.timed_out = true;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool BuDfs(BuSearch* s, size_t depth) {
+  if (s->aborted) return false;
+  if (depth == s->order->size()) {
+    PartialMatch match;
+    match.assignment = s->assignment;
+    s->results.push_back(std::move(match));
+    if (s->options->max_results != 0 &&
+        s->results.size() >= s->options->max_results) {
+      s->aborted = true;
+      return false;
+    }
+    return true;
+  }
+  const QueryVertexId q_next = (*s->order)[depth];
+  // Every edge from q_next back to already-matched vertices constrains the
+  // candidate; check them all with pairwise distance queries.
+  std::vector<std::pair<VertexId, uint32_t>> checks;  // (matched v, upper)
+  for (QueryEdgeId e : s->q->IncidentEdges(q_next)) {
+    const QueryVertexId other = s->q->Edge(e).Other(q_next);
+    if (s->assignment[other] == graph::kInvalidVertex) continue;
+    checks.emplace_back(s->assignment[other], s->q->Edge(e).bounds.upper);
+  }
+  for (VertexId v : (*s->candidates)[q_next]) {
+    if (s->TimedOut()) {
+      s->aborted = true;
+      return false;
+    }
+    if (v < s->used.size() && s->used[v]) continue;
+    bool ok = true;
+    for (const auto& [u, upper] : checks) {
+      ++s->report.distance_queries;
+      if (!s->oracle->WithinDistance(v, u, upper)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    s->assignment[q_next] = v;
+    s->used[v] = true;
+    bool keep_going = BuDfs(s, depth + 1);
+    s->used[v] = false;
+    s->assignment[q_next] = graph::kInvalidVertex;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<BuOutcome> EvaluateBu(const Graph& g,
+                               const pml::DistanceOracle& oracle,
+                               const BphQuery& q, const BuOptions& options) {
+  BOOMER_RETURN_NOT_OK(q.Validate());
+  std::vector<std::vector<VertexId>> candidates(q.NumVertices());
+  for (QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    candidates[v] = query::SimilarCandidates(g, q.Label(v), options.similarity);
+  }
+  BOOMER_ASSIGN_OR_RETURN(query::MatchingOrder order,
+                          RawReorder(q, candidates));
+
+  BuSearch search;
+  search.g = &g;
+  search.oracle = &oracle;
+  search.q = &q;
+  search.order = &order;
+  search.candidates = &candidates;
+  search.options = &options;
+  search.assignment.assign(q.NumVertices(), graph::kInvalidVertex);
+  search.used.assign(g.NumVertices(), false);
+  BuDfs(&search, 0);
+
+  BuOutcome outcome;
+  outcome.report = search.report;
+  outcome.report.srt_seconds = search.timer.ElapsedSeconds();
+  if (search.report.timed_out) {
+    outcome.report.num_results = 0;
+  } else {
+    outcome.report.num_results = search.results.size();
+    outcome.results = std::move(search.results);
+  }
+  return outcome;
+}
+
+}  // namespace core
+}  // namespace boomer

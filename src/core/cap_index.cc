@@ -1,0 +1,247 @@
+#include "core/cap_index.h"
+
+#include <algorithm>
+
+namespace boomer {
+namespace core {
+
+using graph::VertexId;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+const std::vector<VertexId> CapIndex::kEmpty;
+
+namespace {
+
+/// Binary-search removal from a sorted vector. Returns true if removed.
+bool SortedErase(std::vector<VertexId>* vec, VertexId v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it == vec->end() || *it != v) return false;
+  vec->erase(it);
+  return true;
+}
+
+/// Binary-search insertion keeping the vector sorted; ignores duplicates.
+void SortedInsert(std::vector<VertexId>* vec, VertexId v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it != vec->end() && *it == v) return;
+  vec->insert(it, v);
+}
+
+}  // namespace
+
+void CapIndex::AddLevel(QueryVertexId q, std::vector<VertexId> candidates) {
+  if (q >= levels_.size()) levels_.resize(q + 1);
+  BOOMER_CHECK(!levels_[q].present);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  levels_[q].present = true;
+  levels_[q].candidates = std::move(candidates);
+}
+
+void CapIndex::RemoveLevel(QueryVertexId q) {
+  BOOMER_CHECK(HasLevel(q));
+  levels_[q].present = false;
+  levels_[q].candidates.clear();
+  // Drop adjacency of every processed edge touching this level.
+  std::vector<QueryEdgeId> doomed;
+  for (const auto& [e, adj] : edges_) {
+    if (adj.qi == q || adj.qj == q) doomed.push_back(e);
+  }
+  for (QueryEdgeId e : doomed) RemoveEdgeAdjacency(e);
+}
+
+bool CapIndex::HasLevel(QueryVertexId q) const {
+  return q < levels_.size() && levels_[q].present;
+}
+
+const std::vector<VertexId>& CapIndex::Candidates(QueryVertexId q) const {
+  BOOMER_CHECK(HasLevel(q));
+  return levels_[q].candidates;
+}
+
+bool CapIndex::IsCandidate(QueryVertexId q, VertexId v) const {
+  if (!HasLevel(q)) return false;
+  const auto& c = levels_[q].candidates;
+  return std::binary_search(c.begin(), c.end(), v);
+}
+
+void CapIndex::AddEdgeAdjacency(QueryEdgeId e, QueryVertexId qi,
+                                QueryVertexId qj) {
+  BOOMER_CHECK(HasLevel(qi) && HasLevel(qj));
+  BOOMER_CHECK(!edges_.contains(e));
+  EdgeAdjacency adj;
+  adj.qi = qi;
+  adj.qj = qj;
+  edges_.emplace(e, std::move(adj));
+}
+
+void CapIndex::RemoveEdgeAdjacency(QueryEdgeId e) {
+  edges_.erase(e);
+}
+
+bool CapIndex::EdgeProcessed(QueryEdgeId e) const {
+  return edges_.contains(e);
+}
+
+std::vector<QueryEdgeId> CapIndex::ProcessedEdges() const {
+  std::vector<QueryEdgeId> ids;
+  ids.reserve(edges_.size());
+  for (const auto& [e, adj] : edges_) ids.push_back(e);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<QueryVertexId> CapIndex::Levels() const {
+  std::vector<QueryVertexId> ids;
+  for (QueryVertexId q = 0; q < levels_.size(); ++q) {
+    if (levels_[q].present) ids.push_back(q);
+  }
+  return ids;
+}
+
+std::pair<QueryVertexId, QueryVertexId> CapIndex::EdgeEndpoints(
+    QueryEdgeId e) const {
+  const EdgeAdjacency& adj = GetEdge(e);
+  return {adj.qi, adj.qj};
+}
+
+const CapIndex::EdgeAdjacency& CapIndex::GetEdge(QueryEdgeId e) const {
+  auto it = edges_.find(e);
+  BOOMER_CHECK(it != edges_.end());
+  return it->second;
+}
+
+CapIndex::EdgeAdjacency& CapIndex::GetEdge(QueryEdgeId e) {
+  auto it = edges_.find(e);
+  BOOMER_CHECK(it != edges_.end());
+  return it->second;
+}
+
+void CapIndex::AddPair(QueryEdgeId e, VertexId vi, VertexId vj) {
+  EdgeAdjacency& adj = GetEdge(e);
+  SortedInsert(&adj.from_qi[vi], vj);
+  SortedInsert(&adj.from_qj[vj], vi);
+}
+
+void CapIndex::RemovePair(QueryEdgeId e, VertexId vi, VertexId vj) {
+  EdgeAdjacency& adj = GetEdge(e);
+  auto it = adj.from_qi.find(vi);
+  if (it != adj.from_qi.end()) {
+    SortedErase(&it->second, vj);
+    if (it->second.empty()) adj.from_qi.erase(it);
+  }
+  auto jt = adj.from_qj.find(vj);
+  if (jt != adj.from_qj.end()) {
+    SortedErase(&jt->second, vi);
+    if (jt->second.empty()) adj.from_qj.erase(jt);
+  }
+}
+
+const std::vector<VertexId>& CapIndex::Aivs(QueryEdgeId e, QueryVertexId q,
+                                            VertexId v) const {
+  const EdgeAdjacency& adj = GetEdge(e);
+  BOOMER_CHECK(q == adj.qi || q == adj.qj);
+  const auto& side = (q == adj.qi) ? adj.from_qi : adj.from_qj;
+  auto it = side.find(v);
+  if (it == side.end()) return kEmpty;
+  return it->second;
+}
+
+size_t CapIndex::PruneVertex(QueryVertexId q, VertexId v) {
+  if (!HasLevel(q)) return 0;
+  if (!SortedErase(&levels_[q].candidates, v)) return 0;
+  size_t removed = 1;
+
+  // Collect (edge, neighbor level, affected neighbor vertex) before mutating
+  // so the cascade below never walks a list it is erasing.
+  struct Cascade {
+    QueryEdgeId e;
+    QueryVertexId neighbor_level;
+    VertexId neighbor;
+  };
+  std::vector<Cascade> cascades;
+  for (auto& [e, adj] : edges_) {
+    QueryVertexId other_level;
+    std::unordered_map<VertexId, std::vector<VertexId>>* mine;
+    std::unordered_map<VertexId, std::vector<VertexId>>* theirs;
+    if (adj.qi == q) {
+      other_level = adj.qj;
+      mine = &adj.from_qi;
+      theirs = &adj.from_qj;
+    } else if (adj.qj == q) {
+      other_level = adj.qi;
+      mine = &adj.from_qj;
+      theirs = &adj.from_qi;
+    } else {
+      continue;
+    }
+    auto it = mine->find(v);
+    if (it == mine->end()) continue;
+    for (VertexId w : it->second) {
+      auto jt = theirs->find(w);
+      if (jt == theirs->end()) continue;
+      SortedErase(&jt->second, v);
+      if (jt->second.empty()) {
+        theirs->erase(jt);
+        cascades.push_back({e, other_level, w});
+      }
+    }
+    mine->erase(it);
+  }
+  for (const Cascade& c : cascades) {
+    removed += PruneVertex(c.neighbor_level, c.neighbor);
+  }
+  return removed;
+}
+
+size_t CapIndex::PruneIsolated(QueryEdgeId e) {
+  const EdgeAdjacency& adj = GetEdge(e);
+  const QueryVertexId qi = adj.qi;
+  const QueryVertexId qj = adj.qj;
+  size_t removed = 0;
+  // Snapshot candidates first: PruneVertex mutates the level vectors.
+  std::vector<VertexId> snapshot_i = Candidates(qi);
+  for (VertexId v : snapshot_i) {
+    if (IsCandidate(qi, v) && Aivs(e, qi, v).empty()) {
+      removed += PruneVertex(qi, v);
+    }
+  }
+  std::vector<VertexId> snapshot_j = Candidates(qj);
+  for (VertexId v : snapshot_j) {
+    if (IsCandidate(qj, v) && Aivs(e, qj, v).empty()) {
+      removed += PruneVertex(qj, v);
+    }
+  }
+  return removed;
+}
+
+CapStats CapIndex::ComputeStats() const {
+  CapStats stats;
+  for (const Level& level : levels_) {
+    if (!level.present) continue;
+    stats.num_candidates += level.candidates.size();
+    stats.size_bytes += level.candidates.size() * sizeof(VertexId);
+  }
+  for (const auto& [e, adj] : edges_) {
+    size_t entries = 0;
+    for (const auto& [v, list] : adj.from_qi) entries += list.size();
+    stats.num_adjacency_pairs += entries;  // each pair stored once per side
+    size_t both = entries;
+    for (const auto& [v, list] : adj.from_qj) both += list.size();
+    stats.size_bytes +=
+        both * sizeof(VertexId) +
+        (adj.from_qi.size() + adj.from_qj.size()) *
+            (sizeof(VertexId) + sizeof(std::vector<VertexId>));
+  }
+  return stats;
+}
+
+void CapIndex::Clear() {
+  levels_.clear();
+  edges_.clear();
+}
+
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,141 @@
+// CAP (Compact Adaptive Path) index — Definition 5.1.
+//
+// A |V_B|-level undirected graph over data-graph vertices: level q holds the
+// candidate matches V_q = {v : L(v) = L(q)} that survive pruning, and a pair
+// (u, v) in levels (q_i, q_j) is connected iff some path of length
+// <= e.upper links u and v in the data graph, where e = (q_i, q_j). The
+// per-candidate adjacency list V_{q_i}^{q_j}(v) is the paper's "adjacent
+// indexed vertex set" (AIVS).
+//
+// The index is built online while the user draws the query, so it supports
+// incremental level/edge insertion, pair-level edits (bound tightening),
+// recursive isolated-vertex pruning (Algorithm 7), and whole-level rollback
+// (query modification, Algorithm 5).
+
+#ifndef BOOMER_CORE_CAP_INDEX_H_
+#define BOOMER_CORE_CAP_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+/// Size metrics reported by the Exp-2/3/4 benchmarks.
+struct CapStats {
+  /// Sum of surviving candidates across levels (Σ |V_q|).
+  size_t num_candidates = 0;
+  /// Number of indexed (u, v) pairs across processed edges.
+  size_t num_adjacency_pairs = 0;
+  /// Approximate heap footprint.
+  size_t size_bytes = 0;
+};
+
+class CapIndex {
+ public:
+  CapIndex() = default;
+
+  // ---- Levels ------------------------------------------------------------
+
+  /// Creates level `q` with the given candidates (Algorithm 2 lines 2-4).
+  /// CHECK-fails if the level already exists.
+  void AddLevel(query::QueryVertexId q, std::vector<graph::VertexId> candidates);
+
+  /// Drops level `q` and all adjacency touching it (modification rollback).
+  void RemoveLevel(query::QueryVertexId q);
+
+  bool HasLevel(query::QueryVertexId q) const;
+
+  /// Surviving candidates of level `q`, sorted ascending.
+  const std::vector<graph::VertexId>& Candidates(query::QueryVertexId q) const;
+
+  /// True iff `v` is a surviving candidate in level `q`.
+  bool IsCandidate(query::QueryVertexId q, graph::VertexId v) const;
+
+  // ---- Edge adjacency ----------------------------------------------------
+
+  /// Declares query edge `e` = (qi, qj) processed; AIVS start empty.
+  /// Both levels must exist.
+  void AddEdgeAdjacency(query::QueryEdgeId e, query::QueryVertexId qi,
+                        query::QueryVertexId qj);
+
+  /// Removes edge `e`'s adjacency (modification rollback / loosening).
+  void RemoveEdgeAdjacency(query::QueryEdgeId e);
+
+  bool EdgeProcessed(query::QueryEdgeId e) const;
+
+  /// Processed edge ids, ascending.
+  std::vector<query::QueryEdgeId> ProcessedEdges() const;
+
+  /// Present level ids, ascending.
+  std::vector<query::QueryVertexId> Levels() const;
+
+  /// Query-vertex endpoints (qi, qj) of a processed edge, as passed to
+  /// AddEdgeAdjacency.
+  std::pair<query::QueryVertexId, query::QueryVertexId> EdgeEndpoints(
+      query::QueryEdgeId e) const;
+
+  /// Records that (vi, vj) satisfies edge `e`'s upper bound; vi must belong
+  /// to the side `qi` passed to AddEdgeAdjacency. Keeps AIVS sorted.
+  void AddPair(query::QueryEdgeId e, graph::VertexId vi, graph::VertexId vj);
+
+  /// Removes the (vi, vj) pair (bound tightening). No-op if absent.
+  void RemovePair(query::QueryEdgeId e, graph::VertexId vi,
+                  graph::VertexId vj);
+
+  /// AIVS of candidate `v` in level `q` across edge `e`: the candidates of
+  /// the opposite level reachable within the bound. `q` must be an endpoint
+  /// of `e`. Sorted ascending.
+  const std::vector<graph::VertexId>& Aivs(query::QueryEdgeId e,
+                                           query::QueryVertexId q,
+                                           graph::VertexId v) const;
+
+  // ---- Pruning (Algorithm 7) ----------------------------------------------
+
+  /// Removes from the two levels of `e` every candidate whose AIVS for `e`
+  /// is empty, cascading through all processed edges. Returns the number of
+  /// candidates removed.
+  size_t PruneIsolated(query::QueryEdgeId e);
+
+  /// Removes candidate `v` from level `q` and cascades (Algorithm 7).
+  /// Returns the number of candidates removed (>= 1 if v was present).
+  size_t PruneVertex(query::QueryVertexId q, graph::VertexId v);
+
+  // ---- Introspection -------------------------------------------------------
+
+  CapStats ComputeStats() const;
+
+  /// Clears everything.
+  void Clear();
+
+ private:
+  struct Level {
+    bool present = false;
+    std::vector<graph::VertexId> candidates;  // sorted, surviving
+  };
+
+  struct EdgeAdjacency {
+    query::QueryVertexId qi = query::kInvalidQueryVertex;
+    query::QueryVertexId qj = query::kInvalidQueryVertex;
+    // AIVS per side, keyed by the candidate vertex on that side.
+    std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> from_qi;
+    std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> from_qj;
+  };
+
+  const EdgeAdjacency& GetEdge(query::QueryEdgeId e) const;
+  EdgeAdjacency& GetEdge(query::QueryEdgeId e);
+
+  std::vector<Level> levels_;                        // indexed by q
+  std::unordered_map<query::QueryEdgeId, EdgeAdjacency> edges_;
+  static const std::vector<graph::VertexId> kEmpty;
+};
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_CAP_INDEX_H_

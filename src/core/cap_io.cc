@@ -1,0 +1,112 @@
+#include "core/cap_io.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace core {
+
+using graph::VertexId;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+std::string CapToText(const CapIndex& cap) {
+  std::ostringstream out;
+  auto levels = cap.Levels();
+  auto edges = cap.ProcessedEdges();
+  out << "# CAP snapshot: " << levels.size() << " levels, " << edges.size()
+      << " processed edges\n";
+  for (QueryVertexId q : levels) {
+    out << "level " << q;
+    for (VertexId v : cap.Candidates(q)) out << " " << v;
+    out << "\n";
+  }
+  for (QueryEdgeId e : edges) {
+    auto [qi, qj] = cap.EdgeEndpoints(e);
+    out << "edge " << e << " " << qi << " " << qj << "\n";
+    for (VertexId vi : cap.Candidates(qi)) {
+      for (VertexId vj : cap.Aivs(e, qi, vi)) {
+        out << "pair " << e << " " << vi << " " << vj << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+StatusOr<CapIndex> CapFromText(const std::string& text) {
+  CapIndex cap;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  // Remember each declared edge's qi side so pairs can be oriented.
+  std::unordered_map<QueryEdgeId, QueryVertexId> edge_qi;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+    auto bad = [&](const char* what) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", line_no, what));
+    };
+    if (fields[0] == "level") {
+      if (fields.size() < 2) return bad("expected 'level <q> <v...>'");
+      BOOMER_ASSIGN_OR_RETURN(uint32_t q, ParseUint32(fields[1]));
+      if (cap.HasLevel(q)) return bad("duplicate level");
+      std::vector<VertexId> candidates;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        BOOMER_ASSIGN_OR_RETURN(uint32_t v, ParseUint32(fields[i]));
+        candidates.push_back(v);
+      }
+      cap.AddLevel(q, std::move(candidates));
+    } else if (fields[0] == "edge") {
+      if (fields.size() != 4) return bad("expected 'edge <e> <qi> <qj>'");
+      BOOMER_ASSIGN_OR_RETURN(uint32_t e, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t qi, ParseUint32(fields[2]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t qj, ParseUint32(fields[3]));
+      if (cap.EdgeProcessed(e)) return bad("duplicate edge");
+      if (!cap.HasLevel(qi) || !cap.HasLevel(qj)) {
+        return bad("edge references undeclared level");
+      }
+      cap.AddEdgeAdjacency(e, qi, qj);
+      edge_qi[e] = qi;
+    } else if (fields[0] == "pair") {
+      if (fields.size() != 4) return bad("expected 'pair <e> <vi> <vj>'");
+      BOOMER_ASSIGN_OR_RETURN(uint32_t e, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t vi, ParseUint32(fields[2]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t vj, ParseUint32(fields[3]));
+      auto it = edge_qi.find(e);
+      if (it == edge_qi.end()) return bad("pair before its edge");
+      auto [qi, qj] = cap.EdgeEndpoints(e);
+      if (!cap.IsCandidate(qi, vi) || !cap.IsCandidate(qj, vj)) {
+        return bad("pair references a non-candidate vertex");
+      }
+      cap.AddPair(e, vi, vj);
+    } else {
+      return bad("unknown directive");
+    }
+  }
+  return cap;
+}
+
+Status SaveCap(const CapIndex& cap, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << CapToText(cap);
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<CapIndex> LoadCap(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CapFromText(buffer.str());
+}
+
+}  // namespace core
+}  // namespace boomer

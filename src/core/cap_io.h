@@ -1,0 +1,40 @@
+// CAP index snapshots.
+//
+// A blend session's CAP index can be serialized mid-formulation and
+// restored later — the building block for suspending a visual session (the
+// query itself serializes via query/serialization.h, deferred pool edges
+// re-derive from query minus processed edges). Also used to capture CAP
+// states for debugging and regression fixtures.
+//
+// Text format ('#' comments ignored):
+//   level <q> <candidate...>           -- one line per level, sorted ids
+//   edge <e> <qi> <qj>                 -- one processed edge
+//   pair <e> <vi> <vj>                 -- one adjacency pair of edge e
+// Order: all levels, then per edge its declaration followed by its pairs.
+
+#ifndef BOOMER_CORE_CAP_IO_H_
+#define BOOMER_CORE_CAP_IO_H_
+
+#include <string>
+
+#include "core/cap_index.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+/// Renders `cap` in the text format above.
+std::string CapToText(const CapIndex& cap);
+
+/// Parses a snapshot. The result is structurally validated (pairs reference
+/// declared levels/edges and surviving candidates).
+StatusOr<CapIndex> CapFromText(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveCap(const CapIndex& cap, const std::string& path);
+StatusOr<CapIndex> LoadCap(const std::string& path);
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_CAP_IO_H_

@@ -1,0 +1,123 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace boomer {
+namespace core {
+
+using graph::Graph;
+using graph::VertexId;
+using pml::DistanceOracle;
+using pml::kInfiniteDistance;
+
+namespace {
+
+struct PathSearch {
+  const Graph* g;
+  const DistanceOracle* oracle;
+  VertexId target;
+  query::Bounds bounds;
+  std::unordered_set<VertexId> visited;
+  std::vector<VertexId> path;
+};
+
+/// Algorithm 14. Returns true when `path` holds a complete witness.
+bool DetectPathRec(PathSearch* s, VertexId current, uint32_t step) {
+  const uint32_t to_target = s->oracle->Distance(current, s->target);
+  if (to_target == kInfiniteDistance ||
+      step + to_target > s->bounds.upper) {
+    return false;  // cannot reach the target within the upper bound
+  }
+  s->visited.insert(current);
+  s->path.push_back(current);
+  if (current == s->target) {
+    if (step >= s->bounds.lower) return true;  // witness found
+    // Arrived too early; withdraw and let the caller detour.
+    s->visited.erase(current);
+    s->path.pop_back();
+    return false;
+  }
+
+  // Partition neighbors: S0 = shortest-path continuations, S+ = detours.
+  std::vector<VertexId> shortest, detours;
+  for (VertexId w : s->g->Neighbors(current)) {
+    if (s->visited.contains(w)) continue;
+    uint32_t dw = s->oracle->Distance(w, s->target);
+    if (dw == kInfiniteDistance) continue;
+    if (dw + 1 == to_target) {
+      shortest.push_back(w);
+    } else {
+      detours.push_back(w);
+    }
+  }
+  // If the shortest continuation already satisfies the lower bound, prefer
+  // it; otherwise try detours first to stretch the path.
+  const bool shortest_enough = step + to_target >= s->bounds.lower;
+  const auto& first = shortest_enough ? shortest : detours;
+  const auto& second = shortest_enough ? detours : shortest;
+  for (VertexId w : first) {
+    if (DetectPathRec(s, w, step + 1)) return true;
+  }
+  for (VertexId w : second) {
+    if (DetectPathRec(s, w, step + 1)) return true;
+  }
+  s->visited.erase(current);
+  s->path.pop_back();
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<VertexId>> DetectPath(const Graph& g,
+                                           const DistanceOracle& oracle,
+                                           VertexId src, VertexId dst,
+                                           query::Bounds bounds) {
+  if (!bounds.Valid()) return Status::InvalidArgument("invalid bounds");
+  if (src >= g.NumVertices() || dst >= g.NumVertices()) {
+    return Status::InvalidArgument("path endpoint out of range");
+  }
+  if (src == dst) {
+    // A non-empty path is required (lower >= 1); a simple path cannot
+    // return to its origin.
+    return Status::NotFound("no non-empty simple path from a vertex to itself");
+  }
+  PathSearch search;
+  search.g = &g;
+  search.oracle = &oracle;
+  search.target = dst;
+  search.bounds = bounds;
+  if (!DetectPathRec(&search, src, 0)) {
+    return Status::NotFound("no path within bounds");
+  }
+  return search.path;
+}
+
+StatusOr<ResultSubgraph> FilterByLowerBound(const query::BphQuery& q,
+                                            const PartialMatch& match,
+                                            const Graph& g,
+                                            const DistanceOracle& oracle) {
+  if (match.assignment.size() != q.NumVertices()) {
+    return Status::InvalidArgument("match size does not fit the query");
+  }
+  ResultSubgraph result;
+  result.match = match;
+  for (query::QueryEdgeId e : q.LiveEdges()) {
+    const query::QueryEdge& edge = q.Edge(e);
+    const VertexId vi = match.assignment[edge.src];
+    const VertexId vj = match.assignment[edge.dst];
+    auto path = DetectPath(g, oracle, vi, vj, edge.bounds);
+    if (!path.ok()) {
+      return Status::NotFound(
+          "match violates lower bound on edge " + std::to_string(e));
+    }
+    PathEmbedding embedding;
+    embedding.edge = e;
+    embedding.path = std::move(path).value();
+    result.paths.push_back(std::move(embedding));
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,61 @@
+// Just-in-time lower-bound checking and result-subgraph generation
+// (Section 5.4, Algorithms 13/14).
+//
+// CAP construction enforces only upper bounds; lower bounds (> 1) are
+// checked lazily, when a partial match V_P is selected for visualization.
+// For each query edge (q_i, q_j), DetectPath searches the data graph for a
+// concrete path from match(q_i) to match(q_j) whose length lies in
+// [lower, upper], pruning with exact distances from the oracle
+// (step + dist(current, target) > upper ⇒ dead branch) and preferring
+// shortest-path continuations once the lower bound is already satisfiable
+// ("detouring" through longer continuations otherwise).
+
+#ifndef BOOMER_CORE_LOWER_BOUND_H_
+#define BOOMER_CORE_LOWER_BOUND_H_
+
+#include <vector>
+
+#include "core/result_gen.h"
+#include "graph/graph.h"
+#include "pml/distance_oracle.h"
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+/// A concrete path embedding of one query edge: path.front() matches the
+/// edge's src, path.back() matches its dst; length = path.size() - 1.
+struct PathEmbedding {
+  query::QueryEdgeId edge = query::kInvalidQueryEdge;
+  std::vector<graph::VertexId> path;
+
+  size_t Length() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+/// A fully realized bounded 1-1 p-hom result subgraph: the vertex match plus
+/// one witness path per query edge.
+struct ResultSubgraph {
+  PartialMatch match;
+  std::vector<PathEmbedding> paths;  // one per live query edge
+};
+
+/// Finds a path between `src` and `dst` of length within `bounds`.
+/// Returns NotFound if none exists. Paths are simple (no repeated vertex).
+StatusOr<std::vector<graph::VertexId>> DetectPath(
+    const graph::Graph& g, const pml::DistanceOracle& oracle,
+    graph::VertexId src, graph::VertexId dst, query::Bounds bounds);
+
+/// Algorithm 13: realizes `match` into a ResultSubgraph by finding a
+/// bound-satisfying path for every live query edge. Returns NotFound when
+/// some edge admits no such path (the match is then discarded — possible
+/// only when that edge has lower > 1, since CAP guarantees the upper bound).
+StatusOr<ResultSubgraph> FilterByLowerBound(const query::BphQuery& q,
+                                            const PartialMatch& match,
+                                            const graph::Graph& g,
+                                            const pml::DistanceOracle& oracle);
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_LOWER_BOUND_H_

@@ -1,0 +1,112 @@
+#include "core/match_iterator.h"
+
+#include <algorithm>
+
+namespace boomer {
+namespace core {
+
+using graph::VertexId;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+StatusOr<MatchIterator> MatchIterator::Create(const query::BphQuery& q,
+                                              const CapIndex& cap) {
+  BOOMER_RETURN_NOT_OK(q.Validate());
+  for (QueryEdgeId e : q.LiveEdges()) {
+    if (!cap.EdgeProcessed(e)) {
+      return Status::FailedPrecondition(
+          "CAP index incomplete: unprocessed query edge");
+    }
+  }
+  BOOMER_ASSIGN_OR_RETURN(query::MatchingOrder order, ReorderBySize(q, cap));
+  return MatchIterator(q, cap, std::move(order));
+}
+
+MatchIterator::MatchIterator(const query::BphQuery& q, const CapIndex& cap,
+                             query::MatchingOrder order)
+    : q_(&q), cap_(&cap), order_(std::move(order)) {
+  assignment_.assign(q.NumVertices(), graph::kInvalidVertex);
+  VertexId max_vertex = 0;
+  for (QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    for (VertexId c : cap.Candidates(v)) max_vertex = std::max(max_vertex, c);
+  }
+  used_.assign(static_cast<size_t>(max_vertex) + 1, false);
+  PushFrame(0);
+}
+
+std::vector<VertexId> MatchIterator::CandidatesAtDepth(size_t depth) const {
+  const QueryVertexId q_next = order_[depth];
+  std::vector<const std::vector<VertexId>*> constraints;
+  for (QueryEdgeId e : q_->IncidentEdges(q_next)) {
+    const QueryVertexId other = q_->Edge(e).Other(q_next);
+    if (assignment_[other] == graph::kInvalidVertex) continue;
+    constraints.push_back(&cap_->Aivs(e, other, assignment_[other]));
+  }
+  if (constraints.empty()) {
+    return cap_->Candidates(q_next);
+  }
+  std::sort(constraints.begin(), constraints.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<VertexId> result = *constraints[0];
+  std::vector<VertexId> scratch;
+  for (size_t i = 1; i < constraints.size(); ++i) {
+    scratch.clear();
+    std::set_intersection(result.begin(), result.end(),
+                          constraints[i]->begin(), constraints[i]->end(),
+                          std::back_inserter(scratch));
+    result.swap(scratch);
+  }
+  return result;
+}
+
+void MatchIterator::PushFrame(size_t depth) {
+  Frame frame;
+  frame.candidates = CandidatesAtDepth(depth);
+  stack_.push_back(std::move(frame));
+}
+
+std::optional<PartialMatch> MatchIterator::Next() {
+  if (exhausted_) return std::nullopt;
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const size_t depth = stack_.size() - 1;
+    const QueryVertexId q_vertex = order_[depth];
+
+    // Withdraw the previous assignment at this depth, if any.
+    if (assignment_[q_vertex] != graph::kInvalidVertex) {
+      used_[assignment_[q_vertex]] = false;
+      assignment_[q_vertex] = graph::kInvalidVertex;
+    }
+
+    // Advance to the next usable candidate.
+    bool advanced = false;
+    while (frame.cursor < frame.candidates.size()) {
+      const VertexId v = frame.candidates[frame.cursor++];
+      if (used_[v]) continue;
+      // Post-modification levels may have been recomputed; re-check.
+      if (!cap_->IsCandidate(q_vertex, v)) continue;
+      assignment_[q_vertex] = v;
+      used_[v] = true;
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      stack_.pop_back();
+      continue;
+    }
+    if (stack_.size() == order_.size()) {
+      // Complete assignment: yield. The frame's cursor already points past
+      // the yielded candidate, so the next call resumes correctly.
+      ++num_yielded_;
+      PartialMatch match;
+      match.assignment = assignment_;
+      return match;
+    }
+    PushFrame(stack_.size());
+  }
+  exhausted_ = true;
+  return std::nullopt;
+}
+
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,73 @@
+// Lazy, one-at-a-time enumeration of partial-matched vertex sets.
+//
+// The Results Panel shows matches iteratively (Section 5.4: "a user may
+// iterate through V_Δ and for each V_P we show a small subgraph..."), and
+// BOOMER deliberately exploits the latency of that browsing to run the
+// lower-bound filter just-in-time. Materializing the full V_Δ up front (as
+// PartialVertexSetsGen does) defeats that when the match count is huge, so
+// MatchIterator performs the same DFS with an explicit stack and yields one
+// match per Next() call — O(depth) state, results streamed on demand.
+//
+// Iteration order and the produced set are identical to
+// PartialVertexSetsGen (the batch version is a thin wrapper candidate).
+
+#ifndef BOOMER_CORE_MATCH_ITERATOR_H_
+#define BOOMER_CORE_MATCH_ITERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/cap_index.h"
+#include "core/result_gen.h"
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+class MatchIterator {
+ public:
+  /// Creates an iterator over the matches of `q` in `cap`. Both must
+  /// outlive the iterator and must not be mutated while iterating.
+  /// Fails when the CAP is incomplete (unprocessed live edge).
+  static StatusOr<MatchIterator> Create(const query::BphQuery& q,
+                                        const CapIndex& cap);
+
+  /// Returns the next match, or nullopt when exhausted.
+  std::optional<PartialMatch> Next();
+
+  /// Matches yielded so far.
+  size_t num_yielded() const { return num_yielded_; }
+
+ private:
+  struct Frame {
+    /// Candidates for the vertex at this depth (intersection already
+    /// applied), and the cursor into them.
+    std::vector<graph::VertexId> candidates;
+    size_t cursor = 0;
+  };
+
+  MatchIterator(const query::BphQuery& q, const CapIndex& cap,
+                query::MatchingOrder order);
+
+  /// Computes the candidate list for the vertex at `depth` given the
+  /// current partial assignment.
+  std::vector<graph::VertexId> CandidatesAtDepth(size_t depth) const;
+
+  /// Pushes a frame for `depth`; returns false at the end of the order.
+  void PushFrame(size_t depth);
+
+  const query::BphQuery* q_;
+  const CapIndex* cap_;
+  query::MatchingOrder order_;
+  std::vector<Frame> stack_;
+  std::vector<graph::VertexId> assignment_;  // by query vertex id
+  std::vector<bool> used_;                   // by data vertex id
+  size_t num_yielded_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_MATCH_ITERATOR_H_

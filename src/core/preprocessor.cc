@@ -1,0 +1,68 @@
+#include "core/preprocessor.h"
+
+#include <fstream>
+
+#include "util/timer.h"
+
+namespace boomer {
+namespace core {
+
+StatusOr<PreprocessResult> Preprocess(const graph::Graph& g,
+                                      const PreprocessOptions& options) {
+  WallTimer timer;
+  PreprocessResult result;
+  BOOMER_ASSIGN_OR_RETURN(pml::PmlIndex index, pml::PmlIndex::Build(g));
+  result.pml_ = std::make_shared<const pml::PmlIndex>(std::move(index));
+  if (options.compute_two_hop_counts) {
+    result.two_hop_counts_ = pml::ComputeTwoHopCounts(g);
+  }
+  result.t_avg_seconds_ = pml::EstimateAvgEdgeTime(
+      g, *result.pml_, options.t_avg_samples, options.seed);
+  result.total_seconds_ = timer.ElapsedSeconds();
+  return result;
+}
+
+Status PreprocessResult::Save(const std::string& path_prefix) const {
+  BOOMER_RETURN_NOT_OK(pml_->Save(path_prefix + ".pml"));
+  std::ofstream meta(path_prefix + ".prep");
+  if (!meta) return Status::IOError("cannot open " + path_prefix + ".prep");
+  meta << t_avg_seconds_ << "\n" << total_seconds_ << "\n";
+  meta << two_hop_counts_.size() << "\n";
+  for (uint32_t c : two_hop_counts_) meta << c << "\n";
+  if (!meta) return Status::IOError("short write " + path_prefix + ".prep");
+  return Status::OK();
+}
+
+StatusOr<PreprocessResult> PreprocessResult::Load(
+    const std::string& path_prefix, const graph::Graph& g,
+    const PreprocessOptions& options) {
+  PreprocessResult result;
+  BOOMER_ASSIGN_OR_RETURN(pml::PmlIndex index,
+                          pml::PmlIndex::Load(path_prefix + ".pml"));
+  if (index.NumVertices() != g.NumVertices()) {
+    return Status::FailedPrecondition("PML index does not match graph");
+  }
+  result.pml_ = std::make_shared<const pml::PmlIndex>(std::move(index));
+  std::ifstream meta(path_prefix + ".prep");
+  if (!meta) return Status::IOError("cannot open " + path_prefix + ".prep");
+  size_t count = 0;
+  if (!(meta >> result.t_avg_seconds_ >> result.total_seconds_ >> count)) {
+    return Status::IOError("truncated " + path_prefix + ".prep");
+  }
+  result.two_hop_counts_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(meta >> result.two_hop_counts_[i])) {
+      return Status::IOError("truncated " + path_prefix + ".prep");
+    }
+  }
+  // t_avg is machine-dependent; re-estimate unless the caller wants cached
+  // values (samples == 0 keeps the stored estimate).
+  if (options.t_avg_samples > 0) {
+    result.t_avg_seconds_ = pml::EstimateAvgEdgeTime(
+        g, *result.pml_, options.t_avg_samples, options.seed);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace boomer

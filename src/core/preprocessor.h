@@ -1,0 +1,68 @@
+// The BOOMER preprocessor (Section 4): a one-time offline pass per data
+// graph that produces everything the online blender needs —
+//   * the PML index (exact distance oracle),
+//   * per-vertex 2-hop neighborhood counts (for the Lemma 5.4 cost model),
+//   * t_avg, the empirical average distance-query time used to estimate
+//     edge processing cost (T_est = |V_qi| * |V_qj| * t_avg).
+//
+// The paper samples 1M random pairs for t_avg; the sample count is a knob
+// here so tests stay fast.
+
+#ifndef BOOMER_CORE_PREPROCESSOR_H_
+#define BOOMER_CORE_PREPROCESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pml/pml_index.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+struct PreprocessOptions {
+  /// Random distance-query pairs for the t_avg estimate.
+  size_t t_avg_samples = 100000;
+  uint64_t seed = 1;
+  /// Skip 2-hop count precomputation (they are only a cost-model input).
+  bool compute_two_hop_counts = true;
+};
+
+/// Immutable preprocessing artifact. Owns the PML index.
+class PreprocessResult {
+ public:
+  const pml::PmlIndex& pml() const { return *pml_; }
+  const std::vector<uint32_t>& two_hop_counts() const {
+    return two_hop_counts_;
+  }
+  double t_avg_seconds() const { return t_avg_seconds_; }
+  double pml_build_seconds() const { return pml_->build_stats().build_seconds; }
+  double total_preprocess_seconds() const { return total_seconds_; }
+
+  /// Persists the PML index and scalars next to a dataset cache entry.
+  Status Save(const std::string& path_prefix) const;
+  static StatusOr<PreprocessResult> Load(const std::string& path_prefix,
+                                         const graph::Graph& g,
+                                         const PreprocessOptions& options);
+
+ private:
+  friend StatusOr<PreprocessResult> Preprocess(const graph::Graph&,
+                                               const PreprocessOptions&);
+
+  std::shared_ptr<const pml::PmlIndex> pml_;
+  std::vector<uint32_t> two_hop_counts_;
+  double t_avg_seconds_ = 0.0;
+  double total_seconds_ = 0.0;
+};
+
+/// Runs the full preprocessing pass on `g`.
+StatusOr<PreprocessResult> Preprocess(const graph::Graph& g,
+                                      const PreprocessOptions& options = {});
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_PREPROCESSOR_H_

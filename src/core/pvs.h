@@ -1,0 +1,67 @@
+// PopulateVertexSet (PVS) — Algorithms 8/9 and Lemmas 5.3-5.5.
+//
+// Given a freshly drawn query edge e = (q_i, q_j) with upper bound U, PVS
+// fills the CAP adjacency for e: every candidate pair (v_i, v_j) in
+// V_{q_i} x V_{q_j} with dist(v_i, v_j) <= U. Three strategies, chosen by U:
+//
+//   U = 1  -> neighbor search: per-candidate out-scan (walk v_i's neighbors,
+//             membership-test against V_{q_j}) vs in-scan (walk V_{q_j},
+//             adjacency-test against v_i), picked by the cost model of
+//             Lemma 5.3.
+//   U = 2  -> two-hop search: out-scan over the 2-hop ball of v_i vs in-scan
+//             with merge-join common-neighbor tests (Lemma 5.4); the 2-hop
+//             ball *sizes* are precomputed by the preprocessor.
+//   U >= 3 -> large-upper search: PML distance query per pair (Lemma 5.5).
+//
+// Exp 1 ablates this 3-way split against large-upper-only (PvsMode).
+
+#ifndef BOOMER_CORE_PVS_H_
+#define BOOMER_CORE_PVS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cap_index.h"
+#include "graph/graph.h"
+#include "pml/distance_oracle.h"
+#include "query/bph_query.h"
+
+namespace boomer {
+namespace core {
+
+enum class PvsMode {
+  /// Neighbor / two-hop / large-upper split by bound (the paper's default).
+  kThreeStrategy,
+  /// Always pairwise distance queries (the Exp-1 "1 Strategy" baseline).
+  kLargeUpperOnly,
+};
+
+/// Counters for introspection and tests.
+struct PvsCounters {
+  size_t out_scans = 0;
+  size_t in_scans = 0;
+  size_t pairs_added = 0;
+  size_t distance_queries = 0;
+};
+
+/// Shared read-only context for PVS calls.
+struct PvsContext {
+  const graph::Graph* graph = nullptr;
+  const pml::DistanceOracle* oracle = nullptr;
+  /// Per-vertex |2-hop ball| counts (may be empty; then estimated as
+  /// deg^2, which only affects the out/in-scan choice, not correctness).
+  const std::vector<uint32_t>* two_hop_counts = nullptr;
+  PvsMode mode = PvsMode::kThreeStrategy;
+};
+
+/// Populates CAP adjacency for query edge `e` = (qi, qj) with upper bound
+/// `upper`. The CAP edge must already be declared via AddEdgeAdjacency and
+/// both levels present. Returns scan counters.
+PvsCounters PopulateVertexSet(const PvsContext& ctx, CapIndex* cap,
+                              query::QueryEdgeId e, query::QueryVertexId qi,
+                              query::QueryVertexId qj, uint32_t upper);
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_PVS_H_

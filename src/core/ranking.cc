@@ -1,0 +1,49 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+
+namespace boomer {
+namespace core {
+
+StatusOr<uint64_t> CompactnessScore(const query::BphQuery& q,
+                                    const PartialMatch& match,
+                                    const pml::DistanceOracle& oracle) {
+  if (match.assignment.size() != q.NumVertices()) {
+    return Status::InvalidArgument("match size does not fit the query");
+  }
+  uint64_t total = 0;
+  for (query::QueryEdgeId e : q.LiveEdges()) {
+    const query::QueryEdge& edge = q.Edge(e);
+    const uint32_t d = oracle.Distance(match.assignment[edge.src],
+                                       match.assignment[edge.dst]);
+    if (d == pml::kInfiniteDistance) {
+      return Status::FailedPrecondition(
+          "match endpoints disconnected — not a CAP-produced match");
+    }
+    total += d;
+  }
+  return total;
+}
+
+StatusOr<std::vector<RankedMatch>> RankMatches(
+    const query::BphQuery& q, const std::vector<PartialMatch>& matches,
+    const pml::DistanceOracle& oracle) {
+  std::vector<RankedMatch> ranked;
+  ranked.reserve(matches.size());
+  for (const PartialMatch& match : matches) {
+    BOOMER_ASSIGN_OR_RETURN(uint64_t score,
+                            CompactnessScore(q, match, oracle));
+    ranked.push_back({match, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedMatch& a, const RankedMatch& b) {
+              if (a.total_distance != b.total_distance) {
+                return a.total_distance < b.total_distance;
+              }
+              return a.match.assignment < b.match.assignment;
+            });
+  return ranked;
+}
+
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,44 @@
+// Result ranking for the Results Panel.
+//
+// Section 5.4 shows matches "ranked or otherwise"; a natural default order
+// is compactness — matches whose pairs sit closest together come first,
+// since tight embeddings are the most conserved/meaningful ones in the
+// paper's motivating domains (the biologist's homolog pathway, the
+// criminal-network suspect cluster). Score = sum over live query edges of
+// the exact distance between the matched endpoints (lower is better; ties
+// broken by assignment for determinism).
+
+#ifndef BOOMER_CORE_RANKING_H_
+#define BOOMER_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/result_gen.h"
+#include "pml/distance_oracle.h"
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+/// A match plus its compactness score.
+struct RankedMatch {
+  PartialMatch match;
+  /// Sum of endpoint distances over live query edges.
+  uint64_t total_distance = 0;
+};
+
+/// Scores one match. Fails if the match does not fit the query.
+StatusOr<uint64_t> CompactnessScore(const query::BphQuery& q,
+                                    const PartialMatch& match,
+                                    const pml::DistanceOracle& oracle);
+
+/// Ranks `matches` by ascending compactness (stable, deterministic).
+StatusOr<std::vector<RankedMatch>> RankMatches(
+    const query::BphQuery& q, const std::vector<PartialMatch>& matches,
+    const pml::DistanceOracle& oracle);
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_RANKING_H_

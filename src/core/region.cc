@@ -1,0 +1,102 @@
+#include "core/region.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace boomer {
+namespace core {
+
+using graph::Graph;
+using graph::VertexId;
+
+VertexId Region::ToLocal(VertexId original) const {
+  for (VertexId local = 0; local < to_original.size(); ++local) {
+    if (to_original[local] == original) return local;
+  }
+  return graph::kInvalidVertex;
+}
+
+StatusOr<Region> ExtractRegion(const Graph& g, const ResultSubgraph& result,
+                               const RegionOptions& options) {
+  if (options.max_vertices == 0) {
+    return Status::InvalidArgument("region budget must be positive");
+  }
+  // Selection in priority order; `chosen` preserves insertion order.
+  std::vector<VertexId> chosen;
+  std::unordered_set<VertexId> in_region;
+  auto take = [&](VertexId v) {
+    if (chosen.size() >= options.max_vertices) return false;
+    if (in_region.insert(v).second) chosen.push_back(v);
+    return true;
+  };
+
+  std::unordered_set<VertexId> match_set, path_set;
+  for (VertexId v : result.match.assignment) {
+    if (v >= g.NumVertices()) {
+      return Status::InvalidArgument("match vertex outside the data graph");
+    }
+    match_set.insert(v);
+    if (!take(v)) break;
+  }
+  for (const PathEmbedding& embedding : result.paths) {
+    for (VertexId v : embedding.path) {
+      if (v >= g.NumVertices()) {
+        return Status::InvalidArgument("path vertex outside the data graph");
+      }
+      if (!match_set.contains(v)) path_set.insert(v);
+      take(v);
+    }
+  }
+
+  // Context halo: BFS from the current region up to context_radius.
+  if (options.context_radius > 0) {
+    std::deque<std::pair<VertexId, uint32_t>> frontier;
+    std::unordered_set<VertexId> seen = in_region;
+    for (VertexId v : chosen) frontier.emplace_back(v, 0);
+    while (!frontier.empty() && chosen.size() < options.max_vertices) {
+      auto [u, depth] = frontier.front();
+      frontier.pop_front();
+      if (depth == options.context_radius) continue;
+      for (VertexId w : g.Neighbors(u)) {
+        if (!seen.insert(w).second) continue;
+        if (!take(w)) break;
+        frontier.emplace_back(w, depth + 1);
+      }
+    }
+  }
+
+  // Build the induced subgraph over `chosen`.
+  Region region;
+  region.to_original = chosen;
+  std::unordered_map<VertexId, VertexId> to_local;
+  graph::GraphBuilder builder;
+  for (VertexId local = 0; local < chosen.size(); ++local) {
+    to_local[chosen[local]] = local;
+    builder.AddVertex(g.Label(chosen[local]));
+  }
+  for (VertexId local = 0; local < chosen.size(); ++local) {
+    for (VertexId w : g.Neighbors(chosen[local])) {
+      auto it = to_local.find(w);
+      if (it != to_local.end() && local < it->second) {
+        builder.AddEdge(local, it->second);
+      }
+    }
+  }
+  BOOMER_ASSIGN_OR_RETURN(region.subgraph, builder.Build());
+
+  for (VertexId v : result.match.assignment) {
+    auto it = to_local.find(v);
+    if (it != to_local.end()) region.match_vertices.push_back(it->second);
+  }
+  for (VertexId v : path_set) {
+    auto it = to_local.find(v);
+    if (it != to_local.end()) region.path_vertices.push_back(it->second);
+  }
+  std::sort(region.path_vertices.begin(), region.path_vertices.end());
+  return region;
+}
+
+}  // namespace core
+}  // namespace boomer

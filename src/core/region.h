@@ -1,0 +1,57 @@
+// Small-region result visualization (Section 5.4).
+//
+// "In BOOMER, each result match of a query is displayed by visualizing a
+//  small subgraph of the network that contains it" — rendering a match on
+// the full network is a hairball; Ware & Mitchell put the 2D comprehension
+// limit at tens of vertices. ExtractRegion materializes that small subgraph:
+// the union of the match's witness paths plus a bounded-radius halo of
+// context vertices, capped at a vertex budget so the region always stays
+// drawable.
+
+#ifndef BOOMER_CORE_REGION_H_
+#define BOOMER_CORE_REGION_H_
+
+#include <vector>
+
+#include "core/lower_bound.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+struct RegionOptions {
+  /// Halo radius around match/path vertices (0 = the paths alone).
+  uint32_t context_radius = 1;
+  /// Hard cap on region vertices (Ware & Mitchell: keep it in the tens).
+  size_t max_vertices = 40;
+};
+
+/// A visualization-ready region: an induced subgraph of the data graph plus
+/// the id mapping and role markers the Results Panel needs for color coding.
+struct Region {
+  /// The induced subgraph (vertex ids are dense region-local ids).
+  graph::Graph subgraph;
+  /// region-local id -> original data-graph vertex id.
+  std::vector<graph::VertexId> to_original;
+  /// Region-local ids of the matched (query) vertices — color-coded in the
+  /// GUI.
+  std::vector<graph::VertexId> match_vertices;
+  /// Region-local ids of intermediate witness-path vertices.
+  std::vector<graph::VertexId> path_vertices;
+
+  /// original data-graph id -> region-local id, or kInvalidVertex.
+  graph::VertexId ToLocal(graph::VertexId original) const;
+};
+
+/// Extracts the visualization region of `result` from `g`. Priority order
+/// when the budget binds: match vertices, then witness-path interiors, then
+/// context halo (BFS order).
+StatusOr<Region> ExtractRegion(const graph::Graph& g,
+                               const ResultSubgraph& result,
+                               const RegionOptions& options = {});
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_REGION_H_

@@ -1,0 +1,163 @@
+#include "core/result_gen.h"
+
+#include <algorithm>
+
+namespace boomer {
+namespace core {
+
+using graph::VertexId;
+using query::BphQuery;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+StatusOr<query::MatchingOrder> ReorderBySize(const BphQuery& q,
+                                             const CapIndex& cap) {
+  const size_t n = q.NumVertices();
+  for (QueryVertexId v = 0; v < n; ++v) {
+    if (!cap.HasLevel(v)) {
+      return Status::FailedPrecondition("CAP level missing for query vertex");
+    }
+  }
+  query::MatchingOrder order;
+  std::vector<bool> placed(n, false);
+  // Start from the globally smallest level; then repeatedly take the
+  // smallest level adjacent (over live query edges) to the placed set.
+  auto level_size = [&](QueryVertexId v) { return cap.Candidates(v).size(); };
+  QueryVertexId first = 0;
+  for (QueryVertexId v = 1; v < n; ++v) {
+    if (level_size(v) < level_size(first)) first = v;
+  }
+  order.push_back(first);
+  placed[first] = true;
+  while (order.size() < n) {
+    QueryVertexId best = query::kInvalidQueryVertex;
+    for (QueryVertexId v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      bool adjacent = false;
+      for (QueryEdgeId e : q.IncidentEdges(v)) {
+        QueryVertexId other = q.Edge(e).Other(v);
+        if (placed[other]) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) continue;
+      if (best == query::kInvalidQueryVertex ||
+          level_size(v) < level_size(best)) {
+        best = v;
+      }
+    }
+    if (best == query::kInvalidQueryVertex) {
+      // Disconnected query (should be rejected upstream by Validate()).
+      return Status::FailedPrecondition("query is not connected");
+    }
+    order.push_back(best);
+    placed[best] = true;
+  }
+  return order;
+}
+
+namespace {
+
+/// Intersects `a` (sorted) with `b` (sorted) into `out`.
+void IntersectSorted(const std::vector<VertexId>& a,
+                     const std::vector<VertexId>& b,
+                     std::vector<VertexId>* out) {
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+struct DfsContext {
+  const BphQuery* q;
+  const CapIndex* cap;
+  const query::MatchingOrder* order;
+  size_t max_results;
+  std::vector<PartialMatch>* out;
+  std::vector<VertexId> assignment;  // by query vertex id; kInvalid = unset
+  std::vector<bool> used;            // injectivity over assigned vertices
+};
+
+bool Dfs(DfsContext* ctx, size_t depth) {
+  if (depth == ctx->order->size()) {
+    PartialMatch match;
+    match.assignment = ctx->assignment;
+    ctx->out->push_back(std::move(match));
+    return ctx->max_results == 0 || ctx->out->size() < ctx->max_results;
+  }
+  const QueryVertexId q_next = (*ctx->order)[depth];
+
+  // Gather AIVS constraint lists from matched neighbors; smallest first.
+  std::vector<const std::vector<VertexId>*> constraints;
+  for (QueryEdgeId e : ctx->q->IncidentEdges(q_next)) {
+    const QueryVertexId other = ctx->q->Edge(e).Other(q_next);
+    if (ctx->assignment[other] == graph::kInvalidVertex) continue;
+    constraints.push_back(
+        &ctx->cap->Aivs(e, other, ctx->assignment[other]));
+  }
+  std::sort(constraints.begin(), constraints.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  const std::vector<VertexId>* base;
+  std::vector<VertexId> scratch_a, scratch_b;
+  if (constraints.empty()) {
+    // Only possible for the first vertex of the order.
+    base = &ctx->cap->Candidates(q_next);
+  } else {
+    base = constraints[0];
+    std::vector<VertexId>* target = &scratch_a;
+    for (size_t i = 1; i < constraints.size(); ++i) {
+      IntersectSorted(*base, *constraints[i], target);
+      base = target;
+      target = (target == &scratch_a) ? &scratch_b : &scratch_a;
+    }
+  }
+
+  for (VertexId v : *base) {
+    if (ctx->used[v]) continue;  // 1-1 (injective) mapping
+    // AIVS entries always reference surviving candidates, but after
+    // modification rollbacks a level may have been recomputed — re-check.
+    if (!ctx->cap->IsCandidate(q_next, v)) continue;
+    ctx->assignment[q_next] = v;
+    ctx->used[v] = true;
+    bool keep_going = Dfs(ctx, depth + 1);
+    ctx->used[v] = false;
+    ctx->assignment[q_next] = graph::kInvalidVertex;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<PartialMatch>> PartialVertexSetsGen(
+    const BphQuery& q, const CapIndex& cap, size_t max_results) {
+  BOOMER_RETURN_NOT_OK(q.Validate());
+  for (QueryEdgeId e : q.LiveEdges()) {
+    if (!cap.EdgeProcessed(e)) {
+      return Status::FailedPrecondition(
+          "CAP index incomplete: unprocessed query edge");
+    }
+  }
+  BOOMER_ASSIGN_OR_RETURN(query::MatchingOrder order, ReorderBySize(q, cap));
+
+  std::vector<PartialMatch> results;
+  // `used` is indexed by data vertex id; size = max candidate id + 1.
+  VertexId max_vertex = 0;
+  for (QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    for (VertexId c : cap.Candidates(v)) max_vertex = std::max(max_vertex, c);
+  }
+  DfsContext ctx;
+  ctx.q = &q;
+  ctx.cap = &cap;
+  ctx.order = &order;
+  ctx.max_results = max_results;
+  ctx.out = &results;
+  ctx.assignment.assign(q.NumVertices(), graph::kInvalidVertex);
+  ctx.used.assign(static_cast<size_t>(max_vertex) + 1, false);
+  Dfs(&ctx, 0);
+  return results;
+}
+
+}  // namespace core
+}  // namespace boomer

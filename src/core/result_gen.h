@@ -1,0 +1,45 @@
+// Upper-bound-constrained result enumeration (Section 5.4, Algorithms 11/12).
+//
+// Once the CAP index is complete (every live query edge processed), the
+// partial-matched vertex sets V_P — injective assignments of data vertices
+// to query vertices whose every query edge is backed by a CAP adjacency
+// pair — are enumerated by DFS. The matching order is reordered ascending by
+// candidate-set size (|V_q|) before traversal; we additionally keep the
+// order connected so each step can intersect the AIVS of at least one
+// already-matched neighbor (a connected query always admits such an order).
+
+#ifndef BOOMER_CORE_RESULT_GEN_H_
+#define BOOMER_CORE_RESULT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cap_index.h"
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace core {
+
+/// An injective assignment: assignment[q] is the data vertex matched to
+/// query vertex q.
+struct PartialMatch {
+  std::vector<graph::VertexId> assignment;
+
+  bool operator==(const PartialMatch&) const = default;
+};
+
+/// Computes the size-ascending, connectivity-preserving matching order used
+/// by the DFS (the Reorder of Algorithm 11). Exposed for tests.
+StatusOr<query::MatchingOrder> ReorderBySize(const query::BphQuery& q,
+                                             const CapIndex& cap);
+
+/// Enumerates V_Δ = all partial-matched vertex sets. Every live edge of `q`
+/// must be processed in `cap`. `max_results` of 0 means unlimited.
+StatusOr<std::vector<PartialMatch>> PartialVertexSetsGen(
+    const query::BphQuery& q, const CapIndex& cap, size_t max_results = 0);
+
+}  // namespace core
+}  // namespace boomer
+
+#endif  // BOOMER_CORE_RESULT_GEN_H_

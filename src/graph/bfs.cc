@@ -1,0 +1,130 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace boomer {
+namespace graph {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source) {
+  return BfsDistancesBounded(g, source, kUnreachable - 1);
+}
+
+std::vector<uint32_t> BfsDistancesBounded(const Graph& g, VertexId source,
+                                          uint32_t max_depth) {
+  BOOMER_CHECK(source < g.NumVertices());
+  std::vector<uint32_t> dist(g.NumVertices(), kUnreachable);
+  std::vector<VertexId> frontier{source};
+  dist[source] = 0;
+  uint32_t depth = 0;
+  std::vector<VertexId> next;
+  while (!frontier.empty() && depth < max_depth) {
+    next.clear();
+    ++depth;
+    for (VertexId u : frontier) {
+      for (VertexId w : g.Neighbors(u)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = depth;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+uint32_t BfsPairDistance(const Graph& g, VertexId s, VertexId t) {
+  BOOMER_CHECK(s < g.NumVertices() && t < g.NumVertices());
+  if (s == t) return 0;
+  // Bidirectional BFS, expanding the smaller frontier each round.
+  std::vector<uint32_t> dist_s(g.NumVertices(), kUnreachable);
+  std::vector<uint32_t> dist_t(g.NumVertices(), kUnreachable);
+  std::vector<VertexId> frontier_s{s}, frontier_t{t};
+  dist_s[s] = 0;
+  dist_t[t] = 0;
+  uint32_t depth_s = 0, depth_t = 0;
+  std::vector<VertexId> next;
+  while (!frontier_s.empty() && !frontier_t.empty()) {
+    bool expand_s = frontier_s.size() <= frontier_t.size();
+    auto& frontier = expand_s ? frontier_s : frontier_t;
+    auto& dist = expand_s ? dist_s : dist_t;
+    auto& other = expand_s ? dist_t : dist_s;
+    uint32_t& depth = expand_s ? depth_s : depth_t;
+    next.clear();
+    ++depth;
+    uint32_t best = kUnreachable;
+    for (VertexId u : frontier) {
+      for (VertexId w : g.Neighbors(u)) {
+        if (dist[w] != kUnreachable) continue;
+        dist[w] = depth;
+        if (other[w] != kUnreachable) {
+          best = std::min(best, depth + other[w]);
+        }
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+    if (best != kUnreachable) {
+      // A meeting at this level is optimal up to one extra level on the other
+      // side; finish by scanning the opposite frontier once.
+      for (VertexId u : expand_s ? frontier_t : frontier_s) {
+        if (dist_s[u] != kUnreachable && dist_t[u] != kUnreachable) {
+          best = std::min(best, dist_s[u] + dist_t[u]);
+        }
+      }
+      return best;
+    }
+  }
+  return kUnreachable;
+}
+
+size_t TwoHopNeighborhoodSize(const Graph& g, VertexId v) {
+  auto dist = BfsDistancesBounded(g, v, 2);
+  size_t count = 0;
+  for (size_t u = 0; u < dist.size(); ++u) {
+    if (u != v && dist[u] != kUnreachable) ++count;
+  }
+  return count;
+}
+
+std::vector<VertexId> KHopNeighborhood(const Graph& g, VertexId v,
+                                       uint32_t depth) {
+  auto dist = BfsDistancesBounded(g, v, depth);
+  std::vector<VertexId> result;
+  for (size_t u = 0; u < dist.size(); ++u) {
+    if (u != v && dist[u] != kUnreachable) {
+      result.push_back(static_cast<VertexId>(u));
+    }
+  }
+  return result;
+}
+
+ComponentInfo ConnectedComponents(const Graph& g) {
+  ComponentInfo info;
+  info.component_of.assign(g.NumVertices(), kUnreachable);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < g.NumVertices(); ++start) {
+    if (info.component_of[start] != kUnreachable) continue;
+    uint32_t comp = static_cast<uint32_t>(info.num_components++);
+    size_t size = 0;
+    stack.push_back(start);
+    info.component_of[start] = comp;
+    while (!stack.empty()) {
+      VertexId u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (VertexId w : g.Neighbors(u)) {
+        if (info.component_of[w] == kUnreachable) {
+          info.component_of[w] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+    info.largest_component_size = std::max(info.largest_component_size, size);
+  }
+  return info;
+}
+
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,57 @@
+// Breadth-first search primitives over Graph.
+//
+// Used by (a) the PML index builder (pruned BFS is layered on top of this
+// frontier machinery), (b) graph statistics, and (c) tests, which validate
+// PML distances against plain BFS ground truth.
+
+#ifndef BOOMER_GRAPH_BFS_H_
+#define BOOMER_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace boomer {
+namespace graph {
+
+/// Distance value for unreachable vertices.
+inline constexpr uint32_t kUnreachable =
+    std::numeric_limits<uint32_t>::max();
+
+/// Single-source BFS: distances from `source` to every vertex
+/// (kUnreachable where disconnected).
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source);
+
+/// Single-source BFS truncated at `max_depth`: vertices farther than
+/// max_depth keep kUnreachable. Cheaper than a full sweep for bounded
+/// exploration.
+std::vector<uint32_t> BfsDistancesBounded(const Graph& g, VertexId source,
+                                          uint32_t max_depth);
+
+/// Exact s-t distance with bidirectional early termination;
+/// kUnreachable when disconnected. Ground truth for PML tests.
+uint32_t BfsPairDistance(const Graph& g, VertexId s, VertexId t);
+
+/// Number of distinct vertices within distance [1, 2] of `v` — the
+/// TwoHop(v) quantity of Lemma 5.4.
+size_t TwoHopNeighborhoodSize(const Graph& g, VertexId v);
+
+/// Vertices within distance [1, depth] of `v`, sorted ascending.
+std::vector<VertexId> KHopNeighborhood(const Graph& g, VertexId v,
+                                       uint32_t depth);
+
+/// Connected component id per vertex (0-based, by discovery order) and the
+/// component count.
+struct ComponentInfo {
+  std::vector<uint32_t> component_of;
+  size_t num_components = 0;
+  size_t largest_component_size = 0;
+};
+ComponentInfo ConnectedComponents(const Graph& g);
+
+}  // namespace graph
+}  // namespace boomer
+
+#endif  // BOOMER_GRAPH_BFS_H_

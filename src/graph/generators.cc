@@ -1,0 +1,231 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace boomer {
+namespace graph {
+
+namespace {
+
+/// Packs an undirected edge into a canonical 64-bit key for dedup sets.
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Builds a labeled graph from an edge set with uniform random labels.
+StatusOr<Graph> FinishWithUniformLabels(size_t n, uint32_t num_labels,
+                                        Rng* rng,
+                                        const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder;
+  builder.AddVertices(n, 0);
+  BOOMER_RETURN_NOT_OK(AssignLabelsUniform(&builder, num_labels, rng));
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace
+
+StatusOr<Graph> GenerateErdosRenyi(size_t n, size_t m, uint32_t num_labels,
+                                   uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("ER: n must be positive");
+  if (num_labels == 0) return Status::InvalidArgument("ER: need >= 1 label");
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = static_cast<size_t>(std::min<uint64_t>(m, max_edges));
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    auto u = static_cast<VertexId>(rng.Uniform(n));
+    auto v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) edges.emplace_back(u, v);
+  }
+  return FinishWithUniformLabels(n, num_labels, &rng, edges);
+}
+
+StatusOr<Graph> GenerateBarabasiAlbert(size_t n, size_t edges_per_vertex,
+                                       uint32_t num_labels, uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("BA: n must be positive");
+  if (edges_per_vertex == 0) {
+    return Status::InvalidArgument("BA: edges_per_vertex must be positive");
+  }
+  if (num_labels == 0) return Status::InvalidArgument("BA: need >= 1 label");
+  const size_t m0 = std::min(n, edges_per_vertex + 1);
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes preferential attachment without explicit degree bookkeeping.
+  std::vector<VertexId> targets;
+  // Seed clique on the first m0 vertices.
+  for (VertexId u = 0; u < m0; ++u) {
+    for (VertexId v = u + 1; v < m0; ++v) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = static_cast<VertexId>(m0); v < n; ++v) {
+    chosen.clear();
+    const size_t want = std::min<size_t>(edges_per_vertex, v);
+    while (chosen.size() < want) {
+      VertexId t = targets[rng.Uniform(targets.size())];
+      chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      edges.emplace_back(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return FinishWithUniformLabels(n, num_labels, &rng, edges);
+}
+
+StatusOr<Graph> GenerateWattsStrogatz(size_t n, size_t k, double beta,
+                                      uint32_t num_labels, uint64_t seed) {
+  if (n < 3) return Status::InvalidArgument("WS: n must be >= 3");
+  if (k == 0 || 2 * k >= n) {
+    return Status::InvalidArgument("WS: require 0 < k and 2k < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WS: beta must be in [0, 1]");
+  }
+  if (num_labels == 0) return Status::InvalidArgument("WS: need >= 1 label");
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // Ring lattice: each vertex to its k clockwise neighbors.
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      VertexId uu = static_cast<VertexId>(u);
+      if (seen.insert(EdgeKey(uu, v)).second) edges.emplace_back(uu, v);
+    }
+  }
+  // Rewire each lattice edge's far endpoint with probability beta.
+  for (auto& [u, v] : edges) {
+    if (!rng.NextBool(beta)) continue;
+    for (int attempts = 0; attempts < 32; ++attempts) {
+      VertexId w = static_cast<VertexId>(rng.Uniform(n));
+      if (w == u || w == v) continue;
+      if (seen.contains(EdgeKey(u, w))) continue;
+      seen.erase(EdgeKey(u, v));
+      seen.insert(EdgeKey(u, w));
+      v = w;
+      break;
+    }
+  }
+  return FinishWithUniformLabels(n, num_labels, &rng, edges);
+}
+
+StatusOr<Graph> GenerateCommunity(const CommunityParams& params,
+                                  uint32_t num_labels, uint64_t seed) {
+  if (params.num_vertices == 0 || params.num_communities == 0) {
+    return Status::InvalidArgument("community: need vertices and communities");
+  }
+  if (params.min_community_size < 2 ||
+      params.min_community_size > params.max_community_size) {
+    return Status::InvalidArgument("community: bad size range");
+  }
+  if (params.max_memberships == 0) {
+    return Status::InvalidArgument("community: max_memberships must be >= 1");
+  }
+  if (num_labels == 0) {
+    return Status::InvalidArgument("community: need >= 1 label");
+  }
+  Rng rng(seed);
+  const size_t n = params.num_vertices;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<VertexId> members;
+  for (size_t c = 0; c < params.num_communities; ++c) {
+    const size_t size = static_cast<size_t>(rng.UniformInRange(
+        static_cast<int64_t>(params.min_community_size),
+        static_cast<int64_t>(params.max_community_size)));
+    members.clear();
+    // A community is a clique over `size` random vertices (a "paper" whose
+    // authors are all pairwise connected, as in DBLP co-authorship).
+    auto sample = rng.SampleWithoutReplacement(static_cast<uint32_t>(n),
+                                               static_cast<uint32_t>(
+                                                   std::min(size, n)));
+    for (uint32_t v : sample) members.push_back(v);
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        edges.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  for (size_t b = 0; b < params.bridge_edges; ++b) {
+    auto u = static_cast<VertexId>(rng.Uniform(n));
+    auto v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return FinishWithUniformLabels(n, num_labels, &rng, edges);
+}
+
+StatusOr<Graph> GenerateRmat(const RmatParams& params, uint32_t num_labels,
+                             uint64_t seed) {
+  if (params.scale == 0 || params.scale > 30) {
+    return Status::InvalidArgument("rmat: scale must be in [1, 30]");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    return Status::InvalidArgument("rmat: probabilities must be nonnegative");
+  }
+  if (num_labels == 0) return Status::InvalidArgument("rmat: need >= 1 label");
+  Rng rng(seed);
+  const size_t n = static_cast<size_t>(1) << params.scale;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(params.num_edges);
+  for (size_t e = 0; e < params.num_edges; ++e) {
+    size_t u = 0, v = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set.
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) {
+      edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return FinishWithUniformLabels(n, num_labels, &rng, edges);
+}
+
+Status AssignLabelsUniform(GraphBuilder* builder, uint32_t num_labels,
+                           Rng* rng) {
+  if (num_labels == 0) {
+    return Status::InvalidArgument("labels: need >= 1 label");
+  }
+  for (VertexId v = 0; v < builder->NumVertices(); ++v) {
+    builder->SetLabel(v, static_cast<LabelId>(rng->Uniform(num_labels)));
+  }
+  return Status::OK();
+}
+
+Status AssignLabelsZipf(GraphBuilder* builder, uint32_t num_labels, double s,
+                        Rng* rng) {
+  if (num_labels == 0) {
+    return Status::InvalidArgument("labels: need >= 1 label");
+  }
+  for (VertexId v = 0; v < builder->NumVertices(); ++v) {
+    builder->SetLabel(v, static_cast<LabelId>(rng->Zipf(num_labels, s)));
+  }
+  return Status::OK();
+}
+
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,86 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on WordNet, DBLP and Flickr; those exact files are not
+// redistributable here, so the benchmark harness generates structure-matched
+// analogs (see datasets.h). This header provides the underlying generative
+// models, each deterministic in (params, seed):
+//
+//  * Erdős–Rényi G(n, m): uniform random edges — the null model used in
+//    property tests.
+//  * Barabási–Albert preferential attachment: heavy-tailed degrees, the
+//    ultra-small-world backbone of Flickr-like media graphs.
+//  * Watts–Strogatz rewired ring: high clustering, moderate diameter —
+//    matches WordNet's sparse lexical structure.
+//  * Community/affiliation model: overlapping cliques with inter-community
+//    bridges — matches DBLP's co-authorship cliques (papers = cliques).
+//  * RMAT (Chakrabarti et al.): scale-free with community-like self-similar
+//    structure; used for scalability sweeps.
+//
+// Labels are assigned separately (AssignLabelsUniform / AssignLabelsZipf) so
+// that label skew is an independent experimental knob.
+
+#ifndef BOOMER_GRAPH_GENERATORS_H_
+#define BOOMER_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace graph {
+
+/// G(n, m): n vertices, m uniform random distinct edges (self-loop free).
+/// m is capped at n*(n-1)/2.
+StatusOr<Graph> GenerateErdosRenyi(size_t n, size_t m, uint32_t num_labels,
+                                   uint64_t seed);
+
+/// Barabási–Albert: starts from a small clique and attaches each new vertex
+/// to `edges_per_vertex` existing vertices chosen proportionally to degree.
+StatusOr<Graph> GenerateBarabasiAlbert(size_t n, size_t edges_per_vertex,
+                                       uint32_t num_labels, uint64_t seed);
+
+/// Watts–Strogatz: ring lattice with `k` nearest neighbors per side rewired
+/// with probability `beta`.
+StatusOr<Graph> GenerateWattsStrogatz(size_t n, size_t k, double beta,
+                                      uint32_t num_labels, uint64_t seed);
+
+/// Community (affiliation) model: `num_communities` cliques of size drawn
+/// uniformly from [min_size, max_size]; each vertex joins 1..max_memberships
+/// communities; `bridge_edges` extra random edges glue communities together.
+struct CommunityParams {
+  size_t num_vertices = 0;
+  size_t num_communities = 0;
+  size_t min_community_size = 3;
+  size_t max_community_size = 8;
+  size_t max_memberships = 2;
+  size_t bridge_edges = 0;
+};
+StatusOr<Graph> GenerateCommunity(const CommunityParams& params,
+                                  uint32_t num_labels, uint64_t seed);
+
+/// RMAT: 2^scale vertices, `num_edges` recursive-quadrant samples with the
+/// canonical (a, b, c) probabilities; duplicates collapse.
+struct RmatParams {
+  uint32_t scale = 10;       // |V| = 2^scale.
+  size_t num_edges = 1 << 13;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c.
+};
+StatusOr<Graph> GenerateRmat(const RmatParams& params, uint32_t num_labels,
+                             uint64_t seed);
+
+/// Reassigns labels uniformly at random over [0, num_labels).
+Status AssignLabelsUniform(GraphBuilder* builder, uint32_t num_labels,
+                           Rng* rng);
+
+/// Reassigns labels with Zipf(s) skew: label 0 most frequent. Matches
+/// WordNet's part-of-speech distribution (nouns dominate).
+Status AssignLabelsZipf(GraphBuilder* builder, uint32_t num_labels, double s,
+                        Rng* rng);
+
+}  // namespace graph
+}  // namespace boomer
+
+#endif  // BOOMER_GRAPH_GENERATORS_H_

@@ -1,0 +1,138 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace boomer {
+namespace graph {
+
+LabelId LabelDictionary::Intern(const std::string& name) {
+  LabelId existing = Find(name);
+  if (existing != kInvalidLabel) return existing;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.push_back(name);
+  index_.emplace_back(name, id);
+  std::sort(index_.begin(), index_.end());
+  return id;
+}
+
+LabelId LabelDictionary::Find(const std::string& name) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != index_.end() && it->first == name) return it->second;
+  return kInvalidLabel;
+}
+
+const std::string& LabelDictionary::Name(LabelId id) const {
+  BOOMER_CHECK(id < names_.size());
+  return names_[id];
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  BOOMER_CHECK(u < labels_.size() && v < labels_.size());
+  if (u == v) return false;
+  // Probe the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::span<const VertexId> Graph::VerticesWithLabel(LabelId label) const {
+  if (label_index_offsets_.empty() ||
+      label >= label_index_offsets_.size() - 1) {
+    return {};
+  }
+  return std::span<const VertexId>(
+      label_index_.data() + label_index_offsets_[label],
+      label_index_offsets_[label + 1] - label_index_offsets_[label]);
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(uint64_t) +
+         adjacency_.size() * sizeof(VertexId) +
+         labels_.size() * sizeof(LabelId) +
+         label_index_offsets_.size() * sizeof(uint64_t) +
+         label_index_.size() * sizeof(VertexId);
+}
+
+void GraphBuilder::AddVertices(size_t n, LabelId label) {
+  labels_.insert(labels_.end(), n, label);
+}
+
+VertexId GraphBuilder::AddVertex(LabelId label) {
+  labels_.push_back(label);
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  BOOMER_CHECK(u < labels_.size() && v < labels_.size());
+  if (u == v) return;  // Simple graph: no self-loops.
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::SetLabel(VertexId v, LabelId label) {
+  BOOMER_CHECK(v < labels_.size());
+  labels_[v] = label;
+}
+
+StatusOr<Graph> GraphBuilder::Build() {
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    if (labels_[v] == kInvalidLabel) {
+      return Status::FailedPrecondition(
+          "vertex " + std::to_string(v) + " has no label");
+    }
+  }
+
+  // Deduplicate undirected edges (stored canonically as u < v).
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  const size_t n = labels_.size();
+  g.labels_ = std::move(labels_);
+  g.label_dict_ = std::move(label_dict_);
+
+  // Counting pass for CSR offsets (each edge appears in both lists).
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+    g.max_degree_ =
+        std::max<size_t>(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  }
+
+  // Per-label candidate index: CSR over labels, vertices ascending.
+  LabelId num_labels = 0;
+  for (LabelId l : g.labels_) num_labels = std::max(num_labels, l + 1);
+  g.label_index_offsets_.assign(num_labels + 1, 0);
+  for (LabelId l : g.labels_) ++g.label_index_offsets_[l + 1];
+  for (size_t i = 0; i < num_labels; ++i) {
+    g.label_index_offsets_[i + 1] += g.label_index_offsets_[i];
+  }
+  g.label_index_.resize(n);
+  std::vector<uint64_t> lcursor(g.label_index_offsets_.begin(),
+                                g.label_index_offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    g.label_index_[lcursor[g.labels_[v]]++] = v;
+  }
+
+  edges_.clear();
+  return g;
+}
+
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,174 @@
+// Immutable in-memory data graph.
+//
+// The paper's data model (Section 2): an undirected, simple, vertex-labeled
+// graph G = (V, E, L). We store it in compressed sparse row (CSR) form with
+// sorted adjacency lists, which gives:
+//   * O(1) degree and neighbor-span access,
+//   * O(log deg(v)) adjacency tests (needed by the in-scan cost model of
+//     Lemma 5.3),
+//   * cache-friendly sequential scans for BFS / PML construction,
+//   * an O(1) per-label candidate list V_q = {v : L(v) = L(q)}, the seed of
+//     every CAP level.
+//
+// Graphs are immutable once built (see GraphBuilder); all query-time
+// structures (CAP index, PML) reference a Graph by const reference.
+
+#ifndef BOOMER_GRAPH_GRAPH_H_
+#define BOOMER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boomer {
+namespace graph {
+
+/// Vertex identifier: dense, 0-based.
+using VertexId = uint32_t;
+/// Vertex label identifier: dense, 0-based.
+using LabelId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr LabelId kInvalidLabel = static_cast<LabelId>(-1);
+
+/// Bidirectional mapping between human-readable label strings and LabelIds.
+/// Optional: synthetic graphs use numeric labels directly.
+class LabelDictionary {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  LabelId Intern(const std::string& name);
+
+  /// Returns the id of `name` or kInvalidLabel if unknown.
+  LabelId Find(const std::string& name) const;
+
+  /// Returns the name for `id`; CHECK-fails when out of range.
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  // Linear probe map would be overkill; label sets are small (5..3000).
+  std::vector<std::pair<std::string, LabelId>> index_;
+};
+
+/// Immutable CSR data graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t NumVertices() const { return labels_.size(); }
+  /// Number of undirected edges (each stored twice internally).
+  size_t NumEdges() const { return adjacency_.size() / 2; }
+  size_t NumLabels() const { return label_index_offsets_.empty()
+                                 ? 0
+                                 : label_index_offsets_.size() - 1; }
+
+  /// Label of vertex `v`.
+  LabelId Label(VertexId v) const {
+    BOOMER_CHECK(v < labels_.size());
+    return labels_[v];
+  }
+
+  /// Degree of vertex `v`.
+  size_t Degree(VertexId v) const {
+    BOOMER_CHECK(v < labels_.size());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbors of `v` as a contiguous read-only span.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    BOOMER_CHECK(v < labels_.size());
+    return std::span<const VertexId>(adjacency_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// True iff the undirected edge (u, v) exists. O(log min-degree).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All vertices carrying `label`, sorted ascending. Empty span for labels
+  /// that never occur.
+  std::span<const VertexId> VerticesWithLabel(LabelId label) const;
+
+  /// Count of vertices carrying `label`.
+  size_t LabelCount(LabelId label) const {
+    return VerticesWithLabel(label).size();
+  }
+
+  /// Empirical probability that a uniformly drawn vertex carries `label`
+  /// (the p_{L(q)} of Lemma 5.3).
+  double LabelProbability(LabelId label) const {
+    if (NumVertices() == 0) return 0.0;
+    return static_cast<double>(LabelCount(label)) /
+           static_cast<double>(NumVertices());
+  }
+
+  /// Maximum vertex degree (θ_max of Section 5.4), 0 on an empty graph.
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Optional label-name dictionary (empty when labels are numeric-only).
+  const LabelDictionary& label_dict() const { return label_dict_; }
+  LabelDictionary* mutable_label_dict() { return &label_dict_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> offsets_;      // |V|+1 CSR offsets into adjacency_.
+  std::vector<VertexId> adjacency_;    // Sorted per-vertex neighbor lists.
+  std::vector<LabelId> labels_;        // Per-vertex label.
+  // Per-label candidate lists in one flat array (CSR over labels).
+  std::vector<uint64_t> label_index_offsets_;
+  std::vector<VertexId> label_index_;
+  size_t max_degree_ = 0;
+  LabelDictionary label_dict_;
+};
+
+/// Incremental builder for Graph. Deduplicates edges and drops self-loops so
+/// that the result is always a simple graph.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares `n` vertices all labeled `label`.
+  void AddVertices(size_t n, LabelId label);
+
+  /// Adds one vertex with `label`; returns its id.
+  VertexId AddVertex(LabelId label);
+
+  /// Adds the undirected edge (u, v). Self-loops are silently dropped;
+  /// duplicate edges are deduplicated at Build() time.
+  /// CHECK-fails if either endpoint has not been added.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Overrides the label of an existing vertex.
+  void SetLabel(VertexId v, LabelId label);
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdgesAdded() const { return edges_.size(); }
+
+  /// Takes an optional name dictionary to attach to the graph.
+  void SetLabelDictionary(LabelDictionary dict) {
+    label_dict_ = std::move(dict);
+  }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  /// Fails if any vertex has label kInvalidLabel.
+  StatusOr<Graph> Build();
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  LabelDictionary label_dict_;
+};
+
+}  // namespace graph
+}  // namespace boomer
+
+#endif  // BOOMER_GRAPH_GRAPH_H_

@@ -1,0 +1,204 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace graph {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0xB003E200D0D0CAFEULL;
+constexpr uint32_t kBinaryVersion = 1;
+
+Status ParseLabelsInto(std::istream& in, GraphBuilder* builder,
+                       LabelDictionary* dict) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("labels line %zu: expected '<vertex> <label>'", line_no));
+    }
+    BOOMER_ASSIGN_OR_RETURN(uint32_t v, ParseUint32(fields[0]));
+    // Labels may be numeric ids or symbolic names.
+    LabelId label;
+    auto as_int = ParseUint32(fields[1]);
+    if (as_int.ok()) {
+      label = as_int.value();
+    } else {
+      label = dict->Intern(std::string(fields[1]));
+    }
+    while (builder->NumVertices() <= v) {
+      builder->AddVertex(kInvalidLabel);
+    }
+    builder->SetLabel(v, label);
+  }
+  return Status::OK();
+}
+
+Status ParseEdgesInto(std::istream& in, GraphBuilder* builder) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("edges line %zu: expected '<u> <v>'", line_no));
+    }
+    BOOMER_ASSIGN_OR_RETURN(uint32_t u, ParseUint32(fields[0]));
+    BOOMER_ASSIGN_OR_RETURN(uint32_t v, ParseUint32(fields[1]));
+    if (u >= builder->NumVertices() || v >= builder->NumVertices()) {
+      return Status::InvalidArgument(
+          StrFormat("edges line %zu: endpoint beyond declared vertices",
+                    line_no));
+    }
+    builder->AddEdge(u, v);
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVector(std::istream& in, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveText(const Graph& g, const std::string& path_prefix) {
+  {
+    std::ofstream labels(path_prefix + ".labels");
+    if (!labels) return Status::IOError("cannot open " + path_prefix + ".labels");
+    labels << "# vertex label\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      labels << v << ' ' << g.Label(v) << '\n';
+    }
+    if (!labels) return Status::IOError("short write to labels file");
+  }
+  {
+    std::ofstream edges(path_prefix + ".edges");
+    if (!edges) return Status::IOError("cannot open " + path_prefix + ".edges");
+    edges << "# u v (undirected, u < v)\n";
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (VertexId w : g.Neighbors(u)) {
+        if (u < w) edges << u << ' ' << w << '\n';
+      }
+    }
+    if (!edges) return Status::IOError("short write to edges file");
+  }
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadText(const std::string& path_prefix) {
+  std::ifstream labels(path_prefix + ".labels");
+  if (!labels) return Status::IOError("cannot open " + path_prefix + ".labels");
+  std::ifstream edges(path_prefix + ".edges");
+  if (!edges) return Status::IOError("cannot open " + path_prefix + ".edges");
+  GraphBuilder builder;
+  LabelDictionary dict;
+  BOOMER_RETURN_NOT_OK(ParseLabelsInto(labels, &builder, &dict));
+  BOOMER_RETURN_NOT_OK(ParseEdgesInto(edges, &builder));
+  builder.SetLabelDictionary(std::move(dict));
+  return builder.Build();
+}
+
+StatusOr<Graph> ParseText(const std::string& labels, const std::string& edges) {
+  std::istringstream labels_in(labels);
+  std::istringstream edges_in(edges);
+  GraphBuilder builder;
+  LabelDictionary dict;
+  BOOMER_RETURN_NOT_OK(ParseLabelsInto(labels_in, &builder, &dict));
+  BOOMER_RETURN_NOT_OK(ParseEdgesInto(edges_in, &builder));
+  builder.SetLabelDictionary(std::move(dict));
+  return builder.Build();
+}
+
+Status SaveBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  WritePod(out, kBinaryMagic);
+  WritePod(out, kBinaryVersion);
+  // Reconstructible from edges + labels; store those.
+  std::vector<LabelId> labels(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) labels[v] = g.Label(v);
+  std::vector<VertexId> edge_us, edge_vs;
+  edge_us.reserve(g.NumEdges());
+  edge_vs.reserve(g.NumEdges());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId w : g.Neighbors(u)) {
+      if (u < w) {
+        edge_us.push_back(u);
+        edge_vs.push_back(w);
+      }
+    }
+  }
+  WriteVector(out, labels);
+  WriteVector(out, edge_us);
+  WriteVector(out, edge_vs);
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(in, &magic) || magic != kBinaryMagic) {
+    return Status::IOError("bad magic in " + path);
+  }
+  if (!ReadPod(in, &version) || version != kBinaryVersion) {
+    return Status::IOError("unsupported snapshot version in " + path);
+  }
+  std::vector<LabelId> labels;
+  std::vector<VertexId> edge_us, edge_vs;
+  if (!ReadVector(in, &labels) || !ReadVector(in, &edge_us) ||
+      !ReadVector(in, &edge_vs) || edge_us.size() != edge_vs.size()) {
+    return Status::IOError("truncated snapshot " + path);
+  }
+  GraphBuilder builder;
+  for (LabelId l : labels) builder.AddVertex(l);
+  for (size_t i = 0; i < edge_us.size(); ++i) {
+    if (edge_us[i] >= labels.size() || edge_vs[i] >= labels.size()) {
+      return Status::IOError("corrupt edge in snapshot " + path);
+    }
+    builder.AddEdge(edge_us[i], edge_vs[i]);
+  }
+  return builder.Build();
+}
+
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,42 @@
+// Graph serialization.
+//
+// Two formats are supported:
+//  * Text: a `.labels` + `.edges` pair (one "vertex label" line per vertex,
+//    one "u v" line per edge, '#' comments allowed) — convenient for small
+//    hand-written fixtures and for importing public edge-list datasets.
+//  * Binary snapshot: a single little-endian file with the CSR arrays —
+//    used by the benchmark dataset cache so generated analogs and their PML
+//    indexes are built once per (dataset, scale, seed).
+
+#ifndef BOOMER_GRAPH_IO_H_
+#define BOOMER_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace graph {
+
+/// Writes `g` as `<path>.labels` + `<path>.edges`.
+Status SaveText(const Graph& g, const std::string& path_prefix);
+
+/// Loads a graph written by SaveText.
+StatusOr<Graph> LoadText(const std::string& path_prefix);
+
+/// Parses an in-memory text description: `labels` has one label token per
+/// line ("<vertex> <label>"), `edges` has one "u v" pair per line. Label
+/// tokens that are not integers are interned in the label dictionary.
+StatusOr<Graph> ParseText(const std::string& labels, const std::string& edges);
+
+/// Writes `g` as a single binary snapshot.
+Status SaveBinary(const Graph& g, const std::string& path);
+
+/// Loads a binary snapshot written by SaveBinary.
+StatusOr<Graph> LoadBinary(const std::string& path);
+
+}  // namespace graph
+}  // namespace boomer
+
+#endif  // BOOMER_GRAPH_IO_H_

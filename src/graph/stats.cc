@@ -1,0 +1,81 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "graph/bfs.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace graph {
+
+GraphStats ComputeStats(const Graph& g, size_t distance_samples,
+                        uint64_t seed) {
+  GraphStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_edges = g.NumEdges();
+  stats.num_labels = g.NumLabels();
+  stats.max_degree = g.MaxDegree();
+  if (g.NumVertices() > 0) {
+    stats.avg_degree = 2.0 * static_cast<double>(g.NumEdges()) /
+                       static_cast<double>(g.NumVertices());
+  }
+
+  auto components = ConnectedComponents(g);
+  stats.num_components = components.num_components;
+  stats.largest_component_size = components.largest_component_size;
+
+  std::map<LabelId, size_t> histogram;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ++histogram[g.Label(v)];
+  stats.label_histogram.assign(histogram.begin(), histogram.end());
+  std::sort(stats.label_histogram.begin(), stats.label_histogram.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  if (distance_samples > 0 && g.NumVertices() >= 2) {
+    Rng rng(seed);
+    double total = 0.0;
+    size_t reachable = 0;
+    for (size_t i = 0; i < distance_samples; ++i) {
+      auto s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+      auto t = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+      if (s == t) continue;
+      uint32_t d = BfsPairDistance(g, s, t);
+      if (d == kUnreachable) continue;
+      total += d;
+      ++reachable;
+      stats.max_sampled_distance = std::max(stats.max_sampled_distance, d);
+    }
+    stats.distance_samples = reachable;
+    if (reachable > 0) {
+      stats.avg_sampled_distance = total / static_cast<double>(reachable);
+    }
+  }
+  return stats;
+}
+
+std::string StatsToString(const GraphStats& stats) {
+  std::ostringstream out;
+  out << StrFormat("|V|=%zu |E|=%zu labels=%zu\n", stats.num_vertices,
+                   stats.num_edges, stats.num_labels);
+  out << StrFormat("degree: avg=%.2f max=%zu\n", stats.avg_degree,
+                   stats.max_degree);
+  out << StrFormat("components: %zu (largest %zu)\n", stats.num_components,
+                   stats.largest_component_size);
+  if (stats.distance_samples > 0) {
+    out << StrFormat("distance (sampled %zu pairs): avg=%.2f max=%u\n",
+                     stats.distance_samples, stats.avg_sampled_distance,
+                     stats.max_sampled_distance);
+  }
+  out << "top labels:";
+  size_t shown = 0;
+  for (const auto& [label, count] : stats.label_histogram) {
+    if (shown++ >= 5) break;
+    out << StrFormat(" %u:%zu", label, count);
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,47 @@
+// Descriptive statistics for data graphs: degree distribution, component
+// structure, sampled distance profile. Used to validate that the generated
+// dataset analogs match the structural knobs the paper's results depend on
+// (candidate set sizes, degree tail, small-world distances).
+
+#ifndef BOOMER_GRAPH_STATS_H_
+#define BOOMER_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace boomer {
+namespace graph {
+
+struct GraphStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+  double avg_degree = 0.0;
+  size_t max_degree = 0;
+  size_t num_components = 0;
+  size_t largest_component_size = 0;
+  /// Average shortest-path distance over `distance_samples` random reachable
+  /// pairs (the ultra-small-world check of Section 7.2).
+  double avg_sampled_distance = 0.0;
+  uint32_t max_sampled_distance = 0;
+  size_t distance_samples = 0;
+  /// label -> count, descending.
+  std::vector<std::pair<LabelId, size_t>> label_histogram;
+};
+
+/// Computes stats; `distance_samples` random pairs are BFS-measured
+/// (0 disables the distance profile).
+GraphStats ComputeStats(const Graph& g, size_t distance_samples,
+                        uint64_t seed);
+
+/// Multi-line human-readable rendering.
+std::string StatsToString(const GraphStats& stats);
+
+}  // namespace graph
+}  // namespace boomer
+
+#endif  // BOOMER_GRAPH_STATS_H_

@@ -1,0 +1,140 @@
+#include "gui/actions.h"
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace gui {
+
+const char* ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kNewVertex:
+      return "NewVertex";
+    case ActionKind::kNewEdge:
+      return "NewEdge";
+    case ActionKind::kModify:
+      return "Modify";
+    case ActionKind::kRun:
+      return "Run";
+  }
+  return "Unknown";
+}
+
+Action Action::NewVertex(query::QueryVertexId v, graph::LabelId label,
+                         int64_t latency_micros) {
+  Action a;
+  a.kind = ActionKind::kNewVertex;
+  a.vertex = v;
+  a.label = label;
+  a.latency_micros = latency_micros;
+  return a;
+}
+
+Action Action::NewEdge(query::QueryVertexId src, query::QueryVertexId dst,
+                       query::Bounds bounds, int64_t latency_micros) {
+  Action a;
+  a.kind = ActionKind::kNewEdge;
+  a.src = src;
+  a.dst = dst;
+  a.bounds = bounds;
+  a.latency_micros = latency_micros;
+  return a;
+}
+
+Action Action::DeleteEdge(query::QueryEdgeId e, int64_t latency_micros) {
+  Action a;
+  a.kind = ActionKind::kModify;
+  a.modify_kind = ModifyKind::kDeleteEdge;
+  a.target_edge = e;
+  a.latency_micros = latency_micros;
+  return a;
+}
+
+Action Action::SetBounds(query::QueryEdgeId e, query::Bounds bounds,
+                         int64_t latency_micros) {
+  Action a;
+  a.kind = ActionKind::kModify;
+  a.modify_kind = ModifyKind::kSetBounds;
+  a.target_edge = e;
+  a.new_bounds = bounds;
+  a.latency_micros = latency_micros;
+  return a;
+}
+
+Action Action::Run(int64_t latency_micros) {
+  Action a;
+  a.kind = ActionKind::kRun;
+  a.latency_micros = latency_micros;
+  return a;
+}
+
+std::string Action::ToString() const {
+  switch (kind) {
+    case ActionKind::kNewVertex:
+      return StrFormat("NewVertex(q%u, label %u, %s)", vertex, label,
+                       HumanMicros(latency_micros).c_str());
+    case ActionKind::kNewEdge:
+      return StrFormat("NewEdge(q%u, q%u, [%u,%u], %s)", src, dst,
+                       bounds.lower, bounds.upper,
+                       HumanMicros(latency_micros).c_str());
+    case ActionKind::kModify:
+      if (modify_kind == ModifyKind::kDeleteEdge) {
+        return StrFormat("DeleteEdge(e%u)", target_edge);
+      }
+      return StrFormat("SetBounds(e%u, [%u,%u])", target_edge,
+                       new_bounds.lower, new_bounds.upper);
+    case ActionKind::kRun:
+      return "Run";
+  }
+  return "?";
+}
+
+int64_t ActionTrace::TotalLatencyMicros() const {
+  int64_t total = 0;
+  for (const Action& a : actions_) total += a.latency_micros;
+  return total;
+}
+
+StatusOr<query::BphQuery> ActionTrace::ReplayToQuery() const {
+  query::BphQuery q;
+  bool ran = false;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    if (ran) {
+      return Status::FailedPrecondition("actions after Run in trace");
+    }
+    switch (a.kind) {
+      case ActionKind::kNewVertex: {
+        query::QueryVertexId got = q.AddVertex(a.label);
+        if (got != a.vertex) {
+          return Status::FailedPrecondition(
+              StrFormat("trace action %zu: vertex id mismatch (got q%u, "
+                        "trace says q%u)",
+                        i, got, a.vertex));
+        }
+        break;
+      }
+      case ActionKind::kNewEdge: {
+        BOOMER_ASSIGN_OR_RETURN(query::QueryEdgeId unused,
+                                q.AddEdge(a.src, a.dst, a.bounds));
+        (void)unused;
+        break;
+      }
+      case ActionKind::kModify: {
+        if (a.modify_kind == ModifyKind::kDeleteEdge) {
+          BOOMER_RETURN_NOT_OK(q.RemoveEdge(a.target_edge));
+        } else {
+          BOOMER_RETURN_NOT_OK(q.SetBounds(a.target_edge, a.new_bounds));
+        }
+        break;
+      }
+      case ActionKind::kRun:
+        ran = true;
+        break;
+    }
+  }
+  if (!ran) return Status::FailedPrecondition("trace does not end with Run");
+  return q;
+}
+
+}  // namespace gui
+}  // namespace boomer

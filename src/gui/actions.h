@@ -1,0 +1,101 @@
+// GUI action stream (Section 4).
+//
+// BOOMER's blender monitors four visual actions: NewVertex, NewEdge, Modify
+// (delete an edge / alter its bounds) and Run. In the live system these come
+// from mouse events; here they come from a deterministic ActionTrace whose
+// per-action latencies model the human formulation time the blender can
+// exploit. The blender is agnostic to the source — the paper makes the same
+// point ("BOOMER is independent of these steps", Section 4).
+
+#ifndef BOOMER_GUI_ACTIONS_H_
+#define BOOMER_GUI_ACTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace gui {
+
+enum class ActionKind {
+  kNewVertex,
+  kNewEdge,
+  kModify,
+  kRun,
+};
+
+const char* ActionKindName(ActionKind kind);
+
+enum class ModifyKind {
+  kDeleteEdge,
+  kSetBounds,
+};
+
+/// One GUI action. `latency_micros` is the time the user spends performing
+/// this action — the budget the blender may use to process *earlier* work
+/// while this action is being formed (Section 5.3).
+struct Action {
+  ActionKind kind = ActionKind::kRun;
+  int64_t latency_micros = 0;
+
+  // kNewVertex.
+  query::QueryVertexId vertex = query::kInvalidQueryVertex;
+  graph::LabelId label = graph::kInvalidLabel;
+
+  // kNewEdge: endpoints must already exist.
+  query::QueryVertexId src = query::kInvalidQueryVertex;
+  query::QueryVertexId dst = query::kInvalidQueryVertex;
+  query::Bounds bounds;
+
+  // kModify.
+  ModifyKind modify_kind = ModifyKind::kDeleteEdge;
+  query::QueryEdgeId target_edge = query::kInvalidQueryEdge;
+  query::Bounds new_bounds;
+
+  static Action NewVertex(query::QueryVertexId v, graph::LabelId label,
+                          int64_t latency_micros);
+  static Action NewEdge(query::QueryVertexId src, query::QueryVertexId dst,
+                        query::Bounds bounds, int64_t latency_micros);
+  static Action DeleteEdge(query::QueryEdgeId e, int64_t latency_micros);
+  static Action SetBounds(query::QueryEdgeId e, query::Bounds bounds,
+                          int64_t latency_micros);
+  static Action Run(int64_t latency_micros = 0);
+
+  std::string ToString() const;
+};
+
+/// An ordered action sequence ending in Run.
+class ActionTrace {
+ public:
+  ActionTrace() = default;
+
+  void Append(Action action) { actions_.push_back(std::move(action)); }
+
+  const std::vector<Action>& actions() const { return actions_; }
+  size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  const Action& at(size_t i) const {
+    BOOMER_CHECK(i < actions_.size());
+    return actions_[i];
+  }
+
+  /// Total user formulation latency (the QFT) in microseconds.
+  int64_t TotalLatencyMicros() const;
+
+  /// Replays the trace into a BphQuery, verifying that every action is
+  /// legal (endpoints exist, edges unique, modified edges alive) and that
+  /// the trace ends with exactly one Run. Returns the final query.
+  StatusOr<query::BphQuery> ReplayToQuery() const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace gui
+}  // namespace boomer
+
+#endif  // BOOMER_GUI_ACTIONS_H_

@@ -1,0 +1,34 @@
+#include "gui/latency_model.h"
+
+namespace boomer {
+namespace gui {
+
+int64_t LatencyModel::Jittered(double seconds) {
+  double factor = 1.0;
+  if (params_.jitter > 0.0) {
+    factor = 1.0 - params_.jitter + 2.0 * params_.jitter * rng_.NextDouble();
+  }
+  double value = seconds * factor;
+  if (value < 0.0) value = 0.0;
+  return static_cast<int64_t>(value * 1e6);
+}
+
+int64_t LatencyModel::VertexLatencyMicros() {
+  return Jittered(params_.movement_seconds + params_.selection_seconds +
+                  params_.drag_seconds);
+}
+
+int64_t LatencyModel::EdgeLatencyMicros(query::Bounds bounds) {
+  double seconds = params_.edge_seconds;
+  const bool default_bounds = bounds.lower == 1 && bounds.upper == 1;
+  if (!default_bounds) seconds += params_.bounds_seconds;
+  return Jittered(seconds);
+}
+
+int64_t LatencyModel::ModifyLatencyMicros(bool is_bounds_edit) {
+  return Jittered(is_bounds_edit ? params_.bounds_seconds
+                                 : params_.selection_seconds);
+}
+
+}  // namespace gui
+}  // namespace boomer

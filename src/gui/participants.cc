@@ -1,0 +1,79 @@
+#include "gui/participants.h"
+
+#include <algorithm>
+
+namespace boomer {
+namespace gui {
+
+LatencyModel Participant::MakeLatencyModel(const LatencyParams& base,
+                                           uint64_t seed) const {
+  LatencyParams params = base;
+  params.movement_seconds *= speed_factor;
+  params.selection_seconds *= speed_factor;
+  params.drag_seconds *= speed_factor;
+  params.edge_seconds *= speed_factor;
+  params.bounds_seconds *= speed_factor;
+  params.jitter = jitter;
+  return LatencyModel(params, seed);
+}
+
+Study Study::Create(const StudyOptions& options) {
+  Study study(options);
+  study.rng_ = Rng(options.seed);
+  study.participants_.reserve(options.num_participants);
+  for (size_t i = 0; i < options.num_participants; ++i) {
+    Participant p;
+    p.id = static_cast<uint32_t>(i);
+    p.speed_factor = 1.0 - options.speed_spread +
+                     2.0 * options.speed_spread * study.rng_.NextDouble();
+    p.jitter = options.jitter;
+    study.participants_.push_back(p);
+  }
+  return study;
+}
+
+StatusOr<std::vector<Formulation>> Study::Assign(
+    const std::vector<query::BphQuery>& queries) {
+  if (participants_.empty()) {
+    return Status::FailedPrecondition("study has no participants");
+  }
+  if (options_.formulations_per_query > participants_.size()) {
+    return Status::InvalidArgument(
+        "cannot assign more formulations per query than participants");
+  }
+  std::vector<Formulation> formulations;
+  formulations.reserve(queries.size() * options_.formulations_per_query);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    // Distinct participants per query, drawn without replacement.
+    auto chosen = rng_.SampleWithoutReplacement(
+        static_cast<uint32_t>(participants_.size()),
+        static_cast<uint32_t>(options_.formulations_per_query));
+    for (uint32_t pi : chosen) {
+      const Participant& participant = participants_[pi];
+      LatencyModel latency = participant.MakeLatencyModel(
+          options_.base_latency,
+          options_.seed ^ (qi * 131 + participant.id));
+      BOOMER_ASSIGN_OR_RETURN(
+          ActionTrace trace,
+          BuildTrace(queries[qi], DefaultSequence(queries[qi]), &latency));
+      Formulation f;
+      f.participant_id = participant.id;
+      f.query_index = qi;
+      f.trace = std::move(trace);
+      formulations.push_back(std::move(f));
+    }
+  }
+  return formulations;
+}
+
+double Study::MeanQftSeconds(const std::vector<Formulation>& formulations) {
+  if (formulations.empty()) return 0.0;
+  double total = 0.0;
+  for (const Formulation& f : formulations) {
+    total += static_cast<double>(f.trace.TotalLatencyMicros()) * 1e-6;
+  }
+  return total / static_cast<double>(formulations.size());
+}
+
+}  // namespace gui
+}  // namespace boomer

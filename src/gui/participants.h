@@ -1,0 +1,92 @@
+// Simulated user-study population (Section 7.1).
+//
+// The paper's evaluation employs 20 volunteers who each formulate ~20.6
+// queries; every template is formulated by four different participants and
+// the per-template average query formulation time (QFT) is reported in
+// Figure 4. We reproduce that protocol synthetically: a Participant carries
+// a personal speed factor (humans differ roughly ±35% around the mean on
+// pointing tasks) and per-action jitter; a Study assigns queries to
+// participants round-robin after a deterministic shuffle, exactly k
+// formulations per query.
+//
+// This module is what makes the harness's QFT numbers a *distribution*
+// (like Figure 4's F_avg) rather than a constant, and it feeds the Figure-4
+// reproduction bench.
+
+#ifndef BOOMER_GUI_PARTICIPANTS_H_
+#define BOOMER_GUI_PARTICIPANTS_H_
+
+#include <vector>
+
+#include "gui/latency_model.h"
+#include "gui/trace_builder.h"
+#include "query/bph_query.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace gui {
+
+/// One simulated volunteer.
+struct Participant {
+  uint32_t id = 0;
+  /// Multiplies every base latency; drawn uniformly from
+  /// [1 - speed_spread, 1 + speed_spread].
+  double speed_factor = 1.0;
+  /// Per-action relative jitter handed to the LatencyModel.
+  double jitter = 0.15;
+
+  /// A latency model configured for this participant.
+  LatencyModel MakeLatencyModel(const LatencyParams& base,
+                                uint64_t seed) const;
+};
+
+struct StudyOptions {
+  size_t num_participants = 20;   // the paper's cohort size
+  size_t formulations_per_query = 4;
+  double speed_spread = 0.35;
+  double jitter = 0.15;
+  LatencyParams base_latency;
+  uint64_t seed = 2018;
+};
+
+/// One formulation assignment: participant p formulates query q (by index)
+/// with a concrete timed trace.
+struct Formulation {
+  uint32_t participant_id = 0;
+  size_t query_index = 0;
+  ActionTrace trace;
+};
+
+/// A simulated user study over a fixed query set.
+class Study {
+ public:
+  /// Draws the participant pool deterministically from options.seed.
+  static Study Create(const StudyOptions& options);
+
+  const std::vector<Participant>& participants() const {
+    return participants_;
+  }
+
+  /// Produces all formulations for `queries`: each query is formulated
+  /// `formulations_per_query` times by distinct participants (as in the
+  /// paper), using the default edge sequence. Total =
+  /// queries.size() * formulations_per_query.
+  StatusOr<std::vector<Formulation>> Assign(
+      const std::vector<query::BphQuery>& queries);
+
+  /// Mean QFT in seconds over a set of formulations.
+  static double MeanQftSeconds(const std::vector<Formulation>& formulations);
+
+ private:
+  explicit Study(StudyOptions options) : options_(std::move(options)) {}
+
+  StudyOptions options_;
+  std::vector<Participant> participants_;
+  Rng rng_{0};
+};
+
+}  // namespace gui
+}  // namespace boomer
+
+#endif  // BOOMER_GUI_PARTICIPANTS_H_

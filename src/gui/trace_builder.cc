@@ -1,0 +1,109 @@
+#include "gui/trace_builder.h"
+
+#include <algorithm>
+
+namespace boomer {
+namespace gui {
+
+using query::BphQuery;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+StatusOr<ActionTrace> BuildTrace(const BphQuery& target,
+                                 const FormulationSequence& sequence,
+                                 LatencyModel* latency,
+                                 std::vector<Action> modifications) {
+  BOOMER_CHECK(latency != nullptr);
+  // The sequence must be a permutation of the live edges.
+  auto live = target.LiveEdges();
+  {
+    auto sorted_sequence = sequence;
+    std::sort(sorted_sequence.begin(), sorted_sequence.end());
+    auto sorted_live = live;
+    std::sort(sorted_live.begin(), sorted_live.end());
+    if (sorted_sequence != sorted_live) {
+      return Status::InvalidArgument(
+          "formulation sequence is not a permutation of the query's edges");
+    }
+  }
+
+  ActionTrace trace;
+  // Vertex ids must be issued in creation order for ReplayToQuery to agree
+  // with `target`, so the first time an endpoint appears we first emit any
+  // lower-numbered vertices that have not been drawn yet. This mirrors a
+  // user who places the vertices of the next edge right before connecting
+  // them.
+  std::vector<bool> drawn(target.NumVertices(), false);
+  QueryVertexId next_vertex = 0;
+  auto ensure_vertex = [&](QueryVertexId q) {
+    while (next_vertex <= q) {
+      if (!drawn[next_vertex]) {
+        trace.Append(Action::NewVertex(next_vertex,
+                                       target.Label(next_vertex),
+                                       latency->VertexLatencyMicros()));
+        drawn[next_vertex] = true;
+      }
+      ++next_vertex;
+    }
+  };
+
+  for (QueryEdgeId e : sequence) {
+    const query::QueryEdge& edge = target.Edge(e);
+    ensure_vertex(edge.src);
+    ensure_vertex(edge.dst);
+    trace.Append(Action::NewEdge(edge.src, edge.dst, edge.bounds,
+                                 latency->EdgeLatencyMicros(edge.bounds)));
+  }
+  // Vertices beyond the last edge endpoint (isolated in the target) would
+  // make the query disconnected; Validate() in ReplayToQuery will reject
+  // them, but draw them anyway for id-consistency.
+  for (QueryVertexId q = next_vertex;
+       q < static_cast<QueryVertexId>(target.NumVertices()); ++q) {
+    trace.Append(
+        Action::NewVertex(q, target.Label(q), latency->VertexLatencyMicros()));
+  }
+
+  for (Action& m : modifications) {
+    BOOMER_CHECK(m.kind == ActionKind::kModify);
+    m.latency_micros =
+        latency->ModifyLatencyMicros(m.modify_kind == ModifyKind::kSetBounds);
+    trace.Append(m);
+  }
+
+  trace.Append(Action::Run());
+  return trace;
+}
+
+FormulationSequence DefaultSequence(const BphQuery& target) {
+  return target.LiveEdges();
+}
+
+std::vector<FormulationSequence> QfsSchedules(query::TemplateId id) {
+  // Table 2 (edges are 1-based there; 0-based here).
+  if (id == query::TemplateId::kQ1) {
+    return {
+        {0, 1, 2},  // S1: e1 -> e2 -> e3
+        {1, 0, 2},  // S2: e2 -> e1 -> e3
+        {2, 1, 0},  // S3: e3 -> e2 -> e1
+    };
+  }
+  if (id == query::TemplateId::kQ6) {
+    return {
+        {0, 1, 2, 3, 4, 5},  // S1
+        {3, 0, 1, 2, 4, 5},  // S2: e4 -> e1 -> e2 -> e3 -> e5 -> e6
+        {1, 2, 3, 0, 4, 5},  // S3: e2 -> e3 -> e4 -> e1 -> e5 -> e6
+        {4, 5, 1, 2, 3, 0},  // S4: e5 -> e6 -> e2 -> e3 -> e4 -> e1
+    };
+  }
+  BOOMER_CHECK(false);
+  return {};
+}
+
+const char* QfsName(size_t index) {
+  static const char* kNames[] = {"S1", "S2", "S3", "S4"};
+  BOOMER_CHECK(index < 4);
+  return kNames[index];
+}
+
+}  // namespace gui
+}  // namespace boomer

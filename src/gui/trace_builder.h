@@ -1,0 +1,50 @@
+// Turns a BPH query plus a formulation sequence into a timed ActionTrace.
+//
+// A query formulation sequence (QFS) is an ordering of the query's edges
+// (Appendix D, Table 2). The builder walks the sequence, emitting NewVertex
+// actions lazily the first time an endpoint is needed (the click-and-drag
+// protocol of Section 3.2) followed by the NewEdge action, and closes with
+// Run. Latencies come from a LatencyModel.
+
+#ifndef BOOMER_GUI_TRACE_BUILDER_H_
+#define BOOMER_GUI_TRACE_BUILDER_H_
+
+#include <vector>
+
+#include "gui/actions.h"
+#include "gui/latency_model.h"
+#include "query/bph_query.h"
+#include "query/templates.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace gui {
+
+/// Edge ids of `query` in user formulation order. Must be a permutation of
+/// the live edges.
+using FormulationSequence = std::vector<query::QueryEdgeId>;
+
+/// Builds a trace formulating `target` edge-by-edge in `sequence` order.
+/// `modifications` (possibly empty) are appended, in order, after the last
+/// NewEdge and before Run — matching Exp 6, where the user edits a fully
+/// drawn query and then executes it. Each modification is a Modify action
+/// built by Action::DeleteEdge / Action::SetBounds (latencies filled here).
+StatusOr<ActionTrace> BuildTrace(const query::BphQuery& target,
+                                 const FormulationSequence& sequence,
+                                 LatencyModel* latency,
+                                 std::vector<Action> modifications = {});
+
+/// Default sequence: edge creation order e1, e2, ... as in Figure 4.
+FormulationSequence DefaultSequence(const query::BphQuery& target);
+
+/// The QFS permutations of Table 2 for Q1 (S1..S3) and Q6 (S1..S4), as
+/// 0-based edge-id sequences. CHECK-fails for other templates.
+std::vector<FormulationSequence> QfsSchedules(query::TemplateId id);
+
+/// Names "S1", "S2", ... aligned with QfsSchedules(id).
+const char* QfsName(size_t index);
+
+}  // namespace gui
+}  // namespace boomer
+
+#endif  // BOOMER_GUI_TRACE_BUILDER_H_

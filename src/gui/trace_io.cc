@@ -1,0 +1,121 @@
+#include "gui/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace gui {
+
+std::string TraceToText(const ActionTrace& trace) {
+  std::ostringstream out;
+  out << "# BOOMER action trace: " << trace.size() << " actions\n";
+  for (const Action& a : trace.actions()) {
+    switch (a.kind) {
+      case ActionKind::kNewVertex:
+        out << "vertex " << a.vertex << " " << a.label << " "
+            << a.latency_micros << "\n";
+        break;
+      case ActionKind::kNewEdge:
+        out << "edge " << a.src << " " << a.dst << " " << a.bounds.lower
+            << " " << a.bounds.upper << " " << a.latency_micros << "\n";
+        break;
+      case ActionKind::kModify:
+        if (a.modify_kind == ModifyKind::kDeleteEdge) {
+          out << "delete " << a.target_edge << " " << a.latency_micros
+              << "\n";
+        } else {
+          out << "bounds " << a.target_edge << " " << a.new_bounds.lower
+              << " " << a.new_bounds.upper << " " << a.latency_micros << "\n";
+        }
+        break;
+      case ActionKind::kRun:
+        out << "run " << a.latency_micros << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+StatusOr<ActionTrace> TraceFromText(const std::string& text) {
+  ActionTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+    auto bad = [&](const char* expected) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected '%s'", line_no, expected));
+    };
+    if (fields[0] == "vertex") {
+      if (fields.size() != 4) return bad("vertex <id> <label> <latency_us>");
+      BOOMER_ASSIGN_OR_RETURN(uint32_t id, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t label, ParseUint32(fields[2]));
+      BOOMER_ASSIGN_OR_RETURN(int64_t latency, ParseInt64(fields[3]));
+      trace.Append(Action::NewVertex(id, label, latency));
+    } else if (fields[0] == "edge") {
+      if (fields.size() != 6) {
+        return bad("edge <src> <dst> <lower> <upper> <latency_us>");
+      }
+      BOOMER_ASSIGN_OR_RETURN(uint32_t src, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t dst, ParseUint32(fields[2]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t lower, ParseUint32(fields[3]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t upper, ParseUint32(fields[4]));
+      BOOMER_ASSIGN_OR_RETURN(int64_t latency, ParseInt64(fields[5]));
+      trace.Append(
+          Action::NewEdge(src, dst, query::Bounds{lower, upper}, latency));
+    } else if (fields[0] == "delete") {
+      if (fields.size() != 3) return bad("delete <edge> <latency_us>");
+      BOOMER_ASSIGN_OR_RETURN(uint32_t edge, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(int64_t latency, ParseInt64(fields[2]));
+      trace.Append(Action::DeleteEdge(edge, latency));
+    } else if (fields[0] == "bounds") {
+      if (fields.size() != 5) {
+        return bad("bounds <edge> <lower> <upper> <latency_us>");
+      }
+      BOOMER_ASSIGN_OR_RETURN(uint32_t edge, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t lower, ParseUint32(fields[2]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t upper, ParseUint32(fields[3]));
+      BOOMER_ASSIGN_OR_RETURN(int64_t latency, ParseInt64(fields[4]));
+      trace.Append(
+          Action::SetBounds(edge, query::Bounds{lower, upper}, latency));
+    } else if (fields[0] == "run") {
+      int64_t latency = 0;
+      if (fields.size() == 2) {
+        BOOMER_ASSIGN_OR_RETURN(latency, ParseInt64(fields[1]));
+      } else if (fields.size() != 1) {
+        return bad("run [<latency_us>]");
+      }
+      trace.Append(Action::Run(latency));
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: unknown action '%.*s'", line_no,
+          static_cast<int>(fields[0].size()), fields[0].data()));
+    }
+  }
+  return trace;
+}
+
+Status SaveTrace(const ActionTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << TraceToText(trace);
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<ActionTrace> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceFromText(buffer.str());
+}
+
+}  // namespace gui
+}  // namespace boomer

@@ -1,0 +1,39 @@
+// Plain-text (de)serialization of GUI action traces.
+//
+// Format, one action per line ('#' comments, blank lines ignored):
+//   vertex <id> <label> <latency_us>
+//   edge <src> <dst> <lower> <upper> <latency_us>
+//   delete <edge> <latency_us>
+//   bounds <edge> <lower> <upper> <latency_us>
+//   run [<latency_us>]
+//
+// This is the interchange format between a recording GUI (or the VISUAL-
+// style simulator) and the blender: recorded user sessions can be replayed
+// byte-identically for benchmarking, the methodology of ref [3].
+
+#ifndef BOOMER_GUI_TRACE_IO_H_
+#define BOOMER_GUI_TRACE_IO_H_
+
+#include <string>
+
+#include "gui/actions.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace gui {
+
+/// Renders `trace` in the text format above.
+std::string TraceToText(const ActionTrace& trace);
+
+/// Parses the text format. Structural validity (ids in sequence, edges
+/// legal) is checked lazily by ReplayToQuery / the blender, not here.
+StatusOr<ActionTrace> TraceFromText(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveTrace(const ActionTrace& trace, const std::string& path);
+StatusOr<ActionTrace> LoadTrace(const std::string& path);
+
+}  // namespace gui
+}  // namespace boomer
+
+#endif  // BOOMER_GUI_TRACE_IO_H_

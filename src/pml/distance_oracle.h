@@ -1,0 +1,58 @@
+// Abstract exact-distance oracle.
+//
+// Footnote 5 of the paper: "our framework is orthogonal to the choice of
+// exact shortest-path distance computation technique. Any existing efficient
+// technique can be plugged into our framework." We honor that by routing all
+// distance queries of the CAP machinery through this interface. Production
+// code uses PmlIndex; tests also use the BFS-backed reference oracle.
+
+#ifndef BOOMER_PML_DISTANCE_ORACLE_H_
+#define BOOMER_PML_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace boomer {
+namespace pml {
+
+/// Returned for disconnected pairs.
+inline constexpr uint32_t kInfiniteDistance =
+    static_cast<uint32_t>(-1);
+
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Exact shortest-path distance between u and v; kInfiniteDistance when
+  /// disconnected. Must be symmetric and return 0 iff u == v.
+  virtual uint32_t Distance(graph::VertexId u, graph::VertexId v) const = 0;
+
+  /// True iff Distance(u, v) <= bound. Implementations may terminate early.
+  virtual bool WithinDistance(graph::VertexId u, graph::VertexId v,
+                              uint32_t bound) const {
+    return Distance(u, v) <= bound;
+  }
+
+  /// Approximate heap footprint in bytes.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Reference oracle: bidirectional BFS per query. O(|E|) per query but
+/// stateless; used for correctness tests and tiny graphs.
+class BfsOracle : public DistanceOracle {
+ public:
+  /// `g` must outlive the oracle.
+  explicit BfsOracle(const graph::Graph& g) : graph_(g) {}
+
+  uint32_t Distance(graph::VertexId u, graph::VertexId v) const override;
+  size_t MemoryBytes() const override { return 0; }
+
+ private:
+  const graph::Graph& graph_;
+};
+
+}  // namespace pml
+}  // namespace boomer
+
+#endif  // BOOMER_PML_DISTANCE_ORACLE_H_

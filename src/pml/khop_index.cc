@@ -1,0 +1,86 @@
+#include "pml/khop_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/bfs.h"
+
+namespace boomer {
+namespace pml {
+
+using graph::Graph;
+using graph::LabelId;
+using graph::VertexId;
+
+StatusOr<KHopIndex> KHopIndex::Build(const Graph& g, uint32_t k) {
+  if (k == 0 || k > 255) {
+    return Status::InvalidArgument("k-hop radius must be in [1, 255]");
+  }
+  KHopIndex index;
+  index.graph_ = &g;
+  index.k_ = k;
+  const size_t n = g.NumVertices();
+  index.offsets_.assign(n + 1, 0);
+  index.label_count_offsets_.assign(n + 1, 0);
+
+  // One bounded BFS per vertex; entries appended in (id-sorted) order.
+  std::vector<std::pair<VertexId, uint8_t>> ball;
+  std::map<LabelId, uint32_t> counts;
+  for (VertexId v = 0; v < n; ++v) {
+    auto dist = graph::BfsDistancesBounded(g, v, k);
+    ball.clear();
+    counts.clear();
+    for (VertexId u = 0; u < n; ++u) {
+      if (u == v || dist[u] == graph::kUnreachable) continue;
+      ball.emplace_back(u, static_cast<uint8_t>(dist[u]));
+      ++counts[g.Label(u)];
+    }
+    for (const auto& [u, d] : ball) {
+      index.neighbors_.push_back(u);
+      index.distances_.push_back(d);
+    }
+    index.offsets_[v + 1] = index.neighbors_.size();
+    for (const auto& [label, count] : counts) {
+      index.label_counts_.emplace_back(label, count);
+    }
+    index.label_count_offsets_[v + 1] = index.label_counts_.size();
+  }
+  return index;
+}
+
+std::span<const VertexId> KHopIndex::Ball(VertexId v) const {
+  BOOMER_CHECK(v + 1 < offsets_.size());
+  return std::span<const VertexId>(neighbors_.data() + offsets_[v],
+                                   offsets_[v + 1] - offsets_[v]);
+}
+
+uint32_t KHopIndex::BoundedDistance(VertexId u, VertexId v) const {
+  BOOMER_CHECK(u < NumVertices() && v < NumVertices());
+  if (u == v) return 0;
+  auto ball = Ball(u);
+  auto it = std::lower_bound(ball.begin(), ball.end(), v);
+  if (it == ball.end() || *it != v) return kInfiniteDistance;
+  return distances_[offsets_[u] + static_cast<size_t>(it - ball.begin())];
+}
+
+bool KHopIndex::WithinDistance(VertexId u, VertexId v, uint32_t bound) const {
+  BOOMER_CHECK(bound <= k_);
+  uint32_t d = BoundedDistance(u, v);
+  return d != kInfiniteDistance && d <= bound;
+}
+
+size_t KHopIndex::CountWithLabel(VertexId v, LabelId label) const {
+  BOOMER_CHECK(v + 1 < label_count_offsets_.size());
+  auto begin = label_counts_.begin() +
+               static_cast<ptrdiff_t>(label_count_offsets_[v]);
+  auto end = label_counts_.begin() +
+             static_cast<ptrdiff_t>(label_count_offsets_[v + 1]);
+  auto it = std::lower_bound(
+      begin, end, label,
+      [](const auto& entry, LabelId key) { return entry.first < key; });
+  if (it != end && it->first == label) return it->second;
+  return 0;
+}
+
+}  // namespace pml
+}  // namespace boomer

@@ -1,0 +1,83 @@
+// SPath-style k-neighborhood index (the comparator of Section 5.2's Remark).
+//
+// "SPath [36] uses the k-neighborhood by maintaining for each vertex u in
+//  the data graph a structure that contains the labels of all vertices that
+//  are at a distance less or equal to k from u. Consequently, it may store
+//  a large portion of the entire data graph for larger k. This makes it
+//  prohibitively expensive to utilize in our framework."
+//
+// We implement exactly that structure — per-vertex sorted lists of
+// (neighbor, distance) up to radius k, with per-label counts — so the
+// bench/ablation_khop binary can quantify the memory blow-up against the
+// on-the-fly CAP index and validate the paper's design argument. It also
+// doubles as a bounded distance oracle: WithinDistance(u, v, d <= k) is a
+// binary search.
+
+#ifndef BOOMER_PML_KHOP_INDEX_H_
+#define BOOMER_PML_KHOP_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pml/distance_oracle.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace pml {
+
+class KHopIndex {
+ public:
+  /// Materializes the full distance-<=k neighborhood of every vertex.
+  /// Memory is Θ(Σ_v |B_k(v)|) — the quantity the paper warns about.
+  static StatusOr<KHopIndex> Build(const graph::Graph& g, uint32_t k);
+
+  uint32_t radius() const { return k_; }
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Exact distance if dist(u, v) <= k; kInfiniteDistance otherwise (the
+  /// index cannot see farther than its radius).
+  uint32_t BoundedDistance(graph::VertexId u, graph::VertexId v) const;
+
+  /// True iff dist(u, v) <= bound; requires bound <= radius().
+  bool WithinDistance(graph::VertexId u, graph::VertexId v,
+                      uint32_t bound) const;
+
+  /// All vertices within distance [1, k] of `v`, sorted by vertex id.
+  std::span<const graph::VertexId> Ball(graph::VertexId v) const;
+
+  /// Number of vertices in v's ball carrying `label`.
+  size_t CountWithLabel(graph::VertexId v, graph::LabelId label) const;
+
+  /// Total stored (vertex, distance) entries — the index's footprint driver.
+  size_t TotalEntries() const { return neighbors_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           neighbors_.size() * (sizeof(graph::VertexId) + sizeof(uint8_t)) +
+           label_counts_.size() *
+               (sizeof(uint64_t) + sizeof(uint32_t));
+  }
+
+ private:
+  const graph::Graph* graph_ = nullptr;
+  uint32_t k_ = 0;
+  // CSR over vertices: per-vertex balls, sorted by vertex id, with parallel
+  // distance bytes (k is small, <= 255).
+  std::vector<uint64_t> offsets_;
+  std::vector<graph::VertexId> neighbors_;
+  std::vector<uint8_t> distances_;
+  // Per (vertex, label) counts, stored as a flat CSR keyed the same way the
+  // balls are; label_count_offsets_[v] indexes into label_counts_ holding
+  // (label, count) pairs sorted by label.
+  std::vector<uint64_t> label_count_offsets_;
+  std::vector<std::pair<graph::LabelId, uint32_t>> label_counts_;
+};
+
+}  // namespace pml
+}  // namespace boomer
+
+#endif  // BOOMER_PML_KHOP_INDEX_H_

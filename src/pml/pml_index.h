@@ -1,0 +1,111 @@
+// Pruned Landmark Labeling (Akiba, Iwata, Yoshida — SIGMOD 2013).
+//
+// The preprocessor of BOOMER (Section 4) builds this 2-hop-cover index once
+// per data graph; the CAP machinery then answers exact distance queries in
+// (near) constant time via a merge join over the two label arrays.
+//
+// Construction: vertices are ranked by descending degree (high-degree hubs
+// make the best landmarks in small-world networks). For each landmark in
+// rank order we run a BFS that is *pruned* at any vertex u whose distance to
+// the landmark is already covered by previously indexed landmarks
+// (Query(landmark, u) <= d). The resulting per-vertex label sets are sorted
+// by landmark rank, enabling linear merge-join queries.
+
+#ifndef BOOMER_PML_PML_INDEX_H_
+#define BOOMER_PML_PML_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pml/distance_oracle.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace pml {
+
+/// One (landmark-rank, distance) entry of a vertex's 2-hop cover.
+struct LabelEntry {
+  uint32_t landmark_rank;
+  uint32_t distance;
+};
+
+struct PmlBuildStats {
+  double build_seconds = 0.0;
+  size_t total_label_entries = 0;
+  double avg_label_size = 0.0;
+  size_t max_label_size = 0;
+};
+
+/// Landmark processing order. Degree-descending is the Akiba et al. default
+/// (hub landmarks prune the most); the alternatives exist for the ordering
+/// ablation bench and as a fallback on degree-uniform graphs.
+enum class LandmarkOrdering {
+  kDegreeDescending,
+  kVertexId,
+  kRandom,
+};
+
+class PmlIndex : public DistanceOracle {
+ public:
+  PmlIndex() = default;
+
+  /// Builds the index for `g`. The graph is only needed during Build;
+  /// queries afterwards touch the label arrays alone.
+  static StatusOr<PmlIndex> Build(
+      const graph::Graph& g,
+      LandmarkOrdering ordering = LandmarkOrdering::kDegreeDescending,
+      uint64_t ordering_seed = 1);
+
+  /// Exact distance via merge join of the two label arrays.
+  uint32_t Distance(graph::VertexId u, graph::VertexId v) const override;
+
+  /// Early-exit variant: returns true as soon as a witness of total length
+  /// <= bound is found during the merge join.
+  bool WithinDistance(graph::VertexId u, graph::VertexId v,
+                      uint32_t bound) const override;
+
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Distance-aware 2-hop cover of `v` (the C(v) of Lemma 5.5).
+  std::span<const LabelEntry> Cover(graph::VertexId v) const {
+    BOOMER_CHECK(v + 1 < offsets_.size());
+    return std::span<const LabelEntry>(entries_.data() + offsets_[v],
+                                       offsets_[v + 1] - offsets_[v]);
+  }
+
+  size_t MemoryBytes() const override {
+    return entries_.size() * sizeof(LabelEntry) +
+           offsets_.size() * sizeof(uint64_t);
+  }
+
+  const PmlBuildStats& build_stats() const { return build_stats_; }
+
+  /// Serialization for the dataset cache.
+  Status Save(const std::string& path) const;
+  static StatusOr<PmlIndex> Load(const std::string& path);
+
+ private:
+  // CSR over vertices; entries sorted by landmark_rank within each vertex.
+  std::vector<uint64_t> offsets_;
+  std::vector<LabelEntry> entries_;
+  PmlBuildStats build_stats_;
+};
+
+/// Per-vertex |{u : 1 <= dist(v,u) <= 2}| counts — the TwoHop(v) statistic of
+/// Lemma 5.4. The paper stores counts only ("we only record the count and not
+/// the exact vertex set"), computed once during preprocessing.
+std::vector<uint32_t> ComputeTwoHopCounts(const graph::Graph& g);
+
+/// Empirical t_avg (Section 4): mean seconds per distance query over
+/// `num_samples` random vertex pairs, measured through `oracle`.
+double EstimateAvgEdgeTime(const graph::Graph& g, const DistanceOracle& oracle,
+                           size_t num_samples, uint64_t seed);
+
+}  // namespace pml
+}  // namespace boomer
+
+#endif  // BOOMER_PML_PML_INDEX_H_

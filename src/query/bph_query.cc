@@ -1,0 +1,152 @@
+#include "query/bph_query.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace query {
+
+QueryVertexId BphQuery::AddVertex(graph::LabelId label) {
+  labels_.push_back(label);
+  return static_cast<QueryVertexId>(labels_.size() - 1);
+}
+
+StatusOr<QueryEdgeId> BphQuery::AddEdge(QueryVertexId qi, QueryVertexId qj,
+                                        Bounds bounds) {
+  if (qi >= labels_.size() || qj >= labels_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  if (qi == qj) return Status::InvalidArgument("self-loops are not allowed");
+  if (!bounds.Valid()) {
+    return Status::InvalidArgument(
+        StrFormat("invalid bounds [%u, %u]", bounds.lower, bounds.upper));
+  }
+  if (FindEdge(qi, qj) != kInvalidQueryEdge) {
+    return Status::AlreadyExists(
+        StrFormat("edge (%u, %u) already exists", qi, qj));
+  }
+  QueryEdge edge;
+  edge.src = std::min(qi, qj);
+  edge.dst = std::max(qi, qj);
+  edge.bounds = bounds;
+  edges_.push_back(edge);
+  alive_.push_back(true);
+  ++num_live_edges_;
+  return static_cast<QueryEdgeId>(edges_.size() - 1);
+}
+
+Status BphQuery::RemoveEdge(QueryEdgeId e) {
+  if (!EdgeAlive(e)) {
+    return Status::NotFound(StrFormat("edge %u does not exist", e));
+  }
+  alive_[e] = false;
+  --num_live_edges_;
+  return Status::OK();
+}
+
+Status BphQuery::SetBounds(QueryEdgeId e, Bounds bounds) {
+  if (!EdgeAlive(e)) {
+    return Status::NotFound(StrFormat("edge %u does not exist", e));
+  }
+  if (!bounds.Valid()) {
+    return Status::InvalidArgument(
+        StrFormat("invalid bounds [%u, %u]", bounds.lower, bounds.upper));
+  }
+  edges_[e].bounds = bounds;
+  return Status::OK();
+}
+
+std::vector<QueryEdgeId> BphQuery::IncidentEdges(QueryVertexId q) const {
+  std::vector<QueryEdgeId> result;
+  for (QueryEdgeId e = 0; e < edges_.size(); ++e) {
+    if (alive_[e] && (edges_[e].src == q || edges_[e].dst == q)) {
+      result.push_back(e);
+    }
+  }
+  return result;
+}
+
+std::vector<QueryEdgeId> BphQuery::LiveEdges() const {
+  std::vector<QueryEdgeId> result;
+  result.reserve(num_live_edges_);
+  for (QueryEdgeId e = 0; e < edges_.size(); ++e) {
+    if (alive_[e]) result.push_back(e);
+  }
+  return result;
+}
+
+QueryEdgeId BphQuery::FindEdge(QueryVertexId qi, QueryVertexId qj) const {
+  if (qi > qj) std::swap(qi, qj);
+  for (QueryEdgeId e = 0; e < edges_.size(); ++e) {
+    if (alive_[e] && edges_[e].src == qi && edges_[e].dst == qj) return e;
+  }
+  return kInvalidQueryEdge;
+}
+
+Status BphQuery::Validate() const {
+  if (labels_.empty()) return Status::FailedPrecondition("query is empty");
+  for (QueryEdgeId e = 0; e < edges_.size(); ++e) {
+    if (alive_[e] && !edges_[e].bounds.Valid()) {
+      return Status::FailedPrecondition(StrFormat("edge %u has bad bounds", e));
+    }
+  }
+  // Connectivity over live edges (single vertex counts as connected).
+  std::vector<bool> seen(labels_.size(), false);
+  std::vector<QueryVertexId> stack{0};
+  seen[0] = true;
+  size_t visited = 0;
+  while (!stack.empty()) {
+    QueryVertexId q = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (QueryEdgeId e : IncidentEdges(q)) {
+      QueryVertexId other = edges_[e].Other(q);
+      if (!seen[other]) {
+        seen[other] = true;
+        stack.push_back(other);
+      }
+    }
+  }
+  if (visited != labels_.size()) {
+    return Status::FailedPrecondition("query is not connected");
+  }
+  return Status::OK();
+}
+
+std::string BphQuery::ToString() const {
+  std::ostringstream out;
+  out << "BphQuery{vertices=[";
+  for (QueryVertexId q = 0; q < labels_.size(); ++q) {
+    if (q > 0) out << ", ";
+    out << "q" << q << ":" << labels_[q];
+  }
+  out << "], edges=[";
+  bool first = true;
+  for (QueryEdgeId e = 0; e < edges_.size(); ++e) {
+    if (!alive_[e]) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << StrFormat("(q%u,q%u)[%u,%u]", edges_[e].src, edges_[e].dst,
+                     edges_[e].bounds.lower, edges_[e].bounds.upper);
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool BphQuery::operator==(const BphQuery& other) const {
+  if (labels_ != other.labels_) return false;
+  auto mine = LiveEdges();
+  auto theirs = other.LiveEdges();
+  if (mine.size() != theirs.size()) return false;
+  for (QueryEdgeId e : mine) {
+    QueryEdgeId match = other.FindEdge(edges_[e].src, edges_[e].dst);
+    if (match == kInvalidQueryEdge) return false;
+    if (!(other.Edge(match).bounds == edges_[e].bounds)) return false;
+  }
+  return true;
+}
+
+}  // namespace query
+}  // namespace boomer

@@ -1,0 +1,142 @@
+// Bounded 1-1 p-homomorphic (BPH) query model (Section 3).
+//
+// A BPH query is a connected, undirected, simple, vertex-labeled graph whose
+// edges carry [lower, upper] path-length bounds: edge (q_i, q_j) matches a
+// pair of data vertices (v_i, v_j) connected by a path of length in
+// [lower, upper]. With all bounds [1,1] the semantics reduce to subgraph
+// isomorphism (Definition 3.1).
+//
+// Queries are small (the paper cites SPARQL logs: 90.8% of real pattern
+// queries have at most 6 edges) and are mutated during visual formulation,
+// so this class optimizes for clarity, not scale.
+
+#ifndef BOOMER_QUERY_BPH_QUERY_H_
+#define BOOMER_QUERY_BPH_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace query {
+
+/// Index of a vertex within a query (dense, 0-based).
+using QueryVertexId = uint32_t;
+/// Index of an edge within a query (dense, 0-based, creation order).
+using QueryEdgeId = uint32_t;
+
+inline constexpr QueryVertexId kInvalidQueryVertex =
+    static_cast<QueryVertexId>(-1);
+inline constexpr QueryEdgeId kInvalidQueryEdge = static_cast<QueryEdgeId>(-1);
+
+/// Path-length bounds of one query edge: 1 <= lower <= upper.
+struct Bounds {
+  uint32_t lower = 1;
+  uint32_t upper = 1;
+
+  bool Valid() const { return lower >= 1 && lower <= upper; }
+  bool operator==(const Bounds&) const = default;
+};
+
+/// One query edge. Endpoints are stored with src < dst canonically.
+struct QueryEdge {
+  QueryVertexId src = kInvalidQueryVertex;
+  QueryVertexId dst = kInvalidQueryVertex;
+  Bounds bounds;
+
+  /// Endpoint opposite to `q`; CHECK-fails if q is not an endpoint.
+  QueryVertexId Other(QueryVertexId q) const {
+    BOOMER_CHECK(q == src || q == dst);
+    return q == src ? dst : src;
+  }
+};
+
+/// Label-match predicate between query and data vertices. The BPH model uses
+/// label equality; a p-hom similarity matrix could subclass this (see
+/// DESIGN.md §6).
+class LabelMatcher {
+ public:
+  virtual ~LabelMatcher() = default;
+  virtual bool Matches(graph::LabelId query_label,
+                       graph::LabelId data_label) const {
+    return query_label == data_label;
+  }
+};
+
+class BphQuery {
+ public:
+  BphQuery() = default;
+
+  /// Adds a vertex with the given data-graph label; returns its id.
+  QueryVertexId AddVertex(graph::LabelId label);
+
+  /// Adds edge (qi, qj) with `bounds`. Fails on self-loops, duplicate edges,
+  /// unknown endpoints, or invalid bounds.
+  StatusOr<QueryEdgeId> AddEdge(QueryVertexId qi, QueryVertexId qj,
+                                Bounds bounds);
+
+  /// Removes an edge (query modification, Section 6). Remaining edge ids are
+  /// unchanged; the removed id becomes a tombstone.
+  Status RemoveEdge(QueryEdgeId e);
+
+  /// Replaces the bounds of an existing edge.
+  Status SetBounds(QueryEdgeId e, Bounds bounds);
+
+  size_t NumVertices() const { return labels_.size(); }
+  /// Number of live (non-tombstoned) edges.
+  size_t NumEdges() const { return num_live_edges_; }
+  /// Total edge slots ever created (live + tombstones); valid ids are
+  /// [0, EdgeSlots()).
+  size_t EdgeSlots() const { return edges_.size(); }
+
+  bool EdgeAlive(QueryEdgeId e) const {
+    return e < edges_.size() && alive_[e];
+  }
+
+  graph::LabelId Label(QueryVertexId q) const {
+    BOOMER_CHECK(q < labels_.size());
+    return labels_[q];
+  }
+
+  const QueryEdge& Edge(QueryEdgeId e) const {
+    BOOMER_CHECK(EdgeAlive(e));
+    return edges_[e];
+  }
+
+  /// Live edge ids incident to `q`, in creation order.
+  std::vector<QueryEdgeId> IncidentEdges(QueryVertexId q) const;
+
+  /// All live edge ids in creation order.
+  std::vector<QueryEdgeId> LiveEdges() const;
+
+  /// Live edge id connecting qi and qj, or kInvalidQueryEdge.
+  QueryEdgeId FindEdge(QueryVertexId qi, QueryVertexId qj) const;
+
+  /// OK iff the query is non-empty, connected over live edges, and every
+  /// bound is valid. (Definition 3.1 presumes a connected query.)
+  Status Validate() const;
+
+  /// Human-readable rendering for logs and examples.
+  std::string ToString() const;
+
+  bool operator==(const BphQuery& other) const;
+
+ private:
+  std::vector<graph::LabelId> labels_;
+  std::vector<QueryEdge> edges_;
+  std::vector<bool> alive_;
+  size_t num_live_edges_ = 0;
+};
+
+/// A matching order M: the sequence in which query vertices are matched —
+/// in the visual paradigm, simply the order the user created them.
+using MatchingOrder = std::vector<QueryVertexId>;
+
+}  // namespace query
+}  // namespace boomer
+
+#endif  // BOOMER_QUERY_BPH_QUERY_H_

@@ -1,0 +1,93 @@
+#include "query/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace query {
+
+std::string QueryToText(const BphQuery& q) {
+  std::ostringstream out;
+  out << "# BPH query: " << q.NumVertices() << " vertices, " << q.NumEdges()
+      << " edges\n";
+  for (QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    out << "v " << q.Label(v) << "\n";
+  }
+  for (QueryEdgeId e : q.LiveEdges()) {
+    const QueryEdge& edge = q.Edge(e);
+    out << "e " << edge.src << " " << edge.dst << " " << edge.bounds.lower
+        << " " << edge.bounds.upper << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<BphQuery> QueryFromText(const std::string& text) {
+  BphQuery q;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool seen_edge = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+    if (fields[0] == "v") {
+      if (seen_edge) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: vertices must precede edges", line_no));
+      }
+      if (fields.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: expected 'v <label>'", line_no));
+      }
+      BOOMER_ASSIGN_OR_RETURN(uint32_t label, ParseUint32(fields[1]));
+      q.AddVertex(label);
+    } else if (fields[0] == "e") {
+      seen_edge = true;
+      if (fields.size() != 5) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: expected 'e <src> <dst> <lower> <upper>'", line_no));
+      }
+      BOOMER_ASSIGN_OR_RETURN(uint32_t src, ParseUint32(fields[1]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t dst, ParseUint32(fields[2]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t lower, ParseUint32(fields[3]));
+      BOOMER_ASSIGN_OR_RETURN(uint32_t upper, ParseUint32(fields[4]));
+      auto added = q.AddEdge(src, dst, Bounds{lower, upper});
+      if (!added.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line_no,
+                      added.status().message().c_str()));
+      }
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: unknown directive '%.*s'", line_no,
+          static_cast<int>(fields[0].size()), fields[0].data()));
+    }
+  }
+  if (q.NumVertices() == 0) {
+    return Status::InvalidArgument("query text declares no vertices");
+  }
+  return q;
+}
+
+Status SaveQuery(const BphQuery& q, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << QueryToText(q);
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<BphQuery> LoadQuery(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return QueryFromText(buffer.str());
+}
+
+}  // namespace query
+}  // namespace boomer

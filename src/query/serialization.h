@@ -1,0 +1,36 @@
+// Plain-text (de)serialization of BPH queries.
+//
+// Format, one directive per line ('#' comments, blank lines ignored):
+//   v <label>                      -- vertices in id order (q0, q1, ...)
+//   e <src> <dst> <lower> <upper>  -- one live edge
+//
+// Used to persist query libraries for the CLI shell and regression fixtures.
+// Tombstoned edge slots are not preserved: a query round-trips to its live
+// structure (operator== semantics).
+
+#ifndef BOOMER_QUERY_SERIALIZATION_H_
+#define BOOMER_QUERY_SERIALIZATION_H_
+
+#include <string>
+
+#include "query/bph_query.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace query {
+
+/// Renders `q` in the text format above.
+std::string QueryToText(const BphQuery& q);
+
+/// Parses the text format. The result always satisfies Validate() except
+/// for connectivity, which is the caller's policy to enforce.
+StatusOr<BphQuery> QueryFromText(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveQuery(const BphQuery& q, const std::string& path);
+StatusOr<BphQuery> LoadQuery(const std::string& path);
+
+}  // namespace query
+}  // namespace boomer
+
+#endif  // BOOMER_QUERY_SERIALIZATION_H_

@@ -1,0 +1,88 @@
+#include "query/similarity.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace boomer {
+namespace query {
+
+using graph::LabelId;
+using graph::VertexId;
+
+Status LabelSimilarity::Set(LabelId query_label, LabelId data_label,
+                            double score) {
+  if (score < 0.0 || score > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("similarity score %f outside [0, 1]", score));
+  }
+  Entry probe{query_label, data_label, score};
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), probe, [](const Entry& a, const Entry& b) {
+        if (a.query_label != b.query_label) {
+          return a.query_label < b.query_label;
+        }
+        return a.data_label < b.data_label;
+      });
+  if (it != entries_.end() && it->query_label == query_label &&
+      it->data_label == data_label) {
+    it->score = score;
+  } else {
+    entries_.insert(it, probe);
+  }
+  return Status::OK();
+}
+
+Status LabelSimilarity::SetSymmetric(LabelId a, LabelId b, double score) {
+  BOOMER_RETURN_NOT_OK(Set(a, b, score));
+  return Set(b, a, score);
+}
+
+double LabelSimilarity::Score(LabelId query_label, LabelId data_label) const {
+  Entry probe{query_label, data_label, 0.0};
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), probe, [](const Entry& a, const Entry& b) {
+        if (a.query_label != b.query_label) {
+          return a.query_label < b.query_label;
+        }
+        return a.data_label < b.data_label;
+      });
+  if (it != entries_.end() && it->query_label == query_label &&
+      it->data_label == data_label) {
+    return it->score;
+  }
+  return query_label == data_label ? 1.0 : 0.0;
+}
+
+std::vector<LabelId> LabelSimilarity::MatchingLabels(LabelId query_label,
+                                                     size_t num_data_labels,
+                                                     double threshold) const {
+  std::vector<LabelId> labels;
+  for (LabelId l = 0; l < num_data_labels; ++l) {
+    if (Score(query_label, l) >= threshold) labels.push_back(l);
+  }
+  // A query label beyond the data-label range can still match via explicit
+  // entries handled above; with exact-match default it matches itself only,
+  // which has no candidates in g — nothing to add.
+  return labels;
+}
+
+std::vector<VertexId> SimilarCandidates(const graph::Graph& g,
+                                        LabelId query_label,
+                                        const SimilarityConfig& config) {
+  if (config.IsExactMatch()) {
+    auto span = g.VerticesWithLabel(query_label);
+    return {span.begin(), span.end()};
+  }
+  std::vector<VertexId> candidates;
+  for (LabelId l : config.matrix->MatchingLabels(
+           query_label, g.NumLabels(), config.threshold)) {
+    auto span = g.VerticesWithLabel(l);
+    candidates.insert(candidates.end(), span.begin(), span.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace query
+}  // namespace boomer

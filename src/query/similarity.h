@@ -1,0 +1,87 @@
+// Vertex similarity for full p-homomorphic matching.
+//
+// Fan et al.'s p-hom model (Section 2) matches vertices by a similarity
+// matrix M with threshold t rather than strict label equality: v matches u
+// iff M(v, u) >= t. The BPH model of the paper specializes this to label
+// equality, but the framework is explicitly open to the general form —
+// DESIGN.md §6 isolates the predicate so a matrix can be plugged in.
+//
+// We implement similarity at label granularity (labels are the unit of
+// matching throughout the system): a sparse, directional score table
+// M(query_label, data_label) ∈ [0, 1] that defaults to exact-match scoring
+// (1.0 on equality, 0.0 otherwise). Typical use: homolog gene families,
+// part-of-speech coarsening, category hierarchies.
+
+#ifndef BOOMER_QUERY_SIMILARITY_H_
+#define BOOMER_QUERY_SIMILARITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace query {
+
+/// Sparse label-similarity table. Unset pairs score 1.0 when the labels are
+/// equal and 0.0 otherwise, so an empty table reproduces BPH label equality.
+class LabelSimilarity {
+ public:
+  LabelSimilarity() = default;
+
+  /// Sets M(query_label, data_label) = score. Directional: matching a query
+  /// vertex labeled `query_label` against a data vertex labeled
+  /// `data_label`. Score must be in [0, 1].
+  Status Set(graph::LabelId query_label, graph::LabelId data_label,
+             double score);
+
+  /// Convenience: sets both directions.
+  Status SetSymmetric(graph::LabelId a, graph::LabelId b, double score);
+
+  /// Returns M(query_label, data_label); exact-match default when unset.
+  double Score(graph::LabelId query_label, graph::LabelId data_label) const;
+
+  /// All data labels with Score(query_label, ·) >= threshold, among labels
+  /// [0, num_data_labels). Always includes query_label itself unless its
+  /// self-score was explicitly overridden below the threshold.
+  std::vector<graph::LabelId> MatchingLabels(graph::LabelId query_label,
+                                             size_t num_data_labels,
+                                             double threshold) const;
+
+  size_t NumEntries() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    graph::LabelId query_label;
+    graph::LabelId data_label;
+    double score;
+  };
+  // Sorted by (query_label, data_label) for binary search; the table holds
+  // a handful of cross-label affinities, not a dense matrix.
+  std::vector<Entry> entries_;
+};
+
+/// Matching policy handed to the blender / BU evaluator: a similarity table
+/// plus threshold t. Default (null matrix or threshold 1.0 with an empty
+/// table) is exact label matching.
+struct SimilarityConfig {
+  const LabelSimilarity* matrix = nullptr;
+  double threshold = 1.0;
+
+  bool IsExactMatch() const {
+    return matrix == nullptr || matrix->empty();
+  }
+};
+
+/// Candidate vertices of `g` matching `query_label` under `config`:
+/// the union of per-label candidate lists over matching labels, sorted
+/// ascending. With exact matching this is exactly g.VerticesWithLabel.
+std::vector<graph::VertexId> SimilarCandidates(const graph::Graph& g,
+                                               graph::LabelId query_label,
+                                               const SimilarityConfig& config);
+
+}  // namespace query
+}  // namespace boomer
+
+#endif  // BOOMER_QUERY_SIMILARITY_H_

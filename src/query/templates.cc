@@ -1,0 +1,155 @@
+#include "query/templates.h"
+
+#include <array>
+
+namespace boomer {
+namespace query {
+
+const char* TemplateName(TemplateId id) {
+  switch (id) {
+    case TemplateId::kQ1:
+      return "Q1";
+    case TemplateId::kQ2:
+      return "Q2";
+    case TemplateId::kQ3:
+      return "Q3";
+    case TemplateId::kQ4:
+      return "Q4";
+    case TemplateId::kQ5:
+      return "Q5";
+    case TemplateId::kQ6:
+      return "Q6";
+  }
+  return "Q?";
+}
+
+namespace {
+
+std::vector<QueryTemplate> MakeTemplates() {
+  std::vector<QueryTemplate> templates;
+
+  // Default bounds mix [1,1] / [1,2] / [1,3] so every template exercises all
+  // three PVS strategies (neighbor, 2-hop, PML) out of the box; Figure 2's
+  // example triangle carries exactly these three bounds.
+  {
+    QueryTemplate t;
+    t.id = TemplateId::kQ1;
+    t.num_vertices = 3;
+    t.edges = {{0, 1}, {1, 2}, {0, 2}};
+    t.default_bounds = {{1, 1}, {1, 2}, {1, 3}};
+    t.avg_qft_seconds = 13.0;
+    templates.push_back(std::move(t));
+  }
+  {
+    QueryTemplate t;
+    t.id = TemplateId::kQ2;
+    t.num_vertices = 4;
+    t.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+    t.default_bounds = {{1, 2}, {1, 1}, {1, 2}, {1, 3}};
+    t.avg_qft_seconds = 17.0;
+    templates.push_back(std::move(t));
+  }
+  {
+    QueryTemplate t;
+    t.id = TemplateId::kQ3;
+    t.num_vertices = 4;
+    t.edges = {{0, 1}, {1, 2}, {0, 2}, {0, 3}};
+    t.default_bounds = {{1, 1}, {1, 2}, {1, 2}, {1, 1}};
+    t.avg_qft_seconds = 18.0;
+    templates.push_back(std::move(t));
+  }
+  {
+    QueryTemplate t;
+    t.id = TemplateId::kQ4;
+    t.num_vertices = 5;
+    t.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+    t.default_bounds = {{1, 2}, {1, 1}, {1, 2}, {1, 2}, {1, 1}};
+    t.avg_qft_seconds = 21.0;
+    templates.push_back(std::move(t));
+  }
+  {
+    QueryTemplate t;
+    t.id = TemplateId::kQ5;
+    t.num_vertices = 5;
+    t.edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+    t.default_bounds = {{1, 2}, {1, 2}, {1, 1}, {1, 2}};
+    t.avg_qft_seconds = 19.0;
+    templates.push_back(std::move(t));
+  }
+  {
+    QueryTemplate t;
+    t.id = TemplateId::kQ6;
+    t.num_vertices = 5;
+    t.edges = {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}, {0, 4}};
+    t.default_bounds = {{1, 2}, {1, 1}, {1, 2}, {1, 2}, {1, 1}, {1, 2}};
+    t.avg_qft_seconds = 26.0;
+    templates.push_back(std::move(t));
+  }
+  return templates;
+}
+
+}  // namespace
+
+const QueryTemplate& GetTemplate(TemplateId id) {
+  static const std::vector<QueryTemplate>* templates =
+      new std::vector<QueryTemplate>(MakeTemplates());
+  size_t index = static_cast<size_t>(id) - 1;
+  BOOMER_CHECK(index < templates->size());
+  return (*templates)[index];
+}
+
+StatusOr<BphQuery> InstantiateTemplate(
+    TemplateId id, const std::vector<graph::LabelId>& labels,
+    const std::vector<std::optional<Bounds>>& bound_overrides) {
+  const QueryTemplate& t = GetTemplate(id);
+  if (labels.size() != t.num_vertices) {
+    return Status::InvalidArgument("wrong number of labels for template");
+  }
+  if (!bound_overrides.empty() && bound_overrides.size() != t.edges.size()) {
+    return Status::InvalidArgument("wrong number of bound overrides");
+  }
+  BphQuery q;
+  for (graph::LabelId label : labels) q.AddVertex(label);
+  for (size_t e = 0; e < t.edges.size(); ++e) {
+    Bounds bounds = t.default_bounds[e];
+    if (!bound_overrides.empty() && bound_overrides[e].has_value()) {
+      bounds = *bound_overrides[e];
+    }
+    BOOMER_ASSIGN_OR_RETURN(
+        QueryEdgeId unused,
+        q.AddEdge(t.edges[e].first, t.edges[e].second, bounds));
+    (void)unused;
+  }
+  BOOMER_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+StatusOr<BphQuery> QueryInstantiator::Instantiate(
+    TemplateId id, const std::vector<std::optional<Bounds>>& bound_overrides,
+    size_t min_candidates, size_t max_attempts) {
+  const QueryTemplate& t = GetTemplate(id);
+  const size_t num_labels = graph_.NumLabels();
+  if (num_labels == 0) {
+    return Status::FailedPrecondition("data graph has no labels");
+  }
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<graph::LabelId> labels;
+    labels.reserve(t.num_vertices);
+    bool ok = true;
+    for (size_t i = 0; i < t.num_vertices; ++i) {
+      auto label = static_cast<graph::LabelId>(rng_.Uniform(num_labels));
+      if (graph_.LabelCount(label) < min_candidates) {
+        ok = false;
+        break;
+      }
+      labels.push_back(label);
+    }
+    if (!ok) continue;
+    return InstantiateTemplate(id, labels, bound_overrides);
+  }
+  return Status::NotFound(
+      "could not draw labels with enough candidates for template");
+}
+
+}  // namespace query
+}  // namespace boomer

@@ -1,0 +1,319 @@
+#include "shell/shell.h"
+
+#include <sstream>
+
+#include "core/region.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "gui/actions.h"
+#include "query/serialization.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace shell {
+
+using gui::Action;
+
+namespace {
+
+constexpr char kHelp[] =
+    "commands:\n"
+    "  load-text <prefix> | load-binary <path> | gen <dataset> <scale> <seed>\n"
+    "  strategy <ic|dr|di> | latency <seconds>\n"
+    "  vertex <label> | edge <qi> <qj> [lower] [upper]\n"
+    "  bounds <edge> <lower> <upper> | delete <edge>\n"
+    "  query | cap | run | show <k>\n"
+    "  save-query <path> | load-query <path> | reset | help | quit\n";
+
+std::string ErrorText(const Status& status) {
+  return "error: " + status.ToString() + "\n";
+}
+
+}  // namespace
+
+Shell::Shell(ShellOptions options) : options_(options) {}
+Shell::~Shell() = default;
+
+bool Shell::HasResults() const {
+  return blender_ != nullptr && blender_->run_complete();
+}
+
+void Shell::ResetBlender() {
+  core::BlenderOptions blender_options;
+  blender_options.strategy = options_.strategy;
+  blender_options.max_results = options_.max_results;
+  blender_options.t_lat_seconds = options_.action_latency_seconds;
+  blender_ = std::make_unique<core::Blender>(*graph_, *prep_,
+                                             blender_options);
+  next_vertex_ = 0;
+  next_edge_ = 0;
+}
+
+std::string Shell::AdoptGraph(graph::Graph g, const std::string& origin) {
+  graph_ = std::make_unique<graph::Graph>(std::move(g));
+  core::PreprocessOptions prep_options;
+  prep_options.t_avg_samples = options_.t_avg_samples;
+  auto prep_or = core::Preprocess(*graph_, prep_options);
+  if (!prep_or.ok()) {
+    graph_.reset();
+    return ErrorText(prep_or.status());
+  }
+  prep_ = std::make_unique<core::PreprocessResult>(std::move(prep_or).value());
+  ResetBlender();
+  return StrFormat(
+      "loaded %s: %zu vertices, %zu edges, %zu labels "
+      "(PML %.2f s, t_avg %.2f us)\n",
+      origin.c_str(), graph_->NumVertices(), graph_->NumEdges(),
+      graph_->NumLabels(), prep_->pml_build_seconds(),
+      prep_->t_avg_seconds() * 1e6);
+}
+
+std::string Shell::CmdLoadText(const std::vector<std::string_view>& args) {
+  if (args.size() != 2) return "usage: load-text <prefix>\n";
+  auto g = graph::LoadText(std::string(args[1]));
+  if (!g.ok()) return ErrorText(g.status());
+  return AdoptGraph(std::move(g).value(), std::string(args[1]));
+}
+
+std::string Shell::CmdLoadBinary(const std::vector<std::string_view>& args) {
+  if (args.size() != 2) return "usage: load-binary <path>\n";
+  auto g = graph::LoadBinary(std::string(args[1]));
+  if (!g.ok()) return ErrorText(g.status());
+  return AdoptGraph(std::move(g).value(), std::string(args[1]));
+}
+
+std::string Shell::CmdGen(const std::vector<std::string_view>& args) {
+  if (args.size() != 4) return "usage: gen <wordnet|dblp|flickr> <scale> <seed>\n";
+  auto kind = graph::DatasetKindFromName(std::string(args[1]));
+  if (!kind.ok()) return ErrorText(kind.status());
+  auto scale = ParseDouble(args[2]);
+  if (!scale.ok()) return ErrorText(scale.status());
+  auto seed = ParseInt64(args[3]);
+  if (!seed.ok()) return ErrorText(seed.status());
+  graph::DatasetSpec spec{*kind, *scale, static_cast<uint64_t>(*seed)};
+  auto g = graph::GenerateDataset(spec);
+  if (!g.ok()) return ErrorText(g.status());
+  return AdoptGraph(std::move(g).value(), graph::DatasetCacheKey(spec));
+}
+
+std::string Shell::CmdStrategy(const std::vector<std::string_view>& args) {
+  if (args.size() != 2) return "usage: strategy <ic|dr|di>\n";
+  if (args[1] == "ic") {
+    options_.strategy = core::Strategy::kImmediate;
+  } else if (args[1] == "dr") {
+    options_.strategy = core::Strategy::kDeferToRun;
+  } else if (args[1] == "di") {
+    options_.strategy = core::Strategy::kDeferToIdle;
+  } else {
+    return "usage: strategy <ic|dr|di>\n";
+  }
+  if (graph_ != nullptr) ResetBlender();
+  return StrFormat("strategy: %s (query reset)\n",
+                   core::StrategyName(options_.strategy));
+}
+
+std::string Shell::CmdLatency(const std::vector<std::string_view>& args) {
+  if (args.size() != 2) return "usage: latency <seconds>\n";
+  auto seconds = ParseDouble(args[1]);
+  if (!seconds.ok()) return ErrorText(seconds.status());
+  if (*seconds < 0) return "error: latency must be >= 0\n";
+  options_.action_latency_seconds = *seconds;
+  return StrFormat("per-action latency: %.3f s\n", *seconds);
+}
+
+std::string Shell::CmdVertex(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: vertex <label>\n";
+  auto label = ParseUint32(args[1]);
+  if (!label.ok()) {
+    // Symbolic labels resolve through the graph's dictionary.
+    graph::LabelId id = graph_->label_dict().Find(std::string(args[1]));
+    if (id == graph::kInvalidLabel) return ErrorText(label.status());
+    label = id;
+  }
+  Status status = blender_->OnAction(
+      Action::NewVertex(next_vertex_, label.value(), LatencyMicros()));
+  if (!status.ok()) return ErrorText(status);
+  uint32_t id = next_vertex_++;
+  return StrFormat("q%u (label %u, %zu candidates)\n", id, label.value(),
+                   blender_->cap().Candidates(id).size());
+}
+
+std::string Shell::CmdEdge(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 3 && args.size() != 5) {
+    return "usage: edge <qi> <qj> [lower] [upper]\n";
+  }
+  auto qi = ParseUint32(args[1]);
+  auto qj = ParseUint32(args[2]);
+  if (!qi.ok() || !qj.ok()) return "usage: edge <qi> <qj> [lower] [upper]\n";
+  query::Bounds bounds{1, 1};
+  if (args.size() == 5) {
+    auto lower = ParseUint32(args[3]);
+    auto upper = ParseUint32(args[4]);
+    if (!lower.ok() || !upper.ok()) {
+      return "usage: edge <qi> <qj> [lower] [upper]\n";
+    }
+    bounds = {*lower, *upper};
+  }
+  Status status = blender_->OnAction(
+      Action::NewEdge(*qi, *qj, bounds, LatencyMicros()));
+  if (!status.ok()) return ErrorText(status);
+  uint32_t id = next_edge_++;
+  const bool deferred = !blender_->pool().empty() &&
+                        blender_->pool().back() == id;
+  return StrFormat("e%u (q%u, q%u)[%u,%u]%s\n", id, *qi, *qj, bounds.lower,
+                   bounds.upper, deferred ? " [deferred]" : "");
+}
+
+std::string Shell::CmdBounds(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 4) return "usage: bounds <edge> <lower> <upper>\n";
+  auto edge = ParseUint32(args[1]);
+  auto lower = ParseUint32(args[2]);
+  auto upper = ParseUint32(args[3]);
+  if (!edge.ok() || !lower.ok() || !upper.ok()) {
+    return "usage: bounds <edge> <lower> <upper>\n";
+  }
+  Status status = blender_->OnAction(
+      Action::SetBounds(*edge, {*lower, *upper}, LatencyMicros()));
+  if (!status.ok()) return ErrorText(status);
+  return StrFormat("e%u -> [%u,%u]\n", *edge, *lower, *upper);
+}
+
+std::string Shell::CmdDelete(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: delete <edge>\n";
+  auto edge = ParseUint32(args[1]);
+  if (!edge.ok()) return "usage: delete <edge>\n";
+  Status status =
+      blender_->OnAction(Action::DeleteEdge(*edge, LatencyMicros()));
+  if (!status.ok()) return ErrorText(status);
+  return StrFormat("e%u deleted\n", *edge);
+}
+
+std::string Shell::CmdQuery() {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  return blender_->current_query().ToString() + "\n";
+}
+
+std::string Shell::CmdCap() {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  core::CapStats stats = blender_->cap().ComputeStats();
+  return StrFormat(
+      "CAP: %zu candidates, %zu adjacency pairs, %s; pool: %zu edge(s)\n",
+      stats.num_candidates, stats.num_adjacency_pairs,
+      HumanBytes(stats.size_bytes).c_str(), blender_->pool().size());
+}
+
+std::string Shell::CmdRun() {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  Status status = blender_->OnAction(Action::Run());
+  if (!status.ok()) return ErrorText(status);
+  const core::BlendReport& report = blender_->report();
+  return StrFormat(
+      "%zu match(es) | SRT %s | CAP build %s | %zu pruned | "
+      "deferred %zu (idle %zu, at-run %zu)\n",
+      report.num_results, HumanMicros(static_cast<int64_t>(
+                              report.srt_seconds * 1e6)).c_str(),
+      HumanMicros(static_cast<int64_t>(report.cap_build_wall_seconds * 1e6))
+          .c_str(),
+      report.prune_removals, report.edges_deferred,
+      report.edges_processed_idle, report.edges_processed_at_run);
+}
+
+std::string Shell::CmdShow(const std::vector<std::string_view>& args) {
+  if (!HasResults()) return "error: run the query first\n";
+  if (args.size() != 2) return "usage: show <k>\n";
+  auto k = ParseUint32(args[1]);
+  if (!k.ok()) return "usage: show <k>\n";
+  auto subgraph = blender_->GenerateResultSubgraph(*k);
+  if (!subgraph.ok()) return ErrorText(subgraph.status());
+  std::ostringstream out;
+  out << "match #" << *k << ":";
+  for (query::QueryVertexId q = 0; q < subgraph->match.assignment.size();
+       ++q) {
+    out << " q" << q << "->v" << subgraph->match.assignment[q];
+  }
+  out << "\n";
+  for (const auto& embedding : subgraph->paths) {
+    out << "  e" << embedding.edge << ":";
+    for (graph::VertexId v : embedding.path) out << " v" << v;
+    out << " (length " << embedding.Length() << ")\n";
+  }
+  auto region = core::ExtractRegion(*graph_, *subgraph);
+  if (region.ok()) {
+    out << "  region: " << region->subgraph.NumVertices() << " vertices, "
+        << region->subgraph.NumEdges() << " edges\n";
+  }
+  return out.str();
+}
+
+std::string Shell::CmdSaveQuery(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: save-query <path>\n";
+  Status status =
+      query::SaveQuery(blender_->current_query(), std::string(args[1]));
+  if (!status.ok()) return ErrorText(status);
+  return StrFormat("query saved to %s\n", std::string(args[1]).c_str());
+}
+
+std::string Shell::CmdLoadQuery(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: load-query <path>\n";
+  auto q = query::LoadQuery(std::string(args[1]));
+  if (!q.ok()) return ErrorText(q.status());
+  ResetBlender();
+  // Replay the stored query into the fresh blender as user actions.
+  for (query::QueryVertexId v = 0; v < q->NumVertices(); ++v) {
+    Status status = blender_->OnAction(
+        Action::NewVertex(v, q->Label(v), LatencyMicros()));
+    if (!status.ok()) return ErrorText(status);
+    ++next_vertex_;
+  }
+  for (query::QueryEdgeId e : q->LiveEdges()) {
+    const query::QueryEdge& edge = q->Edge(e);
+    Status status = blender_->OnAction(
+        Action::NewEdge(edge.src, edge.dst, edge.bounds, LatencyMicros()));
+    if (!status.ok()) return ErrorText(status);
+    ++next_edge_;
+  }
+  return StrFormat("query loaded: %s\n",
+                   blender_->current_query().ToString().c_str());
+}
+
+std::string Shell::CmdReset() {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  ResetBlender();
+  return "query reset\n";
+}
+
+std::string Shell::Exec(const std::string& line) {
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return "";
+  auto raw_fields = SplitWhitespace(trimmed);
+  std::vector<std::string_view> args(raw_fields.begin(), raw_fields.end());
+  const std::string_view cmd = args[0];
+  if (cmd == "help") return kHelp;
+  if (cmd == "load-text") return CmdLoadText(args);
+  if (cmd == "load-binary") return CmdLoadBinary(args);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "strategy") return CmdStrategy(args);
+  if (cmd == "latency") return CmdLatency(args);
+  if (cmd == "vertex") return CmdVertex(args);
+  if (cmd == "edge") return CmdEdge(args);
+  if (cmd == "bounds") return CmdBounds(args);
+  if (cmd == "delete") return CmdDelete(args);
+  if (cmd == "query") return CmdQuery();
+  if (cmd == "cap") return CmdCap();
+  if (cmd == "run") return CmdRun();
+  if (cmd == "show") return CmdShow(args);
+  if (cmd == "save-query") return CmdSaveQuery(args);
+  if (cmd == "load-query") return CmdLoadQuery(args);
+  if (cmd == "reset") return CmdReset();
+  return StrFormat("unknown command '%.*s' (try 'help')\n",
+                   static_cast<int>(cmd.size()), cmd.data());
+}
+
+}  // namespace shell
+}  // namespace boomer

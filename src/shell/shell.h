@@ -1,0 +1,110 @@
+// BOOMER interactive shell: a text stand-in for the visual query interface.
+//
+// Each shell command corresponds to one GUI action of Section 3.2 — placing
+// a vertex, connecting a pair, editing bounds, pressing Run — and is fed to
+// the blender exactly like a trace action, so the shell exercises the same
+// blending machinery as the GUI (including deferment and idle-time pool
+// probing, driven by a configurable per-command virtual latency).
+//
+// Command set (one per line; '#' comments ignored):
+//   load-text <prefix>          load <prefix>.labels + <prefix>.edges
+//   load-binary <path>          load a binary graph snapshot
+//   gen <dataset> <scale> <seed> generate a dataset analog (wordnet|dblp|flickr)
+//   strategy <ic|dr|di>         pick the blending strategy (before vertices)
+//   latency <seconds>           simulated per-action latency (default 2.0)
+//   vertex <label>              add a query vertex; prints its id
+//   edge <qi> <qj> [l] [u]      add a query edge (default bounds [1,1])
+//   bounds <edge> <l> <u>       modify an edge's bounds
+//   delete <edge>               delete an edge
+//   query                       print the current query
+//   cap                         print CAP index statistics
+//   run                         execute; prints match count and SRT
+//   show <k>                    realize match #k (witness paths)
+//   save-query <path> / load-query <path>
+//   reset                       drop the query, keep the graph
+//   help                        print this list
+//
+// The Shell owns graph + preprocessing artifacts; `Exec` returns the
+// printable response (errors become "error: ..." lines, the shell never
+// aborts on user input).
+
+#ifndef BOOMER_SHELL_SHELL_H_
+#define BOOMER_SHELL_SHELL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/blender.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace shell {
+
+struct ShellOptions {
+  /// Simulated GUI latency per action fed to the blender.
+  double action_latency_seconds = 2.0;
+  core::Strategy strategy = core::Strategy::kDeferToIdle;
+  size_t max_results = 1000000;
+  /// t_avg sample count for preprocessing after a graph load.
+  size_t t_avg_samples = 20000;
+};
+
+class Shell {
+ public:
+  explicit Shell(ShellOptions options = {});
+  ~Shell();
+
+  /// Executes one command line; returns the text to print (possibly
+  /// multi-line, possibly empty). User errors are reported in the returned
+  /// text, not as a Status — only I/O-level failures would surface here.
+  std::string Exec(const std::string& line);
+
+  /// True after a successful `run`.
+  bool HasResults() const;
+
+  /// True once a graph is loaded.
+  bool HasGraph() const { return graph_ != nullptr; }
+
+  const core::Blender* blender() const { return blender_.get(); }
+
+ private:
+  std::string CmdLoadText(const std::vector<std::string_view>& args);
+  std::string CmdLoadBinary(const std::vector<std::string_view>& args);
+  std::string CmdGen(const std::vector<std::string_view>& args);
+  std::string CmdStrategy(const std::vector<std::string_view>& args);
+  std::string CmdLatency(const std::vector<std::string_view>& args);
+  std::string CmdVertex(const std::vector<std::string_view>& args);
+  std::string CmdEdge(const std::vector<std::string_view>& args);
+  std::string CmdBounds(const std::vector<std::string_view>& args);
+  std::string CmdDelete(const std::vector<std::string_view>& args);
+  std::string CmdQuery();
+  std::string CmdCap();
+  std::string CmdRun();
+  std::string CmdShow(const std::vector<std::string_view>& args);
+  std::string CmdSaveQuery(const std::vector<std::string_view>& args);
+  std::string CmdLoadQuery(const std::vector<std::string_view>& args);
+  std::string CmdReset();
+
+  /// Installs `g` as the session graph and preprocesses it.
+  std::string AdoptGraph(graph::Graph g, const std::string& origin);
+
+  /// (Re)creates the blender for the current graph + options.
+  void ResetBlender();
+
+  int64_t LatencyMicros() const {
+    return static_cast<int64_t>(options_.action_latency_seconds * 1e6);
+  }
+
+  ShellOptions options_;
+  std::unique_ptr<graph::Graph> graph_;
+  std::unique_ptr<core::PreprocessResult> prep_;
+  std::unique_ptr<core::Blender> blender_;
+  uint32_t next_vertex_ = 0;
+  uint32_t next_edge_ = 0;
+};
+
+}  // namespace shell
+}  // namespace boomer
+
+#endif  // BOOMER_SHELL_SHELL_H_

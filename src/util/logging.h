@@ -1,0 +1,61 @@
+// Minimal leveled logging. Benchmarks and examples use INFO; libraries log
+// only at WARNING or above so that measurement loops stay quiet.
+
+#ifndef BOOMER_UTIL_LOGGING_H_
+#define BOOMER_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace boomer {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum emitted level.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+// clang-format off
+#define BOOMER_LOG(level)                                            \
+  if (::boomer::LogLevel::k##level < ::boomer::GetLogLevel()) {      \
+  } else                                                             \
+    ::boomer::internal::LogMessage(::boomer::LogLevel::k##level,     \
+                                   __FILE__, __LINE__)
+// clang-format on
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_LOGGING_H_

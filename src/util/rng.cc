@@ -1,0 +1,57 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace boomer {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  BOOMER_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected draws.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<uint32_t> result;
+  result.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(Uniform(j + 1));
+    if (chosen.contains(t)) t = j;
+    chosen.insert(t);
+    result.push_back(t);
+  }
+  return result;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  BOOMER_CHECK(total > 0.0);
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  BOOMER_CHECK(n > 0);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    for (size_t i = 0; i < n; ++i) zipf_cdf_[i] /= acc;
+  }
+  double r = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), r);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace boomer

@@ -1,0 +1,127 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the repository (graph generators, query
+// instantiation, workload sampling) draw from Rng so that experiments are
+// reproducible given a seed. We implement SplitMix64 (for seeding) and
+// xoshiro256** (for the stream) rather than using std::mt19937 because the
+// state is tiny, the generators are fast, and the output is identical across
+// standard library implementations.
+
+#ifndef BOOMER_UTIL_RNG_H_
+#define BOOMER_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boomer {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the repository-wide pseudo-random stream.
+class Rng {
+ public:
+  /// Seeds the stream deterministically from a single 64-bit seed.
+  explicit Rng(uint64_t seed = 0x5eedb00e5ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). CHECK-fails on bound == 0.
+  uint64_t Uniform(uint64_t bound) {
+    BOOMER_CHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded sampling with rejection.
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    BOOMER_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Returns k distinct indices sampled uniformly from [0, n) without
+  /// replacement (Floyd's algorithm). Order is unspecified but deterministic.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  /// CHECK-fails if the weights sum to zero.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Samples from Zipf(n, s): index in [0, n) with P(i) ∝ 1/(i+1)^s.
+  /// Uses a cached CDF, rebuilt when (n, s) changes.
+  size_t Zipf(size_t n, double s);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  // Cache for Zipf sampling.
+  size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_RNG_H_

@@ -1,0 +1,195 @@
+// Status and StatusOr: exception-free error propagation for the BOOMER
+// library, in the spirit of absl::Status / arrow::Status.
+//
+// All fallible public APIs in this repository return Status or StatusOr<T>.
+// Code that cannot sensibly continue after a programming error uses
+// BOOMER_CHECK (which aborts), never exceptions.
+
+#ifndef BOOMER_UTIL_STATUS_H_
+#define BOOMER_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace boomer {
+
+/// Canonical error space, a compact subset of the absl canonical codes.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kTimeout = 8,
+  kUnimplemented = 9,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status holds either success (OK) or an error code plus message.
+/// It is cheap to copy in the OK case and small otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// StatusOr<T> holds either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. CHECK-fails if `status` is OK, since an
+  /// OK StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      std::cerr << "StatusOr constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  /// Constructs from a value (implicitly, to allow `return value;`).
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors. Calling these on a non-OK StatusOr aborts.
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const {
+    EnsureOk();
+    return &*value_;
+  }
+  T* operator->() {
+    EnsureOk();
+    return &*value_;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      std::cerr << "StatusOr value access on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression returning Status.
+#define BOOMER_RETURN_NOT_OK(expr)               \
+  do {                                           \
+    ::boomer::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define BOOMER_ASSIGN_OR_RETURN(lhs, expr)                    \
+  BOOMER_ASSIGN_OR_RETURN_IMPL_(                              \
+      BOOMER_STATUS_MACRO_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define BOOMER_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define BOOMER_STATUS_MACRO_CONCAT_(x, y) BOOMER_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define BOOMER_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                                  \
+  if (!statusor.ok()) return statusor.status();            \
+  lhs = std::move(statusor).value();
+
+/// Aborts with a message when `cond` is false. For programming errors only.
+#define BOOMER_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << __FILE__ << ":" << __LINE__ << " CHECK failed: " #cond \
+                << std::endl;                                             \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define BOOMER_CHECK_OK(expr)                                            \
+  do {                                                                   \
+    ::boomer::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                     \
+      std::cerr << __FILE__ << ":" << __LINE__                           \
+                << " CHECK_OK failed: " << _st.ToString() << std::endl;  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_STATUS_H_

@@ -1,0 +1,46 @@
+// Small string utilities: splitting, trimming, numeric parsing and printf-
+// style formatting, shared by the graph loaders and the benchmark reporters.
+
+#ifndef BOOMER_UTIL_STRINGS_H_
+#define BOOMER_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boomer {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view input, char delim);
+
+/// Splits `input` on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Parses a base-10 integer; the whole string must be consumed.
+StatusOr<int64_t> ParseInt64(std::string_view input);
+StatusOr<uint32_t> ParseUint32(std::string_view input);
+
+/// Parses a floating-point number; the whole string must be consumed.
+StatusOr<double> ParseDouble(std::string_view input);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count with a binary-unit suffix ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders a duration in microseconds with an adaptive unit ("3.2 ms").
+std::string HumanMicros(int64_t micros);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_STRINGS_H_

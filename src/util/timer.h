@@ -1,0 +1,82 @@
+// Wall-clock timing utilities used to measure SRT, CAP construction time and
+// preprocessing cost, plus a stopwatch that can be paused and resumed (the
+// blender charges only processing time, not simulated user think time).
+
+#ifndef BOOMER_UTIL_TIMER_H_
+#define BOOMER_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace boomer {
+
+/// Monotonic wall-clock timer with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A stopwatch accumulating wall time across multiple Start/Stop intervals.
+class Stopwatch {
+ public:
+  /// Begins (or resumes) timing. No-op if already running.
+  void Start() {
+    if (running_) return;
+    running_ = true;
+    timer_.Restart();
+  }
+
+  /// Pauses timing and accumulates the elapsed interval. No-op if stopped.
+  void Stop() {
+    if (!running_) return;
+    accumulated_micros_ += timer_.ElapsedMicros();
+    running_ = false;
+  }
+
+  /// Discards all accumulated time and stops.
+  void Reset() {
+    accumulated_micros_ = 0;
+    running_ = false;
+  }
+
+  /// Total accumulated microseconds (including the open interval if running).
+  int64_t ElapsedMicros() const {
+    int64_t total = accumulated_micros_;
+    if (running_) total += timer_.ElapsedMicros();
+    return total;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  WallTimer timer_;
+  int64_t accumulated_micros_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_TIMER_H_

@@ -1,0 +1,53 @@
+// VirtualClock: simulated time for trace-driven GUI blending.
+//
+// The paper's experiments interleave human formulation latency (seconds per
+// action) with machine processing (micro/milliseconds per edge). Re-running
+// those experiments with real sleeps would waste hours of wall time, so the
+// blender advances a VirtualClock instead: user latency is *added* to the
+// clock, while processing work is executed for real and its measured wall
+// time is charged to the clock. Deferment decisions compare estimated costs
+// against the remaining virtual latency budget — exactly the quantity the
+// live system would observe.
+
+#ifndef BOOMER_UTIL_VIRTUAL_CLOCK_H_
+#define BOOMER_UTIL_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace boomer {
+
+/// Monotone simulated clock, microsecond granularity.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current simulated time in microseconds since session start.
+  int64_t NowMicros() const { return now_micros_; }
+  double NowSeconds() const { return static_cast<double>(now_micros_) * 1e-6; }
+
+  /// Advances the clock by `micros` (>= 0).
+  void AdvanceMicros(int64_t micros) {
+    BOOMER_CHECK(micros >= 0);
+    now_micros_ += micros;
+  }
+
+  void AdvanceSeconds(double seconds) {
+    BOOMER_CHECK(seconds >= 0.0);
+    now_micros_ += static_cast<int64_t>(seconds * 1e6);
+  }
+
+  /// Moves the clock to an absolute time. CHECK-fails on time travel.
+  void AdvanceTo(int64_t abs_micros) {
+    BOOMER_CHECK(abs_micros >= now_micros_);
+    now_micros_ = abs_micros;
+  }
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_VIRTUAL_CLOCK_H_

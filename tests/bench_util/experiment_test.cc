@@ -1,0 +1,156 @@
+#include "bench_util/experiment.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/reporting.h"
+
+namespace boomer {
+namespace bench {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // ctest runs each TEST in its own process, possibly in parallel; a
+    // per-process cache directory avoids create/remove races between them.
+    cache_dir_ = new std::string(::testing::TempDir() + "/boomer_exp_cache_" +
+                                 std::to_string(getpid()));
+    registry_ = new DatasetRegistry(*cache_dir_, /*t_avg_samples=*/500);
+    graph::DatasetSpec spec{graph::DatasetKind::kWordNet, 0.005, 3};
+    auto dataset = registry_->Get(spec);
+    ASSERT_TRUE(dataset.ok()) << dataset.status();
+    dataset_ = new LoadedDataset(*dataset);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete registry_;
+    std::filesystem::remove_all(*cache_dir_);
+    delete cache_dir_;
+  }
+
+  static std::string* cache_dir_;
+  static DatasetRegistry* registry_;
+  static LoadedDataset* dataset_;
+};
+
+std::string* ExperimentTest::cache_dir_ = nullptr;
+DatasetRegistry* ExperimentTest::registry_ = nullptr;
+LoadedDataset* ExperimentTest::dataset_ = nullptr;
+
+TEST_F(ExperimentTest, RegistryCachesOnDisk) {
+  // The first Get in SetUpTestSuite wrote the cache; a fresh registry must
+  // load (not regenerate) and produce an identical graph.
+  DatasetRegistry fresh(*cache_dir_, 100);
+  graph::DatasetSpec spec{graph::DatasetKind::kWordNet, 0.005, 3};
+  EXPECT_TRUE(std::filesystem::exists(*cache_dir_ + "/" +
+                                      graph::DatasetCacheKey(spec) +
+                                      ".graph"));
+  auto reloaded = fresh.Get(spec);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->graph->NumVertices(), dataset_->graph->NumVertices());
+  EXPECT_EQ(reloaded->graph->NumEdges(), dataset_->graph->NumEdges());
+  // Same PML distances through the cache round trip.
+  for (graph::VertexId u = 0; u < reloaded->graph->NumVertices(); u += 113) {
+    for (graph::VertexId v = 0; v < reloaded->graph->NumVertices(); v += 131) {
+      EXPECT_EQ(reloaded->prep->pml().Distance(u, v),
+                dataset_->prep->pml().Distance(u, v));
+    }
+  }
+}
+
+TEST_F(ExperimentTest, RegistryMemoizesInProcess) {
+  graph::DatasetSpec spec{graph::DatasetKind::kWordNet, 0.005, 3};
+  auto a = registry_->Get(spec);
+  auto b = registry_->Get(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph.get(), b->graph.get());  // same shared instance
+}
+
+TEST_F(ExperimentTest, MakeInstancesAppliesOverrides) {
+  std::vector<std::optional<query::Bounds>> overrides(3);
+  overrides[2] = query::Bounds{2, 4};
+  auto instances =
+      MakeInstances(*dataset_, query::TemplateId::kQ1, 3, 5, overrides);
+  ASSERT_TRUE(instances.ok()) << instances.status();
+  ASSERT_EQ(instances->size(), 3u);
+  for (const auto& q : *instances) {
+    EXPECT_EQ(q.Edge(2).bounds, (query::Bounds{2, 4}));
+    EXPECT_EQ(q.Edge(0).bounds, (query::Bounds{1, 1}));  // template default
+  }
+}
+
+TEST_F(ExperimentTest, RunBlendProducesReport) {
+  auto instances = MakeInstances(*dataset_, query::TemplateId::kQ1, 1, 9);
+  ASSERT_TRUE(instances.ok());
+  BlendRunSpec spec;
+  spec.latency_factor = 0.001;
+  auto result = RunBlend(*dataset_, (*instances)[0], spec);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->report.qft_seconds, 0.0);
+  EXPECT_TRUE(result->final_query == (*instances)[0]);
+}
+
+TEST_F(ExperimentTest, RunBuMatchesBlend) {
+  auto instances = MakeInstances(*dataset_, query::TemplateId::kQ1, 1, 9);
+  ASSERT_TRUE(instances.ok());
+  BlendRunSpec spec;
+  spec.latency_factor = 0.001;
+  auto blend = RunBlend(*dataset_, (*instances)[0], spec);
+  auto bu = RunBu(*dataset_, (*instances)[0], 60.0, 0);
+  ASSERT_TRUE(blend.ok() && bu.ok());
+  EXPECT_FALSE(bu->report.timed_out);
+  EXPECT_EQ(bu->report.num_results, blend->report.num_results);
+}
+
+TEST(Exp3OverridesTest, MatchesSection72Schedule) {
+  using query::TemplateId;
+  // WordNet Q5: e1 -> 4, e2 -> 1, e3 -> 1.
+  auto wn_q5 = Exp3Overrides(graph::DatasetKind::kWordNet, TemplateId::kQ5);
+  ASSERT_EQ(wn_q5.size(), 4u);
+  EXPECT_EQ(wn_q5[0]->upper, 4u);
+  EXPECT_EQ(wn_q5[1]->upper, 1u);
+  EXPECT_EQ(wn_q5[2]->upper, 1u);
+  EXPECT_FALSE(wn_q5[3].has_value());
+  // WordNet Q2: e1 -> 5 only.
+  auto wn_q2 = Exp3Overrides(graph::DatasetKind::kWordNet, TemplateId::kQ2);
+  EXPECT_EQ(wn_q2[0]->upper, 5u);
+  EXPECT_FALSE(wn_q2[1].has_value());
+  // Flickr Q6: e1, e2 -> 5; e5 -> 1; e6 -> 2.
+  auto fl_q6 = Exp3Overrides(graph::DatasetKind::kFlickr, TemplateId::kQ6);
+  EXPECT_EQ(fl_q6[0]->upper, 5u);
+  EXPECT_EQ(fl_q6[1]->upper, 5u);
+  EXPECT_EQ(fl_q6[4]->upper, 1u);
+  EXPECT_EQ(fl_q6[5]->upper, 2u);
+  // DBLP Q5 differs from Flickr on e3 (3 vs 1).
+  auto db_q5 = Exp3Overrides(graph::DatasetKind::kDblp, TemplateId::kQ5);
+  auto fl_q5 = Exp3Overrides(graph::DatasetKind::kFlickr, TemplateId::kQ5);
+  EXPECT_EQ(db_q5[2]->upper, 3u);
+  EXPECT_EQ(fl_q5[2]->upper, 1u);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(ReportingTest, TableAlignsColumns) {
+  Table table({"a", "long_header", "c"});
+  table.AddRow({"x", "1", "zz"});
+  table.AddRow({"longer_cell", "2", "w"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("longer_cell"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Three lines of content + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer

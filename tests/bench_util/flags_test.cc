@@ -1,0 +1,71 @@
+#include "bench_util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace bench {
+namespace {
+
+StatusOr<CommonFlags> Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  bool help = false;
+  return ParseCommonFlags(static_cast<int>(args.size()),
+                          const_cast<char**>(args.data()), &help);
+}
+
+TEST(FlagsTest, Defaults) {
+  auto flags = Parse({});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->scale, 0.02);
+  EXPECT_EQ(flags->seed, 42u);
+  EXPECT_TRUE(flags->datasets.empty());
+  EXPECT_TRUE(flags->queries.empty());
+  EXPECT_EQ(flags->cache_dir, "data");
+  // Auto latency factor = scale^2.
+  EXPECT_DOUBLE_EQ(flags->LatencyFactor(), 0.02 * 0.02);
+}
+
+TEST(FlagsTest, ParsesEveryFlag) {
+  auto flags = Parse({"--scale=0.1", "--seed=7", "--datasets=wordnet,flickr",
+                      "--queries=Q2,Q5", "--instances=4",
+                      "--cache-dir=/tmp/x", "--bu-timeout=3.5",
+                      "--max-results=100", "--latency-scale=0.5"});
+  ASSERT_TRUE(flags.ok()) << flags.status();
+  EXPECT_DOUBLE_EQ(flags->scale, 0.1);
+  EXPECT_EQ(flags->seed, 7u);
+  ASSERT_EQ(flags->datasets.size(), 2u);
+  EXPECT_EQ(flags->datasets[0], graph::DatasetKind::kWordNet);
+  EXPECT_EQ(flags->datasets[1], graph::DatasetKind::kFlickr);
+  ASSERT_EQ(flags->queries.size(), 2u);
+  EXPECT_EQ(flags->queries[0], query::TemplateId::kQ2);
+  EXPECT_EQ(flags->instances, 4u);
+  EXPECT_EQ(flags->cache_dir, "/tmp/x");
+  EXPECT_DOUBLE_EQ(flags->bu_timeout_seconds, 3.5);
+  EXPECT_EQ(flags->max_results, 100u);
+  EXPECT_DOUBLE_EQ(flags->LatencyFactor(), 0.5);
+}
+
+TEST(FlagsTest, HelpShortCircuits) {
+  std::vector<const char*> args{"binary", "--help"};
+  bool help = false;
+  auto flags = ParseCommonFlags(2, const_cast<char**>(args.data()), &help);
+  EXPECT_TRUE(help);
+  EXPECT_TRUE(flags.ok());
+}
+
+TEST(FlagsTest, RejectsBadValues) {
+  EXPECT_FALSE(Parse({"--scale=0"}).ok());
+  EXPECT_FALSE(Parse({"--scale=1.5"}).ok());
+  EXPECT_FALSE(Parse({"--scale=abc"}).ok());
+  EXPECT_FALSE(Parse({"--datasets=imdb"}).ok());
+  EXPECT_FALSE(Parse({"--queries=Q9"}).ok());
+  EXPECT_FALSE(Parse({"--instances=0"}).ok());
+  EXPECT_FALSE(Parse({"--instances=-3"}).ok());
+  EXPECT_FALSE(Parse({"--max-results=-1"}).ok());
+  EXPECT_FALSE(Parse({"--latency-scale=-0.5"}).ok());
+  EXPECT_FALSE(Parse({"--bogus=1"}).ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer

@@ -1,0 +1,238 @@
+#include "core/blender.h"
+
+#include <gtest/gtest.h>
+
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+using gui::Action;
+using query::Bounds;
+using query::TemplateId;
+
+class BlenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = boomer::testing::Figure2Graph();
+    PreprocessOptions options;
+    options.t_avg_samples = 1000;
+    auto prep = Preprocess(graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+
+  gui::ActionTrace Q1Trace() {
+    auto q = query::InstantiateTemplate(TemplateId::kQ1, {0, 1, 2});
+    BOOMER_CHECK(q.ok());
+    gui::LatencyModel latency;
+    auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+    BOOMER_CHECK(trace.ok());
+    return std::move(trace).value();
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<PreprocessResult> prep_;
+};
+
+TEST_F(BlenderTest, ImmediateStrategyReproducesFigure2) {
+  BlenderOptions options;
+  options.strategy = Strategy::kImmediate;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok());
+  ASSERT_TRUE(blender.run_complete());
+
+  // CAP levels as in the paper's Figure 2(c).
+  EXPECT_EQ(blender.cap().Candidates(0), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(blender.cap().Candidates(1), (std::vector<VertexId>{4, 5, 7}));
+  EXPECT_EQ(blender.cap().Candidates(2), (std::vector<VertexId>{11}));
+
+  auto canonical = boomer::testing::Canonicalize(blender.Results());
+  boomer::testing::CanonicalMatches expected{
+      {1, 4, 11}, {2, 5, 11}, {2, 7, 11}};
+  EXPECT_EQ(canonical, expected);
+  EXPECT_EQ(blender.report().num_results, 3u);
+  EXPECT_EQ(blender.report().edges_processed_immediately, 3u);
+  EXPECT_EQ(blender.report().edges_deferred, 0u);
+  // v1, v4, v7 pruned.
+  EXPECT_GE(blender.report().prune_removals, 3u);
+}
+
+TEST_F(BlenderTest, AllStrategiesProduceIdenticalResults) {
+  boomer::testing::CanonicalMatches reference;
+  for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToRun,
+                     Strategy::kDeferToIdle}) {
+    BlenderOptions options;
+    options.strategy = s;
+    Blender blender(graph_, *prep_, options);
+    ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok()) << StrategyName(s);
+    auto canonical = boomer::testing::Canonicalize(blender.Results());
+    if (reference.empty()) {
+      reference = canonical;
+    } else {
+      EXPECT_EQ(canonical, reference) << StrategyName(s);
+    }
+  }
+  EXPECT_EQ(reference.size(), 3u);
+}
+
+TEST_F(BlenderTest, QftAccountsTraceLatency) {
+  auto trace = Q1Trace();
+  BlenderOptions options;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(trace).ok());
+  EXPECT_DOUBLE_EQ(blender.report().qft_seconds,
+                   trace.TotalLatencyMicros() * 1e-6);
+}
+
+TEST_F(BlenderTest, SrtIsSmallWhenProcessingFitsLatency) {
+  // Figure-2 scale graph: every edge processes in microseconds, far below
+  // the seconds-scale GUI latency, so SRT ~ enumeration only.
+  BlenderOptions options;
+  options.strategy = Strategy::kImmediate;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok());
+  EXPECT_LT(blender.report().srt_seconds, 0.5);
+}
+
+TEST_F(BlenderTest, ExpensiveEdgeDetectionUsesDefinition58) {
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToRun;
+  options.t_lat_seconds = 2.0;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 1000)).ok());
+  ASSERT_TRUE(
+      blender.OnAction(Action::NewEdge(0, 1, {1, 5}, 1000)).ok());
+  // 4 x 4 candidates at real t_avg (~us) is far below 2 s: not expensive.
+  EXPECT_TRUE(blender.pool().empty());
+  EXPECT_FALSE(blender.IsExpensive(0));
+}
+
+TEST_F(BlenderTest, DeferToRunPoolsExpensiveEdges) {
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToRun;
+  options.t_lat_seconds = 0.0;  // everything with upper >= 3 is expensive
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(2, 2, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(1, 2, {1, 2}, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 2, {1, 3}, 1000)).ok());
+  // upper-1/-2 edges processed immediately; the upper-3 edge pooled.
+  EXPECT_EQ(blender.pool().size(), 1u);
+  EXPECT_EQ(blender.report().edges_deferred, 1u);
+  EXPECT_EQ(blender.report().edges_processed_immediately, 2u);
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  EXPECT_TRUE(blender.pool().empty());
+  EXPECT_EQ(blender.report().edges_processed_at_run, 1u);
+  EXPECT_EQ(blender.report().num_results, 3u);
+}
+
+TEST_F(BlenderTest, DeferToIdleProcessesPoolDuringLatency) {
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToIdle;
+  options.t_lat_seconds = 0.0;  // force deferral on upper >= 3...
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 1000000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 1000000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(2, 2, 1000000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 2, {1, 3}, 1000000)).ok());
+  EXPECT_EQ(blender.pool().size(), 1u);
+  // ...but the next action's 1 s latency dwarfs the real estimate, so the
+  // idle probe picks the edge up before the action lands.
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(1, 2, {1, 2}, 1000000)).ok());
+  EXPECT_TRUE(blender.pool().empty());
+  EXPECT_EQ(blender.report().edges_processed_idle, 1u);
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  EXPECT_EQ(blender.report().num_results, 3u);
+  EXPECT_EQ(blender.report().edges_processed_at_run, 0u);
+}
+
+TEST_F(BlenderTest, ActionsAfterRunRejected) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 0)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  EXPECT_EQ(blender.OnAction(Action::NewVertex(1, 0, 0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BlenderTest, ResultsBeforeRunRejected) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  EXPECT_EQ(blender.GenerateResultSubgraph(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BlenderTest, GenerateResultSubgraphYieldsWitnessPaths) {
+  BlenderOptions options;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok());
+  ASSERT_EQ(blender.Results().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    auto subgraph = blender.GenerateResultSubgraph(i);
+    ASSERT_TRUE(subgraph.ok()) << subgraph.status();
+    EXPECT_EQ(subgraph->paths.size(), 3u);
+    for (const auto& embedding : subgraph->paths) {
+      const auto& edge = blender.current_query().Edge(embedding.edge);
+      EXPECT_GE(embedding.Length(), edge.bounds.lower);
+      EXPECT_LE(embedding.Length(), edge.bounds.upper);
+    }
+  }
+  EXPECT_EQ(blender.GenerateResultSubgraph(3).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(BlenderTest, MaxResultsRespected) {
+  BlenderOptions options;
+  options.max_results = 2;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok());
+  EXPECT_EQ(blender.Results().size(), 2u);
+}
+
+TEST_F(BlenderTest, SubgraphIsomorphismSpecialCase) {
+  // All bounds [1,1]: BPH reduces to subgraph isomorphism (Section 3.1).
+  // Query: A - B edge; Figure-2 graph has exactly 4 such edges.
+  BlenderOptions options;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  EXPECT_EQ(blender.Results().size(), 4u);
+  for (const auto& m : blender.Results()) {
+    EXPECT_TRUE(graph_.HasEdge(m.assignment[0], m.assignment[1]));
+  }
+}
+
+TEST_F(BlenderTest, CapStatsReported) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok());
+  const auto& stats = blender.report().cap_stats;
+  EXPECT_EQ(stats.num_candidates, 2u + 3u + 1u);
+  EXPECT_GT(stats.num_adjacency_pairs, 0u);
+  EXPECT_GT(stats.size_bytes, 0u);
+}
+
+TEST_F(BlenderTest, PruningDisabledKeepsIsolatedVertices) {
+  BlenderOptions options;
+  options.prune_isolated = false;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(Q1Trace()).ok());
+  // v1 (id 0) survives in level 0 without pruning.
+  EXPECT_TRUE(blender.cap().IsCandidate(0, 0));
+  EXPECT_EQ(blender.report().prune_removals, 0u);
+  // Results are unaffected (the DFS still intersects AIVS).
+  EXPECT_EQ(blender.Results().size(), 3u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,109 @@
+#include "core/bu_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+TEST(BuEvaluatorTest, Figure2MatchesPaper) {
+  auto g = boomer::testing::Figure2Graph();
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  auto outcome = EvaluateBu(g, *pml, *q);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->report.timed_out);
+  EXPECT_EQ(outcome->report.num_results, 3u);
+  auto canonical = boomer::testing::Canonicalize(outcome->results);
+  boomer::testing::CanonicalMatches expected{
+      {1, 4, 11}, {2, 5, 11}, {2, 7, 11}};
+  EXPECT_EQ(canonical, expected);
+  EXPECT_GT(outcome->report.distance_queries, 0u);
+}
+
+TEST(BuEvaluatorTest, MatchesBruteForce) {
+  for (uint64_t seed : {11u, 12u}) {
+    auto g_or = graph::GenerateErdosRenyi(60, 150, 3, seed);
+    ASSERT_TRUE(g_or.ok());
+    auto pml = pml::PmlIndex::Build(*g_or);
+    ASSERT_TRUE(pml.ok());
+    query::QueryInstantiator inst(*g_or, seed);
+    for (auto id : {query::TemplateId::kQ1, query::TemplateId::kQ2}) {
+      auto q = inst.Instantiate(id);
+      ASSERT_TRUE(q.ok());
+      auto outcome = EvaluateBu(*g_or, *pml, *q);
+      ASSERT_TRUE(outcome.ok());
+      EXPECT_EQ(boomer::testing::Canonicalize(outcome->results),
+                boomer::testing::BruteForceUpperBoundMatches(*g_or, *q));
+    }
+  }
+}
+
+TEST(BuEvaluatorTest, TimeoutReported) {
+  // A same-label clique with a permissive star query explodes
+  // combinatorially; a zero-second budget must trip the timeout.
+  auto g = boomer::testing::CompleteGraph(40, 1);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  query::BphQuery q;
+  for (int i = 0; i < 6; ++i) q.AddVertex(0);
+  for (query::QueryVertexId leaf = 1; leaf < 6; ++leaf) {
+    ASSERT_TRUE(q.AddEdge(0, leaf, {1, 2}).ok());
+  }
+  BuOptions options;
+  options.timeout_seconds = 0.0;
+  auto outcome = EvaluateBu(g, *pml, q, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->report.timed_out);
+  EXPECT_EQ(outcome->report.num_results, 0u);
+  EXPECT_TRUE(outcome->results.empty());
+}
+
+TEST(BuEvaluatorTest, MaxResultsStopsEarly) {
+  auto g = boomer::testing::CompleteGraph(12, 1);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  BuOptions options;
+  options.max_results = 5;
+  auto outcome = EvaluateBu(g, *pml, q, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->results.size(), 5u);
+}
+
+TEST(BuEvaluatorTest, RejectsInvalidQuery) {
+  auto g = boomer::testing::PathGraph(4, 0);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  query::BphQuery empty;
+  EXPECT_FALSE(EvaluateBu(g, *pml, empty).ok());
+}
+
+TEST(BuEvaluatorTest, NoMatchesOnMissingLabel) {
+  auto g = boomer::testing::PathGraph(4, 0);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(42);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 3}).ok());
+  auto outcome = EvaluateBu(g, *pml, q);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->results.empty());
+  EXPECT_FALSE(outcome->report.timed_out);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,212 @@
+#include "core/cap_index.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+
+TEST(CapIndexTest, AddLevelSortsAndDedupes) {
+  CapIndex cap;
+  cap.AddLevel(0, {5, 1, 3, 1, 5});
+  ASSERT_TRUE(cap.HasLevel(0));
+  EXPECT_EQ(cap.Candidates(0), (std::vector<VertexId>{1, 3, 5}));
+  EXPECT_TRUE(cap.IsCandidate(0, 3));
+  EXPECT_FALSE(cap.IsCandidate(0, 2));
+  EXPECT_FALSE(cap.HasLevel(1));
+}
+
+TEST(CapIndexTest, EmptyLevelAllowed) {
+  CapIndex cap;
+  cap.AddLevel(0, {});
+  EXPECT_TRUE(cap.HasLevel(0));
+  EXPECT_TRUE(cap.Candidates(0).empty());
+}
+
+TEST(CapIndexTest, AddPairPopulatesBothSides) {
+  CapIndex cap;
+  cap.AddLevel(0, {1, 2});
+  cap.AddLevel(1, {10, 11});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  EXPECT_TRUE(cap.EdgeProcessed(0));
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(0, 1, 11);
+  cap.AddPair(0, 2, 10);
+  EXPECT_EQ(cap.Aivs(0, 0, 1), (std::vector<VertexId>{10, 11}));
+  EXPECT_EQ(cap.Aivs(0, 0, 2), (std::vector<VertexId>{10}));
+  EXPECT_EQ(cap.Aivs(0, 1, 10), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(cap.Aivs(0, 1, 11), (std::vector<VertexId>{1}));
+}
+
+TEST(CapIndexTest, AivsOfUnknownVertexIsEmpty) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  EXPECT_TRUE(cap.Aivs(0, 0, 1).empty());
+  EXPECT_TRUE(cap.Aivs(0, 1, 10).empty());
+}
+
+TEST(CapIndexTest, DuplicatePairIgnored) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(0, 1, 10);
+  EXPECT_EQ(cap.Aivs(0, 0, 1).size(), 1u);
+}
+
+TEST(CapIndexTest, RemovePair) {
+  CapIndex cap;
+  cap.AddLevel(0, {1, 2});
+  cap.AddLevel(1, {10});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(0, 2, 10);
+  cap.RemovePair(0, 1, 10);
+  EXPECT_TRUE(cap.Aivs(0, 0, 1).empty());
+  EXPECT_EQ(cap.Aivs(0, 1, 10), (std::vector<VertexId>{2}));
+  // Removing an absent pair is a no-op.
+  cap.RemovePair(0, 1, 10);
+}
+
+TEST(CapIndexTest, PruneVertexCascades) {
+  // Chain of levels 0 -e0- 1 -e1- 2 where each level has one vertex that
+  // depends entirely on the previous.
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddLevel(2, {20});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddEdgeAdjacency(1, 1, 2);
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(1, 10, 20);
+  size_t removed = cap.PruneVertex(0, 1);
+  // 1 removed -> 10 loses its only AIVS entry -> removed -> 20 likewise.
+  EXPECT_EQ(removed, 3u);
+  EXPECT_TRUE(cap.Candidates(0).empty());
+  EXPECT_TRUE(cap.Candidates(1).empty());
+  EXPECT_TRUE(cap.Candidates(2).empty());
+}
+
+TEST(CapIndexTest, PruneVertexStopsWhenAlternativesExist) {
+  CapIndex cap;
+  cap.AddLevel(0, {1, 2});
+  cap.AddLevel(1, {10});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(0, 2, 10);
+  size_t removed = cap.PruneVertex(0, 1);
+  EXPECT_EQ(removed, 1u);
+  // 10 survives thanks to 2.
+  EXPECT_EQ(cap.Candidates(1), (std::vector<VertexId>{10}));
+  EXPECT_EQ(cap.Aivs(0, 1, 10), (std::vector<VertexId>{2}));
+}
+
+TEST(CapIndexTest, PruneVertexOnMissingVertexIsNoOp) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  EXPECT_EQ(cap.PruneVertex(0, 99), 0u);
+  EXPECT_EQ(cap.PruneVertex(5, 1), 0u);
+}
+
+TEST(CapIndexTest, PruneIsolatedRemovesEmptyAivsVertices) {
+  CapIndex cap;
+  cap.AddLevel(0, {1, 2, 3});
+  cap.AddLevel(1, {10, 11});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddPair(0, 1, 10);  // 2, 3 isolated on side 0; 11 isolated on side 1
+  size_t removed = cap.PruneIsolated(0);
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(cap.Candidates(0), (std::vector<VertexId>{1}));
+  EXPECT_EQ(cap.Candidates(1), (std::vector<VertexId>{10}));
+}
+
+TEST(CapIndexTest, RemoveLevelDropsTouchingEdges) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddLevel(2, {20});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddEdgeAdjacency(1, 1, 2);
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(1, 10, 20);
+  cap.RemoveLevel(1);
+  EXPECT_FALSE(cap.HasLevel(1));
+  EXPECT_FALSE(cap.EdgeProcessed(0));
+  EXPECT_FALSE(cap.EdgeProcessed(1));
+  EXPECT_TRUE(cap.HasLevel(0));
+  EXPECT_TRUE(cap.HasLevel(2));
+}
+
+TEST(CapIndexTest, ReAddLevelAfterRemove) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.RemoveLevel(0);
+  cap.AddLevel(0, {7, 8});
+  EXPECT_EQ(cap.Candidates(0), (std::vector<VertexId>{7, 8}));
+}
+
+TEST(CapIndexTest, ProcessedEdgesSorted) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddLevel(2, {20});
+  cap.AddEdgeAdjacency(2, 1, 2);
+  cap.AddEdgeAdjacency(0, 0, 1);
+  EXPECT_EQ(cap.ProcessedEdges(),
+            (std::vector<query::QueryEdgeId>{0, 2}));
+}
+
+TEST(CapIndexTest, StatsCountCandidatesAndPairs) {
+  CapIndex cap;
+  cap.AddLevel(0, {1, 2});
+  cap.AddLevel(1, {10, 11});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.AddPair(0, 1, 10);
+  cap.AddPair(0, 2, 11);
+  cap.AddPair(0, 2, 10);
+  CapStats stats = cap.ComputeStats();
+  EXPECT_EQ(stats.num_candidates, 4u);
+  EXPECT_EQ(stats.num_adjacency_pairs, 3u);
+  EXPECT_GT(stats.size_bytes, 0u);
+}
+
+TEST(CapIndexTest, ClearResetsEverything) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  cap.Clear();
+  EXPECT_FALSE(cap.HasLevel(0));
+  EXPECT_FALSE(cap.EdgeProcessed(0));
+  EXPECT_EQ(cap.ComputeStats().num_candidates, 0u);
+}
+
+TEST(CapIndexDeathTest, DoubleAddLevelAborts) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  EXPECT_DEATH(cap.AddLevel(0, {2}), "CHECK");
+}
+
+TEST(CapIndexDeathTest, EdgeAdjacencyRequiresLevels) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  EXPECT_DEATH(cap.AddEdgeAdjacency(0, 0, 1), "CHECK");
+}
+
+TEST(CapIndexDeathTest, AivsWrongEndpointAborts) {
+  CapIndex cap;
+  cap.AddLevel(0, {1});
+  cap.AddLevel(1, {10});
+  cap.AddLevel(2, {20});
+  cap.AddEdgeAdjacency(0, 0, 1);
+  EXPECT_DEATH((void)cap.Aivs(0, 2, 20), "CHECK");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

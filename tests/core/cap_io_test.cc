@@ -1,0 +1,134 @@
+#include "core/cap_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "core/result_gen.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+
+/// True iff two CAP indexes have identical levels, edges and adjacency.
+bool CapsEqual(const CapIndex& a, const CapIndex& b) {
+  if (a.Levels() != b.Levels()) return false;
+  if (a.ProcessedEdges() != b.ProcessedEdges()) return false;
+  for (auto q : a.Levels()) {
+    if (a.Candidates(q) != b.Candidates(q)) return false;
+  }
+  for (auto e : a.ProcessedEdges()) {
+    if (a.EdgeEndpoints(e) != b.EdgeEndpoints(e)) return false;
+    auto [qi, qj] = a.EdgeEndpoints(e);
+    for (VertexId v : a.Candidates(qi)) {
+      if (a.Aivs(e, qi, v) != b.Aivs(e, qi, v)) return false;
+    }
+    for (VertexId v : a.Candidates(qj)) {
+      if (a.Aivs(e, qj, v) != b.Aivs(e, qj, v)) return false;
+    }
+  }
+  return true;
+}
+
+/// Builds the Figure-2 CAP through a real blend session.
+CapIndex Fig2Cap(const graph::Graph& g, const PreprocessResult& prep) {
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  BOOMER_CHECK(q.ok());
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  BOOMER_CHECK(trace.ok());
+  Blender blender(g, prep, BlenderOptions());
+  BOOMER_CHECK_OK(blender.RunTrace(*trace));
+  // Deep-copy via the serialization path under test is circular; rebuild
+  // from the blender's cap by value copy.
+  return blender.cap();
+}
+
+class CapIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = boomer::testing::Figure2Graph();
+    PreprocessOptions options;
+    options.t_avg_samples = 200;
+    auto prep = Preprocess(graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+  graph::Graph graph_;
+  std::unique_ptr<PreprocessResult> prep_;
+};
+
+TEST_F(CapIoTest, RoundTripPreservesStructure) {
+  CapIndex cap = Fig2Cap(graph_, *prep_);
+  auto restored = CapFromText(CapToText(cap));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(CapsEqual(cap, *restored));
+}
+
+TEST_F(CapIoTest, RestoredCapEnumeratesSameMatches) {
+  CapIndex cap = Fig2Cap(graph_, *prep_);
+  auto restored = CapFromText(CapToText(cap));
+  ASSERT_TRUE(restored.ok());
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  auto from_original = PartialVertexSetsGen(*q, cap);
+  auto from_restored = PartialVertexSetsGen(*q, *restored);
+  ASSERT_TRUE(from_original.ok() && from_restored.ok());
+  EXPECT_EQ(boomer::testing::Canonicalize(*from_original),
+            boomer::testing::Canonicalize(*from_restored));
+  EXPECT_EQ(from_restored->size(), 3u);
+}
+
+TEST_F(CapIoTest, EmptyCapRoundTrips) {
+  CapIndex cap;
+  auto restored = CapFromText(CapToText(cap));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->Levels().empty());
+  EXPECT_TRUE(restored->ProcessedEdges().empty());
+}
+
+TEST_F(CapIoTest, EmptyLevelPreserved) {
+  CapIndex cap;
+  cap.AddLevel(0, {});
+  cap.AddLevel(2, {5, 7});
+  auto restored = CapFromText(CapToText(cap));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->HasLevel(0));
+  EXPECT_TRUE(restored->Candidates(0).empty());
+  EXPECT_FALSE(restored->HasLevel(1));
+  EXPECT_EQ(restored->Candidates(2), (std::vector<VertexId>{5, 7}));
+}
+
+TEST_F(CapIoTest, RejectsMalformedSnapshots) {
+  EXPECT_FALSE(CapFromText("level\n").ok());
+  EXPECT_FALSE(CapFromText("level 0 1\nlevel 0 2\n").ok());  // duplicate
+  EXPECT_FALSE(CapFromText("edge 0 0 1\n").ok());  // undeclared levels
+  EXPECT_FALSE(CapFromText("level 0 1\nlevel 1 2\n"
+                           "pair 0 1 2\n").ok());  // pair before edge
+  EXPECT_FALSE(CapFromText("level 0 1\nlevel 1 2\n"
+                           "edge 0 0 1\n"
+                           "pair 0 9 2\n").ok());  // non-candidate vertex
+  EXPECT_FALSE(CapFromText("teleport\n").ok());
+}
+
+TEST_F(CapIoTest, FileRoundTrip) {
+  CapIndex cap = Fig2Cap(graph_, *prep_);
+  const std::string path = ::testing::TempDir() + "/boomer_cap.snapshot";
+  ASSERT_TRUE(SaveCap(cap, path).ok());
+  auto loaded = LoadCap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(CapsEqual(cap, *loaded));
+  std::filesystem::remove(path);
+  EXPECT_FALSE(LoadCap(path).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,195 @@
+#include "core/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using query::Bounds;
+
+/// Validates a returned path: simple, consecutive edges exist, endpoints and
+/// length as requested.
+void ExpectValidPath(const Graph& g, const std::vector<VertexId>& path,
+                     VertexId src, VertexId dst, Bounds bounds) {
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), src);
+  EXPECT_EQ(path.back(), dst);
+  const size_t length = path.size() - 1;
+  EXPECT_GE(length, bounds.lower);
+  EXPECT_LE(length, bounds.upper);
+  std::set<VertexId> seen;
+  for (size_t i = 0; i < path.size(); ++i) {
+    EXPECT_TRUE(seen.insert(path[i]).second) << "repeated vertex";
+    if (i > 0) {
+      EXPECT_TRUE(g.HasEdge(path[i - 1], path[i]))
+          << path[i - 1] << "-" << path[i] << " not an edge";
+    }
+  }
+}
+
+TEST(DetectPathTest, ShortestPathWhenLowerIsOne) {
+  auto g = boomer::testing::PathGraph(6);
+  pml::BfsOracle oracle(g);
+  auto path = DetectPath(g, oracle, 0, 3, {1, 5});
+  ASSERT_TRUE(path.ok()) << path.status();
+  ExpectValidPath(g, *path, 0, 3, {1, 5});
+  EXPECT_EQ(path->size(), 4u);  // shortest: 0-1-2-3
+}
+
+TEST(DetectPathTest, DetourWhenShortestTooShort) {
+  // Figure 2 detour example: (q1,q3) with bounds [3,3] forces v3 -> v6 ->
+  // v11 -> v12 instead of the length-2 shortest path v3 -> v8 -> v12.
+  auto g = boomer::testing::Figure2Graph();
+  pml::BfsOracle oracle(g);
+  const VertexId v3 = 2, v12 = 11;
+  auto path = DetectPath(g, oracle, v3, v12, {3, 3});
+  ASSERT_TRUE(path.ok()) << path.status();
+  ExpectValidPath(g, *path, v3, v12, {3, 3});
+}
+
+TEST(DetectPathTest, NoPathWhenDisconnected) {
+  auto g = boomer::testing::TwoTriangles();
+  pml::BfsOracle oracle(g);
+  EXPECT_EQ(DetectPath(g, oracle, 0, 3, {1, 10}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DetectPathTest, NoPathWhenUpperTooSmall) {
+  auto g = boomer::testing::PathGraph(6);
+  pml::BfsOracle oracle(g);
+  EXPECT_EQ(DetectPath(g, oracle, 0, 5, {1, 3}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DetectPathTest, NoPathWhenGraphTooSmallForLower) {
+  // On a path graph the only simple s-t path is the direct one; a lower
+  // bound beyond its length is unsatisfiable.
+  auto g = boomer::testing::PathGraph(4);
+  pml::BfsOracle oracle(g);
+  EXPECT_EQ(DetectPath(g, oracle, 0, 1, {3, 10}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DetectPathTest, SelfPathRejected) {
+  auto g = boomer::testing::CycleGraph(4);
+  pml::BfsOracle oracle(g);
+  EXPECT_EQ(DetectPath(g, oracle, 2, 2, {1, 4}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DetectPathTest, CycleOffersLongWayAround) {
+  auto g = boomer::testing::CycleGraph(8);
+  pml::BfsOracle oracle(g);
+  // Shortest 0->2 is 2; ask for >= 4: must go the other way (length 6).
+  auto path = DetectPath(g, oracle, 0, 2, {4, 8});
+  ASSERT_TRUE(path.ok()) << path.status();
+  ExpectValidPath(g, *path, 0, 2, {4, 8});
+  EXPECT_EQ(path->size() - 1, 6u);
+}
+
+TEST(DetectPathTest, AgreesWithBruteForceFeasibility) {
+  auto g_or = graph::GenerateErdosRenyi(40, 70, 2, 77);
+  ASSERT_TRUE(g_or.ok());
+  const Graph& g = *g_or;
+  pml::BfsOracle oracle(g);
+  for (VertexId u = 0; u < g.NumVertices(); u += 5) {
+    for (VertexId v = 1; v < g.NumVertices(); v += 7) {
+      if (u == v) continue;
+      for (uint32_t lower : {1u, 2u, 3u}) {
+        for (uint32_t upper : {lower, lower + 2}) {
+          const bool expected = boomer::testing::BruteForcePathExists(
+              g, u, v, lower, upper);
+          auto path = DetectPath(g, oracle, u, v, {lower, upper});
+          ASSERT_EQ(path.ok(), expected)
+              << u << "->" << v << " [" << lower << "," << upper << "]";
+          if (path.ok()) ExpectValidPath(g, *path, u, v, {lower, upper});
+        }
+      }
+    }
+  }
+}
+
+TEST(FilterByLowerBoundTest, Figure2GreyResult) {
+  // Paper walkthrough: V_P = {v3, v8, v12} passes all-lower-1 bounds with
+  // shortest paths.
+  auto g = boomer::testing::Figure2Graph();
+  pml::BfsOracle oracle(g);
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  PartialMatch match;
+  match.assignment = {2, 7, 11};  // v3, v8, v12
+  auto result = FilterByLowerBound(*q, match, g, oracle);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->paths.size(), 3u);
+  for (const auto& embedding : result->paths) {
+    const auto& edge = q->Edge(embedding.edge);
+    ExpectValidPath(g, embedding.path, match.assignment[edge.src],
+                    match.assignment[edge.dst], edge.bounds);
+  }
+}
+
+TEST(FilterByLowerBoundTest, RejectsWhenLowerUnsatisfiable) {
+  auto g = boomer::testing::PathGraph(3, 0);
+  pml::BfsOracle oracle(g);
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {2, 2}).ok());
+  PartialMatch adjacent;
+  adjacent.assignment = {0, 1};  // dist 1, no simple length-2 path exists
+  EXPECT_EQ(FilterByLowerBound(q, adjacent, g, oracle).status().code(),
+            StatusCode::kNotFound);
+  PartialMatch two_apart;
+  two_apart.assignment = {0, 2};
+  EXPECT_TRUE(FilterByLowerBound(q, two_apart, g, oracle).ok());
+}
+
+TEST(FilterByLowerBoundTest, RejectsWrongMatchSize) {
+  auto g = boomer::testing::PathGraph(3, 0);
+  pml::BfsOracle oracle(g);
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  PartialMatch bad;
+  bad.assignment = {0};
+  EXPECT_FALSE(FilterByLowerBound(q, bad, g, oracle).ok());
+}
+
+TEST(FilterByLowerBoundTest, FullBphSemanticsMatchBruteForce) {
+  // For every upper-bound match, FilterByLowerBound acceptance must
+  // coincide with brute-force BPH feasibility.
+  auto g_or = graph::GenerateErdosRenyi(30, 60, 2, 83);
+  ASSERT_TRUE(g_or.ok());
+  const Graph& g = *g_or;
+  pml::BfsOracle oracle(g);
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {2, 3}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 2}).ok());
+  auto upper_matches = boomer::testing::BruteForceUpperBoundMatches(g, q);
+  auto bph_matches = boomer::testing::BruteForceBphMatches(g, q);
+  for (const auto& assignment : upper_matches) {
+    PartialMatch match;
+    match.assignment = assignment;
+    const bool accepted = FilterByLowerBound(q, match, g, oracle).ok();
+    EXPECT_EQ(accepted, bph_matches.contains(assignment))
+        << "assignment {" << assignment[0] << "," << assignment[1] << ","
+        << assignment[2] << "}";
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,157 @@
+#include "core/match_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+/// Runs a blend of `q` on `g` and returns the finished blender.
+std::unique_ptr<Blender> BlendQuery(const graph::Graph& g,
+                                    const PreprocessResult& prep,
+                                    const query::BphQuery& q) {
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+  BOOMER_CHECK(trace.ok());
+  auto blender = std::make_unique<Blender>(g, prep, BlenderOptions());
+  BOOMER_CHECK_OK(blender->RunTrace(*trace));
+  return blender;
+}
+
+class MatchIteratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = boomer::testing::Figure2Graph();
+    PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep = Preprocess(graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+  graph::Graph graph_;
+  std::unique_ptr<PreprocessResult> prep_;
+};
+
+TEST_F(MatchIteratorTest, YieldsSameSetAsBatchEnumeration) {
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  auto blender = BlendQuery(graph_, *prep_, *q);
+  auto iter = MatchIterator::Create(*q, blender->cap());
+  ASSERT_TRUE(iter.ok()) << iter.status();
+  std::vector<PartialMatch> streamed;
+  while (auto match = iter->Next()) streamed.push_back(*match);
+  EXPECT_EQ(iter->num_yielded(), 3u);
+  EXPECT_EQ(boomer::testing::Canonicalize(streamed),
+            boomer::testing::Canonicalize(blender->Results()));
+  // Exhausted: further calls keep returning nullopt.
+  EXPECT_FALSE(iter->Next().has_value());
+  EXPECT_FALSE(iter->Next().has_value());
+}
+
+TEST_F(MatchIteratorTest, EmptyCapYieldsNothing) {
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(42);  // absent label
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 2}).ok());
+  auto blender = BlendQuery(graph_, *prep_, q);
+  auto iter = MatchIterator::Create(q, blender->cap());
+  ASSERT_TRUE(iter.ok());
+  EXPECT_FALSE(iter->Next().has_value());
+  EXPECT_EQ(iter->num_yielded(), 0u);
+}
+
+TEST_F(MatchIteratorTest, FailsOnIncompleteCap) {
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  CapIndex cap;
+  cap.AddLevel(0, {0});
+  cap.AddLevel(1, {4});
+  EXPECT_EQ(MatchIterator::Create(q, cap).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MatchIteratorTest, StreamingMatchesBatchAcrossTemplatesAndGraphs) {
+  for (uint64_t seed : {401u, 402u}) {
+    auto g_or = graph::GenerateErdosRenyi(70, 160, 3, seed);
+    ASSERT_TRUE(g_or.ok());
+    PreprocessOptions options;
+    options.t_avg_samples = 300;
+    auto prep = Preprocess(*g_or, options);
+    ASSERT_TRUE(prep.ok());
+    query::QueryInstantiator inst(*g_or, seed);
+    for (auto id : {query::TemplateId::kQ1, query::TemplateId::kQ2,
+                    query::TemplateId::kQ5, query::TemplateId::kQ6}) {
+      auto q = inst.Instantiate(id);
+      ASSERT_TRUE(q.ok());
+      auto blender = BlendQuery(*g_or, *prep, *q);
+      auto iter = MatchIterator::Create(*q, blender->cap());
+      ASSERT_TRUE(iter.ok());
+      std::vector<PartialMatch> streamed;
+      while (auto match = iter->Next()) streamed.push_back(*match);
+      EXPECT_EQ(boomer::testing::Canonicalize(streamed),
+                boomer::testing::Canonicalize(blender->Results()))
+          << query::TemplateName(id) << " seed " << seed;
+    }
+  }
+}
+
+TEST_F(MatchIteratorTest, EveryYieldedMatchIsInjective) {
+  auto g = boomer::testing::CompleteGraph(8, 1);
+  PreprocessOptions options;
+  options.t_avg_samples = 100;
+  auto prep = Preprocess(g, options);
+  ASSERT_TRUE(prep.ok());
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 1}).ok());
+  auto blender = BlendQuery(g, *prep, q);
+  auto iter = MatchIterator::Create(q, blender->cap());
+  ASSERT_TRUE(iter.ok());
+  size_t count = 0;
+  while (auto match = iter->Next()) {
+    ++count;
+    EXPECT_NE(match->assignment[0], match->assignment[1]);
+    EXPECT_NE(match->assignment[1], match->assignment[2]);
+    EXPECT_NE(match->assignment[0], match->assignment[2]);
+  }
+  EXPECT_EQ(count, 8u * 7u * 6u);
+}
+
+TEST_F(MatchIteratorTest, PartialConsumptionIsCheap) {
+  // On a complete graph with a permissive query, taking only the first few
+  // matches must not enumerate the full (large) result set.
+  auto g = boomer::testing::CompleteGraph(50, 1);
+  PreprocessOptions options;
+  options.t_avg_samples = 100;
+  auto prep = Preprocess(g, options);
+  ASSERT_TRUE(prep.ok());
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 2}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 2}).ok());
+  auto blender = BlendQuery(g, *prep, q);
+  auto iter = MatchIterator::Create(q, blender->cap());
+  ASSERT_TRUE(iter.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(iter->Next().has_value());
+  }
+  EXPECT_EQ(iter->num_yielded(), 5u);  // 50*49*48 matches never materialized
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,208 @@
+// Query-modification tests (Section 6, Algorithms 5/15).
+//
+// The governing property: after any sequence of modifications, the blender's
+// results must equal those of a fresh blender run on the final query
+// ("modification ≡ rebuild-from-scratch").
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+using gui::Action;
+using query::Bounds;
+using query::TemplateId;
+
+class ModificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = boomer::testing::Figure2Graph();
+    PreprocessOptions options;
+    options.t_avg_samples = 1000;
+    auto prep = Preprocess(graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+
+  /// Runs a blender over the Q1 formulation with `modifications` injected
+  /// before Run; returns its canonical results.
+  boomer::testing::CanonicalMatches RunWithMods(
+      Strategy strategy, std::vector<Action> modifications) {
+    auto q = query::InstantiateTemplate(TemplateId::kQ1, {0, 1, 2});
+    BOOMER_CHECK(q.ok());
+    gui::LatencyModel latency;
+    auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency,
+                                 std::move(modifications));
+    BOOMER_CHECK(trace.ok());
+    BlenderOptions options;
+    options.strategy = strategy;
+    Blender blender(graph_, *prep_, options);
+    BOOMER_CHECK_OK(blender.RunTrace(*trace));
+    last_query_ = blender.current_query();
+    return boomer::testing::Canonicalize(blender.Results());
+  }
+
+  /// Ground truth for the final (post-modification) query.
+  boomer::testing::CanonicalMatches GroundTruth() {
+    return boomer::testing::BruteForceUpperBoundMatches(graph_, last_query_);
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<PreprocessResult> prep_;
+  query::BphQuery last_query_;
+};
+
+TEST_F(ModificationTest, DeleteProcessedEdgeEqualsRebuild) {
+  for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToRun,
+                     Strategy::kDeferToIdle}) {
+    auto results = RunWithMods(s, {Action::DeleteEdge(2, 0)});
+    EXPECT_EQ(results, GroundTruth()) << StrategyName(s);
+    EXPECT_EQ(last_query_.NumEdges(), 2u);
+  }
+}
+
+TEST_F(ModificationTest, DeleteFirstEdgeWorstCase) {
+  // Exp 6 deletes e1 to simulate the worst-case rollback.
+  for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToIdle}) {
+    auto results = RunWithMods(s, {Action::DeleteEdge(0, 0)});
+    EXPECT_EQ(results, GroundTruth()) << StrategyName(s);
+  }
+}
+
+TEST_F(ModificationTest, TightenUpperEqualsRebuild) {
+  // e3: [1,3] -> [1,1]; v2/v3 are 2 away from v12, so everything dies.
+  auto results =
+      RunWithMods(Strategy::kImmediate, {Action::SetBounds(2, {1, 1}, 0)});
+  EXPECT_EQ(results, GroundTruth());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(ModificationTest, TightenUpperPartial) {
+  // e2: [1,2] -> [1,1]; only v5 and v8 (adjacent to v12) survive on level 1,
+  // killing the {v3, v6, v12} match.
+  auto results =
+      RunWithMods(Strategy::kImmediate, {Action::SetBounds(1, {1, 1}, 0)});
+  EXPECT_EQ(results, GroundTruth());
+  boomer::testing::CanonicalMatches expected{{1, 4, 11},   // v2, v5, v12
+                                             {2, 7, 11}};  // v3, v8, v12
+  EXPECT_EQ(results, expected);
+}
+
+TEST_F(ModificationTest, LoosenUpperEqualsRebuild) {
+  // e1: [1,1] -> [1,3] admits many more (A, B) pairs.
+  for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToRun,
+                     Strategy::kDeferToIdle}) {
+    auto results = RunWithMods(s, {Action::SetBounds(0, {1, 3}, 0)});
+    EXPECT_EQ(results, GroundTruth()) << StrategyName(s);
+  }
+}
+
+TEST_F(ModificationTest, LowerOnlyChangeLeavesCapIntact) {
+  // Lower-bound alterations never touch the CAP (Section 6).
+  auto q = query::InstantiateTemplate(TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency,
+                               {Action::SetBounds(2, {2, 3}, 0)});
+  ASSERT_TRUE(trace.ok());
+  Blender blender(graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+  // Upper-bound matches unchanged from the unmodified query...
+  EXPECT_EQ(blender.Results().size(), 3u);
+  // ...but result subgraphs now honor lower = 2 on e3.
+  for (size_t i = 0; i < blender.Results().size(); ++i) {
+    auto subgraph = blender.GenerateResultSubgraph(i);
+    if (!subgraph.ok()) continue;  // filtered just-in-time
+    for (const auto& embedding : subgraph->paths) {
+      if (embedding.edge == 2) {
+        EXPECT_GE(embedding.Length(), 2u);
+      }
+    }
+  }
+}
+
+TEST_F(ModificationTest, SequencesOfModifications) {
+  // Loosen then tighten then delete — still equals rebuild.
+  std::vector<Action> mods{
+      Action::SetBounds(0, {1, 2}, 0),
+      Action::SetBounds(1, {1, 1}, 0),
+      Action::DeleteEdge(2, 0),
+  };
+  for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToIdle}) {
+    auto results = RunWithMods(s, mods);
+    EXPECT_EQ(results, GroundTruth()) << StrategyName(s);
+  }
+}
+
+TEST_F(ModificationTest, DeleteUnprocessedPooledEdge) {
+  // Force deferral, then delete the pooled edge before Run: the CAP is
+  // never touched, the pool entry just disappears.
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToRun;
+  options.t_lat_seconds = 0.0;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(2, 2, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 2, {1, 3}, 1000)).ok());
+  ASSERT_EQ(blender.pool().size(), 1u);
+  ASSERT_TRUE(blender.OnAction(Action::DeleteEdge(1, 1000)).ok());
+  EXPECT_TRUE(blender.pool().empty());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(1, 2, {1, 2}, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  // Final query: path A - B, A - C... actually edges (0,1)[1,1], (1,2)[1,2].
+  auto truth = boomer::testing::BruteForceUpperBoundMatches(
+      graph_, blender.current_query());
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()), truth);
+}
+
+TEST_F(ModificationTest, BoundsChangeOnPooledEdge) {
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToRun;
+  options.t_lat_seconds = 0.0;
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 2, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 3}, 1000)).ok());
+  ASSERT_EQ(blender.pool().size(), 1u);
+  // Tighten to [1,2] while pooled: still pooled, bounds picked up at Run.
+  ASSERT_TRUE(blender.OnAction(Action::SetBounds(0, {1, 2}, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  auto truth = boomer::testing::BruteForceUpperBoundMatches(
+      graph_, blender.current_query());
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()), truth);
+}
+
+TEST_F(ModificationTest, DeleteNonexistentEdgeFails) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 0)).ok());
+  EXPECT_EQ(blender.OnAction(Action::DeleteEdge(7, 0)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ModificationTest, ModificationWallTimeRecorded) {
+  auto results = RunWithMods(Strategy::kDeferToIdle,
+                             {Action::SetBounds(0, {1, 3}, 0)});
+  (void)results;
+  // RunWithMods asserts success; the report is checked through a new run.
+  Blender blender(graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 0)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 0)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 0)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::SetBounds(0, {1, 2}, 0)).ok());
+  EXPECT_EQ(blender.report().modifications, 1u);
+  EXPECT_GT(blender.report().modification_wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,202 @@
+#include "core/pvs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Harness: builds CAP levels for two query vertices from labels, runs PVS,
+/// and returns the populated CAP.
+struct PvsHarness {
+  explicit PvsHarness(const Graph& graph) : g(graph) {
+    auto index = pml::PmlIndex::Build(g);
+    BOOMER_CHECK(index.ok());
+    pml = std::make_unique<pml::PmlIndex>(std::move(index).value());
+    two_hop = pml::ComputeTwoHopCounts(g);
+    ctx.graph = &g;
+    ctx.oracle = pml.get();
+    ctx.two_hop_counts = &two_hop;
+  }
+
+  PvsCounters Run(graph::LabelId li, graph::LabelId lj, uint32_t upper,
+                  PvsMode mode = PvsMode::kThreeStrategy) {
+    cap.Clear();
+    auto si = g.VerticesWithLabel(li);
+    auto sj = g.VerticesWithLabel(lj);
+    cap.AddLevel(0, {si.begin(), si.end()});
+    cap.AddLevel(1, {sj.begin(), sj.end()});
+    cap.AddEdgeAdjacency(0, 0, 1);
+    ctx.mode = mode;
+    return PopulateVertexSet(ctx, &cap, 0, 0, 1, upper);
+  }
+
+  /// Checks the populated adjacency against BFS ground truth.
+  void VerifyAgainstBfs(uint32_t upper) {
+    for (VertexId vi : cap.Candidates(0)) {
+      auto dist = graph::BfsDistances(g, vi);
+      for (VertexId vj : cap.Candidates(1)) {
+        if (vi == vj) continue;
+        const bool expected =
+            dist[vj] != graph::kUnreachable && dist[vj] <= upper;
+        const auto& aivs = cap.Aivs(0, 0, vi);
+        const bool got =
+            std::binary_search(aivs.begin(), aivs.end(), vj);
+        ASSERT_EQ(got, expected)
+            << "pair (" << vi << ", " << vj << ") upper " << upper;
+      }
+    }
+  }
+
+  const Graph& g;
+  std::unique_ptr<pml::PmlIndex> pml;
+  std::vector<uint32_t> two_hop;
+  PvsContext ctx;
+  CapIndex cap;
+};
+
+TEST(PvsTest, NeighborSearchOnFigure2) {
+  auto g = boomer::testing::Figure2Graph();
+  PvsHarness h(g);
+  // (q1, q2) with upper 1: pairs (v2,v5), (v3,v6), (v3,v8), (v4,v7).
+  auto counters = h.Run(0, 1, 1);
+  EXPECT_EQ(counters.pairs_added, 4u);
+  EXPECT_EQ(h.cap.Aivs(0, 0, 1), (std::vector<VertexId>{4}));
+  EXPECT_EQ(h.cap.Aivs(0, 0, 2), (std::vector<VertexId>{5, 7}));
+  EXPECT_TRUE(h.cap.Aivs(0, 0, 0).empty());  // v1 has no B neighbor
+  h.VerifyAgainstBfs(1);
+}
+
+TEST(PvsTest, TwoHopSearchOnFigure2) {
+  auto g = boomer::testing::Figure2Graph();
+  PvsHarness h(g);
+  // (q2, q3) with upper 2: v5, v6, v8 reach v12; v7 does not.
+  auto counters = h.Run(1, 2, 2);
+  EXPECT_EQ(counters.pairs_added, 3u);
+  EXPECT_TRUE(h.cap.Aivs(0, 0, 6).empty());  // v7
+  EXPECT_EQ(h.cap.Aivs(0, 1, 11), (std::vector<VertexId>{4, 5, 7}));
+  h.VerifyAgainstBfs(2);
+}
+
+TEST(PvsTest, LargeUpperSearchOnFigure2) {
+  auto g = boomer::testing::Figure2Graph();
+  PvsHarness h(g);
+  // (q1, q3) with upper 3: dist(v2,v12)=2, dist(v3,v12)=2; v1, v4 too far.
+  auto counters = h.Run(0, 2, 3);
+  EXPECT_GT(counters.distance_queries, 0u);
+  EXPECT_EQ(h.cap.Aivs(0, 1, 11), (std::vector<VertexId>{1, 2}));
+  h.VerifyAgainstBfs(3);
+}
+
+TEST(PvsTest, LargeUpperOnlyModeMatchesThreeStrategy) {
+  auto g_or = graph::GenerateErdosRenyi(150, 400, 3, 51);
+  ASSERT_TRUE(g_or.ok());
+  PvsHarness a(*g_or), b(*g_or);
+  for (uint32_t upper : {1u, 2u, 3u}) {
+    a.Run(0, 1, upper, PvsMode::kThreeStrategy);
+    b.Run(0, 1, upper, PvsMode::kLargeUpperOnly);
+    for (VertexId vi : a.cap.Candidates(0)) {
+      ASSERT_EQ(a.cap.Aivs(0, 0, vi), b.cap.Aivs(0, 0, vi))
+          << "upper " << upper << " vi " << vi;
+    }
+  }
+}
+
+TEST(PvsTest, LargeUpperOnlyUsesNoScans) {
+  auto g = boomer::testing::Figure2Graph();
+  PvsHarness h(g);
+  auto counters = h.Run(0, 1, 1, PvsMode::kLargeUpperOnly);
+  EXPECT_EQ(counters.out_scans, 0u);
+  EXPECT_EQ(counters.in_scans, 0u);
+  EXPECT_GT(counters.distance_queries, 0u);
+}
+
+TEST(PvsTest, ThreeStrategyUsesNoDistanceQueriesForSmallBounds) {
+  auto g = boomer::testing::Figure2Graph();
+  PvsHarness h(g);
+  EXPECT_EQ(h.Run(0, 1, 1).distance_queries, 0u);
+  EXPECT_EQ(h.Run(1, 2, 2).distance_queries, 0u);
+  EXPECT_GT(h.Run(0, 2, 3).distance_queries, 0u);
+}
+
+TEST(PvsTest, SameLabelBothSides) {
+  auto g = boomer::testing::CycleGraph(8, /*label=*/0);
+  PvsHarness h(g);
+  h.Run(0, 0, 2);
+  // On a cycle every vertex has 4 others within distance 2.
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(h.cap.Aivs(0, 0, v).size(), 4u) << "vertex " << v;
+  }
+  h.VerifyAgainstBfs(2);
+}
+
+TEST(PvsTest, EmptyCandidateSideYieldsNoPairs) {
+  auto g = boomer::testing::PathGraph(5, /*label=*/0);
+  PvsHarness h(g);
+  auto counters = h.Run(0, 3, 2);  // label 3 has no vertices
+  EXPECT_EQ(counters.pairs_added, 0u);
+}
+
+// Property sweep: all strategies agree with BFS across bounds & topologies.
+struct PvsSweepParam {
+  const char* name;
+  int graph_kind;  // 0=ER, 1=star, 2=cycle, 3=BA
+  uint32_t upper;
+};
+
+class PvsSweepTest : public ::testing::TestWithParam<PvsSweepParam> {};
+
+TEST_P(PvsSweepTest, MatchesBfsGroundTruth) {
+  const auto& p = GetParam();
+  Graph g;
+  switch (p.graph_kind) {
+    case 0: {
+      auto g_or = graph::GenerateErdosRenyi(120, 260, 3, 61);
+      ASSERT_TRUE(g_or.ok());
+      g = std::move(g_or).value();
+      break;
+    }
+    case 1:
+      g = boomer::testing::StarGraph(40, 0, 1);
+      break;
+    case 2:
+      g = boomer::testing::CycleGraph(30, 0);
+      break;
+    default: {
+      auto g_or = graph::GenerateBarabasiAlbert(150, 2, 3, 67);
+      ASSERT_TRUE(g_or.ok());
+      g = std::move(g_or).value();
+      break;
+    }
+  }
+  PvsHarness h(g);
+  const graph::LabelId lj = g.NumLabels() > 1 ? 1 : 0;
+  h.Run(0, lj, p.upper);
+  h.VerifyAgainstBfs(p.upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, PvsSweepTest,
+    ::testing::Values(PvsSweepParam{"er_u1", 0, 1}, PvsSweepParam{"er_u2", 0, 2},
+                      PvsSweepParam{"er_u3", 0, 3}, PvsSweepParam{"er_u5", 0, 5},
+                      PvsSweepParam{"star_u1", 1, 1},
+                      PvsSweepParam{"star_u2", 1, 2},
+                      PvsSweepParam{"cycle_u3", 2, 3},
+                      PvsSweepParam{"cycle_u10", 2, 10},
+                      PvsSweepParam{"ba_u1", 3, 1}, PvsSweepParam{"ba_u2", 3, 2},
+                      PvsSweepParam{"ba_u4", 3, 4}),
+    [](const ::testing::TestParamInfo<PvsSweepParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

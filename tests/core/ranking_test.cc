@@ -1,0 +1,86 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "pml/pml_index.h"
+#include "query/templates.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+TEST(RankingTest, CompactnessScoreSumsEdgeDistances) {
+  auto g = boomer::testing::Figure2Graph();
+  pml::BfsOracle oracle(g);
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  // {v3, v8, v12}: d(v3,v8)=1, d(v8,v12)=1, d(v3,v12)=2 -> 4.
+  PartialMatch match;
+  match.assignment = {2, 7, 11};
+  auto score = CompactnessScore(*q, match, oracle);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(*score, 4u);
+  // {v3, v6, v12}: d(v3,v6)=1, d(v6,v12)=2, d(v3,v12)=2 -> 5.
+  match.assignment = {2, 5, 11};
+  EXPECT_EQ(CompactnessScore(*q, match, oracle).value(), 5u);
+}
+
+TEST(RankingTest, RanksTightestFirstAndIsDeterministic) {
+  auto g = boomer::testing::Figure2Graph();
+  pml::BfsOracle oracle(g);
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  std::vector<PartialMatch> matches(3);
+  matches[0].assignment = {2, 5, 11};  // score 5
+  matches[1].assignment = {2, 7, 11};  // score 4
+  matches[2].assignment = {1, 4, 11};  // d(v2,v5)=1, d(v5,v12)=1, d(v2,v12)=2 -> 4
+  auto ranked = RankMatches(*q, matches, oracle);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  EXPECT_EQ((*ranked)[0].total_distance, 4u);
+  EXPECT_EQ((*ranked)[1].total_distance, 4u);
+  EXPECT_EQ((*ranked)[2].total_distance, 5u);
+  // Tie broken by assignment: {1,4,11} < {2,7,11}.
+  EXPECT_EQ((*ranked)[0].match.assignment,
+            (std::vector<graph::VertexId>{1, 4, 11}));
+}
+
+TEST(RankingTest, RejectsBadMatch) {
+  auto g = boomer::testing::PathGraph(4, 0);
+  pml::BfsOracle oracle(g);
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 2}).ok());
+  PartialMatch bad;
+  bad.assignment = {0};
+  EXPECT_FALSE(CompactnessScore(q, bad, oracle).ok());
+}
+
+TEST(RankingTest, DisconnectedMatchFailsPrecondition) {
+  auto g = boomer::testing::TwoTriangles();
+  pml::BfsOracle oracle(g);
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 5}).ok());
+  PartialMatch across;
+  across.assignment = {0, 4};  // different components
+  EXPECT_EQ(CompactnessScore(q, across, oracle).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RankingTest, EmptyInputYieldsEmptyRanking) {
+  auto g = boomer::testing::PathGraph(3, 0);
+  pml::BfsOracle oracle(g);
+  query::BphQuery q;
+  q.AddVertex(0);
+  auto ranked = RankMatches(q, {}, oracle);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_TRUE(ranked->empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

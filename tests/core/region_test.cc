@@ -1,0 +1,131 @@
+#include "core/region.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+
+/// Builds a ResultSubgraph by hand from a match and explicit paths.
+ResultSubgraph MakeResult(std::vector<VertexId> match,
+                          std::vector<std::vector<VertexId>> paths) {
+  ResultSubgraph result;
+  result.match.assignment = std::move(match);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    PathEmbedding embedding;
+    embedding.edge = static_cast<query::QueryEdgeId>(i);
+    embedding.path = std::move(paths[i]);
+    result.paths.push_back(std::move(embedding));
+  }
+  return result;
+}
+
+TEST(RegionTest, ContainsMatchAndPathVertices) {
+  auto g = boomer::testing::Figure2Graph();
+  // Match {v3, v8, v12} (ids 2, 7, 11) with its witness paths.
+  auto result = MakeResult({2, 7, 11}, {{2, 7}, {7, 11}, {2, 7, 11}});
+  RegionOptions options;
+  options.context_radius = 0;
+  auto region = ExtractRegion(g, result, options);
+  ASSERT_TRUE(region.ok()) << region.status();
+  EXPECT_EQ(region->subgraph.NumVertices(), 3u);
+  EXPECT_EQ(region->match_vertices.size(), 3u);
+  EXPECT_TRUE(region->path_vertices.empty());  // paths use match vertices only
+  // Induced edges: (v3,v8) and (v8,v12) exist, (v3,v12) does not.
+  EXPECT_EQ(region->subgraph.NumEdges(), 2u);
+}
+
+TEST(RegionTest, PathInteriorsMarked) {
+  auto g = boomer::testing::Figure2Graph();
+  // Path v3 -> v6 -> v11 -> v12 (detour example); match is {v3, v12}.
+  auto result = MakeResult({2, 11}, {{2, 5, 10, 11}});
+  RegionOptions options;
+  options.context_radius = 0;
+  auto region = ExtractRegion(g, result, options);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->subgraph.NumVertices(), 4u);
+  EXPECT_EQ(region->path_vertices.size(), 2u);  // v6, v11 interiors
+  // Labels preserved.
+  for (VertexId local = 0; local < region->subgraph.NumVertices(); ++local) {
+    EXPECT_EQ(region->subgraph.Label(local),
+              g.Label(region->to_original[local]));
+  }
+}
+
+TEST(RegionTest, ContextHaloGrowsRegion) {
+  auto g = boomer::testing::Figure2Graph();
+  auto result = MakeResult({2, 7, 11}, {{2, 7}, {7, 11}, {2, 7, 11}});
+  RegionOptions no_halo;
+  no_halo.context_radius = 0;
+  RegionOptions halo;
+  halo.context_radius = 1;
+  auto small = ExtractRegion(g, result, no_halo);
+  auto large = ExtractRegion(g, result, halo);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->subgraph.NumVertices(), small->subgraph.NumVertices());
+}
+
+TEST(RegionTest, BudgetCapsVertices) {
+  auto g_or = graph::GenerateBarabasiAlbert(500, 5, 1, 3);
+  ASSERT_TRUE(g_or.ok());
+  auto result = MakeResult({0, 1}, {{0, 1}});
+  RegionOptions options;
+  options.context_radius = 3;
+  options.max_vertices = 15;
+  auto region = ExtractRegion(*g_or, result, options);
+  ASSERT_TRUE(region.ok());
+  EXPECT_LE(region->subgraph.NumVertices(), 15u);
+  // Match vertices always make the cut (highest priority).
+  EXPECT_EQ(region->match_vertices.size(), 2u);
+}
+
+TEST(RegionTest, ToLocalMapsBothWays) {
+  auto g = boomer::testing::Figure2Graph();
+  auto result = MakeResult({1, 4, 11}, {{1, 4}, {4, 11}, {1, 4, 11}});
+  RegionOptions options;
+  options.context_radius = 1;
+  auto region = ExtractRegion(g, result, options);
+  ASSERT_TRUE(region.ok());
+  for (VertexId local = 0; local < region->to_original.size(); ++local) {
+    EXPECT_EQ(region->ToLocal(region->to_original[local]), local);
+  }
+  EXPECT_EQ(region->ToLocal(9999), graph::kInvalidVertex);
+}
+
+TEST(RegionTest, RejectsBadInputs) {
+  auto g = boomer::testing::PathGraph(4);
+  auto result = MakeResult({0, 99}, {});  // vertex 99 out of range
+  EXPECT_FALSE(ExtractRegion(g, result).ok());
+  auto ok_result = MakeResult({0, 1}, {});
+  RegionOptions zero_budget;
+  zero_budget.max_vertices = 0;
+  EXPECT_FALSE(ExtractRegion(g, ok_result, zero_budget).ok());
+}
+
+TEST(RegionTest, InducedEdgesMatchOriginalGraph) {
+  auto g_or = graph::GenerateErdosRenyi(100, 300, 2, 5);
+  ASSERT_TRUE(g_or.ok());
+  auto result = MakeResult({0, 1, 2}, {});
+  RegionOptions options;
+  options.context_radius = 2;
+  options.max_vertices = 30;
+  auto region = ExtractRegion(*g_or, result, options);
+  ASSERT_TRUE(region.ok());
+  const auto& sub = region->subgraph;
+  for (VertexId u = 0; u < sub.NumVertices(); ++u) {
+    for (VertexId v : sub.Neighbors(u)) {
+      EXPECT_TRUE(g_or->HasEdge(region->to_original[u],
+                                region->to_original[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,202 @@
+#include "core/result_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pvs.h"
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using query::BphQuery;
+
+/// Builds a complete CAP for `q` on `g` (levels from labels, PVS per edge,
+/// pruning after each edge) — the offline equivalent of a blend session.
+CapIndex BuildFullCap(const Graph& g, const BphQuery& q,
+                      const pml::PmlIndex& pml, bool prune = true) {
+  CapIndex cap;
+  PvsContext ctx;
+  ctx.graph = &g;
+  ctx.oracle = &pml;
+  std::vector<uint32_t> two_hop = pml::ComputeTwoHopCounts(g);
+  ctx.two_hop_counts = &two_hop;
+  for (query::QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    auto span = g.VerticesWithLabel(q.Label(v));
+    cap.AddLevel(v, {span.begin(), span.end()});
+  }
+  for (query::QueryEdgeId e : q.LiveEdges()) {
+    const auto& edge = q.Edge(e);
+    cap.AddEdgeAdjacency(e, edge.src, edge.dst);
+    PopulateVertexSet(ctx, &cap, e, edge.src, edge.dst, edge.bounds.upper);
+    if (prune) cap.PruneIsolated(e);
+  }
+  return cap;
+}
+
+BphQuery Fig2Query() {
+  auto q = query::InstantiateTemplate(query::TemplateId::kQ1, {0, 1, 2});
+  BOOMER_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+TEST(PartialVertexSetsGenTest, Figure2ReproducesPaperResults) {
+  auto g = boomer::testing::Figure2Graph();
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  BphQuery q = Fig2Query();
+  CapIndex cap = BuildFullCap(g, q, *pml);
+
+  // Paper: V_q1 = {v2, v3}, V_q2 = {v5, v6, v8}, V_q3 = {v12}.
+  EXPECT_EQ(cap.Candidates(0), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(cap.Candidates(1), (std::vector<VertexId>{4, 5, 7}));
+  EXPECT_EQ(cap.Candidates(2), (std::vector<VertexId>{11}));
+
+  auto results = PartialVertexSetsGen(q, cap);
+  ASSERT_TRUE(results.ok()) << results.status();
+  // Paper: V_delta = {v2,v5,v12}, {v3,v6,v12}, {v3,v8,v12}.
+  auto canonical = boomer::testing::Canonicalize(*results);
+  boomer::testing::CanonicalMatches expected{
+      {1, 4, 11}, {2, 5, 11}, {2, 7, 11}};
+  EXPECT_EQ(canonical, expected);
+}
+
+TEST(PartialVertexSetsGenTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto g_or = graph::GenerateErdosRenyi(60, 140, 3, seed);
+    ASSERT_TRUE(g_or.ok());
+    auto pml = pml::PmlIndex::Build(*g_or);
+    ASSERT_TRUE(pml.ok());
+    query::QueryInstantiator inst(*g_or, seed);
+    for (auto id : {query::TemplateId::kQ1, query::TemplateId::kQ3,
+                    query::TemplateId::kQ5}) {
+      auto q = inst.Instantiate(id);
+      ASSERT_TRUE(q.ok());
+      CapIndex cap = BuildFullCap(*g_or, *q, *pml);
+      auto results = PartialVertexSetsGen(*q, cap);
+      ASSERT_TRUE(results.ok());
+      EXPECT_EQ(boomer::testing::Canonicalize(*results),
+                boomer::testing::BruteForceUpperBoundMatches(*g_or, *q))
+          << "seed " << seed << " " << query::TemplateName(id);
+    }
+  }
+}
+
+TEST(PartialVertexSetsGenTest, PruningDoesNotChangeResults) {
+  auto g_or = graph::GenerateErdosRenyi(80, 200, 3, 9);
+  ASSERT_TRUE(g_or.ok());
+  auto pml = pml::PmlIndex::Build(*g_or);
+  ASSERT_TRUE(pml.ok());
+  query::QueryInstantiator inst(*g_or, 5);
+  auto q = inst.Instantiate(query::TemplateId::kQ2);
+  ASSERT_TRUE(q.ok());
+  CapIndex pruned = BuildFullCap(*g_or, *q, *pml, /*prune=*/true);
+  CapIndex unpruned = BuildFullCap(*g_or, *q, *pml, /*prune=*/false);
+  auto a = PartialVertexSetsGen(*q, pruned);
+  auto b = PartialVertexSetsGen(*q, unpruned);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(boomer::testing::Canonicalize(*a),
+            boomer::testing::Canonicalize(*b));
+  // But pruning shrinks the index.
+  EXPECT_LE(pruned.ComputeStats().num_candidates,
+            unpruned.ComputeStats().num_candidates);
+}
+
+TEST(PartialVertexSetsGenTest, InjectivityEnforced) {
+  // Query: edge between two vertices of the same label, upper = 2.
+  // On a triangle of label-0 vertices every ordered pair matches, but
+  // (v, v) must never appear.
+  auto g = boomer::testing::CycleGraph(3, 0);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 2}).ok());
+  CapIndex cap = BuildFullCap(g, q, *pml);
+  auto results = PartialVertexSetsGen(q, cap);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 6u);  // 3 * 2 ordered pairs
+  for (const auto& m : *results) {
+    EXPECT_NE(m.assignment[0], m.assignment[1]);
+  }
+}
+
+TEST(PartialVertexSetsGenTest, MaxResultsCapsEnumeration) {
+  auto g = boomer::testing::CompleteGraph(10, 1);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 1}).ok());
+  CapIndex cap = BuildFullCap(g, q, *pml);
+  auto capped = PartialVertexSetsGen(q, cap, /*max_results=*/7);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->size(), 7u);
+  auto full = PartialVertexSetsGen(q, cap);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 10u * 9u * 8u);
+}
+
+TEST(PartialVertexSetsGenTest, NoMatchesWhenLevelEmpty) {
+  auto g = boomer::testing::PathGraph(4, 0);
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(9);  // label 9 absent
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  CapIndex cap = BuildFullCap(g, q, *pml);
+  auto results = PartialVertexSetsGen(q, cap);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(PartialVertexSetsGenTest, FailsOnIncompleteCap) {
+  auto g = boomer::testing::PathGraph(4, 0);
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  CapIndex cap;
+  cap.AddLevel(0, {0, 1});
+  cap.AddLevel(1, {0, 1});
+  // Edge 0 never processed.
+  EXPECT_EQ(PartialVertexSetsGen(q, cap).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReorderBySizeTest, StartsAtSmallestAndStaysConnected) {
+  auto g = boomer::testing::Figure2Graph();
+  auto pml = pml::PmlIndex::Build(g);
+  ASSERT_TRUE(pml.ok());
+  BphQuery q = Fig2Query();
+  CapIndex cap = BuildFullCap(g, q, *pml);
+  auto order = ReorderBySize(q, cap);
+  ASSERT_TRUE(order.ok());
+  // |V_q3| = 1 is smallest -> starts at q2 (0-based id 2).
+  EXPECT_EQ((*order)[0], 2u);
+  EXPECT_EQ(order->size(), 3u);
+  // Each subsequent vertex must touch the prefix.
+  for (size_t i = 1; i < order->size(); ++i) {
+    bool connected = false;
+    for (size_t j = 0; j < i && !connected; ++j) {
+      connected =
+          q.FindEdge((*order)[i], (*order)[j]) != query::kInvalidQueryEdge;
+    }
+    EXPECT_TRUE(connected) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

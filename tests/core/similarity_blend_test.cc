@@ -1,0 +1,149 @@
+// Blender + BU under full p-hom similarity matching (Fan et al.):
+// generalization of the BPH label-equality predicate via LabelSimilarity.
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "core/bu_evaluator.h"
+#include "graph/generators.h"
+#include "gui/trace_builder.h"
+#include "query/similarity.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+using gui::Action;
+
+class SimilarityBlendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = boomer::testing::Figure2Graph();
+    PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep = Preprocess(graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+  graph::Graph graph_;
+  std::unique_ptr<PreprocessResult> prep_;
+};
+
+TEST_F(SimilarityBlendTest, SimilarityWidensCandidateLevels) {
+  // Treat label D (3) as similar to B (1): the B-level now also holds the
+  // D-labeled vertices v9..v11 (ids 8..10).
+  query::LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(1, 3, 0.9).ok());
+  BlenderOptions options;
+  options.similarity = {&sim, 0.5};
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 1, 1000)).ok());
+  auto level = blender.cap().Candidates(0);
+  EXPECT_EQ(level, (std::vector<VertexId>{4, 5, 6, 7, 8, 9, 10}));
+}
+
+TEST_F(SimilarityBlendTest, ThresholdGatesTheWidening) {
+  query::LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(1, 3, 0.4).ok());
+  BlenderOptions options;
+  options.similarity = {&sim, 0.5};  // 0.4 < 0.5: not similar enough
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 1, 1000)).ok());
+  EXPECT_EQ(blender.cap().Candidates(0),
+            (std::vector<VertexId>{4, 5, 6, 7}));
+}
+
+TEST_F(SimilarityBlendTest, SimilarityMatchesSupersetOfExact) {
+  // A (q1) also accepts B-labeled vertices: every exact match survives and
+  // new cross-label matches may appear.
+  query::LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(0, 1, 0.8).ok());
+
+  auto run = [&](query::SimilarityConfig config) {
+    BlenderOptions options;
+    options.similarity = config;
+    Blender blender(graph_, *prep_, options);
+    BOOMER_CHECK_OK(blender.OnAction(Action::NewVertex(0, 0, 1000)));
+    BOOMER_CHECK_OK(blender.OnAction(Action::NewVertex(1, 1, 1000)));
+    BOOMER_CHECK_OK(
+        blender.OnAction(Action::NewEdge(0, 1, {1, 2}, 1000)));
+    BOOMER_CHECK_OK(blender.OnAction(Action::Run()));
+    return boomer::testing::Canonicalize(blender.Results());
+  };
+
+  auto exact = run({});
+  auto relaxed = run({&sim, 0.5});
+  for (const auto& match : exact) {
+    EXPECT_TRUE(relaxed.contains(match));
+  }
+  EXPECT_GT(relaxed.size(), exact.size());
+}
+
+TEST_F(SimilarityBlendTest, BlenderAndBuAgreeUnderSimilarity) {
+  query::LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(0, 1, 0.9).ok());
+  ASSERT_TRUE(sim.Set(2, 3, 0.7).ok());
+  query::SimilarityConfig config{&sim, 0.6};
+
+  auto g_or = graph::GenerateErdosRenyi(60, 140, 4, 991);
+  ASSERT_TRUE(g_or.ok());
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 300;
+  auto prep = Preprocess(*g_or, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(2);
+  q.AddVertex(1);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 2}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 1}).ok());
+
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+  ASSERT_TRUE(trace.ok());
+  BlenderOptions blender_options;
+  blender_options.similarity = config;
+  Blender blender(*g_or, *prep, blender_options);
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+
+  BuOptions bu_options;
+  bu_options.similarity = config;
+  auto bu = EvaluateBu(*g_or, prep->pml(), q, bu_options);
+  ASSERT_TRUE(bu.ok());
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()),
+            boomer::testing::Canonicalize(bu->results));
+  EXPECT_FALSE(blender.Results().empty());
+}
+
+TEST_F(SimilarityBlendTest, ModificationRollbackPreservesSimilarity) {
+  // After a loosening rollback, recomputed levels must still use the
+  // similarity-widened candidates, not fall back to exact matching.
+  query::LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(1, 3, 0.9).ok());
+  BlenderOptions options;
+  options.similarity = {&sim, 0.5};
+  Blender blender(graph_, *prep_, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 1, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 2, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 1000)).ok());
+  // Loosen: triggers RollbackComponent.
+  ASSERT_TRUE(blender.OnAction(Action::SetBounds(0, {1, 2}, 1000)).ok());
+  EXPECT_EQ(blender.cap().Candidates(0),
+            (std::vector<VertexId>{4, 5, 6, 7, 8, 9, 10}));
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  // v11 (id 10, label D) is within 2 of v12 (id 11): similarity admits the
+  // cross-label match (v11, v12).
+  bool found_cross_label = false;
+  for (const auto& m : blender.Results()) {
+    if (m.assignment[0] == 10) found_cross_label = true;
+  }
+  EXPECT_TRUE(found_cross_label);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

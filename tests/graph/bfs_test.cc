@@ -1,0 +1,121 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace graph {
+namespace {
+
+TEST(BfsDistancesTest, PathGraphDistances) {
+  auto g = testing::PathGraph(5);
+  auto dist = BfsDistances(g, 0);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsDistancesTest, DisconnectedUnreachable) {
+  auto g = testing::TwoTriangles();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(BfsDistancesBoundedTest, TruncatesAtDepth) {
+  auto g = testing::PathGraph(10);
+  auto dist = BfsDistancesBounded(g, 0, 3);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kUnreachable);
+  EXPECT_EQ(dist[9], kUnreachable);
+}
+
+TEST(BfsDistancesBoundedTest, DepthZeroOnlySource) {
+  auto g = testing::PathGraph(3);
+  auto dist = BfsDistancesBounded(g, 1, 0);
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(BfsPairDistanceTest, MatchesFullBfs) {
+  auto g_or = GenerateErdosRenyi(200, 500, 3, 99);
+  ASSERT_TRUE(g_or.ok());
+  const Graph& g = *g_or;
+  for (VertexId s : {0u, 17u, 42u}) {
+    auto dist = BfsDistances(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); t += 13) {
+      EXPECT_EQ(BfsPairDistance(g, s, t), dist[t])
+          << "pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(BfsPairDistanceTest, SameVertexIsZero) {
+  auto g = testing::PathGraph(3);
+  EXPECT_EQ(BfsPairDistance(g, 1, 1), 0u);
+}
+
+TEST(BfsPairDistanceTest, DisconnectedIsUnreachable) {
+  auto g = testing::TwoTriangles();
+  EXPECT_EQ(BfsPairDistance(g, 0, 3), kUnreachable);
+}
+
+TEST(BfsPairDistanceTest, CycleGoesTheShortWay) {
+  auto g = testing::CycleGraph(10);
+  EXPECT_EQ(BfsPairDistance(g, 0, 5), 5u);
+  EXPECT_EQ(BfsPairDistance(g, 0, 7), 3u);
+  EXPECT_EQ(BfsPairDistance(g, 0, 1), 1u);
+}
+
+TEST(TwoHopNeighborhoodSizeTest, PathAndStar) {
+  auto path = testing::PathGraph(5);
+  // Vertex 2 reaches 1, 3 (1 hop) and 0, 4 (2 hops).
+  EXPECT_EQ(TwoHopNeighborhoodSize(path, 2), 4u);
+  // Endpoint 0 reaches 1 and 2.
+  EXPECT_EQ(TwoHopNeighborhoodSize(path, 0), 2u);
+  auto star = testing::StarGraph(5);
+  // Center: all 5 leaves at 1 hop.
+  EXPECT_EQ(TwoHopNeighborhoodSize(star, 0), 5u);
+  // Leaf: center + other 4 leaves.
+  EXPECT_EQ(TwoHopNeighborhoodSize(star, 1), 5u);
+}
+
+TEST(KHopNeighborhoodTest, SortedAndComplete) {
+  auto g = testing::CycleGraph(8);
+  auto hood = KHopNeighborhood(g, 0, 2);
+  std::vector<VertexId> expected{1, 2, 6, 7};
+  EXPECT_EQ(hood, expected);
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  auto g = testing::CycleGraph(6);
+  auto info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.largest_component_size, 6u);
+}
+
+TEST(ConnectedComponentsTest, MultipleComponents) {
+  auto g = testing::TwoTriangles();
+  auto info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 2u);
+  EXPECT_EQ(info.largest_component_size, 3u);
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+}
+
+TEST(ConnectedComponentsTest, IsolatedVertices) {
+  GraphBuilder b;
+  b.AddVertices(3, 0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto info = ConnectedComponents(*g);
+  EXPECT_EQ(info.num_components, 3u);
+  EXPECT_EQ(info.largest_component_size, 1u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace boomer

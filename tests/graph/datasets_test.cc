@@ -1,0 +1,138 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace boomer {
+namespace graph {
+namespace {
+
+TEST(DatasetKindTest, NameRoundTrip) {
+  for (DatasetKind kind : {DatasetKind::kWordNet, DatasetKind::kDblp,
+                           DatasetKind::kFlickr}) {
+    auto parsed = DatasetKindFromName(DatasetKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(DatasetKindFromName("imdb").ok());
+}
+
+TEST(DatasetTest, PaperProfilesMatchSection71) {
+  auto wordnet = PaperProfile(DatasetKind::kWordNet);
+  EXPECT_EQ(wordnet.num_vertices, 82000u);
+  EXPECT_EQ(wordnet.num_labels, 5u);
+  auto dblp = PaperProfile(DatasetKind::kDblp);
+  EXPECT_EQ(dblp.num_vertices, 317000u);
+  EXPECT_EQ(dblp.num_labels, 100u);
+  auto flickr = PaperProfile(DatasetKind::kFlickr);
+  EXPECT_EQ(flickr.num_labels, 3000u);
+}
+
+TEST(DatasetTest, ScaleControlsSize) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kWordNet;
+  spec.scale = 0.02;
+  auto g = GenerateDataset(spec);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(static_cast<double>(g->NumVertices()), 82000 * 0.02,
+              82000 * 0.02 * 0.1);
+  EXPECT_EQ(g->NumLabels(), 5u);
+}
+
+TEST(DatasetTest, RejectsBadScale) {
+  DatasetSpec spec;
+  spec.scale = 0.0;
+  EXPECT_FALSE(GenerateDataset(spec).ok());
+  spec.scale = 1.5;
+  EXPECT_FALSE(GenerateDataset(spec).ok());
+}
+
+TEST(DatasetTest, WordNetLabelSkewAndSparsity) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kWordNet;
+  spec.scale = 0.02;
+  auto g = GenerateDataset(spec);
+  ASSERT_TRUE(g.ok());
+  // Part-of-speech skew: label 0 (nouns) dominates.
+  size_t max_count = 0;
+  for (LabelId l = 0; l < 5; ++l) {
+    max_count = std::max(max_count, g->LabelCount(l));
+  }
+  EXPECT_EQ(g->LabelCount(0), max_count);
+  EXPECT_GT(g->LabelCount(0), 2 * g->LabelCount(4));
+  // Sparse: avg degree ~ paper's 2*125K/82K ≈ 3.
+  double avg = 2.0 * g->NumEdges() / g->NumVertices();
+  EXPECT_LT(avg, 6.0);
+}
+
+TEST(DatasetTest, DblpUniformLabels) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kDblp;
+  spec.scale = 0.01;
+  auto g = GenerateDataset(spec);
+  ASSERT_TRUE(g.ok());
+  // DBLP keeps the paper's 100 labels (selectivity-preserving analog).
+  EXPECT_EQ(g->NumLabels(), 100u);
+  // Uniform: no label > 5x the mean.
+  const double mean =
+      static_cast<double>(g->NumVertices()) / g->NumLabels();
+  for (LabelId l = 0; l < 100; ++l) {
+    EXPECT_LT(static_cast<double>(g->LabelCount(l)), 5.0 * mean);
+  }
+}
+
+TEST(DatasetTest, FlickrLabelCountScalesWithSize) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kFlickr;
+  spec.scale = 0.02;
+  auto g = GenerateDataset(spec);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumLabels(), 60u);  // 3000 * 0.02
+  // Candidate-set size |V_q| stays at the paper's ~600.
+  EXPECT_NEAR(static_cast<double>(g->NumVertices()) / g->NumLabels(), 600.0,
+              60.0);
+  // WordNet keeps its five real part-of-speech labels at any scale.
+  DatasetSpec wn{DatasetKind::kWordNet, 0.02, 42};
+  auto gw = GenerateDataset(wn);
+  ASSERT_TRUE(gw.ok());
+  EXPECT_EQ(gw->NumLabels(), 5u);
+}
+
+TEST(DatasetTest, FlickrHeavyTail) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kFlickr;
+  spec.scale = 0.002;
+  auto g = GenerateDataset(spec);
+  ASSERT_TRUE(g.ok());
+  double avg = 2.0 * g->NumEdges() / g->NumVertices();
+  EXPECT_GT(static_cast<double>(g->MaxDegree()), 4.0 * avg);
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kDblp;
+  spec.scale = 0.005;
+  spec.seed = 77;
+  auto a = GenerateDataset(spec);
+  auto b = GenerateDataset(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumVertices(), b->NumVertices());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (VertexId v = 0; v < a->NumVertices(); v += 37) {
+    EXPECT_EQ(a->Label(v), b->Label(v));
+  }
+}
+
+TEST(DatasetTest, CacheKeyDistinguishesSpecs) {
+  DatasetSpec a{DatasetKind::kWordNet, 0.25, 42};
+  DatasetSpec b{DatasetKind::kWordNet, 0.25, 43};
+  DatasetSpec c{DatasetKind::kDblp, 0.25, 42};
+  EXPECT_NE(DatasetCacheKey(a), DatasetCacheKey(b));
+  EXPECT_NE(DatasetCacheKey(a), DatasetCacheKey(c));
+  EXPECT_EQ(DatasetCacheKey(a), DatasetCacheKey(a));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace boomer

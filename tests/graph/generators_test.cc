@@ -1,0 +1,203 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/stats.h"
+
+namespace boomer {
+namespace graph {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  auto g = GenerateErdosRenyi(100, 300, 4, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 100u);
+  EXPECT_EQ(g->NumEdges(), 300u);
+}
+
+TEST(ErdosRenyiTest, CapsAtCompleteGraph) {
+  auto g = GenerateErdosRenyi(5, 1000, 1, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 10u);  // C(5,2)
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  auto a = GenerateErdosRenyi(50, 100, 2, 7);
+  auto b = GenerateErdosRenyi(50, 100, 2, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(a->Label(v), b->Label(v));
+    auto na = a->Neighbors(v);
+    auto nb = b->Neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  auto a = GenerateErdosRenyi(50, 100, 2, 7);
+  auto b = GenerateErdosRenyi(50, 100, 2, 8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (VertexId v = 0; v < 50 && !any_diff; ++v) {
+    auto na = a->Neighbors(v);
+    auto nb = b->Neighbors(v);
+    any_diff = !std::equal(na.begin(), na.end(), nb.begin(), nb.end());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ErdosRenyiTest, RejectsBadParams) {
+  EXPECT_FALSE(GenerateErdosRenyi(0, 10, 1, 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi(10, 10, 0, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, ConnectedAndHeavyTailed) {
+  auto g = GenerateBarabasiAlbert(2000, 3, 5, 11);
+  ASSERT_TRUE(g.ok());
+  auto info = ConnectedComponents(*g);
+  EXPECT_EQ(info.num_components, 1u);  // PA graphs are connected
+  // Heavy tail: max degree far above the mean.
+  double avg = 2.0 * g->NumEdges() / g->NumVertices();
+  EXPECT_GT(static_cast<double>(g->MaxDegree()), 5.0 * avg);
+}
+
+TEST(BarabasiAlbertTest, EdgeBudgetApproximate) {
+  auto g = GenerateBarabasiAlbert(1000, 4, 2, 3);
+  ASSERT_TRUE(g.ok());
+  // ~4 edges per attached vertex.
+  EXPECT_NEAR(static_cast<double>(g->NumEdges()), 4.0 * 1000, 200.0);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadParams) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(0, 2, 1, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 0, 1, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(10, 2, 0, 1).ok());
+}
+
+TEST(WattsStrogatzTest, DegreeNearLatticeDegree) {
+  auto g = GenerateWattsStrogatz(1000, 2, 0.1, 3, 13);
+  ASSERT_TRUE(g.ok());
+  double avg = 2.0 * g->NumEdges() / g->NumVertices();
+  EXPECT_NEAR(avg, 4.0, 0.5);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  auto g = GenerateWattsStrogatz(20, 2, 0.0, 1, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 40u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  EXPECT_TRUE(g->HasEdge(0, 19));
+  EXPECT_TRUE(g->HasEdge(0, 18));
+  EXPECT_FALSE(g->HasEdge(0, 3));
+}
+
+TEST(WattsStrogatzTest, RewiringShrinksDiameter) {
+  auto lattice = GenerateWattsStrogatz(500, 2, 0.0, 1, 1);
+  auto rewired = GenerateWattsStrogatz(500, 2, 0.3, 1, 1);
+  ASSERT_TRUE(lattice.ok() && rewired.ok());
+  auto d_lattice = BfsDistances(*lattice, 0);
+  auto d_rewired = BfsDistances(*rewired, 0);
+  uint32_t max_lattice = 0, max_rewired = 0;
+  for (uint32_t d : d_lattice) {
+    if (d != kUnreachable) max_lattice = std::max(max_lattice, d);
+  }
+  for (uint32_t d : d_rewired) {
+    if (d != kUnreachable) max_rewired = std::max(max_rewired, d);
+  }
+  EXPECT_LT(max_rewired, max_lattice);
+}
+
+TEST(WattsStrogatzTest, RejectsBadParams) {
+  EXPECT_FALSE(GenerateWattsStrogatz(2, 1, 0.1, 1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 0, 0.1, 1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 5, 0.1, 1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, -0.1, 1, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, 1.1, 1, 1).ok());
+}
+
+TEST(CommunityTest, GeneratesCliques) {
+  CommunityParams params;
+  params.num_vertices = 200;
+  params.num_communities = 50;
+  params.min_community_size = 3;
+  params.max_community_size = 3;
+  params.bridge_edges = 0;
+  auto g = GenerateCommunity(params, 4, 17);
+  ASSERT_TRUE(g.ok());
+  // Every edge participates in a triangle (communities are 3-cliques).
+  size_t triangle_edges = 0, total = 0;
+  for (VertexId u = 0; u < g->NumVertices(); ++u) {
+    for (VertexId v : g->Neighbors(u)) {
+      if (u >= v) continue;
+      ++total;
+      bool in_triangle = false;
+      for (VertexId w : g->Neighbors(u)) {
+        if (w != v && g->HasEdge(w, v)) {
+          in_triangle = true;
+          break;
+        }
+      }
+      if (in_triangle) ++triangle_edges;
+    }
+  }
+  EXPECT_EQ(triangle_edges, total);
+}
+
+TEST(CommunityTest, RejectsBadParams) {
+  CommunityParams params;
+  EXPECT_FALSE(GenerateCommunity(params, 1, 1).ok());
+  params.num_vertices = 10;
+  params.num_communities = 2;
+  params.min_community_size = 1;
+  EXPECT_FALSE(GenerateCommunity(params, 1, 1).ok());
+}
+
+TEST(RmatTest, RespectsScale) {
+  RmatParams params;
+  params.scale = 8;
+  params.num_edges = 2000;
+  auto g = GenerateRmat(params, 4, 19);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 256u);
+  EXPECT_LE(g->NumEdges(), 2000u);  // duplicates collapse
+  EXPECT_GT(g->NumEdges(), 500u);
+}
+
+TEST(RmatTest, RejectsBadParams) {
+  RmatParams params;
+  params.scale = 0;
+  EXPECT_FALSE(GenerateRmat(params, 1, 1).ok());
+  params.scale = 8;
+  params.a = 0.9;
+  params.b = 0.9;
+  EXPECT_FALSE(GenerateRmat(params, 1, 1).ok());
+}
+
+TEST(LabelAssignTest, UniformCoversAllLabels) {
+  GraphBuilder b;
+  b.AddVertices(5000, 0);
+  Rng rng(3);
+  ASSERT_TRUE(AssignLabelsUniform(&b, 10, &rng).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  for (LabelId l = 0; l < 10; ++l) {
+    EXPECT_GT(g->LabelCount(l), 300u);
+    EXPECT_LT(g->LabelCount(l), 700u);
+  }
+}
+
+TEST(LabelAssignTest, ZipfSkews) {
+  GraphBuilder b;
+  b.AddVertices(5000, 0);
+  Rng rng(5);
+  ASSERT_TRUE(AssignLabelsZipf(&b, 5, 1.1, &rng).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->LabelCount(0), 2 * g->LabelCount(4));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace boomer

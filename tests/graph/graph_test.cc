@@ -1,0 +1,173 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace graph {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 0u);
+  EXPECT_EQ(g->NumEdges(), 0u);
+  EXPECT_EQ(g->NumLabels(), 0u);
+}
+
+TEST(GraphBuilderTest, SingleVertex) {
+  GraphBuilder b;
+  VertexId v = b.AddVertex(3);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(g->NumVertices(), 1u);
+  EXPECT_EQ(g->Label(0), 3u);
+  EXPECT_EQ(g->Degree(0), 0u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddEdge(0, 0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesDeduplicated) {
+  GraphBuilder b;
+  b.AddVertices(2, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(g->Degree(0), 1u);
+  EXPECT_EQ(g->Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, UnlabeledVertexRejected) {
+  GraphBuilder b;
+  b.AddVertex(kInvalidLabel);
+  auto g = b.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphBuilderTest, SetLabelOverrides) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.SetLabel(0, 7);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Label(0), 7u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  GraphBuilder b;
+  b.AddVertices(5, 0);
+  b.AddEdge(2, 4);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto nbrs = g->Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, HasEdgeBothDirections) {
+  auto g = testing::PathGraph(3);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphTest, VerticesWithLabelSortedAndComplete) {
+  GraphBuilder b;
+  b.AddVertex(1);
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  b.AddVertex(1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto with1 = g->VerticesWithLabel(1);
+  ASSERT_EQ(with1.size(), 3u);
+  EXPECT_EQ(with1[0], 0u);
+  EXPECT_EQ(with1[1], 2u);
+  EXPECT_EQ(with1[2], 4u);
+  EXPECT_EQ(g->LabelCount(0), 1u);
+  EXPECT_EQ(g->LabelCount(2), 1u);
+  // Unknown label: empty, not a crash.
+  EXPECT_TRUE(g->VerticesWithLabel(99).empty());
+  EXPECT_EQ(g->NumLabels(), 3u);
+}
+
+TEST(GraphTest, LabelProbability) {
+  GraphBuilder b;
+  b.AddVertices(3, 0);
+  b.AddVertex(1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->LabelProbability(0), 0.75);
+  EXPECT_DOUBLE_EQ(g->LabelProbability(1), 0.25);
+  EXPECT_DOUBLE_EQ(g->LabelProbability(9), 0.0);
+}
+
+TEST(GraphTest, MaxDegree) {
+  auto star = testing::StarGraph(6);
+  EXPECT_EQ(star.MaxDegree(), 6u);
+  auto path = testing::PathGraph(4);
+  EXPECT_EQ(path.MaxDegree(), 2u);
+}
+
+TEST(GraphTest, MemoryBytesNonZeroForNonEmpty) {
+  auto g = testing::PathGraph(10);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(GraphTest, Figure2GraphMatchesPaper) {
+  auto g = testing::Figure2Graph();
+  EXPECT_EQ(g.NumVertices(), 12u);
+  // Candidates: V_A = v1..v4 (ids 0..3), V_B = v5..v8 (4..7), V_C = {v12}.
+  EXPECT_EQ(g.LabelCount(0), 4u);
+  EXPECT_EQ(g.LabelCount(1), 4u);
+  EXPECT_EQ(g.LabelCount(2), 1u);
+  // v2-v5 (ids 1-4) adjacent; v1 (id 0) has no B neighbor.
+  EXPECT_TRUE(g.HasEdge(1, 4));
+  for (VertexId b : {4, 5, 6, 7}) {
+    EXPECT_FALSE(g.HasEdge(0, static_cast<VertexId>(b)));
+  }
+}
+
+TEST(LabelDictionaryTest, InternAndFind) {
+  LabelDictionary dict;
+  LabelId a = dict.Intern("BCL2");
+  LabelId b = dict.Intern("CASP3");
+  LabelId a2 = dict.Intern("BCL2");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Find("BCL2"), a);
+  EXPECT_EQ(dict.Find("CASP3"), b);
+  EXPECT_EQ(dict.Find("missing"), kInvalidLabel);
+  EXPECT_EQ(dict.Name(a), "BCL2");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(GraphDeathTest, OutOfRangeAccessAborts) {
+  auto g = testing::PathGraph(3);
+  EXPECT_DEATH((void)g.Label(99), "CHECK");
+  EXPECT_DEATH((void)g.Neighbors(99), "CHECK");
+  EXPECT_DEATH((void)g.Degree(99), "CHECK");
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,124 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/boomer_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+  std::string dir_;
+};
+
+bool GraphsEqual(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    if (a.Label(v) != b.Label(v)) return false;
+    auto na = a.Neighbors(v);
+    auto nb = b.Neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+TEST_F(IoTest, TextRoundTrip) {
+  auto g = testing::Figure2Graph();
+  ASSERT_TRUE(SaveText(g, Path("fig2")).ok());
+  auto loaded = LoadText(Path("fig2"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(GraphsEqual(g, *loaded));
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  auto g_or = GenerateErdosRenyi(500, 1500, 7, 5);
+  ASSERT_TRUE(g_or.ok());
+  ASSERT_TRUE(SaveBinary(*g_or, Path("er.graph")).ok());
+  auto loaded = LoadBinary(Path("er.graph"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(GraphsEqual(*g_or, *loaded));
+}
+
+TEST_F(IoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadText(Path("nope")).status().code(), StatusCode::kIOError);
+  EXPECT_EQ(LoadBinary(Path("nope.bin")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(IoTest, BinaryRejectsCorruptMagic) {
+  const std::string path = Path("corrupt.graph");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[32] = {1, 2, 3};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_EQ(LoadBinary(path).status().code(), StatusCode::kIOError);
+}
+
+TEST(ParseTextTest, ParsesCommentsAndSymbolicLabels) {
+  auto g = ParseText(
+      "# comment line\n"
+      "0 BCL2\n"
+      "1 CASP3\n"
+      "2 BCL2\n",
+      "# edges\n"
+      "0 1\n"
+      "1 2\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+  EXPECT_EQ(g->Label(0), g->Label(2));
+  EXPECT_NE(g->Label(0), g->Label(1));
+  EXPECT_EQ(g->label_dict().Name(g->Label(1)), "CASP3");
+}
+
+TEST(ParseTextTest, NumericLabels) {
+  auto g = ParseText("0 5\n1 5\n", "0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Label(0), 5u);
+}
+
+TEST(ParseTextTest, RejectsMalformedLabelLine) {
+  EXPECT_FALSE(ParseText("0\n", "").ok());
+  EXPECT_FALSE(ParseText("0 A B\n", "").ok());
+}
+
+TEST(ParseTextTest, RejectsEdgeBeyondVertices) {
+  auto g = ParseText("0 0\n1 0\n", "0 7\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseTextTest, RejectsMalformedEdgeLine) {
+  EXPECT_FALSE(ParseText("0 0\n1 0\n", "0\n").ok());
+  EXPECT_FALSE(ParseText("0 0\n1 0\n", "0 1 2\n").ok());
+}
+
+TEST(ParseTextTest, SparseVertexDeclarations) {
+  // Vertices mentioned out of order; gaps must be labeled eventually.
+  auto g = ParseText("2 A\n0 B\n1 C\n", "0 2\n");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumVertices(), 3u);
+}
+
+TEST(ParseTextTest, UnlabeledGapRejected) {
+  auto g = ParseText("2 A\n", "");
+  EXPECT_FALSE(g.ok());  // vertices 0 and 1 never labeled
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace boomer

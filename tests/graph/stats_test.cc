@@ -1,0 +1,79 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace graph {
+namespace {
+
+TEST(StatsTest, BasicCountsOnCycle) {
+  auto g = testing::CycleGraph(10, 2);
+  auto stats = ComputeStats(g, /*distance_samples=*/0, 1);
+  EXPECT_EQ(stats.num_vertices, 10u);
+  EXPECT_EQ(stats.num_edges, 10u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.largest_component_size, 10u);
+  EXPECT_EQ(stats.distance_samples, 0u);
+}
+
+TEST(StatsTest, ComponentsOnDisconnected) {
+  auto g = testing::TwoTriangles();
+  auto stats = ComputeStats(g, 0, 1);
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_EQ(stats.largest_component_size, 3u);
+}
+
+TEST(StatsTest, LabelHistogramSortedDescending) {
+  auto g = testing::Figure2Graph();
+  auto stats = ComputeStats(g, 0, 1);
+  ASSERT_EQ(stats.label_histogram.size(), 4u);
+  for (size_t i = 1; i < stats.label_histogram.size(); ++i) {
+    EXPECT_GE(stats.label_histogram[i - 1].second,
+              stats.label_histogram[i].second);
+  }
+  // A (4), B (4), D (3), C (1).
+  EXPECT_EQ(stats.label_histogram[3].first, 2u);
+  EXPECT_EQ(stats.label_histogram[3].second, 1u);
+}
+
+TEST(StatsTest, DistanceSamplingOnPath) {
+  auto g = testing::PathGraph(20);
+  auto stats = ComputeStats(g, /*distance_samples=*/200, 7);
+  EXPECT_GT(stats.distance_samples, 0u);
+  EXPECT_GT(stats.avg_sampled_distance, 1.0);
+  EXPECT_LE(stats.max_sampled_distance, 19u);
+}
+
+TEST(StatsTest, DistanceSamplingSkipsUnreachablePairs) {
+  auto g = testing::TwoTriangles();
+  auto stats = ComputeStats(g, 100, 7);
+  // Only within-triangle pairs count; distances are all 1.
+  EXPECT_LE(stats.max_sampled_distance, 1u);
+}
+
+TEST(StatsTest, ToStringMentionsKeyNumbers) {
+  auto g = testing::CycleGraph(6, 0);
+  auto stats = ComputeStats(g, 10, 3);
+  std::string s = StatsToString(stats);
+  EXPECT_NE(s.find("|V|=6"), std::string::npos);
+  EXPECT_NE(s.find("components: 1"), std::string::npos);
+  EXPECT_NE(s.find("top labels"), std::string::npos);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto stats = ComputeStats(*g, 10, 1);
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.0);
+  EXPECT_EQ(stats.distance_samples, 0u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace boomer

@@ -1,0 +1,147 @@
+#include "gui/actions.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace gui {
+namespace {
+
+using query::Bounds;
+
+TEST(ActionTest, FactoriesSetFields) {
+  Action v = Action::NewVertex(2, 7, 1000);
+  EXPECT_EQ(v.kind, ActionKind::kNewVertex);
+  EXPECT_EQ(v.vertex, 2u);
+  EXPECT_EQ(v.label, 7u);
+  EXPECT_EQ(v.latency_micros, 1000);
+
+  Action e = Action::NewEdge(0, 1, {1, 3}, 2000);
+  EXPECT_EQ(e.kind, ActionKind::kNewEdge);
+  EXPECT_EQ(e.src, 0u);
+  EXPECT_EQ(e.dst, 1u);
+  EXPECT_EQ(e.bounds.upper, 3u);
+
+  Action d = Action::DeleteEdge(4, 500);
+  EXPECT_EQ(d.kind, ActionKind::kModify);
+  EXPECT_EQ(d.modify_kind, ModifyKind::kDeleteEdge);
+  EXPECT_EQ(d.target_edge, 4u);
+
+  Action sb = Action::SetBounds(2, {2, 4}, 500);
+  EXPECT_EQ(sb.modify_kind, ModifyKind::kSetBounds);
+  EXPECT_EQ(sb.new_bounds.lower, 2u);
+
+  Action r = Action::Run();
+  EXPECT_EQ(r.kind, ActionKind::kRun);
+  EXPECT_EQ(r.latency_micros, 0);
+}
+
+TEST(ActionTest, ToStringIsDescriptive) {
+  EXPECT_NE(Action::NewVertex(0, 3, 0).ToString().find("NewVertex"),
+            std::string::npos);
+  EXPECT_NE(Action::NewEdge(0, 1, {1, 2}, 0).ToString().find("[1,2]"),
+            std::string::npos);
+  EXPECT_NE(Action::DeleteEdge(1, 0).ToString().find("DeleteEdge"),
+            std::string::npos);
+  EXPECT_EQ(Action::Run().ToString(), "Run");
+}
+
+ActionTrace TriangleTrace() {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 3000000));
+  trace.Append(Action::NewVertex(1, 1, 3000000));
+  trace.Append(Action::NewEdge(0, 1, {1, 1}, 2000000));
+  trace.Append(Action::NewVertex(2, 2, 3000000));
+  trace.Append(Action::NewEdge(1, 2, {1, 2}, 2000000));
+  trace.Append(Action::NewEdge(0, 2, {1, 3}, 2000000));
+  trace.Append(Action::Run());
+  return trace;
+}
+
+TEST(ActionTraceTest, TotalLatency) {
+  auto trace = TriangleTrace();
+  EXPECT_EQ(trace.TotalLatencyMicros(), 3 * 3000000 + 3 * 2000000);
+  EXPECT_EQ(trace.size(), 7u);
+}
+
+TEST(ActionTraceTest, ReplayBuildsQuery) {
+  auto trace = TriangleTrace();
+  auto q = trace.ReplayToQuery();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumVertices(), 3u);
+  EXPECT_EQ(q->NumEdges(), 3u);
+  EXPECT_EQ(q->Edge(2).bounds.upper, 3u);
+  EXPECT_TRUE(q->Validate().ok());
+}
+
+TEST(ActionTraceTest, ReplayWithModification) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 0));
+  trace.Append(Action::NewVertex(1, 0, 0));
+  trace.Append(Action::NewEdge(0, 1, {1, 2}, 0));
+  trace.Append(Action::SetBounds(0, {1, 5}, 0));
+  trace.Append(Action::Run());
+  auto q = trace.ReplayToQuery();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Edge(0).bounds.upper, 5u);
+}
+
+TEST(ActionTraceTest, ReplayWithDeletion) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 0));
+  trace.Append(Action::NewVertex(1, 0, 0));
+  trace.Append(Action::NewVertex(2, 0, 0));
+  trace.Append(Action::NewEdge(0, 1, {1, 1}, 0));
+  trace.Append(Action::NewEdge(1, 2, {1, 1}, 0));
+  trace.Append(Action::NewEdge(0, 2, {1, 1}, 0));
+  trace.Append(Action::DeleteEdge(1, 0));
+  trace.Append(Action::Run());
+  auto q = trace.ReplayToQuery();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumEdges(), 2u);
+  EXPECT_FALSE(q->EdgeAlive(1));
+}
+
+TEST(ActionTraceTest, ReplayRejectsMissingRun) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 0));
+  EXPECT_EQ(trace.ReplayToQuery().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ActionTraceTest, ReplayRejectsActionsAfterRun) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 0));
+  trace.Append(Action::Run());
+  trace.Append(Action::NewVertex(1, 0, 0));
+  EXPECT_FALSE(trace.ReplayToQuery().ok());
+}
+
+TEST(ActionTraceTest, ReplayRejectsVertexIdMismatch) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(5, 0, 0));  // first vertex must be q0
+  trace.Append(Action::Run());
+  EXPECT_FALSE(trace.ReplayToQuery().ok());
+}
+
+TEST(ActionTraceTest, ReplayRejectsBadEdge) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 0));
+  trace.Append(Action::NewEdge(0, 3, {1, 1}, 0));  // endpoint missing
+  trace.Append(Action::Run());
+  EXPECT_FALSE(trace.ReplayToQuery().ok());
+}
+
+TEST(ActionTraceTest, ReplayRejectsModifyOfDeadEdge) {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 0, 0));
+  trace.Append(Action::NewVertex(1, 0, 0));
+  trace.Append(Action::NewEdge(0, 1, {1, 1}, 0));
+  trace.Append(Action::DeleteEdge(0, 0));
+  trace.Append(Action::DeleteEdge(0, 0));  // already gone
+  trace.Append(Action::Run());
+  EXPECT_FALSE(trace.ReplayToQuery().ok());
+}
+
+}  // namespace
+}  // namespace gui
+}  // namespace boomer

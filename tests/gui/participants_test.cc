@@ -1,0 +1,133 @@
+#include "gui/participants.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "query/templates.h"
+
+namespace boomer {
+namespace gui {
+namespace {
+
+std::vector<query::BphQuery> SampleQueries() {
+  std::vector<query::BphQuery> queries;
+  for (auto id : {query::TemplateId::kQ1, query::TemplateId::kQ2}) {
+    const auto& t = query::GetTemplate(id);
+    std::vector<graph::LabelId> labels(t.num_vertices, 1);
+    auto q = query::InstantiateTemplate(id, labels);
+    BOOMER_CHECK(q.ok());
+    queries.push_back(std::move(q).value());
+  }
+  return queries;
+}
+
+TEST(StudyTest, CreatesRequestedCohort) {
+  StudyOptions options;
+  options.num_participants = 20;
+  Study study = Study::Create(options);
+  EXPECT_EQ(study.participants().size(), 20u);
+  for (const Participant& p : study.participants()) {
+    EXPECT_GE(p.speed_factor, 1.0 - options.speed_spread);
+    EXPECT_LE(p.speed_factor, 1.0 + options.speed_spread);
+  }
+  // Participants differ (not all the same speed).
+  std::set<double> speeds;
+  for (const Participant& p : study.participants()) {
+    speeds.insert(p.speed_factor);
+  }
+  EXPECT_GT(speeds.size(), 10u);
+}
+
+TEST(StudyTest, AssignsDistinctParticipantsPerQuery) {
+  StudyOptions options;
+  options.num_participants = 10;
+  options.formulations_per_query = 4;
+  Study study = Study::Create(options);
+  auto queries = SampleQueries();
+  auto formulations = study.Assign(queries);
+  ASSERT_TRUE(formulations.ok()) << formulations.status();
+  EXPECT_EQ(formulations->size(), queries.size() * 4);
+  // Within one query, the four participants are distinct (the paper's
+  // protocol: "each query was formulated four times by four different
+  // participants").
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::set<uint32_t> who;
+    for (const Formulation& f : *formulations) {
+      if (f.query_index == qi) who.insert(f.participant_id);
+    }
+    EXPECT_EQ(who.size(), 4u) << "query " << qi;
+  }
+}
+
+TEST(StudyTest, TracesReplayToTheirQueries) {
+  Study study = Study::Create(StudyOptions());
+  auto queries = SampleQueries();
+  auto formulations = study.Assign(queries);
+  ASSERT_TRUE(formulations.ok());
+  for (const Formulation& f : *formulations) {
+    auto replayed = f.trace.ReplayToQuery();
+    ASSERT_TRUE(replayed.ok()) << replayed.status();
+    EXPECT_TRUE(*replayed == queries[f.query_index]);
+  }
+}
+
+TEST(StudyTest, QftVariesAcrossParticipants) {
+  Study study = Study::Create(StudyOptions());
+  auto queries = SampleQueries();
+  auto formulations = study.Assign(queries);
+  ASSERT_TRUE(formulations.ok());
+  std::set<int64_t> qfts;
+  for (const Formulation& f : *formulations) {
+    qfts.insert(f.trace.TotalLatencyMicros());
+  }
+  EXPECT_GT(qfts.size(), formulations->size() / 2);
+  // Mean lands in a human-plausible band (seconds to a minute).
+  const double mean = Study::MeanQftSeconds(*formulations);
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 60.0);
+}
+
+TEST(StudyTest, DeterministicInSeed) {
+  StudyOptions options;
+  options.seed = 99;
+  auto queries = SampleQueries();
+  auto a = Study::Create(options).Assign(queries);
+  auto b = Study::Create(options).Assign(queries);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].participant_id, (*b)[i].participant_id);
+    EXPECT_EQ((*a)[i].trace.TotalLatencyMicros(),
+              (*b)[i].trace.TotalLatencyMicros());
+  }
+}
+
+TEST(StudyTest, RejectsOverSubscription) {
+  StudyOptions options;
+  options.num_participants = 2;
+  options.formulations_per_query = 4;
+  Study study = Study::Create(options);
+  auto formulations = study.Assign(SampleQueries());
+  EXPECT_EQ(formulations.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParticipantTest, SpeedFactorScalesLatencies) {
+  Participant slow;
+  slow.speed_factor = 1.4;
+  slow.jitter = 0.0;
+  Participant fast;
+  fast.speed_factor = 0.7;
+  fast.jitter = 0.0;
+  LatencyParams base;
+  LatencyModel slow_model = slow.MakeLatencyModel(base, 1);
+  LatencyModel fast_model = fast.MakeLatencyModel(base, 1);
+  EXPECT_GT(slow_model.VertexLatencyMicros(),
+            fast_model.VertexLatencyMicros());
+  EXPECT_EQ(slow_model.EdgeLatencyMicros({1, 1}),
+            static_cast<int64_t>(2.0 * 1.4 * 1e6));
+}
+
+}  // namespace
+}  // namespace gui
+}  // namespace boomer

@@ -1,0 +1,139 @@
+#include "gui/trace_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "gui/latency_model.h"
+#include "query/templates.h"
+
+namespace boomer {
+namespace gui {
+namespace {
+
+using query::Bounds;
+using query::TemplateId;
+
+query::BphQuery Q1Instance() {
+  auto q = query::InstantiateTemplate(TemplateId::kQ1, {0, 1, 2});
+  BOOMER_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+TEST(LatencyModelTest, VertexSlowerThanEdge) {
+  LatencyModel model;
+  // T_node = t_m + t_s + t_d = 3 s > t_e = 2 s (Section 5.3).
+  EXPECT_GT(model.VertexLatencyMicros(), model.EdgeLatencyMicros({1, 1}));
+  EXPECT_EQ(model.MinLatencyMicros(), 2000000);
+}
+
+TEST(LatencyModelTest, NonDefaultBoundsAddComboBoxTime) {
+  LatencyModel model;
+  EXPECT_GT(model.EdgeLatencyMicros({1, 3}), model.EdgeLatencyMicros({1, 1}));
+  EXPECT_GT(model.EdgeLatencyMicros({2, 2}), model.EdgeLatencyMicros({1, 1}));
+}
+
+TEST(LatencyModelTest, JitterStaysWithinBand) {
+  LatencyParams params;
+  params.jitter = 0.2;
+  LatencyModel model(params, 3);
+  for (int i = 0; i < 100; ++i) {
+    int64_t lat = model.EdgeLatencyMicros({1, 1});
+    EXPECT_GE(lat, 1600000);
+    EXPECT_LE(lat, 2400000);
+  }
+}
+
+TEST(LatencyModelTest, ZeroJitterIsExact) {
+  LatencyModel model;
+  EXPECT_EQ(model.EdgeLatencyMicros({1, 1}), 2000000);
+  EXPECT_EQ(model.VertexLatencyMicros(), 3000000);
+}
+
+TEST(TraceBuilderTest, DefaultSequenceProducesValidTrace) {
+  auto q = Q1Instance();
+  LatencyModel latency;
+  auto trace = BuildTrace(q, DefaultSequence(q), &latency);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  auto replayed = trace->ReplayToQuery();
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(*replayed == q);
+}
+
+TEST(TraceBuilderTest, VerticesEmittedLazilyBeforeTheirFirstEdge) {
+  auto q = Q1Instance();
+  LatencyModel latency;
+  auto trace = BuildTrace(q, {0, 1, 2}, &latency);
+  ASSERT_TRUE(trace.ok());
+  // Expected: v0, v1, e(0,1), v2, e(1,2), e(0,2), Run.
+  ASSERT_EQ(trace->size(), 7u);
+  EXPECT_EQ(trace->at(0).kind, ActionKind::kNewVertex);
+  EXPECT_EQ(trace->at(1).kind, ActionKind::kNewVertex);
+  EXPECT_EQ(trace->at(2).kind, ActionKind::kNewEdge);
+  EXPECT_EQ(trace->at(3).kind, ActionKind::kNewVertex);
+  EXPECT_EQ(trace->at(3).vertex, 2u);
+  EXPECT_EQ(trace->at(6).kind, ActionKind::kRun);
+}
+
+TEST(TraceBuilderTest, PermutedSequenceStillReplaysToSameQuery) {
+  auto q = Q1Instance();
+  LatencyModel latency;
+  for (const auto& sequence : QfsSchedules(TemplateId::kQ1)) {
+    auto trace = BuildTrace(q, sequence, &latency);
+    ASSERT_TRUE(trace.ok());
+    auto replayed = trace->ReplayToQuery();
+    ASSERT_TRUE(replayed.ok()) << replayed.status();
+    EXPECT_TRUE(*replayed == q);
+  }
+}
+
+TEST(TraceBuilderTest, RejectsNonPermutationSequence) {
+  auto q = Q1Instance();
+  LatencyModel latency;
+  EXPECT_FALSE(BuildTrace(q, {0, 1}, &latency).ok());
+  EXPECT_FALSE(BuildTrace(q, {0, 1, 1}, &latency).ok());
+  EXPECT_FALSE(BuildTrace(q, {0, 1, 2, 2}, &latency).ok());
+}
+
+TEST(TraceBuilderTest, ModificationsInsertedBeforeRun) {
+  auto q = Q1Instance();
+  LatencyModel latency;
+  std::vector<Action> mods{Action::SetBounds(2, {1, 5}, 0)};
+  auto trace = BuildTrace(q, DefaultSequence(q), &latency, mods);
+  ASSERT_TRUE(trace.ok());
+  const auto& actions = trace->actions();
+  ASSERT_GE(actions.size(), 2u);
+  EXPECT_EQ(actions[actions.size() - 2].kind, ActionKind::kModify);
+  EXPECT_EQ(actions.back().kind, ActionKind::kRun);
+  // The modification got a real latency from the model.
+  EXPECT_GT(actions[actions.size() - 2].latency_micros, 0);
+  // Replay applies the modification.
+  auto replayed = trace->ReplayToQuery();
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->Edge(2).bounds.upper, 5u);
+}
+
+TEST(TraceBuilderTest, QftMatchesLatencySums) {
+  auto q = Q1Instance();
+  LatencyModel latency;
+  auto trace = BuildTrace(q, DefaultSequence(q), &latency);
+  ASSERT_TRUE(trace.ok());
+  // 3 vertices (3s each) + e1 [1,1] (2s) + e2 [1,2] (3.5s) + e3 [1,3] (3.5s).
+  EXPECT_EQ(trace->TotalLatencyMicros(), 9000000 + 2000000 + 3500000 + 3500000);
+}
+
+TEST(QfsSchedulesTest, MatchTable2) {
+  auto q1 = QfsSchedules(TemplateId::kQ1);
+  ASSERT_EQ(q1.size(), 3u);
+  EXPECT_EQ(q1[0], (FormulationSequence{0, 1, 2}));
+  EXPECT_EQ(q1[1], (FormulationSequence{1, 0, 2}));
+  EXPECT_EQ(q1[2], (FormulationSequence{2, 1, 0}));
+  auto q6 = QfsSchedules(TemplateId::kQ6);
+  ASSERT_EQ(q6.size(), 4u);
+  EXPECT_EQ(q6[1], (FormulationSequence{3, 0, 1, 2, 4, 5}));
+  EXPECT_EQ(q6[3], (FormulationSequence{4, 5, 1, 2, 3, 0}));
+  EXPECT_STREQ(QfsName(0), "S1");
+  EXPECT_STREQ(QfsName(3), "S4");
+}
+
+}  // namespace
+}  // namespace gui
+}  // namespace boomer

@@ -1,0 +1,117 @@
+#include "gui/trace_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+
+namespace boomer {
+namespace gui {
+namespace {
+
+ActionTrace SampleTrace() {
+  ActionTrace trace;
+  trace.Append(Action::NewVertex(0, 3, 3000000));
+  trace.Append(Action::NewVertex(1, 7, 2900000));
+  trace.Append(Action::NewEdge(0, 1, {1, 2}, 3500000));
+  trace.Append(Action::NewVertex(2, 3, 3100000));
+  trace.Append(Action::NewEdge(1, 2, {2, 4}, 3600000));
+  trace.Append(Action::SetBounds(0, {1, 3}, 1500000));
+  trace.Append(Action::DeleteEdge(1, 800000));
+  trace.Append(Action::NewEdge(0, 2, {1, 1}, 2000000));
+  trace.Append(Action::Run(0));
+  return trace;
+}
+
+bool TracesEqual(const ActionTrace& a, const ActionTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Action& x = a.at(i);
+    const Action& y = b.at(i);
+    if (x.kind != y.kind || x.latency_micros != y.latency_micros) return false;
+    switch (x.kind) {
+      case ActionKind::kNewVertex:
+        if (x.vertex != y.vertex || x.label != y.label) return false;
+        break;
+      case ActionKind::kNewEdge:
+        if (x.src != y.src || x.dst != y.dst || !(x.bounds == y.bounds)) {
+          return false;
+        }
+        break;
+      case ActionKind::kModify:
+        if (x.modify_kind != y.modify_kind || x.target_edge != y.target_edge) {
+          return false;
+        }
+        if (x.modify_kind == ModifyKind::kSetBounds &&
+            !(x.new_bounds == y.new_bounds)) {
+          return false;
+        }
+        break;
+      case ActionKind::kRun:
+        break;
+    }
+  }
+  return true;
+}
+
+TEST(TraceIoTest, RoundTripAllActionKinds) {
+  ActionTrace original = SampleTrace();
+  auto parsed = TraceFromText(TraceToText(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(TracesEqual(original, *parsed));
+  // The round-tripped trace still replays to a valid query.
+  auto q = parsed->ReplayToQuery();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumEdges(), 2u);
+}
+
+TEST(TraceIoTest, RoundTripBuilderTraces) {
+  for (auto id : {query::TemplateId::kQ1, query::TemplateId::kQ6}) {
+    const auto& t = query::GetTemplate(id);
+    std::vector<graph::LabelId> labels(t.num_vertices, 1);
+    auto q = query::InstantiateTemplate(id, labels);
+    ASSERT_TRUE(q.ok());
+    LatencyModel latency;
+    auto trace = BuildTrace(*q, DefaultSequence(*q), &latency);
+    ASSERT_TRUE(trace.ok());
+    auto parsed = TraceFromText(TraceToText(*trace));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(TracesEqual(*trace, *parsed));
+  }
+}
+
+TEST(TraceIoTest, ParsesCommentsAndRunWithoutLatency) {
+  auto trace = TraceFromText(
+      "# recorded session\n"
+      "vertex 0 5 1000\n"
+      "\n"
+      "run\n");
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->size(), 2u);
+  EXPECT_EQ(trace->at(1).latency_micros, 0);
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(TraceFromText("vertex 0 5\n").ok());       // missing latency
+  EXPECT_FALSE(TraceFromText("edge 0 1 1 2\n").ok());     // missing latency
+  EXPECT_FALSE(TraceFromText("bounds 0 1\n").ok());       // too few fields
+  EXPECT_FALSE(TraceFromText("teleport 3\n").ok());       // unknown action
+  EXPECT_FALSE(TraceFromText("vertex x 5 0\n").ok());     // non-numeric
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  ActionTrace original = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/boomer_trace.bt";
+  ASSERT_TRUE(SaveTrace(original, path).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(TracesEqual(original, *loaded));
+  std::filesystem::remove(path);
+  EXPECT_FALSE(LoadTrace(path).ok());
+}
+
+}  // namespace
+}  // namespace gui
+}  // namespace boomer

@@ -1,0 +1,177 @@
+// Full-pipeline tests on small dataset analogs: generate -> preprocess ->
+// formulate (trace) -> blend -> enumerate -> lower-bound filter.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "core/bu_evaluator.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::DatasetKind;
+using query::TemplateId;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::DatasetSpec spec;
+    spec.kind = DatasetKind::kWordNet;
+    spec.scale = 0.005;  // ~400 vertices
+    spec.seed = 5;
+    auto g = graph::GenerateDataset(spec);
+    ASSERT_TRUE(g.ok());
+    graph_ = new graph::Graph(std::move(g).value());
+    PreprocessOptions options;
+    options.t_avg_samples = 2000;
+    auto prep = Preprocess(*graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = new PreprocessResult(std::move(prep).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete prep_;
+    delete graph_;
+    prep_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static graph::Graph* graph_;
+  static PreprocessResult* prep_;
+};
+
+graph::Graph* EndToEndTest::graph_ = nullptr;
+PreprocessResult* EndToEndTest::prep_ = nullptr;
+
+TEST_F(EndToEndTest, PreprocessorArtifactsSane) {
+  EXPECT_GT(prep_->t_avg_seconds(), 0.0);
+  EXPECT_LT(prep_->t_avg_seconds(), 0.01);
+  EXPECT_EQ(prep_->two_hop_counts().size(), graph_->NumVertices());
+  EXPECT_EQ(prep_->pml().NumVertices(), graph_->NumVertices());
+  EXPECT_GT(prep_->pml_build_seconds(), 0.0);
+}
+
+TEST_F(EndToEndTest, AllTemplatesBlendToCompletion) {
+  query::QueryInstantiator inst(*graph_, 13);
+  for (TemplateId tmpl : query::kAllTemplates) {
+    auto q = inst.Instantiate(tmpl);
+    ASSERT_TRUE(q.ok()) << query::TemplateName(tmpl);
+    gui::LatencyModel latency;
+    auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+    ASSERT_TRUE(trace.ok());
+    BlenderOptions options;
+    options.strategy = Strategy::kDeferToIdle;
+    options.max_results = 100000;
+    Blender blender(*graph_, *prep_, options);
+    ASSERT_TRUE(blender.RunTrace(*trace).ok()) << query::TemplateName(tmpl);
+    EXPECT_TRUE(blender.run_complete());
+    EXPECT_GE(blender.report().qft_seconds, 10.0);
+    EXPECT_GE(blender.report().cap_stats.num_candidates, 0u);
+  }
+}
+
+TEST_F(EndToEndTest, BoomerAgreesWithBuOnDatasetAnalog) {
+  query::QueryInstantiator inst(*graph_, 29);
+  auto q = inst.Instantiate(TemplateId::kQ1);
+  ASSERT_TRUE(q.ok());
+  BuOptions bu_options;
+  bu_options.timeout_seconds = 120.0;
+  auto bu = EvaluateBu(*graph_, prep_->pml(), *q, bu_options);
+  ASSERT_TRUE(bu.ok());
+  ASSERT_FALSE(bu->report.timed_out);
+
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  ASSERT_TRUE(trace.ok());
+  Blender blender(*graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()),
+            boomer::testing::Canonicalize(bu->results));
+}
+
+TEST_F(EndToEndTest, ResultSubgraphsSatisfyBothBounds) {
+  query::QueryInstantiator inst(*graph_, 31);
+  // Lower bound 2 on one edge to exercise the just-in-time filter.
+  std::vector<std::optional<query::Bounds>> overrides(3);
+  overrides[2] = query::Bounds{2, 3};
+  auto q = inst.Instantiate(TemplateId::kQ1, overrides);
+  ASSERT_TRUE(q.ok());
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  ASSERT_TRUE(trace.ok());
+  BlenderOptions options;
+  options.max_results = 200;
+  Blender blender(*graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+  size_t realized = 0;
+  for (size_t i = 0; i < blender.Results().size(); ++i) {
+    auto subgraph = blender.GenerateResultSubgraph(i);
+    if (!subgraph.ok()) continue;
+    ++realized;
+    for (const auto& embedding : subgraph->paths) {
+      const auto& edge = blender.current_query().Edge(embedding.edge);
+      EXPECT_GE(embedding.Length(), edge.bounds.lower);
+      EXPECT_LE(embedding.Length(), edge.bounds.upper);
+      // Consecutive path vertices must be graph edges.
+      for (size_t j = 1; j < embedding.path.size(); ++j) {
+        EXPECT_TRUE(
+            graph_->HasEdge(embedding.path[j - 1], embedding.path[j]));
+      }
+    }
+  }
+  // At least some matches should realize on a connected analog.
+  if (!blender.Results().empty()) {
+    EXPECT_GT(realized, 0u);
+  }
+}
+
+TEST_F(EndToEndTest, SrtNeverExceedsBuTime) {
+  // The headline claim (Exp 3): blending beats BU. On tiny graphs both are
+  // fast; assert the weaker invariant SRT <= BU time + epsilon.
+  query::QueryInstantiator inst(*graph_, 37);
+  auto q = inst.Instantiate(TemplateId::kQ2);
+  ASSERT_TRUE(q.ok());
+  auto bu = EvaluateBu(*graph_, prep_->pml(), *q);
+  ASSERT_TRUE(bu.ok());
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  ASSERT_TRUE(trace.ok());
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToIdle;
+  Blender blender(*graph_, *prep_, options);
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+  EXPECT_LE(blender.report().srt_seconds,
+            bu->report.srt_seconds + 0.5);
+}
+
+TEST_F(EndToEndTest, DatasetCacheRoundTripPreservesBehavior) {
+  const std::string dir = ::testing::TempDir() + "/boomer_e2e_cache";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(graph::SaveBinary(*graph_, dir + "/g.graph").ok());
+  ASSERT_TRUE(prep_->Save(dir + "/g").ok());
+  auto g2 = graph::LoadBinary(dir + "/g.graph");
+  ASSERT_TRUE(g2.ok());
+  PreprocessOptions options;
+  options.t_avg_samples = 100;
+  auto prep2 = PreprocessResult::Load(dir + "/g", *g2, options);
+  ASSERT_TRUE(prep2.ok()) << prep2.status();
+  // Same distances through the reloaded index.
+  for (graph::VertexId u = 0; u < g2->NumVertices(); u += 97) {
+    for (graph::VertexId v = 0; v < g2->NumVertices(); v += 101) {
+      EXPECT_EQ(prep_->pml().Distance(u, v), prep2->pml().Distance(u, v));
+    }
+  }
+  EXPECT_EQ(prep2->two_hop_counts(), prep_->two_hop_counts());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

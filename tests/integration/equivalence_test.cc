@@ -1,0 +1,155 @@
+// Cross-implementation equivalence: for the same query on the same graph,
+// IC ≡ DR ≡ DI ≡ BU ≡ brute force (upper-bound semantics), across templates,
+// QFS permutations and random graphs.
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "core/bu_evaluator.h"
+#include "graph/generators.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using query::TemplateId;
+
+struct EquivalenceParam {
+  const char* name;
+  TemplateId tmpl;
+  uint64_t seed;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceParam> {
+ protected:
+  static constexpr size_t kVertices = 70;
+  static constexpr size_t kEdges = 160;
+  static constexpr uint32_t kLabels = 3;
+};
+
+TEST_P(EquivalenceTest, AllEvaluatorsAgree) {
+  const auto& p = GetParam();
+  auto g_or = graph::GenerateErdosRenyi(kVertices, kEdges, kLabels, p.seed);
+  ASSERT_TRUE(g_or.ok());
+  const graph::Graph& g = *g_or;
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 500;
+  auto prep = Preprocess(g, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  query::QueryInstantiator inst(g, p.seed * 31 + 7);
+  auto q = inst.Instantiate(p.tmpl);
+  ASSERT_TRUE(q.ok()) << q.status();
+
+  const auto truth = boomer::testing::BruteForceUpperBoundMatches(g, *q);
+
+  // BU baseline.
+  auto bu = EvaluateBu(g, prep->pml(), *q);
+  ASSERT_TRUE(bu.ok());
+  EXPECT_EQ(boomer::testing::Canonicalize(bu->results), truth) << "BU";
+
+  // The three blending strategies, each under both PVS modes.
+  gui::LatencyModel latency;
+  for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToRun,
+                     Strategy::kDeferToIdle}) {
+    for (PvsMode mode : {PvsMode::kThreeStrategy, PvsMode::kLargeUpperOnly}) {
+      auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+      ASSERT_TRUE(trace.ok());
+      BlenderOptions options;
+      options.strategy = s;
+      options.pvs_mode = mode;
+      Blender blender(g, *prep, options);
+      ASSERT_TRUE(blender.RunTrace(*trace).ok());
+      EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()), truth)
+          << StrategyName(s) << " mode "
+          << (mode == PvsMode::kThreeStrategy ? "3S" : "LU");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Templates, EquivalenceTest,
+    ::testing::Values(EquivalenceParam{"q1_a", TemplateId::kQ1, 101},
+                      EquivalenceParam{"q1_b", TemplateId::kQ1, 102},
+                      EquivalenceParam{"q2_a", TemplateId::kQ2, 103},
+                      EquivalenceParam{"q3_a", TemplateId::kQ3, 104},
+                      EquivalenceParam{"q4_a", TemplateId::kQ4, 105},
+                      EquivalenceParam{"q5_a", TemplateId::kQ5, 106},
+                      EquivalenceParam{"q6_a", TemplateId::kQ6, 107}),
+    [](const ::testing::TestParamInfo<EquivalenceParam>& info) {
+      return info.param.name;
+    });
+
+TEST(QfsEquivalenceTest, FormulationOrderNeverChangesResults) {
+  auto g_or = graph::GenerateErdosRenyi(60, 140, 3, 211);
+  ASSERT_TRUE(g_or.ok());
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 500;
+  auto prep = Preprocess(*g_or, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  for (TemplateId tmpl : {TemplateId::kQ1, TemplateId::kQ6}) {
+    query::QueryInstantiator inst(*g_or, 97);
+    auto q = inst.Instantiate(tmpl);
+    ASSERT_TRUE(q.ok());
+    boomer::testing::CanonicalMatches reference;
+    bool first = true;
+    for (const auto& sequence : gui::QfsSchedules(tmpl)) {
+      for (Strategy s : {Strategy::kImmediate, Strategy::kDeferToIdle}) {
+        gui::LatencyModel latency;
+        auto trace = gui::BuildTrace(*q, sequence, &latency);
+        ASSERT_TRUE(trace.ok());
+        BlenderOptions options;
+        options.strategy = s;
+        Blender blender(*g_or, *prep, options);
+        ASSERT_TRUE(blender.RunTrace(*trace).ok());
+        auto canonical = boomer::testing::Canonicalize(blender.Results());
+        if (first) {
+          reference = canonical;
+          first = false;
+        } else {
+          EXPECT_EQ(canonical, reference)
+              << query::TemplateName(tmpl) << " " << StrategyName(s);
+        }
+      }
+    }
+  }
+}
+
+TEST(LowerBoundEquivalenceTest, BlenderFilterMatchesBruteForceBph) {
+  auto g_or = graph::GenerateErdosRenyi(40, 90, 2, 307);
+  ASSERT_TRUE(g_or.ok());
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 200;
+  auto prep = Preprocess(*g_or, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  // Query with a lower bound of 2 (the FOF scenario of Section 3.1).
+  query::BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(0);
+  ASSERT_TRUE(q.AddEdge(0, 1, {2, 3}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 2}).ok());
+
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+  ASSERT_TRUE(trace.ok());
+  Blender blender(*g_or, *prep, BlenderOptions());
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+
+  boomer::testing::CanonicalMatches accepted;
+  for (size_t i = 0; i < blender.Results().size(); ++i) {
+    if (blender.GenerateResultSubgraph(i).ok()) {
+      accepted.insert(blender.Results()[i].assignment);
+    }
+  }
+  EXPECT_EQ(accepted, boomer::testing::BruteForceBphMatches(*g_or, q));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,150 @@
+// Failure injection: corrupted persistence artifacts, mismatched indexes,
+// and invalid action streams must produce clean Status errors — never
+// crashes, never silently wrong results — and must leave live objects
+// usable afterwards.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "core/preprocessor.h"
+#include "graph/io.h"
+#include "gui/trace_io.h"
+#include "pml/pml_index.h"
+#include "query/serialization.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using gui::Action;
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/boomer_failure";
+    std::filesystem::create_directories(dir_);
+    graph_ = boomer::testing::Figure2Graph();
+    PreprocessOptions options;
+    options.t_avg_samples = 200;
+    auto prep = Preprocess(graph_, options);
+    ASSERT_TRUE(prep.ok());
+    prep_ = std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+
+  std::string Write(const std::string& name, const std::string& bytes) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+    return path;
+  }
+
+  std::string dir_;
+  graph::Graph graph_;
+  std::unique_ptr<PreprocessResult> prep_;
+};
+
+TEST_F(FailureTest, TruncatedGraphSnapshotRejected) {
+  const std::string path = dir_ + "/good.graph";
+  ASSERT_TRUE(graph::SaveBinary(graph_, path).ok());
+  // Truncate to half.
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  auto loaded = graph::LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FailureTest, TruncatedPmlRejected) {
+  const std::string path = dir_ + "/good.pml";
+  ASSERT_TRUE(prep_->pml().Save(path).ok());
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  EXPECT_FALSE(pml::PmlIndex::Load(path).ok());
+}
+
+TEST_F(FailureTest, GarbagePmlRejected) {
+  const std::string path =
+      Write("garbage.pml", std::string(256, '\x5a'));
+  EXPECT_FALSE(pml::PmlIndex::Load(path).ok());
+}
+
+TEST_F(FailureTest, PreprocessLoadRejectsGraphMismatch) {
+  const std::string prefix = dir_ + "/prep";
+  ASSERT_TRUE(prep_->Save(prefix).ok());
+  // A different (smaller) graph must be rejected by the vertex-count check.
+  auto other = boomer::testing::PathGraph(4);
+  PreprocessOptions options;
+  options.t_avg_samples = 0;
+  auto loaded = PreprocessResult::Load(prefix, other, options);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  // The right graph loads fine.
+  auto ok = PreprocessResult::Load(prefix, graph_, options);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST_F(FailureTest, TruncatedPrepMetaRejected) {
+  const std::string prefix = dir_ + "/prep2";
+  ASSERT_TRUE(prep_->Save(prefix).ok());
+  Write("prep2.prep", "0.000001\n");  // missing counts
+  PreprocessOptions options;
+  options.t_avg_samples = 0;
+  EXPECT_FALSE(PreprocessResult::Load(prefix, graph_, options).ok());
+}
+
+TEST_F(FailureTest, BlenderSurvivesInvalidActions) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 1000)).ok());
+  // Edge to a nonexistent vertex: rejected, blender stays usable.
+  EXPECT_FALSE(blender.OnAction(Action::NewEdge(0, 9, {1, 1}, 1000)).ok());
+  // Duplicate edge after a valid one: rejected.
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 1, 1000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewEdge(0, 1, {1, 1}, 1000)).ok());
+  EXPECT_FALSE(blender.OnAction(Action::NewEdge(1, 0, {1, 2}, 1000)).ok());
+  // Modifying a nonexistent edge: rejected.
+  EXPECT_FALSE(blender.OnAction(Action::SetBounds(9, {1, 2}, 1000)).ok());
+  // The session still completes correctly.
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  EXPECT_EQ(blender.Results().size(), 4u);  // the four A-B edges
+}
+
+TEST_F(FailureTest, BlenderRejectsOutOfSequenceVertexIds) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  EXPECT_FALSE(blender.OnAction(Action::NewVertex(3, 0, 1000)).ok());
+}
+
+TEST_F(FailureTest, CorruptQueryFileRejected) {
+  const std::string path = Write("bad.bq", "v 0\ne 0 0 1 1\n");
+  EXPECT_FALSE(query::LoadQuery(path).ok());
+  const std::string binary_junk =
+      Write("junk.bq", std::string("\x00\x01\x02", 3));
+  EXPECT_FALSE(query::LoadQuery(binary_junk).ok());
+}
+
+TEST_F(FailureTest, CorruptTraceReplayFailsCleanly) {
+  // Structurally parseable trace whose replay is illegal: edge before its
+  // endpoints exist.
+  auto trace = gui::TraceFromText(
+      "vertex 0 0 1000\n"
+      "edge 0 5 1 2 1000\n"
+      "run\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->ReplayToQuery().ok());
+  // Feeding it to a blender errors on the bad action but does not crash.
+  Blender blender(graph_, *prep_, BlenderOptions());
+  Status status = blender.RunTrace(*trace);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(FailureTest, RunOnEmptyQueryFailsCleanly) {
+  Blender blender(graph_, *prep_, BlenderOptions());
+  EXPECT_FALSE(blender.OnAction(Action::Run()).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,185 @@
+// Property-based sweeps over random graphs and queries: structural
+// invariants of the CAP index and the blender that must hold regardless of
+// topology, strategy or formulation order.
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::VertexId;
+using query::TemplateId;
+
+struct PropertyParam {
+  const char* name;
+  int generator;  // 0 = ER, 1 = BA, 2 = community
+  TemplateId tmpl;
+  Strategy strategy;
+  uint64_t seed;
+};
+
+class BlendPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  graph::Graph MakeGraph(const PropertyParam& p) {
+    switch (p.generator) {
+      case 0: {
+        auto g = graph::GenerateErdosRenyi(80, 180, 3, p.seed);
+        BOOMER_CHECK(g.ok());
+        return std::move(g).value();
+      }
+      case 1: {
+        auto g = graph::GenerateBarabasiAlbert(90, 2, 3, p.seed);
+        BOOMER_CHECK(g.ok());
+        return std::move(g).value();
+      }
+      default: {
+        graph::CommunityParams params;
+        params.num_vertices = 80;
+        params.num_communities = 30;
+        params.bridge_edges = 10;
+        auto g = graph::GenerateCommunity(params, 3, p.seed);
+        BOOMER_CHECK(g.ok());
+        return std::move(g).value();
+      }
+    }
+  }
+};
+
+TEST_P(BlendPropertyTest, CapAndResultInvariants) {
+  const auto& p = GetParam();
+  graph::Graph g = MakeGraph(p);
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 300;
+  auto prep = Preprocess(g, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  query::QueryInstantiator inst(g, p.seed ^ 0xabcd);
+  auto q_or = inst.Instantiate(p.tmpl);
+  ASSERT_TRUE(q_or.ok());
+  const query::BphQuery& q = *q_or;
+
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+  ASSERT_TRUE(trace.ok());
+  BlenderOptions options;
+  options.strategy = p.strategy;
+  Blender blender(g, *prep, options);
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+  const CapIndex& cap = blender.cap();
+
+  // Invariant 1: every indexed pair satisfies its edge's upper bound, and
+  // AIVS entries reference surviving candidates (soundness).
+  for (query::QueryEdgeId e : q.LiveEdges()) {
+    const auto& edge = q.Edge(e);
+    ASSERT_TRUE(cap.EdgeProcessed(e));
+    for (VertexId vi : cap.Candidates(edge.src)) {
+      auto dist = graph::BfsDistances(g, vi);
+      for (VertexId vj : cap.Aivs(e, edge.src, vi)) {
+        EXPECT_TRUE(cap.IsCandidate(edge.dst, vj));
+        ASSERT_NE(dist[vj], graph::kUnreachable);
+        EXPECT_LE(dist[vj], edge.bounds.upper);
+      }
+    }
+  }
+
+  // Invariant 2: label constraint on every level.
+  for (query::QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+    for (VertexId candidate : cap.Candidates(v)) {
+      EXPECT_EQ(g.Label(candidate), q.Label(v));
+    }
+  }
+
+  // Invariant 3: completeness — pruning never loses a brute-force match,
+  // and the enumerated set equals ground truth exactly.
+  auto truth = boomer::testing::BruteForceUpperBoundMatches(g, q);
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()), truth);
+  for (const auto& assignment : truth) {
+    for (query::QueryVertexId v = 0; v < q.NumVertices(); ++v) {
+      EXPECT_TRUE(cap.IsCandidate(v, assignment[v]))
+          << "pruning removed a matched vertex";
+    }
+  }
+
+  // Invariant 4: bookkeeping consistency.
+  const BlendReport& report = blender.report();
+  EXPECT_EQ(report.edges_deferred,
+            report.edges_processed_idle + report.edges_processed_at_run);
+  EXPECT_EQ(report.edges_processed_immediately + report.edges_deferred,
+            q.NumEdges());
+  EXPECT_EQ(report.num_results, blender.Results().size());
+  EXPECT_GE(report.cap_build_wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.qft_seconds, trace->TotalLatencyMicros() * 1e-6);
+  if (p.strategy == Strategy::kImmediate) {
+    EXPECT_EQ(report.edges_deferred, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlendPropertyTest,
+    ::testing::Values(
+        PropertyParam{"er_q1_ic", 0, TemplateId::kQ1, Strategy::kImmediate, 1},
+        PropertyParam{"er_q2_dr", 0, TemplateId::kQ2, Strategy::kDeferToRun, 2},
+        PropertyParam{"er_q3_di", 0, TemplateId::kQ3, Strategy::kDeferToIdle, 3},
+        PropertyParam{"er_q5_di", 0, TemplateId::kQ5, Strategy::kDeferToIdle, 4},
+        PropertyParam{"ba_q1_di", 1, TemplateId::kQ1, Strategy::kDeferToIdle, 5},
+        PropertyParam{"ba_q4_dr", 1, TemplateId::kQ4, Strategy::kDeferToRun, 6},
+        PropertyParam{"ba_q6_ic", 1, TemplateId::kQ6, Strategy::kImmediate, 7},
+        PropertyParam{"comm_q2_ic", 2, TemplateId::kQ2, Strategy::kImmediate,
+                      8},
+        PropertyParam{"comm_q6_di", 2, TemplateId::kQ6, Strategy::kDeferToIdle,
+                      9},
+        PropertyParam{"comm_q5_dr", 2, TemplateId::kQ5, Strategy::kDeferToRun,
+                      10}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return info.param.name;
+    });
+
+// Bound-sweep property: growing the upper bound only ever grows the result
+// set (monotonicity), and upper = infinity-ish admits everything reachable.
+class BoundMonotonicityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BoundMonotonicityTest, WiderBoundsNeverLoseMatches) {
+  const uint32_t upper = GetParam();
+  auto g_or = graph::GenerateErdosRenyi(60, 130, 2, 404);
+  ASSERT_TRUE(g_or.ok());
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 200;
+  auto prep = Preprocess(*g_or, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  auto run = [&](uint32_t u) {
+    query::BphQuery q;
+    q.AddVertex(0);
+    q.AddVertex(1);
+    q.AddVertex(0);
+    BOOMER_CHECK(q.AddEdge(0, 1, {1, u}).ok());
+    BOOMER_CHECK(q.AddEdge(1, 2, {1, u}).ok());
+    gui::LatencyModel latency;
+    auto trace = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+    BOOMER_CHECK(trace.ok());
+    Blender blender(*g_or, *prep, BlenderOptions());
+    BOOMER_CHECK_OK(blender.RunTrace(*trace));
+    return boomer::testing::Canonicalize(blender.Results());
+  };
+
+  auto narrow = run(upper);
+  auto wide = run(upper + 1);
+  for (const auto& match : narrow) {
+    EXPECT_TRUE(wide.contains(match)) << "upper " << upper;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Uppers, BoundMonotonicityTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,137 @@
+// Definition 3.1's special case: with every bound [1,1], bounded 1-1 p-hom
+// matching reduces to subgraph isomorphism. This sweep checks the blender's
+// answers against a direct subgraph-isomorphism semantics (edges must
+// literally exist in G) — independent of the distance-based reference
+// matcher — across topologies and graph families.
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using query::QueryVertexId;
+
+/// Direct subgraph-isomorphism enumeration: injective, label-preserving,
+/// every query edge maps to a graph edge.
+boomer::testing::CanonicalMatches SubgraphIsomorphisms(
+    const Graph& g, const query::BphQuery& q) {
+  boomer::testing::CanonicalMatches out;
+  const size_t n = q.NumVertices();
+  std::vector<VertexId> assignment(n, graph::kInvalidVertex);
+  std::vector<bool> used(g.NumVertices(), false);
+  auto live = q.LiveEdges();
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == n) {
+      for (auto e : live) {
+        const auto& edge = q.Edge(e);
+        if (!g.HasEdge(assignment[edge.src], assignment[edge.dst])) return;
+      }
+      out.insert(assignment);
+      return;
+    }
+    auto qv = static_cast<QueryVertexId>(depth);
+    for (VertexId v : g.VerticesWithLabel(q.Label(qv))) {
+      if (used[v]) continue;
+      assignment[qv] = v;
+      used[v] = true;
+      recurse(depth + 1);
+      used[v] = false;
+      assignment[qv] = graph::kInvalidVertex;
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+struct SubisoParam {
+  const char* name;
+  query::TemplateId tmpl;
+  int graph_kind;  // 0 = ER, 1 = community, 2 = figure2
+  uint64_t seed;
+};
+
+class SubisoReductionTest : public ::testing::TestWithParam<SubisoParam> {};
+
+TEST_P(SubisoReductionTest, UnitBoundsEqualSubgraphIsomorphism) {
+  const auto& p = GetParam();
+  Graph g;
+  switch (p.graph_kind) {
+    case 0: {
+      auto g_or = graph::GenerateErdosRenyi(70, 200, 3, p.seed);
+      ASSERT_TRUE(g_or.ok());
+      g = std::move(g_or).value();
+      break;
+    }
+    case 1: {
+      graph::CommunityParams params;
+      params.num_vertices = 60;
+      params.num_communities = 25;
+      params.bridge_edges = 15;
+      auto g_or = graph::GenerateCommunity(params, 3, p.seed);
+      ASSERT_TRUE(g_or.ok());
+      g = std::move(g_or).value();
+      break;
+    }
+    default:
+      g = boomer::testing::Figure2Graph();
+      break;
+  }
+  PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 200;
+  auto prep = Preprocess(g, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  // All bounds [1,1].
+  const auto& t = query::GetTemplate(p.tmpl);
+  std::vector<std::optional<query::Bounds>> unit(t.edges.size());
+  for (auto& b : unit) b = query::Bounds{1, 1};
+  query::QueryInstantiator inst(g, p.seed * 7 + 1);
+  auto q = inst.Instantiate(p.tmpl, unit);
+  ASSERT_TRUE(q.ok());
+
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  ASSERT_TRUE(trace.ok());
+  Blender blender(g, *prep, BlenderOptions());
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()),
+            SubgraphIsomorphisms(g, *q));
+
+  // With unit bounds, every match realizes immediately (lower bound 1 is
+  // always met by the direct edge) — FilterByLowerBound accepts all.
+  for (size_t i = 0; i < blender.Results().size(); ++i) {
+    auto subgraph = blender.GenerateResultSubgraph(i);
+    ASSERT_TRUE(subgraph.ok());
+    for (const auto& embedding : subgraph->paths) {
+      EXPECT_EQ(embedding.Length(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SubisoReductionTest,
+    ::testing::Values(SubisoParam{"er_q1", query::TemplateId::kQ1, 0, 1},
+                      SubisoParam{"er_q2", query::TemplateId::kQ2, 0, 2},
+                      SubisoParam{"er_q5", query::TemplateId::kQ5, 0, 3},
+                      SubisoParam{"comm_q1", query::TemplateId::kQ1, 1, 4},
+                      SubisoParam{"comm_q3", query::TemplateId::kQ3, 1, 5},
+                      SubisoParam{"comm_q6", query::TemplateId::kQ6, 1, 6},
+                      SubisoParam{"fig2_q1", query::TemplateId::kQ1, 2, 7}),
+    [](const ::testing::TestParamInfo<SubisoParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

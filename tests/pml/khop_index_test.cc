@@ -1,0 +1,92 @@
+#include "pml/khop_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace pml {
+namespace {
+
+using graph::VertexId;
+
+TEST(KHopIndexTest, BoundedDistancesMatchBfs) {
+  auto g_or = graph::GenerateErdosRenyi(120, 300, 3, 71);
+  ASSERT_TRUE(g_or.ok());
+  for (uint32_t k : {1u, 2u, 3u}) {
+    auto index = KHopIndex::Build(*g_or, k);
+    ASSERT_TRUE(index.ok());
+    for (VertexId u = 0; u < g_or->NumVertices(); u += 17) {
+      auto truth = graph::BfsDistances(*g_or, u);
+      for (VertexId v = 0; v < g_or->NumVertices(); ++v) {
+        if (u == v) continue;
+        uint32_t expected = (truth[v] != graph::kUnreachable && truth[v] <= k)
+                                ? truth[v]
+                                : kInfiniteDistance;
+        ASSERT_EQ(index->BoundedDistance(u, v), expected)
+            << "k=" << k << " pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(KHopIndexTest, WithinDistanceRespectsBound) {
+  auto g = boomer::testing::PathGraph(8);
+  auto index = KHopIndex::Build(g, 3);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->WithinDistance(0, 2, 2));
+  EXPECT_TRUE(index->WithinDistance(0, 3, 3));
+  EXPECT_FALSE(index->WithinDistance(0, 3, 2));
+  EXPECT_FALSE(index->WithinDistance(0, 7, 3));  // beyond radius
+}
+
+TEST(KHopIndexTest, BallSortedAndComplete) {
+  auto g = boomer::testing::CycleGraph(10);
+  auto index = KHopIndex::Build(g, 2);
+  ASSERT_TRUE(index.ok());
+  auto ball = index->Ball(0);
+  std::vector<VertexId> expected{1, 2, 8, 9};
+  EXPECT_TRUE(std::equal(ball.begin(), ball.end(), expected.begin(),
+                         expected.end()));
+}
+
+TEST(KHopIndexTest, LabelCounts) {
+  auto g = boomer::testing::Figure2Graph();
+  auto index = KHopIndex::Build(g, 2);
+  ASSERT_TRUE(index.ok());
+  // v12 (id 11): adjacent to v5 (B), v8 (B), v11 (D); at 2 hops: v2 (A via
+  // v5), v3 (A via v8), v6 (B via v11).
+  EXPECT_EQ(index->CountWithLabel(11, 1), 3u);  // B: v5, v8, v6
+  EXPECT_EQ(index->CountWithLabel(11, 0), 2u);  // A: v2, v3
+  EXPECT_EQ(index->CountWithLabel(11, 3), 1u);  // D: v11
+  EXPECT_EQ(index->CountWithLabel(11, 2), 0u);  // C: only v12 itself
+}
+
+TEST(KHopIndexTest, MemoryGrowsSteeplyWithK) {
+  // The Section-5.2 Remark: the k-neighborhood structure approaches the
+  // whole graph as k grows.
+  auto g_or = graph::GenerateBarabasiAlbert(800, 3, 2, 73);
+  ASSERT_TRUE(g_or.ok());
+  size_t prev_entries = 0;
+  for (uint32_t k = 1; k <= 3; ++k) {
+    auto index = KHopIndex::Build(*g_or, k);
+    ASSERT_TRUE(index.ok());
+    EXPECT_GT(index->TotalEntries(), prev_entries);
+    prev_entries = index->TotalEntries();
+  }
+  // At k=3 on a small-world graph, the stored entries exceed |E| by a wide
+  // margin (storing "a large portion of the entire data graph").
+  EXPECT_GT(prev_entries, 10 * g_or->NumEdges());
+}
+
+TEST(KHopIndexTest, RejectsBadRadius) {
+  auto g = boomer::testing::PathGraph(4);
+  EXPECT_FALSE(KHopIndex::Build(g, 0).ok());
+  EXPECT_FALSE(KHopIndex::Build(g, 256).ok());
+}
+
+}  // namespace
+}  // namespace pml
+}  // namespace boomer

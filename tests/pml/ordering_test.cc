@@ -1,0 +1,81 @@
+// Landmark-ordering variants: all orderings must answer identically (they
+// change the index, never the distances); degree ordering should produce
+// the smallest index on hub-dominated graphs.
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "pml/pml_index.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace pml {
+namespace {
+
+using graph::VertexId;
+
+class OrderingTest : public ::testing::TestWithParam<LandmarkOrdering> {};
+
+TEST_P(OrderingTest, DistancesMatchBfsRegardlessOfOrdering) {
+  auto g_or = graph::GenerateBarabasiAlbert(200, 3, 2, 55);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or, GetParam(), /*ordering_seed=*/9);
+  ASSERT_TRUE(index.ok());
+  for (VertexId s = 0; s < g_or->NumVertices(); s += 41) {
+    auto truth = graph::BfsDistances(*g_or, s);
+    for (VertexId t = 0; t < g_or->NumVertices(); ++t) {
+      uint32_t expected =
+          truth[t] == graph::kUnreachable ? kInfiniteDistance : truth[t];
+      ASSERT_EQ(index->Distance(s, t), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, OrderingTest,
+                         ::testing::Values(LandmarkOrdering::kDegreeDescending,
+                                           LandmarkOrdering::kVertexId,
+                                           LandmarkOrdering::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case LandmarkOrdering::kDegreeDescending:
+                               return "degree";
+                             case LandmarkOrdering::kVertexId:
+                               return "vertex_id";
+                             default:
+                               return "random";
+                           }
+                         });
+
+TEST(OrderingComparisonTest, DegreeOrderingSmallestOnHubGraph) {
+  auto g_or = graph::GenerateBarabasiAlbert(500, 3, 2, 57);
+  ASSERT_TRUE(g_or.ok());
+  auto degree =
+      PmlIndex::Build(*g_or, LandmarkOrdering::kDegreeDescending);
+  auto random = PmlIndex::Build(*g_or, LandmarkOrdering::kRandom, 3);
+  ASSERT_TRUE(degree.ok() && random.ok());
+  EXPECT_LT(degree->build_stats().total_label_entries,
+            random->build_stats().total_label_entries);
+}
+
+TEST(OrderingComparisonTest, RandomOrderingDeterministicInSeed) {
+  auto g = boomer::testing::CycleGraph(60, 0);
+  auto a = PmlIndex::Build(g, LandmarkOrdering::kRandom, 11);
+  auto b = PmlIndex::Build(g, LandmarkOrdering::kRandom, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->build_stats().total_label_entries,
+            b->build_stats().total_label_entries);
+  for (VertexId v = 0; v < 60; ++v) {
+    auto ca = a->Cover(v);
+    auto cb = b->Cover(v);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i].landmark_rank, cb[i].landmark_rank);
+      EXPECT_EQ(ca[i].distance, cb[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pml
+}  // namespace boomer

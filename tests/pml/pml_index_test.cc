@@ -1,0 +1,230 @@
+#include "pml/pml_index.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace pml {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(PmlIndexTest, EmptyGraph) {
+  graph::GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto index = PmlIndex::Build(*g);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumVertices(), 0u);
+}
+
+TEST(PmlIndexTest, SingleVertex) {
+  graph::GraphBuilder b;
+  b.AddVertex(0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto index = PmlIndex::Build(*g);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Distance(0, 0), 0u);
+}
+
+TEST(PmlIndexTest, PathGraphExactDistances) {
+  auto g = testing::PathGraph(20);
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  for (VertexId u = 0; u < 20; ++u) {
+    for (VertexId v = 0; v < 20; ++v) {
+      EXPECT_EQ(index->Distance(u, v), static_cast<uint32_t>(
+                                           u > v ? u - v : v - u));
+    }
+  }
+}
+
+TEST(PmlIndexTest, DisconnectedIsInfinite) {
+  auto g = testing::TwoTriangles();
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Distance(0, 3), kInfiniteDistance);
+  EXPECT_FALSE(index->WithinDistance(0, 3, 1000000));
+}
+
+TEST(PmlIndexTest, WithinDistanceConsistentWithDistance) {
+  auto g_or = graph::GenerateErdosRenyi(300, 900, 3, 21);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or);
+  ASSERT_TRUE(index.ok());
+  for (VertexId u = 0; u < 300; u += 11) {
+    for (VertexId v = 0; v < 300; v += 13) {
+      uint32_t d = index->Distance(u, v);
+      for (uint32_t bound : {0u, 1u, 2u, 3u, 5u, 10u}) {
+        EXPECT_EQ(index->WithinDistance(u, v, bound),
+                  d != kInfiniteDistance && d <= bound)
+            << u << " " << v << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(PmlIndexTest, CoverEntriesSortedByRank) {
+  auto g_or = graph::GenerateBarabasiAlbert(500, 3, 2, 23);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or);
+  ASSERT_TRUE(index.ok());
+  for (VertexId v = 0; v < 500; ++v) {
+    auto cover = index->Cover(v);
+    for (size_t i = 1; i < cover.size(); ++i) {
+      EXPECT_LT(cover[i - 1].landmark_rank, cover[i].landmark_rank);
+    }
+    // Every vertex must index at least one landmark (itself at worst).
+    EXPECT_GE(cover.size(), 1u);
+  }
+}
+
+TEST(PmlIndexTest, PruningKeepsIndexSmall) {
+  // On a star, the hub is rank-0 and covers everything: every label should
+  // have O(1) entries.
+  auto g = testing::StarGraph(200);
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  EXPECT_LE(index->build_stats().avg_label_size, 2.5);
+  EXPECT_EQ(index->Distance(1, 2), 2u);
+  EXPECT_EQ(index->Distance(0, 5), 1u);
+}
+
+TEST(PmlIndexTest, BuildStatsPopulated) {
+  auto g = testing::CycleGraph(50);
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->build_stats().total_label_entries, 0u);
+  EXPECT_GT(index->build_stats().avg_label_size, 0.0);
+  EXPECT_GE(index->build_stats().max_label_size,
+            static_cast<size_t>(index->build_stats().avg_label_size));
+  EXPECT_GT(index->MemoryBytes(), 0u);
+}
+
+TEST(PmlIndexTest, SaveLoadRoundTrip) {
+  auto g_or = graph::GenerateErdosRenyi(200, 600, 2, 29);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or);
+  ASSERT_TRUE(index.ok());
+  const std::string path =
+      ::testing::TempDir() + "/boomer_pml_roundtrip.pml";
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = PmlIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (VertexId u = 0; u < 200; u += 7) {
+    for (VertexId v = 0; v < 200; v += 17) {
+      EXPECT_EQ(index->Distance(u, v), loaded->Distance(u, v));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PmlIndexTest, LoadMissingFileFails) {
+  EXPECT_FALSE(PmlIndex::Load("/nonexistent/boomer.pml").ok());
+}
+
+TEST(BfsOracleTest, MatchesBfs) {
+  auto g = testing::CycleGraph(12);
+  BfsOracle oracle(g);
+  EXPECT_EQ(oracle.Distance(0, 6), 6u);
+  EXPECT_EQ(oracle.Distance(0, 11), 1u);
+  EXPECT_TRUE(oracle.WithinDistance(0, 3, 3));
+  EXPECT_FALSE(oracle.WithinDistance(0, 6, 5));
+}
+
+TEST(TwoHopCountsTest, MatchesBfsDefinition) {
+  auto g_or = graph::GenerateErdosRenyi(150, 400, 2, 31);
+  ASSERT_TRUE(g_or.ok());
+  auto counts = ComputeTwoHopCounts(*g_or);
+  ASSERT_EQ(counts.size(), 150u);
+  for (VertexId v = 0; v < 150; v += 7) {
+    EXPECT_EQ(counts[v], graph::TwoHopNeighborhoodSize(*g_or, v))
+        << "vertex " << v;
+  }
+}
+
+TEST(EstimateAvgEdgeTimeTest, PositiveAndFinite) {
+  auto g = testing::CycleGraph(64);
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  double t = EstimateAvgEdgeTime(g, *index, 2000, 1);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0);  // a distance query is far below a second
+}
+
+TEST(EstimateAvgEdgeTimeTest, ZeroSamplesIsZero) {
+  auto g = testing::CycleGraph(8);
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(EstimateAvgEdgeTime(g, *index, 0, 1), 0.0);
+}
+
+// ---- Property sweep: PML distances == BFS distances --------------------------
+
+struct PmlPropertyParam {
+  const char* name;
+  size_t n;
+  size_t m;
+  uint64_t seed;
+  int generator;  // 0 = ER, 1 = BA, 2 = WS
+};
+
+class PmlPropertyTest : public ::testing::TestWithParam<PmlPropertyParam> {};
+
+TEST_P(PmlPropertyTest, DistancesMatchBfsGroundTruth) {
+  const auto& p = GetParam();
+  StatusOr<Graph> g_or = Status::Internal("unset");
+  switch (p.generator) {
+    case 0:
+      g_or = graph::GenerateErdosRenyi(p.n, p.m, 3, p.seed);
+      break;
+    case 1:
+      g_or = graph::GenerateBarabasiAlbert(p.n, std::max<size_t>(1, p.m / p.n),
+                                           3, p.seed);
+      break;
+    default:
+      g_or = graph::GenerateWattsStrogatz(p.n, 2, 0.2, 3, p.seed);
+      break;
+  }
+  ASSERT_TRUE(g_or.ok());
+  const Graph& g = *g_or;
+  auto index = PmlIndex::Build(g);
+  ASSERT_TRUE(index.ok());
+  // Exhaustive check from a handful of sources.
+  for (VertexId s = 0; s < g.NumVertices();
+       s += std::max<size_t>(1, g.NumVertices() / 5)) {
+    auto truth = graph::BfsDistances(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      uint32_t expected =
+          truth[t] == graph::kUnreachable ? kInfiniteDistance : truth[t];
+      ASSERT_EQ(index->Distance(s, t), expected)
+          << p.name << ": pair (" << s << ", " << t << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, PmlPropertyTest,
+    ::testing::Values(
+        PmlPropertyParam{"er_sparse", 120, 150, 1, 0},
+        PmlPropertyParam{"er_medium", 120, 400, 2, 0},
+        PmlPropertyParam{"er_dense", 80, 1200, 3, 0},
+        PmlPropertyParam{"er_disconnected", 200, 120, 4, 0},
+        PmlPropertyParam{"ba_small", 150, 300, 5, 1},
+        PmlPropertyParam{"ba_bushy", 100, 500, 6, 1},
+        PmlPropertyParam{"ws_ring", 100, 0, 7, 2},
+        PmlPropertyParam{"ws_ring2", 140, 0, 8, 2}),
+    [](const ::testing::TestParamInfo<PmlPropertyParam>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pml
+}  // namespace boomer

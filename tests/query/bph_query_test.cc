@@ -1,0 +1,179 @@
+#include "query/bph_query.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace query {
+namespace {
+
+BphQuery Triangle() {
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(2);
+  BOOMER_CHECK(q.AddEdge(0, 1, {1, 1}).ok());
+  BOOMER_CHECK(q.AddEdge(1, 2, {1, 2}).ok());
+  BOOMER_CHECK(q.AddEdge(0, 2, {1, 3}).ok());
+  return q;
+}
+
+TEST(BoundsTest, Validity) {
+  EXPECT_TRUE((Bounds{1, 1}).Valid());
+  EXPECT_TRUE((Bounds{2, 5}).Valid());
+  EXPECT_FALSE((Bounds{0, 1}).Valid());
+  EXPECT_FALSE((Bounds{3, 2}).Valid());
+}
+
+TEST(BphQueryTest, AddVertexAssignsSequentialIds) {
+  BphQuery q;
+  EXPECT_EQ(q.AddVertex(5), 0u);
+  EXPECT_EQ(q.AddVertex(7), 1u);
+  EXPECT_EQ(q.NumVertices(), 2u);
+  EXPECT_EQ(q.Label(0), 5u);
+  EXPECT_EQ(q.Label(1), 7u);
+}
+
+TEST(BphQueryTest, AddEdgeCanonicalizesEndpoints) {
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  auto e = q.AddEdge(1, 0, {1, 2});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(q.Edge(*e).src, 0u);
+  EXPECT_EQ(q.Edge(*e).dst, 1u);
+}
+
+TEST(BphQueryTest, RejectsSelfLoop) {
+  BphQuery q;
+  q.AddVertex(0);
+  EXPECT_EQ(q.AddEdge(0, 0, {1, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BphQueryTest, RejectsDuplicateEdge) {
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  EXPECT_EQ(q.AddEdge(1, 0, {1, 2}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(BphQueryTest, RejectsUnknownEndpoint) {
+  BphQuery q;
+  q.AddVertex(0);
+  EXPECT_FALSE(q.AddEdge(0, 5, {1, 1}).ok());
+}
+
+TEST(BphQueryTest, RejectsInvalidBounds) {
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  EXPECT_FALSE(q.AddEdge(0, 1, {0, 1}).ok());
+  EXPECT_FALSE(q.AddEdge(0, 1, {3, 1}).ok());
+}
+
+TEST(BphQueryTest, RemoveEdgeTombstones) {
+  BphQuery q = Triangle();
+  EXPECT_EQ(q.NumEdges(), 3u);
+  ASSERT_TRUE(q.RemoveEdge(1).ok());
+  EXPECT_EQ(q.NumEdges(), 2u);
+  EXPECT_FALSE(q.EdgeAlive(1));
+  EXPECT_TRUE(q.EdgeAlive(0));
+  EXPECT_TRUE(q.EdgeAlive(2));
+  // Removing again fails.
+  EXPECT_EQ(q.RemoveEdge(1).code(), StatusCode::kNotFound);
+  // Edge ids of survivors unchanged.
+  EXPECT_EQ(q.Edge(2).src, 0u);
+  EXPECT_EQ(q.Edge(2).dst, 2u);
+}
+
+TEST(BphQueryTest, ReAddAfterRemove) {
+  BphQuery q = Triangle();
+  ASSERT_TRUE(q.RemoveEdge(0).ok());
+  auto e = q.AddEdge(0, 1, {2, 4});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 3u);  // new slot, tombstone preserved
+  EXPECT_EQ(q.NumEdges(), 3u);
+  EXPECT_EQ(q.EdgeSlots(), 4u);
+}
+
+TEST(BphQueryTest, SetBounds) {
+  BphQuery q = Triangle();
+  ASSERT_TRUE(q.SetBounds(1, {2, 5}).ok());
+  EXPECT_EQ(q.Edge(1).bounds.lower, 2u);
+  EXPECT_EQ(q.Edge(1).bounds.upper, 5u);
+  EXPECT_FALSE(q.SetBounds(1, {5, 2}).ok());
+  EXPECT_EQ(q.SetBounds(99, {1, 1}).code(), StatusCode::kNotFound);
+}
+
+TEST(BphQueryTest, IncidentEdges) {
+  BphQuery q = Triangle();
+  auto incident = q.IncidentEdges(0);
+  ASSERT_EQ(incident.size(), 2u);
+  EXPECT_EQ(incident[0], 0u);
+  EXPECT_EQ(incident[1], 2u);
+  ASSERT_TRUE(q.RemoveEdge(0).ok());
+  incident = q.IncidentEdges(0);
+  ASSERT_EQ(incident.size(), 1u);
+  EXPECT_EQ(incident[0], 2u);
+}
+
+TEST(BphQueryTest, FindEdgeIsOrderInsensitive) {
+  BphQuery q = Triangle();
+  EXPECT_EQ(q.FindEdge(2, 0), 2u);
+  EXPECT_EQ(q.FindEdge(0, 2), 2u);
+  ASSERT_TRUE(q.RemoveEdge(2).ok());
+  EXPECT_EQ(q.FindEdge(0, 2), kInvalidQueryEdge);
+}
+
+TEST(BphQueryTest, QueryEdgeOther) {
+  BphQuery q = Triangle();
+  EXPECT_EQ(q.Edge(0).Other(0), 1u);
+  EXPECT_EQ(q.Edge(0).Other(1), 0u);
+}
+
+TEST(BphQueryTest, ValidateConnected) {
+  BphQuery q = Triangle();
+  EXPECT_TRUE(q.Validate().ok());
+  // Removing two edges disconnects q2.
+  ASSERT_TRUE(q.RemoveEdge(1).ok());
+  ASSERT_TRUE(q.RemoveEdge(2).ok());
+  EXPECT_EQ(q.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BphQueryTest, ValidateEmptyQuery) {
+  BphQuery q;
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(BphQueryTest, SingleVertexIsValid) {
+  BphQuery q;
+  q.AddVertex(0);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(BphQueryTest, EqualityIgnoresEdgeInsertionOrder) {
+  BphQuery a = Triangle();
+  BphQuery b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddVertex(2);
+  BOOMER_CHECK(b.AddEdge(0, 2, {1, 3}).ok());
+  BOOMER_CHECK(b.AddEdge(0, 1, {1, 1}).ok());
+  BOOMER_CHECK(b.AddEdge(1, 2, {1, 2}).ok());
+  EXPECT_TRUE(a == b);
+  ASSERT_TRUE(b.SetBounds(0, {1, 4}).ok());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BphQueryTest, ToStringContainsEdgesAndBounds) {
+  BphQuery q = Triangle();
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("(q0,q1)[1,1]"), std::string::npos);
+  EXPECT_NE(s.find("(q0,q2)[1,3]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace boomer

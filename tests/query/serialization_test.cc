@@ -1,0 +1,84 @@
+#include "query/serialization.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "query/templates.h"
+
+namespace boomer {
+namespace query {
+namespace {
+
+TEST(QuerySerializationTest, RoundTripAllTemplates) {
+  for (TemplateId id : kAllTemplates) {
+    const auto& t = GetTemplate(id);
+    std::vector<graph::LabelId> labels(t.num_vertices);
+    for (size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<graph::LabelId>(i * 3);
+    }
+    auto q = InstantiateTemplate(id, labels);
+    ASSERT_TRUE(q.ok());
+    auto parsed = QueryFromText(QueryToText(*q));
+    ASSERT_TRUE(parsed.ok()) << TemplateName(id) << ": " << parsed.status();
+    EXPECT_TRUE(*parsed == *q) << TemplateName(id);
+  }
+}
+
+TEST(QuerySerializationTest, TombstonesNotPreserved) {
+  BphQuery q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(2);
+  ASSERT_TRUE(q.AddEdge(0, 1, {1, 1}).ok());
+  ASSERT_TRUE(q.AddEdge(1, 2, {1, 2}).ok());
+  ASSERT_TRUE(q.RemoveEdge(0).ok());
+  auto parsed = QueryFromText(QueryToText(q));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumEdges(), 1u);
+  EXPECT_EQ(parsed->EdgeSlots(), 1u);  // compacted
+  EXPECT_TRUE(*parsed == q);           // live structure equal
+}
+
+TEST(QuerySerializationTest, ParsesCommentsAndBlankLines) {
+  auto q = QueryFromText(
+      "# a triangle\n"
+      "\n"
+      "v 5\n"
+      "v 6\n"
+      "v 5\n"
+      "e 0 1 1 2\n"
+      "# bounds may be wide\n"
+      "e 1 2 2 4\n"
+      "e 0 2 1 1\n");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumVertices(), 3u);
+  EXPECT_EQ(q->NumEdges(), 3u);
+  EXPECT_EQ(q->Edge(1).bounds, (Bounds{2, 4}));
+}
+
+TEST(QuerySerializationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(QueryFromText("").ok());
+  EXPECT_FALSE(QueryFromText("v\n").ok());
+  EXPECT_FALSE(QueryFromText("v x\n").ok());
+  EXPECT_FALSE(QueryFromText("v 0\ne 0 1 1 2\n").ok());   // endpoint missing
+  EXPECT_FALSE(QueryFromText("v 0\nv 0\ne 0 1 3 2\n").ok());  // bad bounds
+  EXPECT_FALSE(QueryFromText("v 0\nw 1\n").ok());         // unknown directive
+  EXPECT_FALSE(QueryFromText("e 0 1 1 1\nv 0\nv 0\n").ok());  // order
+}
+
+TEST(QuerySerializationTest, FileRoundTrip) {
+  auto q = InstantiateTemplate(TemplateId::kQ6, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(q.ok());
+  const std::string path = ::testing::TempDir() + "/boomer_query.bq";
+  ASSERT_TRUE(SaveQuery(*q, path).ok());
+  auto loaded = LoadQuery(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(*loaded == *q);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(LoadQuery(path).ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace boomer

@@ -1,0 +1,99 @@
+#include "query/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace query {
+namespace {
+
+using graph::LabelId;
+using graph::VertexId;
+
+TEST(LabelSimilarityTest, DefaultIsExactMatch) {
+  LabelSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Score(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Score(0, 1), 0.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(LabelSimilarityTest, SetAndLookup) {
+  LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(0, 1, 0.8).ok());
+  EXPECT_DOUBLE_EQ(sim.Score(0, 1), 0.8);
+  // Directional: the reverse pair keeps its default.
+  EXPECT_DOUBLE_EQ(sim.Score(1, 0), 0.0);
+  EXPECT_EQ(sim.NumEntries(), 1u);
+}
+
+TEST(LabelSimilarityTest, OverwriteEntry) {
+  LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(2, 3, 0.5).ok());
+  ASSERT_TRUE(sim.Set(2, 3, 0.9).ok());
+  EXPECT_DOUBLE_EQ(sim.Score(2, 3), 0.9);
+  EXPECT_EQ(sim.NumEntries(), 1u);
+}
+
+TEST(LabelSimilarityTest, SelfScoreCanBeLowered) {
+  LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(0, 0, 0.2).ok());
+  EXPECT_DOUBLE_EQ(sim.Score(0, 0), 0.2);
+}
+
+TEST(LabelSimilarityTest, SetSymmetric) {
+  LabelSimilarity sim;
+  ASSERT_TRUE(sim.SetSymmetric(1, 2, 0.7).ok());
+  EXPECT_DOUBLE_EQ(sim.Score(1, 2), 0.7);
+  EXPECT_DOUBLE_EQ(sim.Score(2, 1), 0.7);
+}
+
+TEST(LabelSimilarityTest, RejectsOutOfRangeScores) {
+  LabelSimilarity sim;
+  EXPECT_FALSE(sim.Set(0, 1, -0.1).ok());
+  EXPECT_FALSE(sim.Set(0, 1, 1.1).ok());
+}
+
+TEST(LabelSimilarityTest, MatchingLabelsRespectsThreshold) {
+  LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(0, 1, 0.8).ok());
+  ASSERT_TRUE(sim.Set(0, 2, 0.4).ok());
+  auto strict = sim.MatchingLabels(0, 4, 0.9);
+  EXPECT_EQ(strict, (std::vector<LabelId>{0}));  // self only
+  auto medium = sim.MatchingLabels(0, 4, 0.5);
+  EXPECT_EQ(medium, (std::vector<LabelId>{0, 1}));
+  auto loose = sim.MatchingLabels(0, 4, 0.3);
+  EXPECT_EQ(loose, (std::vector<LabelId>{0, 1, 2}));
+}
+
+TEST(SimilarCandidatesTest, ExactMatchEqualsLabelIndex) {
+  auto g = testing::Figure2Graph();
+  SimilarityConfig config;  // exact
+  auto candidates = SimilarCandidates(g, 0, config);
+  auto span = g.VerticesWithLabel(0);
+  EXPECT_EQ(candidates, (std::vector<VertexId>(span.begin(), span.end())));
+}
+
+TEST(SimilarCandidatesTest, UnionOverSimilarLabels) {
+  auto g = testing::Figure2Graph();  // A=0 {v1..v4}, B=1 {v5..v8}
+  LabelSimilarity sim;
+  ASSERT_TRUE(sim.Set(0, 1, 0.6).ok());
+  SimilarityConfig config{&sim, 0.5};
+  auto candidates = SimilarCandidates(g, 0, config);
+  // A-candidates plus B-candidates, sorted.
+  EXPECT_EQ(candidates,
+            (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(SimilarCandidatesTest, ThresholdOneWithEmptyTableIsExact) {
+  auto g = testing::Figure2Graph();
+  LabelSimilarity sim;
+  SimilarityConfig config{&sim, 1.0};
+  EXPECT_TRUE(config.IsExactMatch());
+  auto candidates = SimilarCandidates(g, 2, config);
+  EXPECT_EQ(candidates, (std::vector<VertexId>{11}));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace boomer

@@ -1,0 +1,133 @@
+#include "query/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace boomer {
+namespace query {
+namespace {
+
+TEST(TemplatesTest, AllSixTemplatesExist) {
+  for (TemplateId id : kAllTemplates) {
+    const QueryTemplate& t = GetTemplate(id);
+    EXPECT_EQ(t.id, id);
+    EXPECT_GE(t.num_vertices, 3u);
+    EXPECT_EQ(t.edges.size(), t.default_bounds.size());
+    EXPECT_GT(t.avg_qft_seconds, 0.0);
+  }
+}
+
+TEST(TemplatesTest, TopologiesMatchFigure4) {
+  // Cycles: Q1 (3), Q2 (4), Q4 (5) — #edges == #vertices.
+  EXPECT_EQ(GetTemplate(TemplateId::kQ1).edges.size(), 3u);
+  EXPECT_EQ(GetTemplate(TemplateId::kQ1).num_vertices, 3u);
+  EXPECT_EQ(GetTemplate(TemplateId::kQ2).edges.size(), 4u);
+  EXPECT_EQ(GetTemplate(TemplateId::kQ2).num_vertices, 4u);
+  EXPECT_EQ(GetTemplate(TemplateId::kQ4).edges.size(), 5u);
+  EXPECT_EQ(GetTemplate(TemplateId::kQ4).num_vertices, 5u);
+  // Star Q5: 4 edges, 5 vertices, all edges share q0.
+  const auto& q5 = GetTemplate(TemplateId::kQ5);
+  EXPECT_EQ(q5.edges.size(), 4u);
+  for (const auto& [s, d] : q5.edges) EXPECT_EQ(s, 0u);
+  // Flower Q6: 6 edges (Table 1 tightens e3..e6).
+  EXPECT_EQ(GetTemplate(TemplateId::kQ6).edges.size(), 6u);
+}
+
+TEST(TemplatesTest, NamesRoundTrip) {
+  EXPECT_STREQ(TemplateName(TemplateId::kQ1), "Q1");
+  EXPECT_STREQ(TemplateName(TemplateId::kQ6), "Q6");
+}
+
+TEST(TemplatesTest, DefaultBoundsExerciseAllPvsStrategies) {
+  // Every template mixes upper = 1 and upper >= 2 so neighbor and 2-hop
+  // search both trigger with default bounds.
+  for (TemplateId id : kAllTemplates) {
+    const QueryTemplate& t = GetTemplate(id);
+    bool has_one = false, has_more = false;
+    for (const Bounds& b : t.default_bounds) {
+      EXPECT_TRUE(b.Valid());
+      if (b.upper == 1) has_one = true;
+      if (b.upper >= 2) has_more = true;
+    }
+    EXPECT_TRUE(has_one) << TemplateName(id);
+    EXPECT_TRUE(has_more) << TemplateName(id);
+  }
+}
+
+TEST(InstantiateTemplateTest, BuildsValidQuery) {
+  auto q = InstantiateTemplate(TemplateId::kQ1, {0, 1, 2});
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->NumVertices(), 3u);
+  EXPECT_EQ(q->NumEdges(), 3u);
+  EXPECT_TRUE(q->Validate().ok());
+  // Default bounds from the template.
+  EXPECT_EQ(q->Edge(0).bounds, (Bounds{1, 1}));
+  EXPECT_EQ(q->Edge(2).bounds, (Bounds{1, 3}));
+}
+
+TEST(InstantiateTemplateTest, BoundOverrides) {
+  std::vector<std::optional<Bounds>> overrides(3);
+  overrides[2] = Bounds{2, 5};
+  auto q = InstantiateTemplate(TemplateId::kQ1, {0, 1, 2}, overrides);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Edge(2).bounds, (Bounds{2, 5}));
+  EXPECT_EQ(q->Edge(0).bounds, (Bounds{1, 1}));  // default kept
+}
+
+TEST(InstantiateTemplateTest, RejectsWrongLabelCount) {
+  EXPECT_FALSE(InstantiateTemplate(TemplateId::kQ1, {0, 1}).ok());
+  EXPECT_FALSE(InstantiateTemplate(TemplateId::kQ5, {0, 1, 2}).ok());
+}
+
+TEST(InstantiateTemplateTest, RejectsWrongOverrideCount) {
+  std::vector<std::optional<Bounds>> overrides(2);
+  EXPECT_FALSE(InstantiateTemplate(TemplateId::kQ1, {0, 1, 2}, overrides).ok());
+}
+
+TEST(QueryInstantiatorTest, DrawsLabelsWithCandidates) {
+  auto g = graph::GenerateErdosRenyi(500, 1000, 10, 3);
+  ASSERT_TRUE(g.ok());
+  QueryInstantiator inst(*g, 9);
+  for (TemplateId id : kAllTemplates) {
+    auto q = inst.Instantiate(id);
+    ASSERT_TRUE(q.ok()) << TemplateName(id) << ": " << q.status();
+    for (QueryVertexId v = 0; v < q->NumVertices(); ++v) {
+      EXPECT_GE(g->LabelCount(q->Label(v)), 1u);
+    }
+  }
+}
+
+TEST(QueryInstantiatorTest, MinCandidatesRespected) {
+  auto g = graph::GenerateErdosRenyi(500, 1000, 5, 3);
+  ASSERT_TRUE(g.ok());
+  QueryInstantiator inst(*g, 11);
+  auto q = inst.Instantiate(TemplateId::kQ2, {}, /*min_candidates=*/50);
+  ASSERT_TRUE(q.ok());
+  for (QueryVertexId v = 0; v < q->NumVertices(); ++v) {
+    EXPECT_GE(g->LabelCount(q->Label(v)), 50u);
+  }
+}
+
+TEST(QueryInstantiatorTest, FailsWhenNoLabelHasEnoughCandidates) {
+  auto g = graph::GenerateErdosRenyi(20, 30, 10, 3);
+  ASSERT_TRUE(g.ok());
+  QueryInstantiator inst(*g, 13);
+  auto q = inst.Instantiate(TemplateId::kQ2, {}, /*min_candidates=*/1000,
+                            /*max_attempts=*/8);
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryInstantiatorTest, DeterministicInSeed) {
+  auto g = graph::GenerateErdosRenyi(300, 600, 10, 3);
+  ASSERT_TRUE(g.ok());
+  QueryInstantiator a(*g, 17), b(*g, 17);
+  auto qa = a.Instantiate(TemplateId::kQ3);
+  auto qb = b.Instantiate(TemplateId::kQ3);
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  EXPECT_TRUE(*qa == *qb);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace boomer

@@ -1,0 +1,140 @@
+#include "shell/shell.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "support/test_graphs.h"
+
+namespace boomer {
+namespace shell {
+namespace {
+
+/// Shell with a fast preprocessing configuration and a preloaded Figure-2
+/// graph (via a temp binary snapshot).
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ShellOptions options;
+    options.t_avg_samples = 200;
+    shell_ = std::make_unique<Shell>(options);
+    graph_path_ = ::testing::TempDir() + "/shell_fig2.graph";
+    ASSERT_TRUE(
+        graph::SaveBinary(boomer::testing::Figure2Graph(), graph_path_).ok());
+  }
+
+  std::string Load() { return shell_->Exec("load-binary " + graph_path_); }
+
+  std::unique_ptr<Shell> shell_;
+  std::string graph_path_;
+};
+
+TEST_F(ShellTest, HelpAndUnknownCommand) {
+  EXPECT_NE(shell_->Exec("help").find("commands:"), std::string::npos);
+  EXPECT_NE(shell_->Exec("frobnicate").find("unknown command"),
+            std::string::npos);
+  EXPECT_EQ(shell_->Exec("# comment"), "");
+  EXPECT_EQ(shell_->Exec("   "), "");
+}
+
+TEST_F(ShellTest, CommandsBeforeGraphLoadFail) {
+  EXPECT_NE(shell_->Exec("vertex 0").find("load a graph"), std::string::npos);
+  EXPECT_NE(shell_->Exec("run").find("load a graph"), std::string::npos);
+  EXPECT_FALSE(shell_->HasGraph());
+}
+
+TEST_F(ShellTest, LoadBinaryReportsStats) {
+  std::string out = Load();
+  EXPECT_NE(out.find("12 vertices"), std::string::npos);
+  EXPECT_TRUE(shell_->HasGraph());
+}
+
+TEST_F(ShellTest, FullFigure2Session) {
+  Load();
+  EXPECT_NE(shell_->Exec("vertex 0").find("q0"), std::string::npos);
+  EXPECT_NE(shell_->Exec("vertex 1").find("q1"), std::string::npos);
+  EXPECT_NE(shell_->Exec("edge 0 1 1 1").find("e0"), std::string::npos);
+  EXPECT_NE(shell_->Exec("vertex 2").find("q2"), std::string::npos);
+  EXPECT_NE(shell_->Exec("edge 1 2 1 2").find("e1"), std::string::npos);
+  EXPECT_NE(shell_->Exec("edge 0 2 1 3").find("e2"), std::string::npos);
+  std::string run_out = shell_->Exec("run");
+  EXPECT_NE(run_out.find("3 match(es)"), std::string::npos);
+  EXPECT_TRUE(shell_->HasResults());
+  std::string show = shell_->Exec("show 0");
+  EXPECT_NE(show.find("match #0"), std::string::npos);
+  EXPECT_NE(show.find("region:"), std::string::npos);
+  EXPECT_NE(shell_->Exec("show 7").find("error"), std::string::npos);
+}
+
+TEST_F(ShellTest, CapAndQueryIntrospection) {
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 1");
+  EXPECT_NE(shell_->Exec("query").find("(q0,q1)[1,1]"), std::string::npos);
+  std::string cap = shell_->Exec("cap");
+  EXPECT_NE(cap.find("candidates"), std::string::npos);
+}
+
+TEST_F(ShellTest, ModificationCommands) {
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 1");
+  EXPECT_NE(shell_->Exec("bounds 0 1 2").find("[1,2]"), std::string::npos);
+  EXPECT_NE(shell_->Exec("delete 0").find("deleted"), std::string::npos);
+  EXPECT_NE(shell_->Exec("delete 0").find("error"), std::string::npos);
+}
+
+TEST_F(ShellTest, StrategySwitchResetsQuery) {
+  Load();
+  shell_->Exec("vertex 0");
+  std::string out = shell_->Exec("strategy ic");
+  EXPECT_NE(out.find("IC"), std::string::npos);
+  // After the reset, vertex ids start over.
+  EXPECT_NE(shell_->Exec("vertex 1").find("q0"), std::string::npos);
+  EXPECT_NE(shell_->Exec("strategy warp").find("usage"), std::string::npos);
+}
+
+TEST_F(ShellTest, SaveAndLoadQueryRoundTrip) {
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 2");
+  const std::string path = ::testing::TempDir() + "/shell_query.bq";
+  EXPECT_NE(shell_->Exec("save-query " + path).find("saved"),
+            std::string::npos);
+  shell_->Exec("reset");
+  std::string out = shell_->Exec("load-query " + path);
+  EXPECT_NE(out.find("(q0,q1)[1,2]"), std::string::npos);
+  EXPECT_NE(shell_->Exec("run").find("match(es)"), std::string::npos);
+}
+
+TEST_F(ShellTest, ResetAllowsNewQueryAfterRun) {
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("run");
+  // Actions after Run are rejected by the blender...
+  EXPECT_NE(shell_->Exec("vertex 1").find("error"), std::string::npos);
+  // ...until reset.
+  shell_->Exec("reset");
+  EXPECT_NE(shell_->Exec("vertex 1").find("q0"), std::string::npos);
+}
+
+TEST_F(ShellTest, GenCommand) {
+  std::string out = shell_->Exec("gen wordnet 0.005 3");
+  EXPECT_NE(out.find("labels"), std::string::npos);
+  EXPECT_TRUE(shell_->HasGraph());
+  EXPECT_NE(shell_->Exec("gen mars 0.1 1").find("error"), std::string::npos);
+  EXPECT_NE(shell_->Exec("gen wordnet nope 1").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, LatencyCommand) {
+  EXPECT_NE(shell_->Exec("latency 0.5").find("0.500"), std::string::npos);
+  EXPECT_NE(shell_->Exec("latency -1").find("error"), std::string::npos);
+  EXPECT_NE(shell_->Exec("latency abc").find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shell
+}  // namespace boomer

@@ -1,0 +1,104 @@
+#include "support/reference_matcher.h"
+
+#include <functional>
+
+#include "graph/bfs.h"
+
+namespace boomer {
+namespace testing {
+
+using graph::Graph;
+using graph::VertexId;
+using query::BphQuery;
+using query::QueryEdgeId;
+using query::QueryVertexId;
+
+CanonicalMatches Canonicalize(const std::vector<core::PartialMatch>& matches) {
+  CanonicalMatches canonical;
+  for (const core::PartialMatch& m : matches) {
+    canonical.insert(m.assignment);
+  }
+  return canonical;
+}
+
+namespace {
+
+/// Enumerates all injective label-respecting assignments and keeps those for
+/// which `accepts` approves every live query edge.
+CanonicalMatches EnumerateMatches(
+    const Graph& g, const BphQuery& q,
+    const std::function<bool(VertexId, VertexId, query::Bounds)>& accepts) {
+  CanonicalMatches out;
+  const size_t n = q.NumVertices();
+  std::vector<VertexId> assignment(n, graph::kInvalidVertex);
+  std::vector<bool> used(g.NumVertices(), false);
+  auto live_edges = q.LiveEdges();
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == n) {
+      for (QueryEdgeId e : live_edges) {
+        const query::QueryEdge& edge = q.Edge(e);
+        if (!accepts(assignment[edge.src], assignment[edge.dst],
+                     edge.bounds)) {
+          return;
+        }
+      }
+      out.insert(assignment);
+      return;
+    }
+    const QueryVertexId qv = static_cast<QueryVertexId>(depth);
+    for (VertexId v : g.VerticesWithLabel(q.Label(qv))) {
+      if (used[v]) continue;
+      assignment[qv] = v;
+      used[v] = true;
+      recurse(depth + 1);
+      used[v] = false;
+      assignment[qv] = graph::kInvalidVertex;
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+}  // namespace
+
+CanonicalMatches BruteForceUpperBoundMatches(const Graph& g,
+                                             const BphQuery& q) {
+  return EnumerateMatches(
+      g, q, [&](VertexId u, VertexId v, query::Bounds bounds) {
+        uint32_t d = graph::BfsPairDistance(g, u, v);
+        return d != graph::kUnreachable && d >= 1 && d <= bounds.upper;
+      });
+}
+
+bool BruteForcePathExists(const Graph& g, VertexId u, VertexId v,
+                          uint32_t lower, uint32_t upper) {
+  if (u == v) return false;  // paths are non-empty and simple
+  std::vector<bool> visited(g.NumVertices(), false);
+  std::function<bool(VertexId, uint32_t)> dfs = [&](VertexId current,
+                                                    uint32_t steps) -> bool {
+    if (current == v) return steps >= lower && steps <= upper;
+    if (steps >= upper) return false;
+    visited[current] = true;
+    for (VertexId w : g.Neighbors(current)) {
+      if (visited[w]) continue;
+      if (dfs(w, steps + 1)) {
+        visited[current] = false;
+        return true;
+      }
+    }
+    visited[current] = false;
+    return false;
+  };
+  return dfs(u, 0);
+}
+
+CanonicalMatches BruteForceBphMatches(const Graph& g, const BphQuery& q) {
+  return EnumerateMatches(
+      g, q, [&](VertexId u, VertexId v, query::Bounds bounds) {
+        return BruteForcePathExists(g, u, v, bounds.lower, bounds.upper);
+      });
+}
+
+}  // namespace testing
+}  // namespace boomer

@@ -1,0 +1,47 @@
+// Brute-force reference implementations used to cross-check BOOMER.
+//
+// These are deliberately simple and slow: exhaustive enumeration over all
+// injective label-respecting assignments, with per-edge constraints checked
+// by plain BFS. Integration tests compare BOOMER's output against them on
+// graphs small enough for exhaustion.
+
+#ifndef BOOMER_TESTS_SUPPORT_REFERENCE_MATCHER_H_
+#define BOOMER_TESTS_SUPPORT_REFERENCE_MATCHER_H_
+
+#include <set>
+#include <vector>
+
+#include "core/result_gen.h"
+#include "graph/graph.h"
+#include "query/bph_query.h"
+
+namespace boomer {
+namespace testing {
+
+/// Canonical form of a result set for order-insensitive comparison: each
+/// match as its assignment vector, the whole set sorted.
+using CanonicalMatches = std::set<std::vector<graph::VertexId>>;
+
+CanonicalMatches Canonicalize(const std::vector<core::PartialMatch>& matches);
+
+/// All injective assignments satisfying labels and *upper* bounds
+/// (dist(v_i, v_j) <= upper for every query edge) — the semantics of
+/// V_delta / partial-matched vertex sets.
+CanonicalMatches BruteForceUpperBoundMatches(const graph::Graph& g,
+                                             const query::BphQuery& q);
+
+/// All injective assignments admitting, for every query edge, a simple path
+/// with length in [lower, upper] — full bounded 1-1 p-hom semantics
+/// (Definition 3.1). Exponential; only for tiny graphs.
+CanonicalMatches BruteForceBphMatches(const graph::Graph& g,
+                                      const query::BphQuery& q);
+
+/// True iff a simple path of length within [lower, upper] exists between u
+/// and v (exhaustive DFS).
+bool BruteForcePathExists(const graph::Graph& g, graph::VertexId u,
+                          graph::VertexId v, uint32_t lower, uint32_t upper);
+
+}  // namespace testing
+}  // namespace boomer
+
+#endif  // BOOMER_TESTS_SUPPORT_REFERENCE_MATCHER_H_

@@ -1,0 +1,113 @@
+#include "support/test_graphs.h"
+
+#include "util/status.h"
+
+namespace boomer {
+namespace testing {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::LabelId;
+using graph::VertexId;
+
+Graph Figure2Graph() {
+  // Vertex ids are the paper's v1..v12 minus one (v1 -> 0, ..., v12 -> 11).
+  // Labels: A=0 (v1..v4), B=1 (v5..v8), C=2 (v12), D=3 (v9..v11).
+  //
+  // Wiring reproduces every fact the paper states about Figure 2/3:
+  //  * neighbor search on (q1,q2)[1,1]: pairs (v2,v5), (v3,v6), (v3,v8),
+  //    (v4,v7); v1 isolated -> pruned;
+  //  * two-hop search on (q2,q3)[1,2]: v5,v6,v8 within 2 of v12, v7 not ->
+  //    v7 pruned, cascading into v4;
+  //  * large-upper search on (q1,q3)[1,3]: dist(v2,v12) = dist(v3,v12) = 2;
+  //  * V_delta = {v2,v5,v12}, {v3,v6,v12}, {v3,v8,v12};
+  //  * the [3,3] detour example: v3 -> v6 -> v11 -> v12 has length 3.
+  GraphBuilder b;
+  const LabelId kA = 0, kB = 1, kC = 2, kD = 3;
+  const LabelId labels[12] = {kA, kA, kA, kA, kB, kB, kB, kB, kD, kD, kD, kC};
+  for (LabelId l : labels) b.AddVertex(l);
+  auto v = [](int paper_id) { return static_cast<VertexId>(paper_id - 1); };
+  b.AddEdge(v(2), v(5));
+  b.AddEdge(v(3), v(6));
+  b.AddEdge(v(3), v(8));
+  b.AddEdge(v(4), v(7));
+  b.AddEdge(v(5), v(12));
+  b.AddEdge(v(6), v(11));
+  b.AddEdge(v(11), v(12));
+  b.AddEdge(v(8), v(12));
+  b.AddEdge(v(1), v(9));
+  b.AddEdge(v(7), v(9));
+  b.AddEdge(v(9), v(10));
+  auto result = b.Build();
+  BOOMER_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Graph PathGraph(size_t n, LabelId label) {
+  GraphBuilder b;
+  b.AddVertices(n, label);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  auto result = b.Build();
+  BOOMER_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Graph CycleGraph(size_t n, LabelId label) {
+  BOOMER_CHECK(n >= 3);
+  GraphBuilder b;
+  b.AddVertices(n, label);
+  for (size_t i = 0; i < n; ++i) {
+    b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  }
+  auto result = b.Build();
+  BOOMER_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Graph CompleteGraph(size_t n, uint32_t num_labels) {
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) {
+    b.AddVertex(static_cast<LabelId>(i % num_labels));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  auto result = b.Build();
+  BOOMER_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Graph StarGraph(size_t leaves, LabelId center_label, LabelId leaf_label) {
+  GraphBuilder b;
+  b.AddVertex(center_label);
+  for (size_t i = 0; i < leaves; ++i) {
+    VertexId leaf = b.AddVertex(leaf_label);
+    b.AddEdge(0, leaf);
+  }
+  auto result = b.Build();
+  BOOMER_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Graph TwoTriangles() {
+  GraphBuilder b;
+  for (int t = 0; t < 2; ++t) {
+    for (LabelId l = 0; l < 3; ++l) b.AddVertex(l);
+  }
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  auto result = b.Build();
+  BOOMER_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace testing
+}  // namespace boomer

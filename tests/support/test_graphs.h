@@ -1,0 +1,35 @@
+// Shared graph fixtures for tests.
+
+#ifndef BOOMER_TESTS_SUPPORT_TEST_GRAPHS_H_
+#define BOOMER_TESTS_SUPPORT_TEST_GRAPHS_H_
+
+#include "graph/graph.h"
+
+namespace boomer {
+namespace testing {
+
+/// The paper's Figure 2(b) data graph: 12 vertices v1..v12 (0-based here:
+/// v0..v11), labels A/B/C as 0/1/2, wired so that the Figure 2 walkthrough
+/// (candidates, pruning of v1, the CAP of Q1) reproduces exactly.
+graph::Graph Figure2Graph();
+
+/// A path graph 0-1-2-...-(n-1), all labeled `label`.
+graph::Graph PathGraph(size_t n, graph::LabelId label = 0);
+
+/// A cycle graph of n vertices, all labeled `label`.
+graph::Graph CycleGraph(size_t n, graph::LabelId label = 0);
+
+/// Complete graph K_n with labels round-robin over `num_labels`.
+graph::Graph CompleteGraph(size_t n, uint32_t num_labels = 1);
+
+/// A star: center 0 labeled `center_label`, leaves labeled `leaf_label`.
+graph::Graph StarGraph(size_t leaves, graph::LabelId center_label = 0,
+                       graph::LabelId leaf_label = 1);
+
+/// Two disconnected triangles (labels 0,1,2 per triangle).
+graph::Graph TwoTriangles();
+
+}  // namespace testing
+}  // namespace boomer
+
+#endif  // BOOMER_TESTS_SUPPORT_TEST_GRAPHS_H_

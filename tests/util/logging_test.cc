@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+/// Captures stderr around a callback.
+template <typename Fn>
+std::string CaptureStderr(Fn&& fn) {
+  ::testing::internal::CaptureStderr();
+  fn();
+  return ::testing::internal::GetCapturedStderr();
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveThreshold) {
+  SetLogLevel(LogLevel::kInfo);
+  std::string out = CaptureStderr([] {
+    BOOMER_LOG(Info) << "visible info";
+    BOOMER_LOG(Warning) << "visible warning";
+  });
+  EXPECT_NE(out.find("visible info"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FiltersBelowThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  std::string out = CaptureStderr([] {
+    BOOMER_LOG(Debug) << "hidden debug";
+    BOOMER_LOG(Info) << "hidden info";
+    BOOMER_LOG(Error) << "visible error";
+  });
+  EXPECT_EQ(out.find("hidden debug"), std::string::npos);
+  EXPECT_EQ(out.find("hidden info"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LinePrefixIncludesLevelAndFile) {
+  SetLogLevel(LogLevel::kInfo);
+  std::string out = CaptureStderr([] { BOOMER_LOG(Warning) << "tagged"; });
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamsArbitraryTypes) {
+  SetLogLevel(LogLevel::kInfo);
+  std::string out = CaptureStderr([] {
+    BOOMER_LOG(Info) << "n=" << 42 << " d=" << 1.5 << " b=" << true;
+  });
+  EXPECT_NE(out.find("n=42"), std::string::npos);
+  EXPECT_NE(out.find("d=1.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FilteredStatementDoesNotEvaluateDanglingElse) {
+  // The macro must compose safely with if/else.
+  SetLogLevel(LogLevel::kError);
+  bool branch_taken = false;
+  if (true)
+    BOOMER_LOG(Info) << "filtered";
+  else
+    branch_taken = true;
+  EXPECT_FALSE(branch_taken);
+}
+
+}  // namespace
+}  // namespace boomer

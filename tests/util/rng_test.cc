@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+  Rng always(1);
+  EXPECT_FALSE(always.NextBool(0.0));
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, WeightedIndexFavorsHeavyWeights) {
+  Rng rng(31);
+  std::vector<double> weights{1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallIndices) {
+  Rng rng(37);
+  size_t counts[10] = {};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.1)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+  // All indices in range.
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  EXPECT_EQ(total, 20000u);
+}
+
+TEST(RngTest, ZipfCacheInvalidatesOnParamChange) {
+  Rng rng(41);
+  (void)rng.Zipf(10, 1.0);
+  // Switching n must not return indices beyond the new range.
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Zipf(3, 1.0), 3u);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(0), b(0);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), SplitMix64(1).Next());
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,90 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/virtual_clock.h"
+
+namespace boomer {
+namespace {
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedMicros(), 15000);
+}
+
+TEST(StopwatchTest, AccumulatesAcrossIntervals) {
+  Stopwatch sw;
+  sw.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.Stop();
+  int64_t first = sw.ElapsedMicros();
+  EXPECT_GE(first, 8000);
+  // While stopped, no accumulation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(sw.ElapsedMicros(), first);
+  sw.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.Stop();
+  EXPECT_GE(sw.ElapsedMicros(), first + 8000);
+}
+
+TEST(StopwatchTest, ResetClears) {
+  Stopwatch sw;
+  sw.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sw.Stop();
+  sw.Reset();
+  EXPECT_EQ(sw.ElapsedMicros(), 0);
+  EXPECT_FALSE(sw.running());
+}
+
+TEST(StopwatchTest, DoubleStartIsNoOp) {
+  Stopwatch sw;
+  sw.Start();
+  sw.Start();
+  sw.Stop();
+  sw.Stop();
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+  EXPECT_FALSE(sw.running());
+}
+
+TEST(VirtualClockTest, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.0);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.AdvanceMicros(1500);
+  clock.AdvanceSeconds(2.0);
+  EXPECT_EQ(clock.NowMicros(), 1500 + 2000000);
+}
+
+TEST(VirtualClockTest, AdvanceToAbsolute) {
+  VirtualClock clock;
+  clock.AdvanceTo(5000);
+  EXPECT_EQ(clock.NowMicros(), 5000);
+  clock.AdvanceTo(5000);  // no-op allowed
+  EXPECT_EQ(clock.NowMicros(), 5000);
+}
+
+TEST(VirtualClockDeathTest, TimeTravelAborts) {
+  VirtualClock clock;
+  clock.AdvanceTo(100);
+  EXPECT_DEATH(clock.AdvanceTo(50), "CHECK");
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,43 @@
+// Interactive BOOMER shell (see src/shell/shell.h for the command set).
+//
+//   ./build/tools/boomer_shell                 # REPL on stdin
+//   ./build/tools/boomer_shell < session.txt   # scripted session
+//
+// Example session:
+//   gen dblp 0.02 42
+//   vertex 3
+//   vertex 7
+//   edge 0 1 1 3
+//   run
+//   show 0
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+#include "shell/shell.h"
+
+int main() {
+  boomer::shell::Shell shell;
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("BOOMER shell — type 'help' for commands, 'quit' to exit.\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("boomer> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    auto trimmed_start = line.find_first_not_of(" \t");
+    if (trimmed_start != std::string::npos) {
+      std::string_view cmd(line.c_str() + trimmed_start);
+      if (cmd == "quit" || cmd == "exit") break;
+    }
+    std::fputs(shell.Exec(line).c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}

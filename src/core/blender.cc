@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace boomer {
@@ -52,12 +53,18 @@ bool Blender::IsExpensive(QueryEdgeId e) const {
 }
 
 void Blender::Charge(double wall_seconds) {
+  BOOMER_DCHECK_GE(wall_seconds, 0.0) << "cannot charge negative work";
   const int64_t start =
       std::max(engine_free_at_micros_, clock_.NowMicros());
   engine_free_at_micros_ = start + static_cast<int64_t>(wall_seconds * 1e6);
 }
 
 double Blender::ProcessEdgeNow(QueryEdgeId e) {
+  // Action-stream legality: an edge is processed at most once, only while
+  // alive, and only between its levels' creation and Run.
+  BOOMER_DCHECK(query_.EdgeAlive(e)) << "processing a dead edge e" << e;
+  BOOMER_DCHECK(!cap_.EdgeProcessed(e)) << "double-processing edge e" << e;
+  BOOMER_DCHECK(!run_complete_);
   WallTimer timer;
   const query::QueryEdge& edge = query_.Edge(e);
   cap_.AddEdgeAdjacency(e, edge.src, edge.dst);
@@ -76,6 +83,7 @@ double Blender::ProcessEdgeNow(QueryEdgeId e) {
 }
 
 QueryEdgeId Blender::MinPoolEdge() const {
+  BOOMER_DCHECK(!pool_.empty());
   QueryEdgeId best = query::kInvalidQueryEdge;
   double best_cost = 0.0;
   for (QueryEdgeId e : pool_) {
@@ -93,6 +101,8 @@ void Blender::RemoveFromPool(QueryEdgeId e) {
 }
 
 void Blender::ProbePool(int64_t deadline_micros) {
+  BOOMER_DCHECK(options_.strategy == Strategy::kDeferToIdle)
+      << "only DI probes the pool during idle windows";
   // Algorithm 10: keep processing the cheapest pooled edge while its
   // estimate fits in the remaining idle window. A fresh GUI action ends the
   // window — in trace-driven simulation the window is exactly
@@ -123,6 +133,8 @@ Status Blender::OnAction(const Action& action) {
   if (run_complete_) {
     return Status::FailedPrecondition("actions after Run are not allowed");
   }
+  BOOMER_DCHECK_GE(action.latency_micros, 0)
+      << "trace actions cannot arrive in the past";
   const int64_t arrival = clock_.NowMicros() + action.latency_micros;
   // The user is busy forming this action; DI exploits the window.
   if (options_.strategy == Strategy::kDeferToIdle) {
@@ -184,6 +196,7 @@ Status Blender::HandleNewEdge(const Action& a) {
 
 Status Blender::HandleRun() {
   DrainPool();
+  BOOMER_DCHECK(pool_.empty()) << "Run must leave no deferred edge behind";
   WallTimer timer;
   BOOMER_ASSIGN_OR_RETURN(
       results_, PartialVertexSetsGen(query_, cap_, options_.max_results));
@@ -305,11 +318,15 @@ void Blender::RollbackComponent(QueryEdgeId e, bool include_edge) {
   // Re-pool the component's edges (except the deleted one).
   for (QueryEdgeId ce : component_edges) {
     if (ce == e && !include_edge) continue;
+    BOOMER_DCHECK(std::find(pool_.begin(), pool_.end(), ce) == pool_.end())
+        << "edge e" << ce << " was simultaneously pooled and processed";
     pool_.push_back(ce);
   }
 }
 
 void Blender::TightenProcessedEdge(QueryEdgeId e, uint32_t new_upper) {
+  BOOMER_DCHECK(cap_.EdgeProcessed(e))
+      << "tightening only applies to processed edges";
   const query::QueryEdge& edge = query_.Edge(e);
   // Algorithm 15: re-check every indexed pair against the stricter bound.
   std::vector<std::pair<VertexId, VertexId>> doomed;

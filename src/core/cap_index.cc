@@ -1,6 +1,10 @@
 #include "core/cap_index.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
+
+#include "util/check.h"
 
 namespace boomer {
 namespace core {
@@ -71,6 +75,7 @@ void CapIndex::AddEdgeAdjacency(QueryEdgeId e, QueryVertexId qi,
                                 QueryVertexId qj) {
   BOOMER_CHECK(HasLevel(qi) && HasLevel(qj));
   BOOMER_CHECK(!edges_.contains(e));
+  BOOMER_DCHECK_NE(qi, qj) << "query edges never self-loop";
   EdgeAdjacency adj;
   adj.qi = qi;
   adj.qj = qj;
@@ -121,6 +126,12 @@ CapIndex::EdgeAdjacency& CapIndex::GetEdge(QueryEdgeId e) {
 
 void CapIndex::AddPair(QueryEdgeId e, VertexId vi, VertexId vj) {
   EdgeAdjacency& adj = GetEdge(e);
+  // Candidate-set containment (Definition 5.1): AIVS may only connect
+  // surviving candidates of the edge's two levels.
+  BOOMER_DCHECK(IsCandidate(adj.qi, vi))
+      << "pair endpoint v" << vi << " not a candidate of level " << adj.qi;
+  BOOMER_DCHECK(IsCandidate(adj.qj, vj))
+      << "pair endpoint v" << vj << " not a candidate of level " << adj.qj;
   SortedInsert(&adj.from_qi[vi], vj);
   SortedInsert(&adj.from_qj[vj], vi);
 }
@@ -215,6 +226,91 @@ size_t CapIndex::PruneIsolated(QueryEdgeId e) {
     }
   }
   return removed;
+}
+
+namespace {
+
+Status CapCorrupt(const std::string& what) {
+  return Status::Internal("CAP invariant violated: " + what);
+}
+
+/// Strictly ascending (sorted + unique)?
+bool StrictlySorted(const std::vector<VertexId>& v) {
+  return std::adjacent_find(v.begin(), v.end(),
+                            std::greater_equal<VertexId>()) == v.end();
+}
+
+}  // namespace
+
+Status CapIndex::Validate(const graph::Graph* graph) const {
+  for (QueryVertexId q = 0; q < levels_.size(); ++q) {
+    const Level& level = levels_[q];
+    if (!level.present) {
+      if (!level.candidates.empty()) {
+        return CapCorrupt("absent level " + std::to_string(q) +
+                          " holds candidates");
+      }
+      continue;
+    }
+    if (!StrictlySorted(level.candidates)) {
+      return CapCorrupt("level " + std::to_string(q) +
+                        " candidates not sorted/unique");
+    }
+    if (graph != nullptr) {
+      for (VertexId v : level.candidates) {
+        if (v >= graph->NumVertices()) {
+          return CapCorrupt("level " + std::to_string(q) + " candidate v" +
+                            std::to_string(v) + " outside the data graph");
+        }
+      }
+    }
+  }
+  for (const auto& [e, adj] : edges_) {
+    const std::string tag = "edge " + std::to_string(e);
+    if (adj.qi == adj.qj) return CapCorrupt(tag + " self-loops");
+    if (!HasLevel(adj.qi) || !HasLevel(adj.qj)) {
+      return CapCorrupt(tag + " references a dropped level");
+    }
+    // Each side: keys and values contained in their candidate sets, lists
+    // sorted, non-empty, and mirrored on the opposite side.
+    auto check_side =
+        [&](const std::unordered_map<VertexId, std::vector<VertexId>>& side,
+            const std::unordered_map<VertexId, std::vector<VertexId>>& mirror,
+            QueryVertexId level_of_keys,
+            QueryVertexId level_of_values) -> Status {
+      for (const auto& [v, list] : side) {
+        if (!IsCandidate(level_of_keys, v)) {
+          return CapCorrupt(tag + ": AIVS keyed by non-candidate v" +
+                            std::to_string(v));
+        }
+        if (list.empty()) {
+          return CapCorrupt(tag + ": empty AIVS kept alive for v" +
+                            std::to_string(v));
+        }
+        if (!StrictlySorted(list)) {
+          return CapCorrupt(tag + ": AIVS of v" + std::to_string(v) +
+                            " not sorted/unique");
+        }
+        for (VertexId w : list) {
+          if (!IsCandidate(level_of_values, w)) {
+            return CapCorrupt(tag + ": AIVS of v" + std::to_string(v) +
+                              " holds non-candidate v" + std::to_string(w));
+          }
+          auto it = mirror.find(w);
+          if (it == mirror.end() ||
+              !std::binary_search(it->second.begin(), it->second.end(), v)) {
+            return CapCorrupt(tag + ": pair (" + std::to_string(v) + ", " +
+                              std::to_string(w) +
+                              ") missing from the mirror side");
+          }
+        }
+      }
+      return Status::OK();
+    };
+    BOOMER_RETURN_NOT_OK(check_side(adj.from_qi, adj.from_qj, adj.qi, adj.qj));
+    BOOMER_RETURN_NOT_OK(check_side(adj.from_qj, adj.from_qi, adj.qj, adj.qi));
+  }
+  return Status::OK();
 }
 
 CapStats CapIndex::ComputeStats() const {

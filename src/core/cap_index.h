@@ -110,6 +110,15 @@ class CapIndex {
 
   CapStats ComputeStats() const;
 
+  /// Exhaustively verifies the index's structural invariants: candidate
+  /// lists sorted and unique, edges joining two live distinct levels, AIVS
+  /// keys/values contained in their levels' candidate sets, both AIVS sides
+  /// mirror images of each other, and no empty AIVS list kept alive. When
+  /// `graph` is given, candidates are additionally bounds-checked against
+  /// it. O(total index size · log). Used by tests, cap_io load, and the
+  /// shell's --validate mode.
+  Status Validate(const graph::Graph* graph = nullptr) const;
+
   /// Clears everything.
   void Clear();
 

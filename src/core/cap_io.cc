@@ -1,6 +1,8 @@
 #include "core/cap_io.h"
 
+#include <cstdio>
 #include <fstream>
+#include <optional>
 #include <unordered_map>
 #include <sstream>
 
@@ -41,12 +43,24 @@ StatusOr<CapIndex> CapFromText(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   size_t line_no = 0;
+  // Counts declared by the "# CAP snapshot: N levels, M processed edges"
+  // header (absent in hand-written fixtures), cross-checked after parsing.
+  std::optional<size_t> declared_levels, declared_edges;
   // Remember each declared edge's qi side so pairs can be oriented.
   std::unordered_map<QueryEdgeId, QueryVertexId> edge_qi;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      size_t levels = 0, edges = 0;
+      if (std::sscanf(std::string(trimmed).c_str(),
+                      "# CAP snapshot: %zu levels, %zu processed edges",
+                      &levels, &edges) == 2) {
+        declared_levels = levels;
+        declared_edges = edges;
+      }
+      continue;
+    }
     auto fields = SplitWhitespace(trimmed);
     auto bad = [&](const char* what) {
       return Status::InvalidArgument(
@@ -88,6 +102,24 @@ StatusOr<CapIndex> CapFromText(const std::string& text) {
     } else {
       return bad("unknown directive");
     }
+  }
+  if (declared_levels.has_value() && *declared_levels != cap.Levels().size()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot header declares %zu levels, body defines %zu",
+        *declared_levels, cap.Levels().size()));
+  }
+  if (declared_edges.has_value() &&
+      *declared_edges != cap.ProcessedEdges().size()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot header declares %zu processed edges, body defines %zu",
+        *declared_edges, cap.ProcessedEdges().size()));
+  }
+  // A freshly deserialized index must satisfy every structural invariant;
+  // anything else means the snapshot (or this parser) is corrupt.
+  Status valid = cap.Validate();
+  if (!valid.ok()) {
+    return Status::InvalidArgument("snapshot fails validation: " +
+                                   valid.message());
   }
   return cap;
 }

@@ -48,6 +48,93 @@ std::span<const VertexId> Graph::VerticesWithLabel(LabelId label) const {
       label_index_offsets_[label + 1] - label_index_offsets_[label]);
 }
 
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::Internal("graph invariant violated: " + what);
+}
+
+}  // namespace
+
+Status Graph::Validate() const {
+  const size_t n = labels_.size();
+  if (offsets_.empty()) {
+    // Default-constructed graph: everything must be empty.
+    if (n != 0 || !adjacency_.empty() || !label_index_.empty() ||
+        !label_index_offsets_.empty() || max_degree_ != 0) {
+      return Corrupt("empty offsets with non-empty payload");
+    }
+    return Status::OK();
+  }
+  if (offsets_.size() != n + 1) return Corrupt("offsets size != |V| + 1");
+  if (offsets_.front() != 0) return Corrupt("offsets[0] != 0");
+  if (offsets_.back() != adjacency_.size()) {
+    return Corrupt("offsets[|V|] != adjacency size");
+  }
+  if (adjacency_.size() % 2 != 0) {
+    return Corrupt("odd adjacency size (each undirected edge stores twice)");
+  }
+  size_t max_degree = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return Corrupt("offsets not monotone at vertex " + std::to_string(v));
+    }
+    max_degree = std::max<size_t>(max_degree, offsets_[v + 1] - offsets_[v]);
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const VertexId w = adjacency_[i];
+      if (w >= n) {
+        return Corrupt("neighbor out of range at vertex " + std::to_string(v));
+      }
+      if (w == v) return Corrupt("self-loop at vertex " + std::to_string(v));
+      if (i > offsets_[v] && adjacency_[i - 1] >= w) {
+        return Corrupt("adjacency not sorted/unique at vertex " +
+                       std::to_string(v));
+      }
+      // Undirected symmetry: w's list must contain v.
+      auto nbrs = std::span<const VertexId>(adjacency_.data() + offsets_[w],
+                                            offsets_[w + 1] - offsets_[w]);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(),
+                              static_cast<VertexId>(v))) {
+        return Corrupt("asymmetric edge (" + std::to_string(v) + ", " +
+                       std::to_string(w) + ")");
+      }
+    }
+  }
+  if (max_degree != max_degree_) return Corrupt("cached max degree stale");
+
+  // Label index: a CSR over labels partitioning [0, n).
+  if (label_index_offsets_.empty()) return Corrupt("missing label index");
+  const size_t num_labels = label_index_offsets_.size() - 1;
+  if (label_index_offsets_.front() != 0 ||
+      label_index_offsets_.back() != label_index_.size()) {
+    return Corrupt("label index offsets endpoints");
+  }
+  if (label_index_.size() != n) {
+    return Corrupt("label index does not cover every vertex exactly once");
+  }
+  for (size_t l = 0; l < num_labels; ++l) {
+    if (label_index_offsets_[l] > label_index_offsets_[l + 1]) {
+      return Corrupt("label index offsets not monotone");
+    }
+    for (uint64_t i = label_index_offsets_[l]; i < label_index_offsets_[l + 1];
+         ++i) {
+      const VertexId v = label_index_[i];
+      if (v >= n) return Corrupt("label index vertex out of range");
+      if (labels_[v] != l) {
+        return Corrupt("vertex " + std::to_string(v) +
+                       " filed under wrong label");
+      }
+      if (i > label_index_offsets_[l] && label_index_[i - 1] >= v) {
+        return Corrupt("label index list not sorted/unique");
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (labels_[v] >= num_labels) return Corrupt("vertex label out of range");
+  }
+  return Status::OK();
+}
+
 size_t Graph::MemoryBytes() const {
   return offsets_.size() * sizeof(uint64_t) +
          adjacency_.size() * sizeof(VertexId) +
@@ -102,6 +189,8 @@ StatusOr<Graph> GraphBuilder::Build() {
   }
   for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
 
+  BOOMER_DCHECK_EQ(g.offsets_[n], edges_.size() * 2)
+      << "degree sum must be twice the edge count";
   g.adjacency_.resize(edges_.size() * 2);
   std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const auto& [u, v] : edges_) {
@@ -109,6 +198,8 @@ StatusOr<Graph> GraphBuilder::Build() {
     g.adjacency_[cursor[v]++] = u;
   }
   for (size_t v = 0; v < n; ++v) {
+    BOOMER_DCHECK_EQ(cursor[v], g.offsets_[v + 1])
+        << "CSR scatter must fill vertex " << v << " exactly";
     std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
               g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
     g.max_degree_ =
@@ -128,6 +219,10 @@ StatusOr<Graph> GraphBuilder::Build() {
                                 g.label_index_offsets_.end() - 1);
   for (VertexId v = 0; v < n; ++v) {
     g.label_index_[lcursor[g.labels_[v]]++] = v;
+  }
+  for (size_t l = 0; l < num_labels; ++l) {
+    BOOMER_DCHECK_EQ(lcursor[l], g.label_index_offsets_[l + 1])
+        << "label index scatter must fill label " << l << " exactly";
   }
 
   edges_.clear();

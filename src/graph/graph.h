@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace boomer {
@@ -70,19 +71,19 @@ class Graph {
 
   /// Label of vertex `v`.
   LabelId Label(VertexId v) const {
-    BOOMER_CHECK(v < labels_.size());
+    BOOMER_DCHECK_LT(v, labels_.size());
     return labels_[v];
   }
 
   /// Degree of vertex `v`.
   size_t Degree(VertexId v) const {
-    BOOMER_CHECK(v < labels_.size());
+    BOOMER_DCHECK_LT(v, labels_.size());
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// Sorted neighbors of `v` as a contiguous read-only span.
   std::span<const VertexId> Neighbors(VertexId v) const {
-    BOOMER_CHECK(v < labels_.size());
+    BOOMER_DCHECK_LT(v, labels_.size());
     return std::span<const VertexId>(adjacency_.data() + offsets_[v],
                                      offsets_[v + 1] - offsets_[v]);
   }
@@ -117,8 +118,15 @@ class Graph {
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const;
 
+  /// Exhaustively verifies every structural invariant of the CSR encoding:
+  /// offset monotonicity, sorted/simple/symmetric adjacency, degree sums,
+  /// label-index CSR consistency and coverage, and the cached max degree.
+  /// O(V + E log deg). Intended for tests and the shell's --validate mode.
+  Status Validate() const;
+
  private:
   friend class GraphBuilder;
+  friend class GraphTestPeer;  // Test-only corruption hook (graph_test.cc).
 
   std::vector<uint64_t> offsets_;      // |V|+1 CSR offsets into adjacency_.
   std::vector<VertexId> adjacency_;    // Sorted per-vertex neighbor lists.

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "graph/bfs.h"
+#include "util/check.h"
 
 namespace boomer {
 namespace pml {
@@ -32,6 +33,10 @@ StatusOr<KHopIndex> KHopIndex::Build(const Graph& g, uint32_t k) {
     counts.clear();
     for (VertexId u = 0; u < n; ++u) {
       if (u == v || dist[u] == graph::kUnreachable) continue;
+      // Hop-count cap: the bounded BFS must never report beyond radius k,
+      // and k <= 255 keeps the uint8_t narrowing below lossless.
+      BOOMER_DCHECK_GE(dist[u], 1u);
+      BOOMER_DCHECK_LE(dist[u], k) << "ball of v" << v << " leaks past k";
       ball.emplace_back(u, static_cast<uint8_t>(dist[u]));
       ++counts[g.Label(u)];
     }
@@ -60,7 +65,9 @@ uint32_t KHopIndex::BoundedDistance(VertexId u, VertexId v) const {
   auto ball = Ball(u);
   auto it = std::lower_bound(ball.begin(), ball.end(), v);
   if (it == ball.end() || *it != v) return kInfiniteDistance;
-  return distances_[offsets_[u] + static_cast<size_t>(it - ball.begin())];
+  const uint8_t d = distances_[offsets_[u] + static_cast<size_t>(it - ball.begin())];
+  BOOMER_DCHECK(d >= 1 && d <= k_) << "stored hop count out of [1, k]";
+  return d;
 }
 
 bool KHopIndex::WithinDistance(VertexId u, VertexId v, uint32_t bound) const {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/bfs.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -149,6 +150,13 @@ StatusOr<PmlIndex> PmlIndex::Build(const graph::Graph& g,
     std::copy(state.labels()[v].begin(), state.labels()[v].end(),
               index.entries_.begin() +
                   static_cast<ptrdiff_t>(index.offsets_[v]));
+    // Covers come out rank-ascending because landmarks are processed in
+    // rank order; downstream merge joins silently misbehave otherwise.
+    for (uint64_t i = index.offsets_[v] + 1; i < index.offsets_[v + 1]; ++i) {
+      BOOMER_DCHECK_LT(index.entries_[i - 1].landmark_rank,
+                       index.entries_[i].landmark_rank)
+          << "cover of vertex " << v << " not rank-sorted";
+    }
   }
 
   index.build_stats_.build_seconds = timer.ElapsedSeconds();
@@ -164,7 +172,7 @@ StatusOr<PmlIndex> PmlIndex::Build(const graph::Graph& g,
 }
 
 uint32_t PmlIndex::Distance(VertexId u, VertexId v) const {
-  BOOMER_CHECK(u < NumVertices() && v < NumVertices());
+  BOOMER_DCHECK(u < NumVertices() && v < NumVertices());
   if (u == v) return 0;
   auto cu = Cover(u);
   auto cv = Cover(v);
@@ -186,7 +194,7 @@ uint32_t PmlIndex::Distance(VertexId u, VertexId v) const {
 }
 
 bool PmlIndex::WithinDistance(VertexId u, VertexId v, uint32_t bound) const {
-  BOOMER_CHECK(u < NumVertices() && v < NumVertices());
+  BOOMER_DCHECK(u < NumVertices() && v < NumVertices());
   if (u == v) return true;
   auto cu = Cover(u);
   auto cv = Cover(v);
@@ -203,6 +211,69 @@ bool PmlIndex::WithinDistance(VertexId u, VertexId v, uint32_t bound) const {
     }
   }
   return false;
+}
+
+Status PmlIndex::Validate(const graph::Graph* graph) const {
+  auto corrupt = [](const std::string& what) {
+    return Status::Internal("PML invariant violated: " + what);
+  };
+  if (offsets_.empty()) return corrupt("empty offsets array");
+  const size_t n = offsets_.size() - 1;
+  if (offsets_.front() != 0) return corrupt("offsets[0] != 0");
+  if (offsets_.back() != entries_.size()) {
+    return corrupt("offsets[|V|] != entry count");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return corrupt("offsets not monotone at vertex " + std::to_string(v));
+    }
+    size_t self_entries = 0;
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      const LabelEntry& e = entries_[i];
+      if (e.landmark_rank >= n) {
+        return corrupt("landmark rank out of range at vertex " +
+                       std::to_string(v));
+      }
+      if (e.distance >= kInfiniteDistance) {
+        return corrupt("non-finite stored distance at vertex " +
+                       std::to_string(v));
+      }
+      if (e.distance == 0) ++self_entries;
+      if (i > offsets_[v] &&
+          entries_[i - 1].landmark_rank >= e.landmark_rank) {
+        return corrupt("cover not strictly rank-sorted at vertex " +
+                       std::to_string(v));
+      }
+    }
+    // Every vertex is its own landmark at its rank, so exactly one
+    // distance-0 entry exists per vertex.
+    if (self_entries != 1) {
+      return corrupt("vertex " + std::to_string(v) + " has " +
+                     std::to_string(self_entries) +
+                     " distance-0 entries (want exactly 1)");
+    }
+  }
+  if (graph != nullptr) {
+    if (graph->NumVertices() != n) {
+      return corrupt("index covers " + std::to_string(n) +
+                     " vertices but the graph has " +
+                     std::to_string(graph->NumVertices()));
+    }
+    // Adjacent vertices are at distance exactly 1 — the tightest triangle
+    // bound a data edge allows, and a full exactness probe on the edge set.
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId w : graph->Neighbors(u)) {
+        if (w < u) continue;  // each undirected edge once
+        const uint32_t d = Distance(u, w);
+        if (d != 1) {
+          return corrupt("edge (" + std::to_string(u) + ", " +
+                         std::to_string(w) + ") answered with distance " +
+                         std::to_string(d));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Status PmlIndex::Save(const std::string& path) const {
@@ -245,6 +316,13 @@ StatusOr<PmlIndex> PmlIndex::Load(const std::string& path) {
   in.read(reinterpret_cast<char*>(index.entries_.data()),
           static_cast<std::streamsize>(num_entries * sizeof(LabelEntry)));
   if (!in) return Status::IOError("truncated " + path);
+  // A cache file that parses but violates index invariants (stale format,
+  // bit rot, partial write past the header) must never reach query code.
+  Status valid = index.Validate();
+  if (!valid.ok()) {
+    return Status::IOError("corrupt PML cache " + path + ": " +
+                           valid.message());
+  }
   return index;
 }
 

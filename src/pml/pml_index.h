@@ -72,7 +72,7 @@ class PmlIndex : public DistanceOracle {
 
   /// Distance-aware 2-hop cover of `v` (the C(v) of Lemma 5.5).
   std::span<const LabelEntry> Cover(graph::VertexId v) const {
-    BOOMER_CHECK(v + 1 < offsets_.size());
+    BOOMER_DCHECK_LT(v + 1, offsets_.size());
     return std::span<const LabelEntry>(entries_.data() + offsets_[v],
                                        offsets_[v + 1] - offsets_[v]);
   }
@@ -87,6 +87,15 @@ class PmlIndex : public DistanceOracle {
   /// Serialization for the dataset cache.
   Status Save(const std::string& path) const;
   static StatusOr<PmlIndex> Load(const std::string& path);
+
+  /// Exhaustively verifies structural invariants: CSR offset monotonicity,
+  /// per-vertex covers sorted strictly by landmark rank, ranks in range,
+  /// finite distances, and exactly one distance-0 entry per vertex (every
+  /// vertex is its own landmark at its rank). With `graph`, additionally
+  /// checks |V| agreement and that every data edge (u, w) is answered with
+  /// the exact distance 1 — the tightest triangle bound an edge permits.
+  /// O(index size + Σ_edges cover merge). For tests, Load(), --validate.
+  Status Validate(const graph::Graph* graph = nullptr) const;
 
  private:
   // CSR over vertices; entries sorted by landmark_rank within each vertex.

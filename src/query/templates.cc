@@ -91,11 +91,10 @@ std::vector<QueryTemplate> MakeTemplates() {
 }  // namespace
 
 const QueryTemplate& GetTemplate(TemplateId id) {
-  static const std::vector<QueryTemplate>* templates =
-      new std::vector<QueryTemplate>(MakeTemplates());
+  static const std::vector<QueryTemplate> templates = MakeTemplates();
   size_t index = static_cast<size_t>(id) - 1;
-  BOOMER_CHECK(index < templates->size());
-  return (*templates)[index];
+  BOOMER_CHECK(index < templates.size());
+  return templates[index];
 }
 
 StatusOr<BphQuery> InstantiateTemplate(

@@ -22,7 +22,7 @@ constexpr char kHelp[] =
     "  strategy <ic|dr|di> | latency <seconds>\n"
     "  vertex <label> | edge <qi> <qj> [lower] [upper]\n"
     "  bounds <edge> <lower> <upper> | delete <edge>\n"
-    "  query | cap | run | show <k>\n"
+    "  query | cap | run | show <k> | validate\n"
     "  save-query <path> | load-query <path> | reset | help | quit\n";
 
 std::string ErrorText(const Status& status) {
@@ -288,12 +288,34 @@ std::string Shell::CmdReset() {
   return "query reset\n";
 }
 
+std::string Shell::CmdValidate() {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  Status status = graph_->Validate();
+  if (status.ok()) status = prep_->pml().Validate(graph_.get());
+  if (status.ok()) status = blender_->cap().Validate(graph_.get());
+  if (!status.ok()) return ErrorText(status);
+  return "validate: graph, PML, and CAP invariants all hold\n";
+}
+
 std::string Shell::Exec(const std::string& line) {
   std::string_view trimmed = Trim(line);
   if (trimmed.empty() || trimmed[0] == '#') return "";
   auto raw_fields = SplitWhitespace(trimmed);
   std::vector<std::string_view> args(raw_fields.begin(), raw_fields.end());
   const std::string_view cmd = args[0];
+  std::string out = Dispatch(cmd, args);
+  if (options_.validate_after_command && graph_ != nullptr &&
+      cmd != "validate") {
+    // --validate mode: deep-verify all session structures after every
+    // command so the corrupting command is identified, not a later victim.
+    std::string verdict = CmdValidate();
+    if (verdict.rfind("error:", 0) == 0) out += verdict;
+  }
+  return out;
+}
+
+std::string Shell::Dispatch(std::string_view cmd,
+                            const std::vector<std::string_view>& args) {
   if (cmd == "help") return kHelp;
   if (cmd == "load-text") return CmdLoadText(args);
   if (cmd == "load-binary") return CmdLoadBinary(args);
@@ -311,6 +333,7 @@ std::string Shell::Exec(const std::string& line) {
   if (cmd == "save-query") return CmdSaveQuery(args);
   if (cmd == "load-query") return CmdLoadQuery(args);
   if (cmd == "reset") return CmdReset();
+  if (cmd == "validate") return CmdValidate();
   return StrFormat("unknown command '%.*s' (try 'help')\n",
                    static_cast<int>(cmd.size()), cmd.data());
 }

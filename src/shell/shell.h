@@ -48,6 +48,10 @@ struct ShellOptions {
   size_t max_results = 1000000;
   /// t_avg sample count for preprocessing after a graph load.
   size_t t_avg_samples = 20000;
+  /// Runs the deep structure validators (Graph / CapIndex / PmlIndex) after
+  /// every mutating command, echoing any violation. Set by boomer_shell's
+  /// --validate flag; also reachable any time via the `validate` command.
+  bool validate_after_command = false;
 };
 
 class Shell {
@@ -85,6 +89,11 @@ class Shell {
   std::string CmdSaveQuery(const std::vector<std::string_view>& args);
   std::string CmdLoadQuery(const std::vector<std::string_view>& args);
   std::string CmdReset();
+  std::string CmdValidate();
+
+  /// Routes one tokenized command to its Cmd* handler.
+  std::string Dispatch(std::string_view cmd,
+                       const std::vector<std::string_view>& args);
 
   /// Installs `g` as the session graph and preprocesses it.
   std::string AdoptGraph(graph::Graph g, const std::string& origin);

@@ -1,0 +1,161 @@
+// Contract assertions for the BOOMER library.
+//
+// Two families, both streaming extra context like LogMessage does:
+//
+//   BOOMER_CHECK(cond) << "context";          always on, release and debug
+//   BOOMER_CHECK_EQ(a, b); _NE _LT _LE _GT _GE  (operands printed on failure)
+//   BOOMER_DCHECK(cond), BOOMER_DCHECK_EQ(...), ...
+//
+// BOOMER_CHECK guards conditions whose violation means memory unsafety or
+// silent data corruption; it stays in release builds. BOOMER_DCHECK states
+// invariants that are algorithmically guaranteed (CSR monotonicity, sorted
+// candidate lists, state-machine legality) and is for the debug-rich builds
+// the sanitizer presets use: when BOOMER_DCHECK_ENABLED is 0 the condition
+// and any streamed operands are type-checked but never evaluated, so a
+// DCHECK in a hot loop costs nothing in production.
+//
+// The enablement default follows NDEBUG; the build overrides it through the
+// BOOMER_DCHECKS CMake option (ON by default, OFF for release-cheap builds).
+//
+// On failure the accumulated message is flushed to stderr and the process
+// aborts — contract violations are programming errors, never user errors
+// (those go through util/status.h).
+
+#ifndef BOOMER_UTIL_CHECK_H_
+#define BOOMER_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#ifndef BOOMER_DCHECK_ENABLED
+#ifdef NDEBUG
+#define BOOMER_DCHECK_ENABLED 0
+#else
+#define BOOMER_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace boomer {
+namespace internal {
+
+/// Accumulates the failure message of one CHECK and aborts on destruction,
+/// mirroring the LogMessage flush-on-destruction idiom.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* description) {
+    stream_ << file << ":" << line << " CHECK failed: " << description;
+  }
+
+  ~CheckFailure() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    std::abort();
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets a void-typed ternary arm absorb the ostream& produced by streaming
+/// into a CheckFailure ('&' binds looser than '<<').
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Prints a CHECK_OP operand, falling back for non-streamable types.
+template <typename T>
+void PrintCheckOperand(std::ostream& os, const T& value) {
+  if constexpr (requires(std::ostream& o, const T& v) { o << v; }) {
+    os << value;
+  } else {
+    os << "(unprintable)";
+  }
+}
+
+/// Evaluates a binary predicate once over both operands; on failure returns
+/// the "a op b (3 vs 7)" description for CheckFailure.
+template <typename A, typename B, typename Pred>
+std::optional<std::string> CheckOpFailure(const A& a, const B& b, Pred pred,
+                                          const char* expr) {
+  if (pred(a, b)) return std::nullopt;
+  std::ostringstream os;
+  os << expr << " (";
+  PrintCheckOperand(os, a);
+  os << " vs ";
+  PrintCheckOperand(os, b);
+  os << ")";
+  return os.str();
+}
+
+/// Type-checks disabled-DCHECK operands without evaluating them.
+template <typename... Ts>
+constexpr bool CheckAlwaysTrue(const Ts&...) {
+  return true;
+}
+
+}  // namespace internal
+}  // namespace boomer
+
+// Expression-form so it nests anywhere a statement or comma operand can
+// (no dangling-else hazard). Streamed context is only evaluated on failure.
+#define BOOMER_CHECK(cond)                                         \
+  (cond) ? (void)0                                                 \
+         : ::boomer::internal::CheckVoidify() &                    \
+               ::boomer::internal::CheckFailure(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+// clang-format off
+#define BOOMER_CHECK_OP_(a, b, op, pred)                                   \
+  if (auto _boomer_check_failure = ::boomer::internal::CheckOpFailure(     \
+          (a), (b), pred, #a " " #op " " #b);                              \
+      !_boomer_check_failure) {                                            \
+  } else                                                                   \
+    ::boomer::internal::CheckFailure(__FILE__, __LINE__,                   \
+                                     _boomer_check_failure->c_str())       \
+        .stream()
+// clang-format on
+
+#define BOOMER_CHECK_EQ(a, b) BOOMER_CHECK_OP_(a, b, ==, std::equal_to<>())
+#define BOOMER_CHECK_NE(a, b) BOOMER_CHECK_OP_(a, b, !=, std::not_equal_to<>())
+#define BOOMER_CHECK_LT(a, b) BOOMER_CHECK_OP_(a, b, <, std::less<>())
+#define BOOMER_CHECK_LE(a, b) BOOMER_CHECK_OP_(a, b, <=, std::less_equal<>())
+#define BOOMER_CHECK_GT(a, b) BOOMER_CHECK_OP_(a, b, >, std::greater<>())
+#define BOOMER_CHECK_GE(a, b) BOOMER_CHECK_OP_(a, b, >=, std::greater_equal<>())
+
+#if BOOMER_DCHECK_ENABLED
+
+#define BOOMER_DCHECK(cond) BOOMER_CHECK(cond)
+#define BOOMER_DCHECK_EQ(a, b) BOOMER_CHECK_EQ(a, b)
+#define BOOMER_DCHECK_NE(a, b) BOOMER_CHECK_NE(a, b)
+#define BOOMER_DCHECK_LT(a, b) BOOMER_CHECK_LT(a, b)
+#define BOOMER_DCHECK_LE(a, b) BOOMER_CHECK_LE(a, b)
+#define BOOMER_DCHECK_GT(a, b) BOOMER_CHECK_GT(a, b)
+#define BOOMER_DCHECK_GE(a, b) BOOMER_CHECK_GE(a, b)
+
+#else  // !BOOMER_DCHECK_ENABLED
+
+// Short-circuit keeps operands unevaluated; the dead ternary arm keeps them
+// (and any streamed message) compiling, so code rots equally in both modes.
+#define BOOMER_DCHECK(cond) \
+  BOOMER_CHECK(true || ::boomer::internal::CheckAlwaysTrue(cond))
+#define BOOMER_DCHECK_OP_DISABLED_(a, b) \
+  BOOMER_CHECK(true || ::boomer::internal::CheckAlwaysTrue((a), (b)))
+#define BOOMER_DCHECK_EQ(a, b) BOOMER_DCHECK_OP_DISABLED_(a, b)
+#define BOOMER_DCHECK_NE(a, b) BOOMER_DCHECK_OP_DISABLED_(a, b)
+#define BOOMER_DCHECK_LT(a, b) BOOMER_DCHECK_OP_DISABLED_(a, b)
+#define BOOMER_DCHECK_LE(a, b) BOOMER_DCHECK_OP_DISABLED_(a, b)
+#define BOOMER_DCHECK_GT(a, b) BOOMER_DCHECK_OP_DISABLED_(a, b)
+#define BOOMER_DCHECK_GE(a, b) BOOMER_DCHECK_OP_DISABLED_(a, b)
+
+#endif  // BOOMER_DCHECK_ENABLED
+
+#endif  // BOOMER_UTIL_CHECK_H_

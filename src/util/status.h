@@ -15,6 +15,8 @@
 #include <string>
 #include <utility>
 
+#include "util/check.h"
+
 namespace boomer {
 
 /// Canonical error space, a compact subset of the absl canonical codes.
@@ -170,25 +172,17 @@ class StatusOr {
   if (!statusor.ok()) return statusor.status();            \
   lhs = std::move(statusor).value();
 
-/// Aborts with a message when `cond` is false. For programming errors only.
-#define BOOMER_CHECK(cond)                                                \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::cerr << __FILE__ << ":" << __LINE__ << " CHECK failed: " #cond \
-                << std::endl;                                             \
-      std::abort();                                                       \
-    }                                                                     \
-  } while (0)
+// BOOMER_CHECK and friends live in util/check.h (included above); the
+// Status-aware variant stays here because it needs the Status type.
 
-#define BOOMER_CHECK_OK(expr)                                            \
-  do {                                                                   \
-    ::boomer::Status _st = (expr);                                       \
-    if (!_st.ok()) {                                                     \
-      std::cerr << __FILE__ << ":" << __LINE__                           \
-                << " CHECK_OK failed: " << _st.ToString() << std::endl;  \
-      std::abort();                                                      \
-    }                                                                    \
-  } while (0)
+/// Aborts, printing the full Status, when `expr` is not OK.
+// clang-format off
+#define BOOMER_CHECK_OK(expr)                                             \
+  if (::boomer::Status _boomer_check_st = (expr); _boomer_check_st.ok()) {\
+  } else                                                                  \
+    ::boomer::internal::CheckFailure(__FILE__, __LINE__, #expr).stream()  \
+        << " -> " << _boomer_check_st.ToString()
+// clang-format on
 
 }  // namespace boomer
 

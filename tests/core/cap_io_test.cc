@@ -118,6 +118,43 @@ TEST_F(CapIoTest, RejectsMalformedSnapshots) {
   EXPECT_FALSE(CapFromText("teleport\n").ok());
 }
 
+TEST_F(CapIoTest, RoundTripPassesDeepValidation) {
+  CapIndex cap = Fig2Cap(graph_, *prep_);
+  ASSERT_TRUE(cap.Validate(&graph_).ok()) << cap.Validate(&graph_);
+  auto restored = CapFromText(CapToText(cap));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // The loader already ran the structural Validate(); re-run with the data
+  // graph to additionally check candidate/AIVS vertex ids are real vertices.
+  EXPECT_TRUE(restored->Validate(&graph_).ok()) << restored->Validate(&graph_);
+}
+
+TEST_F(CapIoTest, RejectsHeaderCountMismatch) {
+  auto wrong_levels = CapFromText(
+      "# CAP snapshot: 3 levels, 0 processed edges\n"
+      "level 0 1\n");
+  ASSERT_FALSE(wrong_levels.ok());
+  EXPECT_NE(wrong_levels.status().message().find("declares 3 levels"),
+            std::string::npos)
+      << wrong_levels.status();
+  auto wrong_edges = CapFromText(
+      "# CAP snapshot: 1 levels, 2 processed edges\n"
+      "level 0 1\n");
+  EXPECT_FALSE(wrong_edges.ok());
+}
+
+TEST_F(CapIoTest, ValidateWithGraphRejectsForeignVertices) {
+  // Structural invariants hold (AddLevel normalizes the list), but vertex 999
+  // does not exist in the 12-vertex Figure-2 graph — only the graph-aware
+  // Validate() can notice.
+  CapIndex cap;
+  cap.AddLevel(0, {1, 999});
+  EXPECT_TRUE(cap.Validate().ok());
+  Status deep = cap.Validate(&graph_);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.message().find("outside the data graph"), std::string::npos)
+      << deep;
+}
+
 TEST_F(CapIoTest, FileRoundTrip) {
   CapIndex cap = Fig2Cap(graph_, *prep_);
   const std::string path = ::testing::TempDir() + "/boomer_cap.snapshot";

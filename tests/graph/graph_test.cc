@@ -2,10 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "support/test_graphs.h"
 
 namespace boomer {
 namespace graph {
+
+/// Test-only backdoor (befriended by Graph) that corrupts the private CSR
+/// arrays so Validate() can be exercised against precise invariant breaks.
+class GraphTestPeer {
+ public:
+  static std::vector<uint64_t>& Offsets(Graph& g) { return g.offsets_; }
+  static std::vector<VertexId>& Adjacency(Graph& g) { return g.adjacency_; }
+  static std::vector<LabelId>& Labels(Graph& g) { return g.labels_; }
+  static std::vector<uint64_t>& LabelIndexOffsets(Graph& g) {
+    return g.label_index_offsets_;
+  }
+  static std::vector<VertexId>& LabelIndex(Graph& g) { return g.label_index_; }
+  static size_t& MaxDegree(Graph& g) { return g.max_degree_; }
+};
+
 namespace {
 
 TEST(GraphBuilderTest, EmptyGraph) {
@@ -159,6 +179,74 @@ TEST(LabelDictionaryTest, InternAndFind) {
   EXPECT_EQ(dict.Find("missing"), kInvalidLabel);
   EXPECT_EQ(dict.Name(a), "BCL2");
   EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(GraphValidateTest, FreshGraphsValidate) {
+  Graph empty;
+  EXPECT_TRUE(empty.Validate().ok());
+  auto path = testing::PathGraph(6);
+  EXPECT_TRUE(path.Validate().ok()) << path.Validate();
+  auto fig2 = testing::Figure2Graph();
+  EXPECT_TRUE(fig2.Validate().ok()) << fig2.Validate();
+}
+
+TEST(GraphValidateTest, DetectsNonMonotoneOffsets) {
+  auto g = testing::PathGraph(4);
+  ASSERT_GE(GraphTestPeer::Offsets(g).size(), 3u);
+  GraphTestPeer::Offsets(g)[2] = 0;  // below offsets_[1]
+  Status s = g.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("offset"), std::string::npos) << s;
+}
+
+TEST(GraphValidateTest, DetectsUnsortedAdjacency) {
+  auto g = testing::StarGraph(4);  // hub 0 with neighbors 1..4
+  auto& adj = GraphTestPeer::Adjacency(g);
+  ASSERT_GE(adj.size(), 2u);
+  std::swap(adj[0], adj[1]);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidateTest, DetectsAsymmetricEdge) {
+  auto g = testing::PathGraph(4);
+  // Redirect one endpoint so the reverse arc no longer exists.
+  auto& adj = GraphTestPeer::Adjacency(g);
+  auto& offsets = GraphTestPeer::Offsets(g);
+  // Vertex 0 has exactly one neighbor (vertex 1); point it at vertex 3.
+  ASSERT_EQ(offsets[1] - offsets[0], 1u);
+  adj[offsets[0]] = 3;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidateTest, DetectsOutOfRangeNeighbor) {
+  auto g = testing::PathGraph(3);
+  GraphTestPeer::Adjacency(g)[0] = 99;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidateTest, DetectsStaleMaxDegree) {
+  auto g = testing::StarGraph(5);
+  GraphTestPeer::MaxDegree(g) = 1;
+  Status s = g.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("max degree"), std::string::npos) << s;
+}
+
+TEST(GraphValidateTest, DetectsLabelIndexMismatch) {
+  auto g = testing::Figure2Graph();
+  // Swap two entries of the label-index CSR across label partitions: the
+  // vertices' stored labels no longer match the partition they sit in.
+  auto& index = GraphTestPeer::LabelIndex(g);
+  auto& loffsets = GraphTestPeer::LabelIndexOffsets(g);
+  ASSERT_GE(loffsets.size(), 3u);
+  std::swap(index[loffsets[0]], index[loffsets[1]]);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphValidateTest, DetectsLabelOutOfRange) {
+  auto g = testing::PathGraph(3);
+  GraphTestPeer::Labels(g)[1] = 200;
+  EXPECT_FALSE(g.Validate().ok());
 }
 
 TEST(GraphDeathTest, OutOfRangeAccessAborts) {

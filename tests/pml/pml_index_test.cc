@@ -130,6 +130,52 @@ TEST(PmlIndexTest, LoadMissingFileFails) {
   EXPECT_FALSE(PmlIndex::Load("/nonexistent/boomer.pml").ok());
 }
 
+TEST(PmlIndexTest, ValidatePassesOnFreshIndexes) {
+  graph::GraphBuilder empty;
+  auto eg = empty.Build();
+  ASSERT_TRUE(eg.ok());
+  auto eidx = PmlIndex::Build(*eg);
+  ASSERT_TRUE(eidx.ok());
+  EXPECT_TRUE(eidx->Validate(&*eg).ok());
+
+  auto g_or = graph::GenerateErdosRenyi(250, 700, 3, 37);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or);
+  ASSERT_TRUE(index.ok());
+  // Structural pass, then the deep pass with the data graph (edge sweep
+  // asserting every data edge answers distance exactly 1).
+  EXPECT_TRUE(index->Validate().ok()) << index->Validate();
+  EXPECT_TRUE(index->Validate(&*g_or).ok()) << index->Validate(&*g_or);
+}
+
+TEST(PmlIndexTest, ValidateRejectsMismatchedGraph) {
+  auto g_or = graph::GenerateErdosRenyi(100, 250, 2, 41);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or);
+  ASSERT_TRUE(index.ok());
+  auto other = testing::PathGraph(4);  // wrong |V|
+  EXPECT_FALSE(index->Validate(&other).ok());
+}
+
+TEST(PmlIndexTest, LoadRejectsCorruptCache) {
+  auto g_or = graph::GenerateErdosRenyi(80, 200, 2, 43);
+  ASSERT_TRUE(g_or.ok());
+  auto index = PmlIndex::Build(*g_or);
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/boomer_pml_corrupt.pml";
+  ASSERT_TRUE(index->Save(path).ok());
+  // Truncate mid-payload: the header survives, the entry array does not.
+  {
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    ASSERT_FALSE(ec);
+    std::filesystem::resize_file(path, size - sizeof(uint32_t), ec);
+    ASSERT_FALSE(ec);
+  }
+  EXPECT_FALSE(PmlIndex::Load(path).ok());
+  std::filesystem::remove(path);
+}
+
 TEST(BfsOracleTest, MatchesBfs) {
   auto g = testing::CycleGraph(12);
   BfsOracle oracle(g);

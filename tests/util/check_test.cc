@@ -1,0 +1,83 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace boomer {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  BOOMER_CHECK(1 + 1 == 2);
+  BOOMER_CHECK(true) << "never streamed";
+  BOOMER_CHECK_EQ(4, 4);
+  BOOMER_CHECK_NE(4, 5);
+  BOOMER_CHECK_LT(4, 5);
+  BOOMER_CHECK_LE(4, 4);
+  BOOMER_CHECK_GT(5, 4);
+  BOOMER_CHECK_GE(5, 5);
+}
+
+TEST(CheckTest, CheckWorksAsUnbracedBranch) {
+  // The macros must behave as single statements: no dangling-else capture,
+  // usable with and without a trailing stream.
+  if (1 == 2)
+    BOOMER_CHECK(false);
+  else
+    BOOMER_CHECK(true);
+  for (int i = 0; i < 2; ++i) BOOMER_CHECK_LT(i, 2) << "i=" << i;
+}
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(BOOMER_CHECK(false), "CHECK failed.*false");
+}
+
+TEST(CheckDeathTest, CheckStreamsExtraContext) {
+  EXPECT_DEATH(BOOMER_CHECK(2 > 3) << "context " << 42,
+               "CHECK failed.*2 > 3.*context 42");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothOperands) {
+  int a = 3, b = 7;
+  EXPECT_DEATH(BOOMER_CHECK_EQ(a, b), "CHECK failed.*a == b.*3 vs 7");
+  EXPECT_DEATH(BOOMER_CHECK_GT(a, b), "CHECK failed.*a > b");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsStrings) {
+  std::string lhs = "left";
+  EXPECT_DEATH(BOOMER_CHECK_EQ(lhs, std::string("right")),
+               "CHECK failed.*left vs right");
+}
+
+TEST(CheckTest, CheckOpEvaluatesOperandsOnce) {
+  int calls = 0;
+  auto bump = [&calls] { return ++calls; };
+  BOOMER_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+#if BOOMER_DCHECK_ENABLED
+
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(BOOMER_DCHECK(false), "CHECK failed");
+  EXPECT_DEATH(BOOMER_DCHECK_EQ(1, 2), "CHECK failed.*1 vs 2");
+  EXPECT_DEATH(BOOMER_DCHECK_LT(9, 3) << "hop bound", "hop bound");
+}
+
+#else  // !BOOMER_DCHECK_ENABLED
+
+TEST(CheckTest, DcheckCompiledOutIsInertButTypeChecked) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  BOOMER_DCHECK(touch()) << "also not evaluated: " << evaluations;
+  BOOMER_DCHECK_EQ(evaluations, 12345);
+  EXPECT_EQ(evaluations, 0) << "disabled DCHECK must not evaluate operands";
+}
+
+#endif  // BOOMER_DCHECK_ENABLED
+
+}  // namespace
+}  // namespace boomer

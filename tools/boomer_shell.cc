@@ -12,14 +12,25 @@
 //   show 0
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <unistd.h>
 
 #include "shell/shell.h"
 
-int main() {
-  boomer::shell::Shell shell;
+int main(int argc, char** argv) {
+  boomer::shell::ShellOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      // Deep-verify Graph/PML/CAP invariants after every command.
+      options.validate_after_command = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--validate]\n", argv[0]);
+      return 2;
+    }
+  }
+  boomer::shell::Shell shell(options);
   const bool interactive = isatty(fileno(stdin));
   if (interactive) {
     std::printf("BOOMER shell — type 'help' for commands, 'quit' to exit.\n");

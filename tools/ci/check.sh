@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Correctness gate: build + test the tree under ASan/UBSan with -Werror and
+# DCHECKs pinned on, then run the project lint and (when the binaries exist)
+# clang-format / clang-tidy. Any finding exits non-zero.
+#
+# Usage: tools/ci/check.sh [--skip-sanitizers]
+#
+# The sanitizer pass uses the `asan-ubsan` CMake preset and builds into
+# build-asan-ubsan/, leaving the default build/ tree untouched.
+set -u -o pipefail
+
+cd "$(dirname "$0")/../.."
+REPO_ROOT="$(pwd)"
+
+SKIP_SANITIZERS=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    *)
+      echo "usage: $0 [--skip-sanitizers]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+FAILURES=0
+step() { echo; echo "==== $* ===="; }
+fail() {
+  echo "FAILED: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+step "project lint (tools/lint/boomer_lint.py)"
+python3 tools/lint/boomer_lint.py --root "$REPO_ROOT" || fail "boomer_lint"
+
+step "clang-format diff check"
+if command -v clang-format >/dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  if ! clang-format --dry-run -Werror \
+      $(git ls-files 'src/**.cc' 'src/**.h' 'tests/**.cc' 'tests/**.h' \
+                     'bench/**.cc' 'bench/**.h' 'tools/**.cc' 'examples/**.cc'); then
+    fail "clang-format"
+  fi
+else
+  echo "clang-format not found; skipping format check" >&2
+fi
+
+if [ "$SKIP_SANITIZERS" -eq 0 ]; then
+  step "configure (asan-ubsan preset)"
+  cmake --preset asan-ubsan || fail "cmake configure"
+
+  step "build (asan-ubsan, -Werror)"
+  cmake --build --preset asan-ubsan -j "$(nproc)" || fail "build"
+
+  step "ctest (asan-ubsan; includes boomer_lint)"
+  ctest --preset asan-ubsan || fail "ctest"
+fi
+
+step "clang-tidy gate"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset tidy || fail "cmake configure (tidy)"
+  cmake --build --preset tidy -j "$(nproc)" || fail "clang-tidy build"
+else
+  echo "clang-tidy not found; skipping tidy gate" >&2
+fi
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "check.sh: $FAILURES step(s) failed"
+  exit 1
+fi
+echo "check.sh: all checks passed"

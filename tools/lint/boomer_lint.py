@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the BOOMER tree.
+
+Registered as a ctest test (see the top-level CMakeLists.txt), so every
+`ctest` run — plain or sanitized — enforces the repo invariants that generic
+compilers cannot:
+
+  include-guards   src/, bench/, and tests/ headers use BOOMER_<PATH>_H_
+  stdout           library code under src/ never writes to stdout
+                   (std::cout / printf / puts); logging goes through
+                   util/logging.h.  The bench_util reporting surface, whose
+                   contract *is* stdout, is allowlisted.
+  naked-new        no naked `new` / `delete` in src/ — containers and
+                   smart pointers own memory (escape: `boomer-lint-allow`).
+  rand             no rand()/srand()/random() anywhere; all randomness flows
+                   through util/rng.h so runs stay seed-reproducible.
+  using-namespace  no `using namespace std;`
+
+A line (or its predecessor) containing `boomer-lint-allow(<rule>)` exempts
+that single occurrence; use sparingly and explain why in the comment.
+
+Exit status: 0 when clean, 1 with one "path:line: [rule] message" per finding.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+# Files whose documented contract is writing results to stdout.
+STDOUT_ALLOWLIST = {
+    "src/bench_util/reporting.cc",
+    "src/bench_util/reporting.h",
+    "src/bench_util/flags.cc",
+}
+
+STDOUT_RE = re.compile(r"std::cout|\bprintf\s*\(|\bputs\s*\(|\bfputs\s*\(")
+STDOUT_STDERR_OK_RE = re.compile(r"\bfprintf\s*\(\s*stderr|\bfputs\s*\([^,]*,\s*stderr")
+NAKED_NEW_RE = re.compile(r"(^|[^\w.:>])new\s+[A-Za-z_:<]|(^|[^\w.:>])delete\s*(\[\s*\])?\s+?[A-Za-z_(*]")
+RAND_RE = re.compile(r"(^|[^\w:.])(s?rand|random|rand_r|drand48)\s*\(")
+USING_NAMESPACE_STD_RE = re.compile(r"using\s+namespace\s+std\s*;")
+GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
+ALLOW_RE = re.compile(r"boomer-lint-allow\(([a-z-]+)\)")
+
+# Crude but effective: strip string literals and // comments so tokens inside
+# them (e.g. the word 'delete' in a usage string) don't trip the scanners.
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def expected_guard(rel: pathlib.PurePosixPath) -> str:
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts).replace(".", "_").replace("-", "_").upper()
+    return f"BOOMER_{stem}_"
+
+
+def scrubbed(line: str) -> str:
+    return LINE_COMMENT_RE.sub("", STRING_RE.sub('""', line))
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, rel, lineno, rule, message):
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def allowed(self, lines, idx, rule):
+        for probe in (idx, idx - 1):
+            if probe >= 0:
+                m = ALLOW_RE.search(lines[probe])
+                if m and m.group(1) == rule:
+                    return True
+        return False
+
+    def lint_file(self, path: pathlib.Path):
+        rel = pathlib.PurePosixPath(path.relative_to(self.root).as_posix())
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+        top = rel.parts[0]
+        in_src = top == "src"
+
+        if path.suffix in {".h", ".hpp"} and top in {"src", "bench", "tests"}:
+            want = expected_guard(rel)
+            m = GUARD_RE.search(text)
+            got = m.group(1) if m else None
+            if got != want:
+                self.report(rel, 1, "include-guards",
+                            f"guard is {got or 'missing'}, want {want}")
+
+        for idx, raw in enumerate(lines):
+            line = scrubbed(raw)
+            lineno = idx + 1
+
+            if (in_src and str(rel) not in STDOUT_ALLOWLIST
+                    and STDOUT_RE.search(line)
+                    and not STDOUT_STDERR_OK_RE.search(line)
+                    and not self.allowed(lines, idx, "stdout")):
+                self.report(rel, lineno, "stdout",
+                            "library code must not write to stdout; "
+                            "use BOOMER_LOG or return strings")
+
+            if (in_src and NAKED_NEW_RE.search(line)
+                    and not self.allowed(lines, idx, "naked-new")):
+                self.report(rel, lineno, "naked-new",
+                            "no naked new/delete in src/; use containers "
+                            "or smart pointers")
+
+            if (RAND_RE.search(line)
+                    and not self.allowed(lines, idx, "rand")):
+                self.report(rel, lineno, "rand",
+                            "unseeded libc randomness breaks reproducibility; "
+                            "use boomer::Rng (util/rng.h)")
+
+            if (USING_NAMESPACE_STD_RE.search(line)
+                    and not self.allowed(lines, idx, "using-namespace")):
+                self.report(rel, lineno, "using-namespace",
+                            "'using namespace std' is banned")
+
+    def run(self) -> int:
+        scanned = 0
+        for top in ("src", "bench", "tests", "tools", "examples"):
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CXX_SUFFIXES and path.is_file():
+                    self.lint_file(path)
+                    scanned += 1
+        for finding in self.findings:
+            print(finding)
+        print(f"boomer_lint: {scanned} files scanned, "
+              f"{len(self.findings)} finding(s)")
+        return 1 if self.findings else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"boomer_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,7 +121,7 @@ void BM_PruneIsolated(benchmark::State& state) {
     cap.AddLevel(0, {si.begin(), si.end()});
     cap.AddLevel(1, {sj.begin(), sj.end()});
     cap.AddEdgeAdjacency(0, 0, 1);
-    core::PopulateVertexSet(ctx, &cap, 0, 0, 1, 1);
+    BOOMER_CHECK_OK(core::PopulateVertexSet(ctx, &cap, 0, 0, 1, 1).status());
     state.ResumeTiming();
     benchmark::DoNotOptimize(cap.PruneIsolated(0));
   }
@@ -145,8 +145,9 @@ void BM_ResultEnumeration(benchmark::State& state) {
   for (query::QueryEdgeId e : q.LiveEdges()) {
     const auto& edge = q.Edge(e);
     cap.AddEdgeAdjacency(e, edge.src, edge.dst);
-    core::PopulateVertexSet(ctx, &cap, e, edge.src, edge.dst,
-                            edge.bounds.upper);
+    BOOMER_CHECK_OK(core::PopulateVertexSet(ctx, &cap, e, edge.src, edge.dst,
+                                            edge.bounds.upper)
+                        .status());
     cap.PruneIsolated(e);
   }
   for (auto _ : state) {

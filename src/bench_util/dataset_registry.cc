@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "graph/io.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -26,7 +27,9 @@ StatusOr<LoadedDataset> DatasetRegistry::Get(const graph::DatasetSpec& spec) {
   prep_options.t_avg_samples = t_avg_samples_;
   prep_options.seed = spec.seed;
 
-  // Try the disk cache first.
+  // Try the disk cache first. A corrupt or stale entry is quarantined
+  // (renamed *.corrupt, preserved for inspection) and rebuilt from scratch
+  // rather than surfacing an error to the caller.
   if (std::filesystem::exists(prefix + ".graph")) {
     auto graph_or = graph::LoadBinary(prefix + ".graph");
     if (graph_or.ok()) {
@@ -41,7 +44,23 @@ StatusOr<LoadedDataset> DatasetRegistry::Get(const graph::DatasetSpec& spec) {
         return dataset;
       }
       BOOMER_LOG(Warning) << "stale preprocess cache for " << key << ": "
-                          << prep_or.status() << "; rebuilding";
+                          << prep_or.status() << "; quarantining and rebuilding";
+      for (const char* ext : {".pml", ".prep"}) {
+        Status q = QuarantineFile(prefix + ext);
+        if (!q.ok()) {
+          BOOMER_LOG(Warning) << q;
+        }
+      }
+    } else {
+      BOOMER_LOG(Warning) << "corrupt graph cache for " << key << ": "
+                          << graph_or.status()
+                          << "; quarantining and rebuilding";
+      for (const char* ext : {".graph", ".pml", ".prep"}) {
+        Status q = QuarantineFile(prefix + ext);
+        if (!q.ok()) {
+          BOOMER_LOG(Warning) << q;
+        }
+      }
     }
   }
 

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/timer.h"
 
 namespace boomer {
@@ -59,7 +60,7 @@ void Blender::Charge(double wall_seconds) {
   engine_free_at_micros_ = start + static_cast<int64_t>(wall_seconds * 1e6);
 }
 
-double Blender::ProcessEdgeNow(QueryEdgeId e) {
+StatusOr<double> Blender::ProcessEdgeNow(QueryEdgeId e) {
   // Action-stream legality: an edge is processed at most once, only while
   // alive, and only between its levels' creation and Run.
   BOOMER_DCHECK(query_.EdgeAlive(e)) << "processing a dead edge e" << e;
@@ -68,8 +69,16 @@ double Blender::ProcessEdgeNow(QueryEdgeId e) {
   WallTimer timer;
   const query::QueryEdge& edge = query_.Edge(e);
   cap_.AddEdgeAdjacency(e, edge.src, edge.dst);
-  PvsCounters counters = PopulateVertexSet(pvs_ctx_, &cap_, e, edge.src,
-                                           edge.dst, edge.bounds.upper);
+  auto counters_or = PopulateVertexSet(pvs_ctx_, &cap_, e, edge.src,
+                                       edge.dst, edge.bounds.upper);
+  if (!counters_or.ok()) {
+    // Transactional: drop the half-populated edge so the CAP is exactly as
+    // before this call. Pruning has not run, so the levels are untouched.
+    cap_.RemoveEdgeAdjacency(e);
+    report_.cap_build_wall_seconds += timer.ElapsedSeconds();
+    return counters_or.status();
+  }
+  const PvsCounters& counters = *counters_or;
   report_.pvs_totals.out_scans += counters.out_scans;
   report_.pvs_totals.in_scans += counters.in_scans;
   report_.pvs_totals.pairs_added += counters.pairs_added;
@@ -80,6 +89,20 @@ double Blender::ProcessEdgeNow(QueryEdgeId e) {
   const double wall = timer.ElapsedSeconds();
   report_.cap_build_wall_seconds += wall;
   return wall;
+}
+
+StatusOr<double> Blender::ProcessEdgeWithRetry(QueryEdgeId e) {
+  constexpr int kMaxAttempts = 3;
+  Status last;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) ++report_.transient_retries;
+    auto wall_or = ProcessEdgeNow(e);
+    if (wall_or.ok()) return wall_or;
+    last = wall_or.status();
+    // Only injected faults model transient conditions worth retrying.
+    if (!fault::IsInjected(last)) break;
+  }
+  return last;
 }
 
 QueryEdgeId Blender::MinPoolEdge() const {
@@ -108,6 +131,9 @@ void Blender::ProbePool(int64_t deadline_micros) {
   // window — in trace-driven simulation the window is exactly
   // [engine_free_at, next-action arrival).
   while (!pool_.empty()) {
+    // Fault site: a probe that fails (e.g. the engine is briefly wedged)
+    // simply ends this idle window; Run's drain picks the pool up later.
+    if (fault::Armed() && fault::ShouldFail("core/pool_probe")) return;
     const int64_t available =
         deadline_micros - std::max(engine_free_at_micros_, clock_.NowMicros());
     if (available <= 0) return;
@@ -115,16 +141,40 @@ void Blender::ProbePool(int64_t deadline_micros) {
     const double estimate = EstimateEdgeCost(e);
     if (static_cast<int64_t>(estimate * 1e6) > available) return;
     RemoveFromPool(e);
-    Charge(ProcessEdgeNow(e));
+    auto wall_or = ProcessEdgeWithRetry(e);
+    if (!wall_or.ok()) {
+      // Persistent failure: return the edge to the pool and end the idle
+      // window; the Run-time drain retries it with fresh attempts.
+      pool_.push_back(e);
+      ++report_.edges_repooled_on_failure;
+      return;
+    }
+    Charge(*wall_or);
     ++report_.edges_processed_idle;
   }
 }
 
-void Blender::DrainPool() {
+void Blender::DrainPool(Deadline* deadline) {
   while (!pool_.empty()) {
     const QueryEdgeId e = MinPoolEdge();
+    // Cooperative budgeting: refuse edges whose estimate cannot finish
+    // within the remaining SRT budget, rather than overrunning it.
+    const int64_t estimate_micros =
+        static_cast<int64_t>(EstimateEdgeCost(e) * 1e6);
+    if (deadline->WouldExceed(estimate_micros)) {
+      report_.truncated = true;
+      return;
+    }
     RemoveFromPool(e);
-    Charge(ProcessEdgeNow(e));
+    auto wall_or = ProcessEdgeWithRetry(e);
+    if (!wall_or.ok()) {
+      pool_.push_back(e);
+      ++report_.edges_repooled_on_failure;
+      report_.truncated = true;
+      return;
+    }
+    Charge(*wall_or);
+    deadline->ChargeSeconds(*wall_or);
     ++report_.edges_processed_at_run;
   }
 }
@@ -189,20 +239,45 @@ Status Blender::HandleNewEdge(const Action& a) {
     ++report_.edges_deferred;
     return Status::OK();
   }
-  Charge(ProcessEdgeNow(e));
+  auto wall_or = ProcessEdgeWithRetry(e);
+  if (!wall_or.ok()) {
+    // Degrade instead of failing the session: park the edge in the pool;
+    // every strategy drains the pool at Run, which retries it.
+    pool_.push_back(e);
+    ++report_.edges_repooled_on_failure;
+    return Status::OK();
+  }
+  Charge(*wall_or);
   ++report_.edges_processed_immediately;
   return Status::OK();
 }
 
 Status Blender::HandleRun() {
-  DrainPool();
-  BOOMER_DCHECK(pool_.empty()) << "Run must leave no deferred edge behind";
-  WallTimer timer;
-  BOOMER_ASSIGN_OR_RETURN(
-      results_, PartialVertexSetsGen(query_, cap_, options_.max_results));
-  const double gen_wall = timer.ElapsedSeconds();
-  report_.enumeration_wall_seconds = gen_wall;
-  Charge(gen_wall);
+  Deadline deadline = options_.srt_budget_seconds > 0.0
+                          ? Deadline::FromBudgetSeconds(
+                                options_.srt_budget_seconds)
+                          : Deadline::Unbounded();
+  // The SRT clock starts at the Run click: backlog the engine already owes
+  // eats into the budget before the drain begins.
+  deadline.Charge(
+      std::max<int64_t>(0, engine_free_at_micros_ - clock_.NowMicros()));
+  DrainPool(&deadline);
+  if (report_.truncated) {
+    // The CAP is incomplete (unprocessed pooled edges), so enumeration
+    // could only produce unsound matches; degrade to an empty result set.
+    results_.clear();
+  } else {
+    BOOMER_DCHECK(pool_.empty()) << "Run must leave no deferred edge behind";
+    WallTimer timer;
+    bool gen_truncated = false;
+    BOOMER_ASSIGN_OR_RETURN(
+        results_, PartialVertexSetsGen(query_, cap_, options_.max_results,
+                                       &deadline, &gen_truncated));
+    const double gen_wall = timer.ElapsedSeconds();
+    report_.enumeration_wall_seconds = gen_wall;
+    Charge(gen_wall);
+    if (gen_truncated) report_.truncated = true;
+  }
 
   run_complete_ = true;
   report_.qft_seconds = clock_.NowSeconds();

@@ -40,6 +40,7 @@
 #include "gui/actions.h"
 #include "query/bph_query.h"
 #include "query/similarity.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/virtual_clock.h"
 
@@ -63,6 +64,11 @@ struct BlenderOptions {
   double t_lat_seconds = 2.0;
   /// Result cap for PartialVertexSetsGen (0 = unlimited).
   size_t max_results = 0;
+  /// SRT budget: the maximum user-perceived waiting time Run may incur,
+  /// in seconds (0 = unbounded). When the backlog + pool drain + result
+  /// enumeration would overrun it, Run degrades to a partial answer and
+  /// flags BlendReport::truncated instead of blocking.
+  double srt_budget_seconds = 0.0;
   /// Vertex-match policy. Default: exact label equality (BPH). Supplying a
   /// LabelSimilarity matrix + threshold generalizes to full 1-1 p-hom
   /// similarity matching (Fan et al.); the matrix must outlive the blender.
@@ -92,6 +98,15 @@ struct BlendReport {
   size_t prune_removals = 0;
   size_t modifications = 0;
   PvsCounters pvs_totals;
+  /// True when Run returned a degraded answer: the SRT budget ran out or a
+  /// persistent processing failure left the CAP incomplete. Results() is
+  /// then empty or partial — never wrong, just incomplete.
+  bool truncated = false;
+  /// Transparent retries of edge processing after transient faults.
+  size_t transient_retries = 0;
+  /// Edges whose processing failed persistently and were returned to the
+  /// pool (retried at the next drain opportunity).
+  size_t edges_repooled_on_failure = 0;
 };
 
 class Blender {
@@ -137,15 +152,24 @@ class Blender {
   Status HandleModify(const gui::Action& a);
   Status HandleRun();
 
-  /// Executes PVS + pruning for edge `e` now; returns measured wall seconds.
-  double ProcessEdgeNow(query::QueryEdgeId e);
+  /// Executes PVS + pruning for edge `e` now; returns measured wall
+  /// seconds. On failure (injected fault mid-PVS) the half-built CAP edge
+  /// is rolled back, leaving the index exactly as before the call.
+  StatusOr<double> ProcessEdgeNow(query::QueryEdgeId e);
+
+  /// ProcessEdgeNow with bounded retry: transient (injected) failures are
+  /// retried up to 3 attempts; real errors propagate immediately.
+  StatusOr<double> ProcessEdgeWithRetry(query::QueryEdgeId e);
 
   /// Algorithm 10: processes pooled edges while their estimate fits before
-  /// `deadline_micros` (virtual).
+  /// `deadline_micros` (virtual). A processing failure ends the idle window
+  /// with the edge re-pooled.
   void ProbePool(int64_t deadline_micros);
 
-  /// Drains the pool completely, cheapest-first (Run / Algorithm 3).
-  void DrainPool();
+  /// Drains the pool cheapest-first (Run / Algorithm 3). Stops early —
+  /// leaving the remainder pooled and flagging the report truncated — when
+  /// the next edge would overrun `deadline` or fails persistently.
+  void DrainPool(Deadline* deadline);
 
   /// Charges `wall_seconds` of processing to the engine ledger, starting no
   /// earlier than the current virtual time.

@@ -1,11 +1,11 @@
 #include "core/cap_io.h"
 
 #include <cstdio>
-#include <fstream>
 #include <optional>
 #include <unordered_map>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -125,19 +125,13 @@ StatusOr<CapIndex> CapFromText(const std::string& text) {
 }
 
 Status SaveCap(const CapIndex& cap, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << CapToText(cap);
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, CapToText(cap), FileKind::kText);
 }
 
 StatusOr<CapIndex> LoadCap(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return CapFromText(buffer.str());
+  BOOMER_ASSIGN_OR_RETURN(std::string text,
+                          ReadFileVerified(path, FileKind::kText));
+  return CapFromText(text);
 }
 
 }  // namespace core

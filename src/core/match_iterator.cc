@@ -10,7 +10,8 @@ using query::QueryEdgeId;
 using query::QueryVertexId;
 
 StatusOr<MatchIterator> MatchIterator::Create(const query::BphQuery& q,
-                                              const CapIndex& cap) {
+                                              const CapIndex& cap,
+                                              const Deadline* deadline) {
   BOOMER_RETURN_NOT_OK(q.Validate());
   for (QueryEdgeId e : q.LiveEdges()) {
     if (!cap.EdgeProcessed(e)) {
@@ -19,12 +20,13 @@ StatusOr<MatchIterator> MatchIterator::Create(const query::BphQuery& q,
     }
   }
   BOOMER_ASSIGN_OR_RETURN(query::MatchingOrder order, ReorderBySize(q, cap));
-  return MatchIterator(q, cap, std::move(order));
+  return MatchIterator(q, cap, std::move(order), deadline);
 }
 
 MatchIterator::MatchIterator(const query::BphQuery& q, const CapIndex& cap,
-                             query::MatchingOrder order)
-    : q_(&q), cap_(&cap), order_(std::move(order)) {
+                             query::MatchingOrder order,
+                             const Deadline* deadline)
+    : q_(&q), cap_(&cap), order_(std::move(order)), deadline_(deadline) {
   assignment_.assign(q.NumVertices(), graph::kInvalidVertex);
   VertexId max_vertex = 0;
   for (QueryVertexId v = 0; v < q.NumVertices(); ++v) {
@@ -67,7 +69,21 @@ void MatchIterator::PushFrame(size_t depth) {
 
 std::optional<PartialMatch> MatchIterator::Next() {
   if (exhausted_) return std::nullopt;
+  if (deadline_ != nullptr &&
+      deadline_->WouldExceed(enumeration_time_.ElapsedMicros())) {
+    truncated_ = true;
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  enumeration_time_.Start();
   while (!stack_.empty()) {
+    if (deadline_ != nullptr &&
+        deadline_->WouldExceed(enumeration_time_.ElapsedMicros())) {
+      truncated_ = true;
+      exhausted_ = true;
+      enumeration_time_.Stop();
+      return std::nullopt;
+    }
     Frame& frame = stack_.back();
     const size_t depth = stack_.size() - 1;
     const QueryVertexId q_vertex = order_[depth];
@@ -100,11 +116,13 @@ std::optional<PartialMatch> MatchIterator::Next() {
       ++num_yielded_;
       PartialMatch match;
       match.assignment = assignment_;
+      enumeration_time_.Stop();
       return match;
     }
     PushFrame(stack_.size());
   }
   exhausted_ = true;
+  enumeration_time_.Stop();
   return std::nullopt;
 }
 

@@ -20,7 +20,9 @@
 #include "core/cap_index.h"
 #include "core/result_gen.h"
 #include "query/bph_query.h"
+#include "util/deadline.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace boomer {
 namespace core {
@@ -30,14 +32,22 @@ class MatchIterator {
   /// Creates an iterator over the matches of `q` in `cap`. Both must
   /// outlive the iterator and must not be mutated while iterating.
   /// Fails when the CAP is incomplete (unprocessed live edge).
+  /// A bounded `deadline` (which must outlive the iterator) caps the
+  /// cumulative enumeration wall time: once it is spent, Next() returns
+  /// nullopt and truncated() turns true.
   static StatusOr<MatchIterator> Create(const query::BphQuery& q,
-                                        const CapIndex& cap);
+                                        const CapIndex& cap,
+                                        const Deadline* deadline = nullptr);
 
-  /// Returns the next match, or nullopt when exhausted.
+  /// Returns the next match, or nullopt when exhausted (or out of budget —
+  /// distinguish with truncated()).
   std::optional<PartialMatch> Next();
 
   /// Matches yielded so far.
   size_t num_yielded() const { return num_yielded_; }
+
+  /// True when iteration stopped on deadline exhaustion, not completion.
+  bool truncated() const { return truncated_; }
 
  private:
   struct Frame {
@@ -48,7 +58,7 @@ class MatchIterator {
   };
 
   MatchIterator(const query::BphQuery& q, const CapIndex& cap,
-                query::MatchingOrder order);
+                query::MatchingOrder order, const Deadline* deadline);
 
   /// Computes the candidate list for the vertex at `depth` given the
   /// current partial assignment.
@@ -65,6 +75,11 @@ class MatchIterator {
   std::vector<bool> used_;                   // by data vertex id
   size_t num_yielded_ = 0;
   bool exhausted_ = false;
+  /// Accumulates wall time spent inside Next() only — the user's browsing
+  /// latency between calls is free, matching the JIT-filtering model.
+  const Deadline* deadline_ = nullptr;
+  Stopwatch enumeration_time_;
+  bool truncated_ = false;
 };
 
 }  // namespace core

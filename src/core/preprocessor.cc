@@ -1,7 +1,8 @@
 #include "core/preprocessor.h"
 
-#include <fstream>
+#include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/timer.h"
 
 namespace boomer {
@@ -24,13 +25,11 @@ StatusOr<PreprocessResult> Preprocess(const graph::Graph& g,
 
 Status PreprocessResult::Save(const std::string& path_prefix) const {
   BOOMER_RETURN_NOT_OK(pml_->Save(path_prefix + ".pml"));
-  std::ofstream meta(path_prefix + ".prep");
-  if (!meta) return Status::IOError("cannot open " + path_prefix + ".prep");
+  std::ostringstream meta;
   meta << t_avg_seconds_ << "\n" << total_seconds_ << "\n";
   meta << two_hop_counts_.size() << "\n";
   for (uint32_t c : two_hop_counts_) meta << c << "\n";
-  if (!meta) return Status::IOError("short write " + path_prefix + ".prep");
-  return Status::OK();
+  return WriteFileAtomic(path_prefix + ".prep", meta.str(), FileKind::kText);
 }
 
 StatusOr<PreprocessResult> PreprocessResult::Load(
@@ -43,8 +42,10 @@ StatusOr<PreprocessResult> PreprocessResult::Load(
     return Status::FailedPrecondition("PML index does not match graph");
   }
   result.pml_ = std::make_shared<const pml::PmlIndex>(std::move(index));
-  std::ifstream meta(path_prefix + ".prep");
-  if (!meta) return Status::IOError("cannot open " + path_prefix + ".prep");
+  BOOMER_ASSIGN_OR_RETURN(
+      std::string meta_text,
+      ReadFileVerified(path_prefix + ".prep", FileKind::kText));
+  std::istringstream meta(meta_text);
   size_t count = 0;
   if (!(meta >> result.t_avg_seconds_ >> result.total_seconds_ >> count)) {
     return Status::IOError("truncated " + path_prefix + ".prep");

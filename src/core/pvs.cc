@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/fault.h"
+
 namespace boomer {
 namespace core {
 
@@ -17,10 +19,21 @@ namespace {
 /// log2(x) guarded for the cost formulas (log of 0/1 ~ 1 comparison).
 double SafeLog(double x) { return x < 2.0 ? 1.0 : std::log2(x); }
 
+/// Every CAP insertion funnels through here so the "cap/add_pair" fault
+/// site covers all three search strategies.
+Status AddPairChecked(CapIndex* cap, QueryEdgeId e, VertexId vi, VertexId vj,
+                      PvsCounters* counters) {
+  BOOMER_FAULT_POINT("cap/add_pair");
+  cap->AddPair(e, vi, vj);
+  ++counters->pairs_added;
+  return Status::OK();
+}
+
 /// Neighbor search (upper = 1), Algorithm 9. For each v_i the cheaper of
 /// out-scan / in-scan is chosen by the Lemma 5.3 cost model.
-void NeighborSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
-                    QueryVertexId qi, QueryVertexId qj, PvsCounters* counters) {
+Status NeighborSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
+                      QueryVertexId qi, QueryVertexId qj,
+                      PvsCounters* counters) {
   const Graph& g = *ctx.graph;
   const auto& vqi = cap->Candidates(qi);
   const auto& vqj = cap->Candidates(qj);
@@ -36,8 +49,7 @@ void NeighborSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
       ++counters->out_scans;
       for (VertexId w : g.Neighbors(vi)) {
         if (cap->IsCandidate(qj, w)) {
-          cap->AddPair(e, vi, w);
-          ++counters->pairs_added;
+          BOOMER_RETURN_NOT_OK(AddPairChecked(cap, e, vi, w, counters));
         }
       }
     } else {
@@ -45,12 +57,12 @@ void NeighborSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
       auto nbrs = g.Neighbors(vi);
       for (VertexId vj : vqj) {
         if (std::binary_search(nbrs.begin(), nbrs.end(), vj)) {
-          cap->AddPair(e, vi, vj);
-          ++counters->pairs_added;
+          BOOMER_RETURN_NOT_OK(AddPairChecked(cap, e, vi, vj, counters));
         }
       }
     }
   }
+  return Status::OK();
 }
 
 /// True iff u and v share a neighbor (sorted merge join of adjacency lists).
@@ -70,8 +82,9 @@ bool HaveCommonNeighbor(const Graph& g, VertexId u, VertexId v) {
 }
 
 /// Two-hop search (upper = 2), Lemma 5.4.
-void TwoHopSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
-                  QueryVertexId qi, QueryVertexId qj, PvsCounters* counters) {
+Status TwoHopSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
+                    QueryVertexId qi, QueryVertexId qj,
+                    PvsCounters* counters) {
   const Graph& g = *ctx.graph;
   const auto& vqi = cap->Candidates(qi);
   const auto& vqj = cap->Candidates(qj);
@@ -108,8 +121,7 @@ void TwoHopSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
       ball.erase(vi);
       for (VertexId w : ball) {
         if (cap->IsCandidate(qj, w)) {
-          cap->AddPair(e, vi, w);
-          ++counters->pairs_added;
+          BOOMER_RETURN_NOT_OK(AddPairChecked(cap, e, vi, w, counters));
         }
       }
     } else {
@@ -120,19 +132,19 @@ void TwoHopSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
         const bool adjacent =
             std::binary_search(nbrs.begin(), nbrs.end(), vj);
         if (adjacent || HaveCommonNeighbor(g, vi, vj)) {
-          cap->AddPair(e, vi, vj);
-          ++counters->pairs_added;
+          BOOMER_RETURN_NOT_OK(AddPairChecked(cap, e, vi, vj, counters));
         }
       }
     }
   }
+  return Status::OK();
 }
 
 /// Large-upper search (upper >= 3 or PvsMode::kLargeUpperOnly): pairwise
 /// oracle queries, Lemma 5.5.
-void LargeUpperSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
-                      QueryVertexId qi, QueryVertexId qj, uint32_t upper,
-                      PvsCounters* counters) {
+Status LargeUpperSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
+                        QueryVertexId qi, QueryVertexId qj, uint32_t upper,
+                        PvsCounters* counters) {
   const auto& vqi = cap->Candidates(qi);
   const auto& vqj = cap->Candidates(qj);
   for (VertexId vi : vqi) {
@@ -140,32 +152,35 @@ void LargeUpperSearch(const PvsContext& ctx, CapIndex* cap, QueryEdgeId e,
       if (vi == vj) continue;
       ++counters->distance_queries;
       if (ctx.oracle->WithinDistance(vi, vj, upper)) {
-        cap->AddPair(e, vi, vj);
-        ++counters->pairs_added;
+        BOOMER_RETURN_NOT_OK(AddPairChecked(cap, e, vi, vj, counters));
       }
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
 
-PvsCounters PopulateVertexSet(const PvsContext& ctx, CapIndex* cap,
-                              QueryEdgeId e, QueryVertexId qi,
-                              QueryVertexId qj, uint32_t upper) {
+StatusOr<PvsCounters> PopulateVertexSet(const PvsContext& ctx, CapIndex* cap,
+                                        QueryEdgeId e, QueryVertexId qi,
+                                        QueryVertexId qj, uint32_t upper) {
   BOOMER_CHECK(ctx.graph != nullptr && ctx.oracle != nullptr);
   BOOMER_CHECK(cap->EdgeProcessed(e));
   BOOMER_CHECK(upper >= 1);
+  BOOMER_FAULT_POINT("core/pvs");
   PvsCounters counters;
   if (ctx.mode == PvsMode::kLargeUpperOnly) {
-    LargeUpperSearch(ctx, cap, e, qi, qj, upper, &counters);
+    BOOMER_RETURN_NOT_OK(LargeUpperSearch(ctx, cap, e, qi, qj, upper,
+                                          &counters));
     return counters;
   }
   if (upper == 1) {
-    NeighborSearch(ctx, cap, e, qi, qj, &counters);
+    BOOMER_RETURN_NOT_OK(NeighborSearch(ctx, cap, e, qi, qj, &counters));
   } else if (upper == 2) {
-    TwoHopSearch(ctx, cap, e, qi, qj, &counters);
+    BOOMER_RETURN_NOT_OK(TwoHopSearch(ctx, cap, e, qi, qj, &counters));
   } else {
-    LargeUpperSearch(ctx, cap, e, qi, qj, upper, &counters);
+    BOOMER_RETURN_NOT_OK(LargeUpperSearch(ctx, cap, e, qi, qj, upper,
+                                          &counters));
   }
   return counters;
 }

@@ -25,6 +25,7 @@
 #include "graph/graph.h"
 #include "pml/distance_oracle.h"
 #include "query/bph_query.h"
+#include "util/status.h"
 
 namespace boomer {
 namespace core {
@@ -57,9 +58,16 @@ struct PvsContext {
 /// Populates CAP adjacency for query edge `e` = (qi, qj) with upper bound
 /// `upper`. The CAP edge must already be declared via AddEdgeAdjacency and
 /// both levels present. Returns scan counters.
-PvsCounters PopulateVertexSet(const PvsContext& ctx, CapIndex* cap,
-                              query::QueryEdgeId e, query::QueryVertexId qi,
-                              query::QueryVertexId qj, uint32_t upper);
+///
+/// Fallible: fault sites "core/pvs" (at entry) and "cap/add_pair" (before
+/// each pair insertion) model engine-side failure. On error the CAP edge may
+/// hold a partial pair set; the caller must roll the edge back with
+/// RemoveEdgeAdjacency before retrying or re-pooling it.
+StatusOr<PvsCounters> PopulateVertexSet(const PvsContext& ctx, CapIndex* cap,
+                                        query::QueryEdgeId e,
+                                        query::QueryVertexId qi,
+                                        query::QueryVertexId qj,
+                                        uint32_t upper);
 
 }  // namespace core
 }  // namespace boomer

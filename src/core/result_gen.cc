@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/timer.h"
+
 namespace boomer {
 namespace core {
 
@@ -68,6 +70,9 @@ void IntersectSorted(const std::vector<VertexId>& a,
                         std::back_inserter(*out));
 }
 
+/// Clock-check cadence: one steady_clock read per this many DFS nodes.
+constexpr int kDeadlineCheckInterval = 64;
+
 struct DfsContext {
   const BphQuery* q;
   const CapIndex* cap;
@@ -76,9 +81,20 @@ struct DfsContext {
   std::vector<PartialMatch>* out;
   std::vector<VertexId> assignment;  // by query vertex id; kInvalid = unset
   std::vector<bool> used;            // injectivity over assigned vertices
+  const Deadline* deadline = nullptr;
+  WallTimer timer;
+  int deadline_countdown = kDeadlineCheckInterval;
+  bool truncated = false;
 };
 
 bool Dfs(DfsContext* ctx, size_t depth) {
+  if (ctx->deadline != nullptr && --ctx->deadline_countdown <= 0) {
+    ctx->deadline_countdown = kDeadlineCheckInterval;
+    if (ctx->deadline->WouldExceed(ctx->timer.ElapsedMicros())) {
+      ctx->truncated = true;
+      return false;
+    }
+  }
   if (depth == ctx->order->size()) {
     PartialMatch match;
     match.assignment = ctx->assignment;
@@ -131,7 +147,9 @@ bool Dfs(DfsContext* ctx, size_t depth) {
 }  // namespace
 
 StatusOr<std::vector<PartialMatch>> PartialVertexSetsGen(
-    const BphQuery& q, const CapIndex& cap, size_t max_results) {
+    const BphQuery& q, const CapIndex& cap, size_t max_results,
+    const Deadline* deadline, bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
   BOOMER_RETURN_NOT_OK(q.Validate());
   for (QueryEdgeId e : q.LiveEdges()) {
     if (!cap.EdgeProcessed(e)) {
@@ -155,7 +173,9 @@ StatusOr<std::vector<PartialMatch>> PartialVertexSetsGen(
   ctx.out = &results;
   ctx.assignment.assign(q.NumVertices(), graph::kInvalidVertex);
   ctx.used.assign(static_cast<size_t>(max_vertex) + 1, false);
+  ctx.deadline = deadline;
   Dfs(&ctx, 0);
+  if (truncated != nullptr) *truncated = ctx.truncated;
   return results;
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/cap_index.h"
 #include "query/bph_query.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace boomer {
@@ -36,8 +37,14 @@ StatusOr<query::MatchingOrder> ReorderBySize(const query::BphQuery& q,
 
 /// Enumerates V_Δ = all partial-matched vertex sets. Every live edge of `q`
 /// must be processed in `cap`. `max_results` of 0 means unlimited.
+///
+/// When `deadline` is bounded, the DFS periodically compares its own wall
+/// time against the deadline's *remaining* budget (the deadline itself is
+/// never mutated — the caller charges the measured wall afterwards) and
+/// stops early, setting `*truncated`; matches found so far are returned.
 StatusOr<std::vector<PartialMatch>> PartialVertexSetsGen(
-    const query::BphQuery& q, const CapIndex& cap, size_t max_results = 0);
+    const query::BphQuery& q, const CapIndex& cap, size_t max_results = 0,
+    const Deadline* deadline = nullptr, bool* truncated = nullptr);
 
 }  // namespace core
 }  // namespace boomer

@@ -1,9 +1,9 @@
 #include "graph/io.h"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -14,14 +14,30 @@ namespace {
 constexpr uint64_t kBinaryMagic = 0xB003E200D0D0CAFEULL;
 constexpr uint32_t kBinaryVersion = 1;
 
+/// Reads an optional "# count <n>" directive so parsers can detect files
+/// truncated below the declared entry count. Returns true when consumed.
+bool ParseCountDirective(std::string_view comment, int64_t* declared) {
+  constexpr std::string_view kPrefix = "# count ";
+  if (!StartsWith(comment, kPrefix)) return false;
+  auto parsed = ParseInt64(Trim(comment.substr(kPrefix.size())));
+  if (parsed.ok()) *declared = parsed.value();
+  return parsed.ok();
+}
+
 Status ParseLabelsInto(std::istream& in, GraphBuilder* builder,
                        LabelDictionary* dict) {
   std::string line;
   size_t line_no = 0;
+  int64_t declared = -1;
+  size_t parsed_lines = 0;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      ParseCountDirective(trimmed, &declared);
+      continue;
+    }
+    ++parsed_lines;
     auto fields = SplitWhitespace(trimmed);
     if (fields.size() != 2) {
       return Status::InvalidArgument(
@@ -41,16 +57,27 @@ Status ParseLabelsInto(std::istream& in, GraphBuilder* builder,
     }
     builder->SetLabel(v, label);
   }
+  if (declared >= 0 && parsed_lines != static_cast<size_t>(declared)) {
+    return Status::IOError(
+        StrFormat("labels file declares %lld entries but holds %zu",
+                  static_cast<long long>(declared), parsed_lines));
+  }
   return Status::OK();
 }
 
 Status ParseEdgesInto(std::istream& in, GraphBuilder* builder) {
   std::string line;
   size_t line_no = 0;
+  int64_t declared = -1;
+  size_t parsed_lines = 0;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      ParseCountDirective(trimmed, &declared);
+      continue;
+    }
+    ++parsed_lines;
     auto fields = SplitWhitespace(trimmed);
     if (fields.size() != 2) {
       return Status::InvalidArgument(
@@ -64,6 +91,11 @@ Status ParseEdgesInto(std::istream& in, GraphBuilder* builder) {
                     line_no));
     }
     builder->AddEdge(u, v);
+  }
+  if (declared >= 0 && parsed_lines != static_cast<size_t>(declared)) {
+    return Status::IOError(
+        StrFormat("edges file declares %lld entries but holds %zu",
+                  static_cast<long long>(declared), parsed_lines));
   }
   return Status::OK();
 }
@@ -100,39 +132,38 @@ bool ReadVector(std::istream& in, std::vector<T>* v) {
 
 Status SaveText(const Graph& g, const std::string& path_prefix) {
   {
-    std::ofstream labels(path_prefix + ".labels");
-    if (!labels) return Status::IOError("cannot open " + path_prefix + ".labels");
+    std::ostringstream labels;
     labels << "# vertex label\n";
+    labels << "# count " << g.NumVertices() << '\n';
     for (VertexId v = 0; v < g.NumVertices(); ++v) {
       labels << v << ' ' << g.Label(v) << '\n';
     }
-    if (!labels) return Status::IOError("short write to labels file");
+    BOOMER_RETURN_NOT_OK(WriteFileAtomic(path_prefix + ".labels",
+                                         labels.str(), FileKind::kText));
   }
   {
-    std::ofstream edges(path_prefix + ".edges");
-    if (!edges) return Status::IOError("cannot open " + path_prefix + ".edges");
+    std::ostringstream edges;
     edges << "# u v (undirected, u < v)\n";
+    edges << "# count " << g.NumEdges() << '\n';
     for (VertexId u = 0; u < g.NumVertices(); ++u) {
       for (VertexId w : g.Neighbors(u)) {
         if (u < w) edges << u << ' ' << w << '\n';
       }
     }
-    if (!edges) return Status::IOError("short write to edges file");
+    BOOMER_RETURN_NOT_OK(WriteFileAtomic(path_prefix + ".edges", edges.str(),
+                                         FileKind::kText));
   }
   return Status::OK();
 }
 
 StatusOr<Graph> LoadText(const std::string& path_prefix) {
-  std::ifstream labels(path_prefix + ".labels");
-  if (!labels) return Status::IOError("cannot open " + path_prefix + ".labels");
-  std::ifstream edges(path_prefix + ".edges");
-  if (!edges) return Status::IOError("cannot open " + path_prefix + ".edges");
-  GraphBuilder builder;
-  LabelDictionary dict;
-  BOOMER_RETURN_NOT_OK(ParseLabelsInto(labels, &builder, &dict));
-  BOOMER_RETURN_NOT_OK(ParseEdgesInto(edges, &builder));
-  builder.SetLabelDictionary(std::move(dict));
-  return builder.Build();
+  BOOMER_ASSIGN_OR_RETURN(
+      std::string labels,
+      ReadFileVerified(path_prefix + ".labels", FileKind::kText));
+  BOOMER_ASSIGN_OR_RETURN(
+      std::string edges,
+      ReadFileVerified(path_prefix + ".edges", FileKind::kText));
+  return ParseText(labels, edges);
 }
 
 StatusOr<Graph> ParseText(const std::string& labels, const std::string& edges) {
@@ -147,8 +178,7 @@ StatusOr<Graph> ParseText(const std::string& labels, const std::string& edges) {
 }
 
 Status SaveBinary(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path);
+  std::ostringstream out;
   WritePod(out, kBinaryMagic);
   WritePod(out, kBinaryVersion);
   // Reconstructible from edges + labels; store those.
@@ -168,13 +198,13 @@ Status SaveBinary(const Graph& g, const std::string& path) {
   WriteVector(out, labels);
   WriteVector(out, edge_us);
   WriteVector(out, edge_vs);
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str(), FileKind::kBinary);
 }
 
 StatusOr<Graph> LoadBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
+  BOOMER_ASSIGN_OR_RETURN(std::string content,
+                          ReadFileVerified(path, FileKind::kBinary));
+  std::istringstream in(content);
   uint64_t magic = 0;
   uint32_t version = 0;
   if (!ReadPod(in, &magic) || magic != kBinaryMagic) {

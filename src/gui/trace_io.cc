@@ -1,8 +1,9 @@
 #include "gui/trace_io.h"
 
-#include <fstream>
+#include <cstdio>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -43,10 +44,20 @@ StatusOr<ActionTrace> TraceFromText(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   size_t line_no = 0;
+  long long declared = -1;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      // Header written by TraceToText; lets us detect files truncated
+      // below the declared action count.
+      long long n = 0;
+      if (std::sscanf(std::string(trimmed).c_str(),
+                      "# BOOMER action trace: %lld actions", &n) == 1) {
+        declared = n;
+      }
+      continue;
+    }
     auto fields = SplitWhitespace(trimmed);
     auto bad = [&](const char* expected) {
       return Status::InvalidArgument(
@@ -98,23 +109,22 @@ StatusOr<ActionTrace> TraceFromText(const std::string& text) {
           static_cast<int>(fields[0].size()), fields[0].data()));
     }
   }
+  if (declared >= 0 && trace.size() != static_cast<size_t>(declared)) {
+    return Status::IOError(
+        StrFormat("trace declares %lld actions but holds %zu", declared,
+                  trace.size()));
+  }
   return trace;
 }
 
 Status SaveTrace(const ActionTrace& trace, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << TraceToText(trace);
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, TraceToText(trace), FileKind::kText);
 }
 
 StatusOr<ActionTrace> LoadTrace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return TraceFromText(buffer.str());
+  BOOMER_ASSIGN_OR_RETURN(std::string text,
+                          ReadFileVerified(path, FileKind::kText));
+  return TraceFromText(text);
 }
 
 }  // namespace gui

@@ -1,10 +1,11 @@
 #include "pml/pml_index.h"
 
 #include <algorithm>
-#include <fstream>
 #include <numeric>
+#include <sstream>
 
 #include "graph/bfs.h"
+#include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -277,8 +278,7 @@ Status PmlIndex::Validate(const graph::Graph* graph) const {
 }
 
 Status PmlIndex::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path);
+  std::ostringstream out;
   out.write(reinterpret_cast<const char*>(&kPmlMagic), sizeof(kPmlMagic));
   out.write(reinterpret_cast<const char*>(&kPmlVersion), sizeof(kPmlVersion));
   uint64_t num_offsets = offsets_.size();
@@ -289,13 +289,13 @@ Status PmlIndex::Save(const std::string& path) const {
             static_cast<std::streamsize>(offsets_.size() * sizeof(uint64_t)));
   out.write(reinterpret_cast<const char*>(entries_.data()),
             static_cast<std::streamsize>(entries_.size() * sizeof(LabelEntry)));
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, out.str(), FileKind::kBinary);
 }
 
 StatusOr<PmlIndex> PmlIndex::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
+  BOOMER_ASSIGN_OR_RETURN(std::string content,
+                          ReadFileVerified(path, FileKind::kBinary));
+  std::istringstream in(content);
   uint64_t magic = 0;
   uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
@@ -308,6 +308,13 @@ StatusOr<PmlIndex> PmlIndex::Load(const std::string& path) {
   in.read(reinterpret_cast<char*>(&num_offsets), sizeof(num_offsets));
   in.read(reinterpret_cast<char*>(&num_entries), sizeof(num_entries));
   if (!in || num_offsets == 0) return Status::IOError("truncated " + path);
+  // Cross-check declared counts against the payload size before resizing,
+  // so a corrupt header can never trigger a huge allocation.
+  const uint64_t required = num_offsets * sizeof(uint64_t) +
+                            num_entries * sizeof(LabelEntry);
+  if (required > content.size()) {
+    return Status::IOError("truncated " + path);
+  }
   PmlIndex index;
   index.offsets_.resize(num_offsets);
   index.entries_.resize(num_entries);

@@ -1,8 +1,9 @@
 #include "query/serialization.h"
 
-#include <fstream>
+#include <cstdio>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -29,10 +30,22 @@ StatusOr<BphQuery> QueryFromText(const std::string& text) {
   std::string line;
   size_t line_no = 0;
   bool seen_edge = false;
+  long long declared_vertices = -1;
+  long long declared_edges = -1;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      // Header written by QueryToText; used to detect truncated files.
+      long long nv = 0, ne = 0;
+      if (std::sscanf(std::string(trimmed).c_str(),
+                      "# BPH query: %lld vertices, %lld edges", &nv,
+                      &ne) == 2) {
+        declared_vertices = nv;
+        declared_edges = ne;
+      }
+      continue;
+    }
     auto fields = SplitWhitespace(trimmed);
     if (fields[0] == "v") {
       if (seen_edge) {
@@ -70,23 +83,29 @@ StatusOr<BphQuery> QueryFromText(const std::string& text) {
   if (q.NumVertices() == 0) {
     return Status::InvalidArgument("query text declares no vertices");
   }
+  if (declared_vertices >= 0 &&
+      q.NumVertices() != static_cast<size_t>(declared_vertices)) {
+    return Status::IOError(
+        StrFormat("query declares %lld vertices but holds %zu",
+                  declared_vertices, q.NumVertices()));
+  }
+  if (declared_edges >= 0 &&
+      q.NumEdges() != static_cast<size_t>(declared_edges)) {
+    return Status::IOError(StrFormat(
+        "query declares %lld edges but holds %zu", declared_edges,
+        q.NumEdges()));
+  }
   return q;
 }
 
 Status SaveQuery(const BphQuery& q, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  out << QueryToText(q);
-  if (!out) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, QueryToText(q), FileKind::kText);
 }
 
 StatusOr<BphQuery> LoadQuery(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return QueryFromText(buffer.str());
+  BOOMER_ASSIGN_OR_RETURN(std::string text,
+                          ReadFileVerified(path, FileKind::kText));
+  return QueryFromText(text);
 }
 
 }  // namespace query

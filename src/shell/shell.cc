@@ -2,11 +2,14 @@
 
 #include <sstream>
 
+#include "core/cap_io.h"
 #include "core/region.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "gui/actions.h"
 #include "query/serialization.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -19,11 +22,14 @@ namespace {
 constexpr char kHelp[] =
     "commands:\n"
     "  load-text <prefix> | load-binary <path> | gen <dataset> <scale> <seed>\n"
-    "  strategy <ic|dr|di> | latency <seconds>\n"
+    "  strategy <ic|dr|di> | latency <seconds> | budget <seconds>\n"
+    "  fault <spec|off|stats>\n"
     "  vertex <label> | edge <qi> <qj> [lower] [upper]\n"
     "  bounds <edge> <lower> <upper> | delete <edge>\n"
     "  query | cap | run | show <k> | validate\n"
-    "  save-query <path> | load-query <path> | reset | help | quit\n";
+    "  save-query <path> | load-query <path>\n"
+    "  save-session <prefix> | load-session <prefix>\n"
+    "  reset | help | quit\n";
 
 std::string ErrorText(const Status& status) {
   return "error: " + status.ToString() + "\n";
@@ -43,6 +49,7 @@ void Shell::ResetBlender() {
   blender_options.strategy = options_.strategy;
   blender_options.max_results = options_.max_results;
   blender_options.t_lat_seconds = options_.action_latency_seconds;
+  blender_options.srt_budget_seconds = options_.srt_budget_seconds;
   blender_ = std::make_unique<core::Blender>(*graph_, *prep_,
                                              blender_options);
   next_vertex_ = 0;
@@ -119,6 +126,34 @@ std::string Shell::CmdLatency(const std::vector<std::string_view>& args) {
   if (*seconds < 0) return "error: latency must be >= 0\n";
   options_.action_latency_seconds = *seconds;
   return StrFormat("per-action latency: %.3f s\n", *seconds);
+}
+
+std::string Shell::CmdBudget(const std::vector<std::string_view>& args) {
+  if (args.size() != 2) return "usage: budget <seconds>\n";
+  auto seconds = ParseDouble(args[1]);
+  if (!seconds.ok()) return ErrorText(seconds.status());
+  if (*seconds < 0) return "error: budget must be >= 0\n";
+  options_.srt_budget_seconds = *seconds;
+  if (blender_ != nullptr) ResetBlender();
+  if (*seconds == 0) return "SRT budget: unbounded (query reset)\n";
+  return StrFormat("SRT budget: %.3f s (query reset)\n", *seconds);
+}
+
+std::string Shell::CmdFault(const std::vector<std::string_view>& args) {
+  if (args.size() != 2) {
+    return "usage: fault <spec|off|stats>   e.g. fault core/pvs=p0.2,seed=7\n";
+  }
+  if (args[1] == "off") {
+    fault::Reset();
+    return "fault injection disarmed\n";
+  }
+  if (args[1] == "stats") {
+    return fault::StatsToString();
+  }
+  Status status = fault::Configure(std::string(args[1]));
+  if (!status.ok()) return ErrorText(status);
+  return StrFormat("fault injection armed: %s\n",
+                   std::string(args[1]).c_str());
 }
 
 std::string Shell::CmdVertex(const std::vector<std::string_view>& args) {
@@ -211,7 +246,7 @@ std::string Shell::CmdRun() {
   Status status = blender_->OnAction(Action::Run());
   if (!status.ok()) return ErrorText(status);
   const core::BlendReport& report = blender_->report();
-  return StrFormat(
+  std::string out = StrFormat(
       "%zu match(es) | SRT %s | CAP build %s | %zu pruned | "
       "deferred %zu (idle %zu, at-run %zu)\n",
       report.num_results, HumanMicros(static_cast<int64_t>(
@@ -220,6 +255,19 @@ std::string Shell::CmdRun() {
           .c_str(),
       report.prune_removals, report.edges_deferred,
       report.edges_processed_idle, report.edges_processed_at_run);
+  if (report.truncated) {
+    out += StrFormat(
+        "[truncated] partial answer: SRT budget %.3f s exhausted or "
+        "processing failed persistently (%zu edge(s) still pooled)\n",
+        options_.srt_budget_seconds, blender_->pool().size());
+  }
+  if (report.transient_retries > 0 || report.edges_repooled_on_failure > 0) {
+    out += StrFormat("[faults] %zu transient retr%s, %zu edge(s) re-pooled\n",
+                     report.transient_retries,
+                     report.transient_retries == 1 ? "y" : "ies",
+                     report.edges_repooled_on_failure);
+  }
+  return out;
 }
 
 std::string Shell::CmdShow(const std::vector<std::string_view>& args) {
@@ -258,28 +306,71 @@ std::string Shell::CmdSaveQuery(const std::vector<std::string_view>& args) {
   return StrFormat("query saved to %s\n", std::string(args[1]).c_str());
 }
 
-std::string Shell::CmdLoadQuery(const std::vector<std::string_view>& args) {
-  if (graph_ == nullptr) return "error: load a graph first\n";
-  if (args.size() != 2) return "usage: load-query <path>\n";
-  auto q = query::LoadQuery(std::string(args[1]));
-  if (!q.ok()) return ErrorText(q.status());
+std::string Shell::ReplayQuery(const query::BphQuery& q) {
   ResetBlender();
   // Replay the stored query into the fresh blender as user actions.
-  for (query::QueryVertexId v = 0; v < q->NumVertices(); ++v) {
+  for (query::QueryVertexId v = 0; v < q.NumVertices(); ++v) {
     Status status = blender_->OnAction(
-        Action::NewVertex(v, q->Label(v), LatencyMicros()));
+        Action::NewVertex(v, q.Label(v), LatencyMicros()));
     if (!status.ok()) return ErrorText(status);
     ++next_vertex_;
   }
-  for (query::QueryEdgeId e : q->LiveEdges()) {
-    const query::QueryEdge& edge = q->Edge(e);
+  for (query::QueryEdgeId e : q.LiveEdges()) {
+    const query::QueryEdge& edge = q.Edge(e);
     Status status = blender_->OnAction(
         Action::NewEdge(edge.src, edge.dst, edge.bounds, LatencyMicros()));
     if (!status.ok()) return ErrorText(status);
     ++next_edge_;
   }
+  return "";
+}
+
+std::string Shell::CmdLoadQuery(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: load-query <path>\n";
+  auto q = query::LoadQuery(std::string(args[1]));
+  if (!q.ok()) return ErrorText(q.status());
+  std::string err = ReplayQuery(*q);
+  if (!err.empty()) return err;
   return StrFormat("query loaded: %s\n",
                    blender_->current_query().ToString().c_str());
+}
+
+std::string Shell::CmdSaveSession(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: save-session <prefix>\n";
+  const std::string prefix(args[1]);
+  Status status = query::SaveQuery(blender_->current_query(),
+                                   prefix + ".query");
+  if (!status.ok()) return ErrorText(status);
+  status = core::SaveCap(blender_->cap(), prefix + ".cap");
+  if (!status.ok()) return ErrorText(status);
+  return StrFormat("session saved to %s.{query,cap}\n", prefix.c_str());
+}
+
+std::string Shell::CmdLoadSession(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() != 2) return "usage: load-session <prefix>\n";
+  const std::string prefix(args[1]);
+  auto q = query::LoadQuery(prefix + ".query");
+  if (!q.ok()) return ErrorText(q.status());
+  // The query is the durable artifact; the CAP snapshot is a cache of the
+  // processing work. Verify it before trusting the resume — a corrupt
+  // snapshot is quarantined and the CAP rebuilt by replaying the query.
+  auto cap = core::LoadCap(prefix + ".cap");
+  std::string note;
+  if (!cap.ok()) {
+    Status quarantine = QuarantineFile(prefix + ".cap");
+    note = StrFormat(
+        "session reset, query preserved: CAP snapshot unusable (%s)%s; "
+        "rebuilding by replay\n",
+        cap.status().ToString().c_str(),
+        quarantine.ok() ? ", quarantined as .corrupt" : "");
+  }
+  std::string err = ReplayQuery(*q);
+  if (!err.empty()) return note + err;
+  return note + StrFormat("session loaded: %s\n",
+                          blender_->current_query().ToString().c_str());
 }
 
 std::string Shell::CmdReset() {
@@ -322,6 +413,8 @@ std::string Shell::Dispatch(std::string_view cmd,
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "strategy") return CmdStrategy(args);
   if (cmd == "latency") return CmdLatency(args);
+  if (cmd == "budget") return CmdBudget(args);
+  if (cmd == "fault") return CmdFault(args);
   if (cmd == "vertex") return CmdVertex(args);
   if (cmd == "edge") return CmdEdge(args);
   if (cmd == "bounds") return CmdBounds(args);
@@ -332,6 +425,8 @@ std::string Shell::Dispatch(std::string_view cmd,
   if (cmd == "show") return CmdShow(args);
   if (cmd == "save-query") return CmdSaveQuery(args);
   if (cmd == "load-query") return CmdLoadQuery(args);
+  if (cmd == "save-session") return CmdSaveSession(args);
+  if (cmd == "load-session") return CmdLoadSession(args);
   if (cmd == "reset") return CmdReset();
   if (cmd == "validate") return CmdValidate();
   return StrFormat("unknown command '%.*s' (try 'help')\n",

@@ -12,6 +12,8 @@
 //   gen <dataset> <scale> <seed> generate a dataset analog (wordnet|dblp|flickr)
 //   strategy <ic|dr|di>         pick the blending strategy (before vertices)
 //   latency <seconds>           simulated per-action latency (default 2.0)
+//   budget <seconds>            SRT budget for run (0 = unbounded)
+//   fault <spec|off|stats>      control the fault-injection registry
 //   vertex <label>              add a query vertex; prints its id
 //   edge <qi> <qj> [l] [u]      add a query edge (default bounds [1,1])
 //   bounds <edge> <l> <u>       modify an edge's bounds
@@ -21,6 +23,10 @@
 //   run                         execute; prints match count and SRT
 //   show <k>                    realize match #k (witness paths)
 //   save-query <path> / load-query <path>
+//   save-session <prefix> / load-session <prefix>
+//                               suspend/resume query + CAP snapshot; a
+//                               corrupt snapshot is quarantined and the CAP
+//                               rebuilt by replaying the (preserved) query
 //   reset                       drop the query, keep the graph
 //   help                        print this list
 //
@@ -44,6 +50,9 @@ namespace shell {
 struct ShellOptions {
   /// Simulated GUI latency per action fed to the blender.
   double action_latency_seconds = 2.0;
+  /// SRT budget handed to the blender (0 = unbounded): `run` degrades to a
+  /// partial (truncated) answer instead of overrunning it.
+  double srt_budget_seconds = 0.0;
   core::Strategy strategy = core::Strategy::kDeferToIdle;
   size_t max_results = 1000000;
   /// t_avg sample count for preprocessing after a graph load.
@@ -78,6 +87,8 @@ class Shell {
   std::string CmdGen(const std::vector<std::string_view>& args);
   std::string CmdStrategy(const std::vector<std::string_view>& args);
   std::string CmdLatency(const std::vector<std::string_view>& args);
+  std::string CmdBudget(const std::vector<std::string_view>& args);
+  std::string CmdFault(const std::vector<std::string_view>& args);
   std::string CmdVertex(const std::vector<std::string_view>& args);
   std::string CmdEdge(const std::vector<std::string_view>& args);
   std::string CmdBounds(const std::vector<std::string_view>& args);
@@ -88,6 +99,8 @@ class Shell {
   std::string CmdShow(const std::vector<std::string_view>& args);
   std::string CmdSaveQuery(const std::vector<std::string_view>& args);
   std::string CmdLoadQuery(const std::vector<std::string_view>& args);
+  std::string CmdSaveSession(const std::vector<std::string_view>& args);
+  std::string CmdLoadSession(const std::vector<std::string_view>& args);
   std::string CmdReset();
   std::string CmdValidate();
 
@@ -97,6 +110,10 @@ class Shell {
 
   /// Installs `g` as the session graph and preprocesses it.
   std::string AdoptGraph(graph::Graph g, const std::string& origin);
+
+  /// Resets the blender and replays `q` into it as user actions. Returns
+  /// empty on success, an "error: ..." line otherwise.
+  std::string ReplayQuery(const query::BphQuery& q);
 
   /// (Re)creates the blender for the current graph + options.
   void ResetBlender();

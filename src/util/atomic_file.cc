@@ -1,0 +1,250 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace {
+
+// Trailer appended to every kBinary payload; detected by magic on read.
+constexpr uint64_t kFooterMagic = 0xB003E2F007E2C4CFULL;
+
+struct BinaryFooter {
+  uint64_t magic;
+  uint32_t payload_size;
+  uint32_t crc;
+};
+static_assert(sizeof(BinaryFooter) == 16, "footer must be exactly 16 bytes");
+
+constexpr char kTextFooterPrefix[] = "# crc32 ";
+
+constexpr int kMaxAttempts = 3;
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+/// Writes all of `data` to `fd`, resuming partial writes. On failure the
+/// error carries the byte offset reached so short writes (ENOSPC) are
+/// diagnosable.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    BOOMER_FAULT_POINT("io/atomic_write/write");
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("%s: write failed at byte %zu of %zu: %s",
+                                       path.c_str(), written, data.size(),
+                                       ErrnoText().c_str()));
+    }
+    if (n == 0) {
+      return Status::IOError(StrFormat("%s: short write at byte %zu of %zu",
+                                       path.c_str(), written, data.size()));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteOnce(const std::string& path, const std::string& tmp,
+                 std::string_view blob) {
+  BOOMER_FAULT_POINT("io/atomic_write/open");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(tmp + ": open failed: " + ErrnoText());
+  }
+  Status s = WriteAll(fd, blob, tmp);
+  if (s.ok()) {
+    // Data must be durable before the rename publishes it, or a crash
+    // could expose a renamed-but-empty snapshot.
+    const auto flush = [&]() -> Status {
+      BOOMER_FAULT_POINT("io/atomic_write/flush");
+      if (::fsync(fd) != 0) {
+        return Status::IOError(tmp + ": fsync failed: " + ErrnoText());
+      }
+      return Status::OK();
+    };
+    s = flush();
+  }
+  if (::close(fd) != 0 && s.ok()) {
+    s = Status::IOError(tmp + ": close failed: " + ErrnoText());
+  }
+  if (s.ok()) {
+    const auto publish = [&]() -> Status {
+      BOOMER_FAULT_POINT("io/atomic_write/rename");
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return Status::IOError(StrFormat("%s: rename from %s failed: %s",
+                                         path.c_str(), tmp.c_str(),
+                                         ErrnoText().c_str()));
+      }
+      return Status::OK();
+    };
+    s = publish();
+  }
+  if (!s.ok()) std::remove(tmp.c_str());
+  return s;
+}
+
+std::string BuildBlob(std::string_view payload, FileKind kind,
+                      Status* status) {
+  std::string blob(payload);
+  if (kind == FileKind::kBinary) {
+    if (payload.size() > UINT32_MAX) {
+      *status = Status::InvalidArgument(
+          "binary payload too large for integrity footer");
+      return blob;
+    }
+    BinaryFooter footer;
+    footer.magic = kFooterMagic;
+    footer.payload_size = static_cast<uint32_t>(payload.size());
+    footer.crc = Crc32(payload);
+    blob.append(reinterpret_cast<const char*>(&footer), sizeof(footer));
+  } else {
+    // The footer must start its own line to be recognized on read; insert a
+    // separator for payloads without a trailing newline (the declared size
+    // still covers only the payload, so the reader can drop it again).
+    if (!payload.empty() && payload.back() != '\n') blob += '\n';
+    blob += StrFormat("%s%08x payload=%zu\n", kTextFooterPrefix,
+                      Crc32(payload), payload.size());
+  }
+  *status = Status::OK();
+  return blob;
+}
+
+StatusOr<std::string> StripBinaryFooter(std::string&& content,
+                                        const std::string& path) {
+  if (content.size() < sizeof(BinaryFooter)) {
+    return Status::IOError(path + ": file too small for integrity footer");
+  }
+  BinaryFooter footer;
+  std::memcpy(&footer, content.data() + content.size() - sizeof(footer),
+              sizeof(footer));
+  if (footer.magic != kFooterMagic) {
+    return Status::IOError(path + ": missing integrity footer");
+  }
+  content.resize(content.size() - sizeof(footer));
+  if (footer.payload_size != content.size()) {
+    return Status::IOError(
+        StrFormat("%s: footer declares %u payload bytes, file has %zu",
+                  path.c_str(), footer.payload_size, content.size()));
+  }
+  const uint32_t crc = Crc32(content);
+  if (crc != footer.crc) {
+    return Status::IOError(StrFormat("%s: checksum mismatch (stored %08x, computed %08x)",
+                                     path.c_str(), footer.crc, crc));
+  }
+  return std::move(content);
+}
+
+StatusOr<std::string> StripTextFooter(std::string&& content,
+                                      const std::string& path) {
+  const size_t pos = content.rfind(kTextFooterPrefix);
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    return std::move(content);  // no footer: legacy/hand-authored file
+  }
+  const size_t eol = content.find('\n', pos);
+  if (eol != std::string::npos && eol + 1 != content.size()) {
+    return std::move(content);  // "# crc32" inside the body, not a footer
+  }
+  unsigned int crc = 0;
+  size_t declared = 0;
+  const std::string line = content.substr(pos);
+  if (std::sscanf(line.c_str(), "# crc32 %8x payload=%zu", &crc, &declared) !=
+      2) {
+    return Status::IOError(path + ": malformed crc32 footer: " + line);
+  }
+  content.resize(pos);
+  if (declared + 1 == content.size() && !content.empty() &&
+      content.back() == '\n') {
+    content.resize(declared);  // drop the writer-inserted separator newline
+  }
+  if (declared != content.size()) {
+    return Status::IOError(
+        StrFormat("%s: footer declares %zu payload bytes, file has %zu",
+                  path.c_str(), declared, content.size()));
+  }
+  const uint32_t computed = Crc32(content);
+  if (computed != crc) {
+    return Status::IOError(StrFormat("%s: checksum mismatch (stored %08x, computed %08x)",
+                                     path.c_str(), crc, computed));
+  }
+  return std::move(content);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];  // boomer-lint-allow(naked-new)
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                       FileKind kind) {
+  Status build_status;
+  const std::string blob = BuildBlob(payload, kind, &build_status);
+  BOOMER_RETURN_NOT_OK(build_status);
+  const std::string tmp = path + ".tmp";
+  Status last;
+  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+    last = WriteOnce(path, tmp, blob);
+    if (last.ok()) return last;
+    // Only injected faults are modelled as transient; real filesystem
+    // errors (ENOSPC, EROFS) will not heal within a retry window.
+    if (!fault::IsInjected(last)) return last;
+    std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
+  }
+  return last;
+}
+
+StatusOr<std::string> ReadFileVerified(const std::string& path,
+                                       FileKind kind) {
+  BOOMER_FAULT_POINT("io/read/open");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError(path + ": cannot open for reading");
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError(path + ": read failed");
+  }
+  return kind == FileKind::kBinary
+             ? StripBinaryFooter(std::move(content), path)
+             : StripTextFooter(std::move(content), path);
+}
+
+Status QuarantineFile(const std::string& path) {
+  if (::access(path.c_str(), F_OK) != 0) return Status::OK();
+  const std::string quarantined = path + ".corrupt";
+  if (std::rename(path.c_str(), quarantined.c_str()) != 0) {
+    return Status::IOError(path + ": quarantine rename failed: " +
+                           ErrnoText());
+  }
+  return Status::OK();
+}
+
+}  // namespace boomer

@@ -1,0 +1,59 @@
+// Crash-safe file persistence shared by every BOOMER writer.
+//
+// All snapshot formats (graph text/binary, CAP, trace, query, PML cache)
+// persist through WriteFileAtomic: the payload is written to a sibling
+// temporary file, flushed to disk, then renamed over the destination. A
+// crash or injected failure at any point leaves either the old file intact
+// or no file — never a torn snapshot.
+//
+// Every write appends a CRC32 footer so loaders can reject corruption
+// before parsing:
+//   * binary payloads get a fixed 16-byte trailer
+//     (kFooterMagic, payload size, CRC32 of the payload) — required on read;
+//   * text payloads get a trailing comment line
+//     "# crc32 <hex> payload=<bytes>\n" — verified when present, so
+//     hand-authored fixtures without the footer still load.
+//
+// Readers go through ReadFileVerified, which strips and checks the footer
+// and hands back only the payload bytes.
+
+#ifndef BOOMER_UTIL_ATOMIC_FILE_H_
+#define BOOMER_UTIL_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace boomer {
+
+/// CRC-32 (ISO 3309, same polynomial as zlib) of `data`.
+uint32_t Crc32(std::string_view data);
+
+enum class FileKind {
+  kBinary,  // 16-byte footer, required on read
+  kText,    // "# crc32 ..." comment footer, verified only when present
+};
+
+/// Writes `payload` plus a `kind`-appropriate CRC footer to `path` via a
+/// temporary file + flush + rename. On any failure the destination is left
+/// untouched (an existing file survives intact) and the temp file is
+/// removed. Transient I/O errors are retried up to 3 times with backoff.
+/// Errors carry the byte offset reached, so ENOSPC-style short writes are
+/// diagnosable.
+Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                       FileKind kind);
+
+/// Reads `path`, verifies the CRC footer per `kind`, and returns the
+/// payload with the footer stripped. kIOError on missing file, checksum
+/// mismatch, malformed footer, or (for kBinary) a missing footer.
+StatusOr<std::string> ReadFileVerified(const std::string& path, FileKind kind);
+
+/// Renames `path` to `path + ".corrupt"` so a damaged cache is preserved
+/// for inspection but never re-read. Missing file is OK (nothing to do).
+Status QuarantineFile(const std::string& path);
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_ATOMIC_FILE_H_

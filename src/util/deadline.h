@@ -1,0 +1,83 @@
+// Cooperative deadline/budget token for bounding user-perceived work.
+//
+// BOOMER's promise is a small SRT after the Run click; an unbounded pool
+// drain or result enumeration breaks it. A Deadline carries a microsecond
+// budget that long-running stages *charge* as they consume engine time
+// (virtual-clock backlog and measured wall time alike). Stages poll
+// Exceeded() at safe cancellation points and degrade to partial results —
+// they never abort mid-mutation, so every data structure stays valid.
+//
+// The token is passive: charging past the budget only flips Exceeded();
+// enforcement is the caller's job (stop, mark the result truncated).
+// A default-constructed Deadline is unbounded and never exceeded, so
+// call sites can thread one through unconditionally.
+
+#ifndef BOOMER_UTIL_DEADLINE_H_
+#define BOOMER_UTIL_DEADLINE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace boomer {
+
+class Deadline {
+ public:
+  /// Unbounded: never exceeded, Charge() only counts.
+  Deadline() = default;
+
+  /// Bounded to `budget_micros` (>= 0) of charged work.
+  static Deadline FromBudgetMicros(int64_t budget_micros) {
+    BOOMER_CHECK(budget_micros >= 0) << "deadline budget cannot be negative";
+    Deadline d;
+    d.budget_micros_ = budget_micros;
+    return d;
+  }
+
+  static Deadline FromBudgetSeconds(double seconds) {
+    BOOMER_CHECK(seconds >= 0.0) << "deadline budget cannot be negative";
+    return FromBudgetMicros(static_cast<int64_t>(seconds * 1e6));
+  }
+
+  static Deadline Unbounded() { return Deadline(); }
+
+  bool bounded() const {
+    return budget_micros_ != std::numeric_limits<int64_t>::max();
+  }
+  int64_t budget_micros() const { return budget_micros_; }
+  int64_t charged_micros() const { return charged_micros_; }
+
+  /// Budget left; 0 when exceeded, int64 max when unbounded.
+  int64_t remaining_micros() const {
+    if (!bounded()) return budget_micros_;
+    return charged_micros_ >= budget_micros_ ? 0
+                                             : budget_micros_ - charged_micros_;
+  }
+
+  /// Records `micros` (>= 0) of consumed work.
+  void Charge(int64_t micros) {
+    BOOMER_DCHECK_GE(micros, 0) << "cannot charge negative work";
+    charged_micros_ += micros;
+  }
+  void ChargeSeconds(double seconds) {
+    Charge(static_cast<int64_t>(seconds * 1e6));
+  }
+
+  /// True once charged work has reached the budget.
+  bool Exceeded() const { return bounded() && charged_micros_ >= budget_micros_; }
+
+  /// True when charging `estimate_micros` more would reach or pass the
+  /// budget — used to refuse starting work that cannot finish in time.
+  bool WouldExceed(int64_t estimate_micros) const {
+    return bounded() && charged_micros_ + estimate_micros > budget_micros_;
+  }
+
+ private:
+  int64_t budget_micros_ = std::numeric_limits<int64_t>::max();
+  int64_t charged_micros_ = 0;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_DEADLINE_H_

@@ -1,0 +1,207 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+constexpr char kInjectedPrefix[] = "injected fault at ";
+
+enum class Trigger {
+  kNever,        // site hit but not configured; counted only
+  kProbability,  // fire each hit with probability `probability`
+  kNthOnce,      // fire exactly on hit number `nth`
+  kNthOnwards,   // fire on every hit >= `nth`
+};
+
+struct Site {
+  Trigger trigger = Trigger::kNever;
+  double probability = 0.0;
+  uint64_t nth = 0;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  Rng rng;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Ordered map keeps Stats() deterministic without a sort.
+  std::map<std::string, Site, std::less<>> sites;
+  uint64_t seed = 1;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // boomer-lint-allow(naked-new)
+  return *registry;
+}
+
+/// Stable per-site seed: global seed mixed with a FNV-1a hash of the name,
+/// so a site's decision stream does not depend on other sites' hit order.
+uint64_t SiteSeed(uint64_t seed, std::string_view site) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return seed ^ h;
+}
+
+/// One-time arming from the BOOMER_FAULTS environment variable, so any
+/// binary (shell, bench, tests) can be driven without code changes.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("BOOMER_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      Status s = Configure(spec);
+      if (!s.ok()) {
+        std::fprintf(stderr, "BOOMER_FAULTS ignored: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+Status Configure(const std::string& spec) {
+  std::map<std::string, Site, std::less<>> parsed;
+  uint64_t seed = 1;
+  for (std::string_view entry : Split(spec, ',')) {
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= entry.size()) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec entry '%.*s' is not <site>=<trigger>",
+                    static_cast<int>(entry.size()), entry.data()));
+    }
+    const std::string_view key = Trim(entry.substr(0, eq));
+    const std::string_view value = Trim(entry.substr(eq + 1));
+    if (key == "seed") {
+      BOOMER_ASSIGN_OR_RETURN(int64_t s, ParseInt64(value));
+      seed = static_cast<uint64_t>(s);
+      continue;
+    }
+    Site site;
+    const char kind = value[0];
+    const std::string_view arg = value.substr(1);
+    if (kind == 'p') {
+      BOOMER_ASSIGN_OR_RETURN(double p, ParseDouble(arg));
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "fault probability must be in [0, 1] for site " +
+            std::string(key));
+      }
+      site.trigger = Trigger::kProbability;
+      site.probability = p;
+    } else if (kind == 'n' || kind == 'a') {
+      BOOMER_ASSIGN_OR_RETURN(int64_t n, ParseInt64(arg));
+      if (n < 1) {
+        return Status::InvalidArgument(
+            "fault hit number must be >= 1 for site " + std::string(key));
+      }
+      site.trigger = kind == 'n' ? Trigger::kNthOnce : Trigger::kNthOnwards;
+      site.nth = static_cast<uint64_t>(n);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("fault trigger '%.*s' must start with p, n, or a",
+                    static_cast<int>(value.size()), value.data()));
+    }
+    parsed.emplace(std::string(key), std::move(site));
+  }
+
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.seed = seed;
+  for (auto& [name, site] : parsed) {
+    site.rng = Rng(SiteSeed(seed, name));
+  }
+  registry.sites = std::move(parsed);
+  internal::g_armed.store(!registry.sites.empty(),
+                          std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool ShouldFail(std::string_view site) {
+  if (!Armed()) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) {
+    // Track unconfigured sites so Stats() reveals available probe points.
+    Site probe;
+    probe.hits = 1;
+    registry.sites.emplace(std::string(site), std::move(probe));
+    return false;
+  }
+  Site& s = it->second;
+  ++s.hits;
+  bool fire = false;
+  switch (s.trigger) {
+    case Trigger::kNever:
+      break;
+    case Trigger::kProbability:
+      fire = s.rng.NextBool(s.probability);
+      break;
+    case Trigger::kNthOnce:
+      fire = s.hits == s.nth;
+      break;
+    case Trigger::kNthOnwards:
+      fire = s.hits >= s.nth;
+      break;
+  }
+  if (fire) ++s.fires;
+  return fire;
+}
+
+Status InjectedFailure(std::string_view site) {
+  return Status::IOError(kInjectedPrefix + std::string(site));
+}
+
+bool IsInjected(const Status& s) {
+  return !s.ok() && StartsWith(s.message(), kInjectedPrefix);
+}
+
+std::vector<SiteStats> Stats() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<SiteStats> out;
+  out.reserve(registry.sites.size());
+  for (const auto& [name, site] : registry.sites) {
+    out.push_back({name, site.hits, site.fires});
+  }
+  return out;
+}
+
+std::string StatsToString() {
+  std::ostringstream out;
+  for (const SiteStats& s : Stats()) {
+    out << s.site << " hits=" << s.hits << " fires=" << s.fires << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fault
+}  // namespace boomer

@@ -1,0 +1,102 @@
+// Deterministic fault injection for robustness testing.
+//
+// A process-wide registry of *named fault sites*. Production code marks the
+// places where the outside world can fail — file opens, writes, renames, CAP
+// pair insertions, PVS generation, pool probing — with a site probe:
+//
+//   BOOMER_FAULT_POINT("io/atomic_write/rename");       // returns IOError
+//   if (fault::ShouldFail("core/pool_probe")) return;   // void contexts
+//
+// Sites fire according to a schedule configured from a spec string (see
+// Configure) or the BOOMER_FAULTS environment variable:
+//
+//   "io/atomic_write/write=p0.05,core/pvs=n3,seed=42"
+//
+//   site=pP   fire each hit independently with probability P (per-site RNG
+//             seeded from the global seed and the site name — deterministic
+//             and independent of hit order at other sites)
+//   site=nN   fire exactly on the Nth hit of that site (1-based), once —
+//             models a transient error that a bounded retry survives
+//   site=aN   fire on every hit from the Nth onwards — models a persistent
+//             error that retries cannot absorb
+//   seed=S    seeds all probabilistic sites (default 1)
+//
+// When the registry is disarmed (the default) every probe is a single
+// relaxed atomic load — cheap enough to leave in release hot paths.
+//
+// The registry is process-global and guarded by a mutex; tests that
+// configure it must not run concurrently with each other (gtest's default
+// serial execution within a binary satisfies this).
+
+#ifndef BOOMER_UTIL_FAULT_H_
+#define BOOMER_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boomer {
+namespace fault {
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+/// True when at least one site is configured. Inline fast path: a relaxed
+/// load, no lock, no string hashing.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Replaces the active schedule with `spec` (format above) and arms the
+/// registry. An empty spec disarms it. InvalidArgument on a malformed spec
+/// (the previous schedule stays active).
+Status Configure(const std::string& spec);
+
+/// Disarms the registry and clears all sites and counters.
+void Reset();
+
+/// Records a hit at `site` and returns true when the schedule says this hit
+/// fails. Unconfigured sites never fail (but are counted while armed, so
+/// `stats` doubles as site-coverage discovery).
+bool ShouldFail(std::string_view site);
+
+/// The Status an injected failure reports; recognizable by message prefix.
+Status InjectedFailure(std::string_view site);
+
+/// True when `s` was produced by InjectedFailure — lets retry loops treat
+/// injected faults as transient without guessing about real errors.
+bool IsInjected(const Status& s);
+
+/// Per-site counters since the last Configure/Reset.
+struct SiteStats {
+  std::string site;
+  uint64_t hits = 0;   // probes while armed
+  uint64_t fires = 0;  // probes that failed
+};
+
+/// Snapshot of all sites seen (configured or merely hit), name-sorted.
+std::vector<SiteStats> Stats();
+
+/// Human-readable rendering of Stats(), one "site hits fires" line each.
+std::string StatsToString();
+
+}  // namespace fault
+}  // namespace boomer
+
+/// Probes `site`; on an injected failure, returns an IOError-coded Status
+/// from the enclosing function. Use only where the function returns Status
+/// or StatusOr<T>.
+#define BOOMER_FAULT_POINT(site)                                     \
+  do {                                                               \
+    if (::boomer::fault::Armed() &&                                  \
+        ::boomer::fault::ShouldFail(site)) {                         \
+      return ::boomer::fault::InjectedFailure(site);                 \
+    }                                                                \
+  } while (0)
+
+#endif  // BOOMER_UTIL_FAULT_H_

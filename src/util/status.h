@@ -104,7 +104,10 @@ class StatusOr {
   /// OK StatusOr must carry a value.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
     if (status_.ok()) {
-      std::cerr << "StatusOr constructed from OK status without a value\n";
+      std::cerr << "StatusOr constructed from OK status without a value"
+                   " (carried status: ["
+                << StatusCodeToString(status_.code()) << "] "
+                << status_.message() << ")" << std::endl;
       std::abort();
     }
   }
@@ -143,8 +146,11 @@ class StatusOr {
  private:
   void EnsureOk() const {
     if (!status_.ok()) {
-      std::cerr << "StatusOr value access on error: " << status_.ToString()
-                << "\n";
+      // std::endl flushes stderr before the abort so the diagnostic is
+      // never lost with the process.
+      std::cerr << "StatusOr value access on error status ["
+                << StatusCodeToString(status_.code()) << "] "
+                << status_.message() << std::endl;
       std::abort();
     }
   }

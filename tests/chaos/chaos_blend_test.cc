@@ -1,0 +1,149 @@
+// Chaos harness: seeded blends under randomized fault schedules.
+//
+// For each strategy we replay many seeded sessions with the fault registry
+// armed at random per-site probabilities (plus occasional persistent
+// failures) and assert the robustness contract:
+//   * OnAction/Run never error out on injected faults — they degrade;
+//   * the CAP index passes its deep validator afterwards (rollback left no
+//     half-inserted edge behind);
+//   * whenever the run is NOT truncated, the results are bit-identical to a
+//     fault-free reference blend (retries and re-pooling are invisible);
+//   * when the run IS truncated, the partial answer is a subset of the
+//     reference — degraded, never wrong.
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/latency_model.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+constexpr int kSchedulesPerStrategy = 100;
+
+struct ChaosFixture {
+  ChaosFixture() {
+    auto g_or = graph::GenerateErdosRenyi(60, 140, 3, 17);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep_or = Preprocess(g, options);
+    BOOMER_CHECK(prep_or.ok());
+    prep = std::make_unique<PreprocessResult>(std::move(prep_or).value());
+  }
+  graph::Graph g;
+  std::unique_ptr<PreprocessResult> prep;
+};
+
+ChaosFixture& Fixture() {
+  static ChaosFixture* fixture = new ChaosFixture();  // boomer-lint-allow(naked-new)
+  return *fixture;
+}
+
+/// A random fault schedule: independent probabilities on every processing
+/// site; one seed in seven gets a persistent PVS failure to exercise the
+/// truncation path hard.
+std::string RandomSchedule(uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  if (seed % 7 == 0) {
+    return StrFormat("core/pvs=a%d,seed=%llu", 1 + static_cast<int>(seed % 3),
+                     static_cast<unsigned long long>(seed));
+  }
+  return StrFormat(
+      "core/pvs=p%.3f,cap/add_pair=p%.4f,core/pool_probe=p%.3f,"
+      "io/read/open=p%.3f,seed=%llu",
+      unit(rng) * 0.5, unit(rng) * 0.01, unit(rng) * 0.5, unit(rng) * 0.2,
+      static_cast<unsigned long long>(seed));
+}
+
+gui::ActionTrace SeededTrace(uint64_t seed) {
+  auto& f = Fixture();
+  query::QueryInstantiator inst(f.g, seed);
+  const query::TemplateId id =
+      std::vector<query::TemplateId>{query::TemplateId::kQ1,
+                                     query::TemplateId::kQ3,
+                                     query::TemplateId::kQ5}[seed % 3];
+  auto q = inst.Instantiate(id);
+  BOOMER_CHECK(q.ok()) << "seed " << seed;
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  BOOMER_CHECK(trace.ok());
+  return std::move(trace).value();
+}
+
+class ChaosBlendTest : public ::testing::TestWithParam<Strategy> {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_P(ChaosBlendTest, SeededFaultSchedulesDegradeButNeverCorrupt) {
+  auto& f = Fixture();
+  const Strategy strategy = GetParam();
+  int truncated_runs = 0;
+  for (uint64_t seed = 1; seed <= kSchedulesPerStrategy; ++seed) {
+    gui::ActionTrace trace = SeededTrace(seed);
+    BlenderOptions options;
+    options.strategy = strategy;
+
+    // Fault-free reference.
+    fault::Reset();
+    Blender reference(f.g, *f.prep, options);
+    ASSERT_TRUE(reference.RunTrace(trace).ok()) << "seed " << seed;
+    auto expected = boomer::testing::Canonicalize(reference.Results());
+
+    // Chaotic run under a seeded schedule.
+    ASSERT_TRUE(fault::Configure(RandomSchedule(seed)).ok());
+    Blender chaotic(f.g, *f.prep, options);
+    Status status = chaotic.RunTrace(trace);
+    fault::Reset();
+    ASSERT_TRUE(status.ok())
+        << "injected faults must degrade, not error (seed " << seed
+        << "): " << status;
+    ASSERT_TRUE(chaotic.run_complete()) << "seed " << seed;
+
+    // Soundness: rollback left the CAP structurally valid.
+    ASSERT_TRUE(chaotic.cap().Validate(&f.g).ok()) << "seed " << seed;
+
+    auto got = boomer::testing::Canonicalize(chaotic.Results());
+    if (!chaotic.report().truncated) {
+      ASSERT_EQ(got, expected)
+          << "non-truncated chaotic run diverged (seed " << seed << ")";
+    } else {
+      ++truncated_runs;
+      ASSERT_TRUE(std::includes(expected.begin(), expected.end(),
+                                got.begin(), got.end()))
+          << "truncated run produced an unsound match (seed " << seed << ")";
+    }
+  }
+  // The persistent-failure seeds (every 7th) must actually exercise the
+  // truncation path; a chaos harness that never truncates tests nothing.
+  EXPECT_GT(truncated_runs, 0);
+  EXPECT_LT(truncated_runs, kSchedulesPerStrategy)
+      << "every run truncated: the fault-free path was never covered";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ChaosBlendTest,
+                         ::testing::Values(Strategy::kImmediate,
+                                           Strategy::kDeferToRun,
+                                           Strategy::kDeferToIdle),
+                         [](const ::testing::TestParamInfo<Strategy>& info) {
+                           return StrategyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

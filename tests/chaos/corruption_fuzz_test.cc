@@ -1,0 +1,244 @@
+// Corruption-fuzz smoke test: every loader must reject randomly corrupted
+// input with a non-OK Status — never crash, never CHECK-fail, never
+// allocate absurdly (the binary loaders cross-check declared counts against
+// actual payload bytes before resizing). tools/ci/check.sh runs this suite
+// under asan-ubsan, so a wild read or overflow on a corrupt byte surfaces
+// as a sanitizer report.
+
+#include <fstream>
+#include <functional>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "core/cap_io.h"
+#include "core/preprocessor.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "gui/latency_model.h"
+#include "gui/trace_builder.h"
+#include "gui/trace_io.h"
+#include "pml/pml_index.h"
+#include "query/serialization.h"
+#include "query/templates.h"
+#include "support/test_graphs.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace {
+
+constexpr int kSeedsPerLoader = 30;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/corruption_fuzz_" + name;
+}
+
+std::string RawRead(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BOOMER_CHECK(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void RawWrite(const std::string& path, const std::string& bytes) {
+  // boomer-lint-allow(naked-ofstream): tests forge corrupt files on purpose.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  BOOMER_CHECK(out.good()) << path;
+}
+
+/// Flips 1–4 random bytes of `pristine` (each to a random different value)
+/// and writes the damaged copy to `path`.
+void WriteCorrupted(const std::string& path, const std::string& pristine,
+                    uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::string bytes = pristine;
+  const int flips = 1 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < flips; ++i) {
+    const size_t pos = rng() % bytes.size();
+    bytes[pos] ^= static_cast<char>(1 + rng() % 255);
+  }
+  RawWrite(path, bytes);
+}
+
+/// Runs `load` against `kSeedsPerLoader` corrupted copies of the pristine
+/// artifact bytes. `strict` loaders (checksummed binary formats) must
+/// reject every corruption; text loaders may accept a flip that only
+/// damaged the optional footer comment, in which case `check_ok` must pass.
+void FuzzLoader(const std::string& name, const std::string& pristine,
+                const std::function<Status(const std::string&)>& load,
+                bool strict,
+                const std::function<Status(const std::string&)>& check_ok =
+                    nullptr) {
+  ASSERT_FALSE(pristine.empty()) << name;
+  const std::string path = TempPath(name + ".fuzzed");
+  for (uint64_t seed = 1; seed <= kSeedsPerLoader; ++seed) {
+    WriteCorrupted(path, pristine, seed);
+    Status status = load(path);
+    if (strict) {
+      EXPECT_FALSE(status.ok())
+          << name << " accepted corrupted input (seed " << seed << ")";
+    } else if (status.ok() && check_ok != nullptr) {
+      // A text flip can land in the footer comment and leave the payload
+      // intact; the loaded structure must then be fully valid.
+      EXPECT_TRUE(check_ok(path).ok())
+          << name << " loaded an invalid structure (seed " << seed << ")";
+    }
+    if (!status.ok()) {
+      EXPECT_NE(status.code(), StatusCode::kOk);
+      EXPECT_FALSE(status.message().empty()) << name;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+struct Artifacts {
+  Artifacts() {
+    auto g_or = graph::GenerateErdosRenyi(50, 120, 3, 23);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+  }
+  graph::Graph g;
+};
+
+Artifacts& Arts() {
+  static Artifacts* arts = new Artifacts();  // boomer-lint-allow(naked-new)
+  return *arts;
+}
+
+TEST(CorruptionFuzzTest, GraphBinaryLoaderRejectsFlippedBytes) {
+  const std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(graph::SaveBinary(Arts().g, path).ok());
+  FuzzLoader("graph_binary", RawRead(path),
+             [](const std::string& p) {
+               return graph::LoadBinary(p).status();
+             },
+             /*strict=*/true);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzzTest, GraphTextLoaderSurvivesFlippedBytes) {
+  const std::string prefix = TempPath("graph_text");
+  ASSERT_TRUE(graph::SaveText(Arts().g, prefix).ok());
+  // Fuzz the two files independently; the pristine sibling stays in place.
+  for (const char* ext : {".labels", ".edges"}) {
+    const std::string pristine = RawRead(prefix + ext);
+    for (uint64_t seed = 1; seed <= kSeedsPerLoader; ++seed) {
+      WriteCorrupted(prefix + ext, pristine, seed);
+      auto loaded = graph::LoadText(prefix);
+      if (loaded.ok()) {
+        EXPECT_TRUE(loaded->Validate().ok())
+            << ext << " seed " << seed
+            << ": corrupt load must yield a valid graph or an error";
+      }
+    }
+    RawWrite(prefix + ext, pristine);  // restore for the sibling's pass
+  }
+  std::remove((prefix + ".labels").c_str());
+  std::remove((prefix + ".edges").c_str());
+}
+
+TEST(CorruptionFuzzTest, PmlLoaderRejectsFlippedBytes) {
+  const std::string path = TempPath("index.pml");
+  auto pml = pml::PmlIndex::Build(Arts().g);
+  ASSERT_TRUE(pml.ok());
+  ASSERT_TRUE(pml->Save(path).ok());
+  FuzzLoader("pml", RawRead(path),
+             [](const std::string& p) {
+               return pml::PmlIndex::Load(p).status();
+             },
+             /*strict=*/true);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzzTest, TraceLoaderSurvivesFlippedBytes) {
+  auto& g = Arts().g;
+  query::QueryInstantiator inst(g, 5);
+  auto q = inst.Instantiate(query::TemplateId::kQ1);
+  ASSERT_TRUE(q.ok());
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  ASSERT_TRUE(trace.ok());
+  const std::string path = TempPath("session.trace");
+  ASSERT_TRUE(gui::SaveTrace(*trace, path).ok());
+  FuzzLoader("trace", RawRead(path),
+             [](const std::string& p) {
+               return gui::LoadTrace(p).status();
+             },
+             /*strict=*/false);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzzTest, QueryLoaderSurvivesFlippedBytes) {
+  auto& g = Arts().g;
+  query::QueryInstantiator inst(g, 6);
+  auto q = inst.Instantiate(query::TemplateId::kQ3);
+  ASSERT_TRUE(q.ok());
+  const std::string path = TempPath("saved.query");
+  ASSERT_TRUE(query::SaveQuery(*q, path).ok());
+  FuzzLoader("query", RawRead(path),
+             [](const std::string& p) {
+               return query::LoadQuery(p).status();
+             },
+             /*strict=*/false);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzzTest, CapLoaderSurvivesFlippedBytes) {
+  auto& g = Arts().g;
+  core::PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 200;
+  auto prep = core::Preprocess(g, prep_options);
+  ASSERT_TRUE(prep.ok());
+  query::QueryInstantiator inst(g, 7);
+  auto q = inst.Instantiate(query::TemplateId::kQ1);
+  ASSERT_TRUE(q.ok());
+  gui::LatencyModel latency;
+  auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+  ASSERT_TRUE(trace.ok());
+  core::Blender blender(g, *prep, core::BlenderOptions{});
+  ASSERT_TRUE(blender.RunTrace(*trace).ok());
+  const std::string path = TempPath("snapshot.cap");
+  ASSERT_TRUE(core::SaveCap(blender.cap(), path).ok());
+  // CapFromText structurally validates, so even footer-only damage cannot
+  // let an inconsistent index through.
+  FuzzLoader("cap", RawRead(path),
+             [](const std::string& p) {
+               return core::LoadCap(p).status();
+             },
+             /*strict=*/false);
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionFuzzTest, PreprocessorMetaLoaderSurvivesFlippedBytes) {
+  auto& g = Arts().g;
+  core::PreprocessOptions options;
+  options.t_avg_samples = 200;
+  auto prep = core::Preprocess(g, options);
+  ASSERT_TRUE(prep.ok());
+  const std::string prefix = TempPath("artifact");
+  ASSERT_TRUE(prep->Save(prefix).ok());
+  // Fuzz every file the preprocessor persisted under the prefix.
+  for (const char* ext : {".prep", ".pml"}) {
+    const std::string file = prefix + ext;
+    std::ifstream probe(file, std::ios::binary);
+    if (!probe.is_open()) continue;  // layout may not use this extension
+    probe.close();
+    const std::string pristine = RawRead(file);
+    for (uint64_t seed = 1; seed <= kSeedsPerLoader; ++seed) {
+      WriteCorrupted(file, pristine, seed);
+      auto loaded = core::PreprocessResult::Load(prefix, g, options);
+      // Either rejected, or (text-footer damage) loaded and usable.
+      if (loaded.ok()) {
+        EXPECT_GT(loaded->t_avg_seconds(), 0.0) << ext << " seed " << seed;
+      }
+    }
+    RawWrite(file, pristine);
+    std::remove(file.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,165 @@
+// SRT budget + fault degradation behavior of the blender: a bounded Run
+// must return OK within budget with `truncated` correctly flagged, and
+// persistent processing failures must degrade — never corrupt or abort.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/actions.h"
+#include "support/reference_matcher.h"
+#include "support/test_graphs.h"
+#include "util/fault.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+using gui::Action;
+using query::Bounds;
+
+class BlenderBudgetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+
+  static std::unique_ptr<PreprocessResult> Prep(const graph::Graph& g) {
+    PreprocessOptions options;
+    options.t_avg_samples = 1000;
+    auto prep = Preprocess(g, options);
+    BOOMER_CHECK_OK(prep.status());
+    return std::make_unique<PreprocessResult>(std::move(prep).value());
+  }
+
+  /// Formulates v0(label 0) --[1,3]-- v1(label 1) and runs.
+  static Status OneEdgeSession(Blender* b, int64_t latency_micros) {
+    BOOMER_RETURN_NOT_OK(
+        b->OnAction(Action::NewVertex(0, 0, latency_micros)));
+    BOOMER_RETURN_NOT_OK(
+        b->OnAction(Action::NewVertex(1, 1, latency_micros)));
+    BOOMER_RETURN_NOT_OK(
+        b->OnAction(Action::NewEdge(0, 1, Bounds{1, 3}, latency_micros)));
+    return b->OnAction(Action::Run());
+  }
+};
+
+TEST_F(BlenderBudgetTest, UnboundedRunNeverTruncates) {
+  auto g = boomer::testing::Figure2Graph();
+  auto prep = Prep(g);
+  BlenderOptions options;  // srt_budget_seconds = 0 -> unbounded
+  Blender blender(g, *prep, options);
+  ASSERT_TRUE(OneEdgeSession(&blender, 2'000'000).ok());
+  EXPECT_FALSE(blender.report().truncated);
+  EXPECT_GT(blender.report().num_results, 0u);
+}
+
+TEST_F(BlenderBudgetTest, GenerousBudgetCompletesNormally) {
+  auto g = boomer::testing::Figure2Graph();
+  auto prep = Prep(g);
+  BlenderOptions bounded;
+  bounded.srt_budget_seconds = 30.0;
+  Blender a(g, *prep, bounded);
+  ASSERT_TRUE(OneEdgeSession(&a, 2'000'000).ok());
+  Blender b(g, *prep, BlenderOptions{});
+  ASSERT_TRUE(OneEdgeSession(&b, 2'000'000).ok());
+  EXPECT_FALSE(a.report().truncated);
+  EXPECT_EQ(boomer::testing::Canonicalize(a.Results()),
+            boomer::testing::Canonicalize(b.Results()))
+      << "a budget that is not hit must not change the answer";
+}
+
+TEST_F(BlenderBudgetTest, TinyBudgetRefusesExpensiveDrainAndDegrades) {
+  // Large enough that the deferred edge's T_est estimate (hundreds of
+  // microseconds at the least) can never fit a 1 us budget.
+  auto g_or = graph::GenerateErdosRenyi(2000, 6000, 3, 11);
+  ASSERT_TRUE(g_or.ok());
+  auto prep = Prep(*g_or);
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToRun;
+  options.t_lat_seconds = 0.0;  // every upper>=3 edge counts as expensive
+  options.srt_budget_seconds = 1e-6;
+  Blender blender(*g_or, *prep, options);
+  ASSERT_TRUE(OneEdgeSession(&blender, 1'000'000).ok())
+      << "a budget overrun degrades, it does not error";
+  ASSERT_TRUE(blender.run_complete());
+  EXPECT_TRUE(blender.report().truncated);
+  EXPECT_TRUE(blender.Results().empty())
+      << "an incomplete CAP must not leak unsound matches";
+  EXPECT_EQ(blender.pool().size(), 1u) << "the refused edge stays pooled";
+  // The budget was honored: nothing beyond the backlog was charged.
+  EXPECT_LT(blender.report().srt_seconds, 0.001);
+}
+
+TEST_F(BlenderBudgetTest, TinyBudgetTruncatesEnumeration) {
+  // Cheap edges (upper 1) build the CAP during formulation; the huge
+  // result space (30*29*28 ordered triples) then blows the 1 us budget
+  // inside PartialVertexSetsGen, which must stop early and flag it.
+  auto g = boomer::testing::CompleteGraph(30, 1);
+  auto prep = Prep(g);
+  BlenderOptions options;
+  options.srt_budget_seconds = 1e-6;
+  Blender blender(g, *prep, options);
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(0, 0, 2'000'000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(1, 0, 2'000'000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::NewVertex(2, 0, 2'000'000)).ok());
+  ASSERT_TRUE(
+      blender.OnAction(Action::NewEdge(0, 1, Bounds{1, 1}, 2'000'000)).ok());
+  ASSERT_TRUE(
+      blender.OnAction(Action::NewEdge(1, 2, Bounds{1, 1}, 2'000'000)).ok());
+  ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
+  EXPECT_TRUE(blender.report().truncated);
+  EXPECT_LT(blender.report().num_results, 30u * 29u * 28u);
+  // Partial results are sound: every returned match is a true match.
+  auto partial = boomer::testing::Canonicalize(blender.Results());
+  auto full = boomer::testing::BruteForceUpperBoundMatches(
+      g, blender.current_query());
+  EXPECT_TRUE(std::includes(full.begin(), full.end(), partial.begin(),
+                            partial.end()));
+}
+
+TEST_F(BlenderBudgetTest, TransientFaultIsAbsorbedByRetry) {
+  auto g = boomer::testing::Figure2Graph();
+  auto prep = Prep(g);
+  Blender reference(g, *prep, BlenderOptions{});
+  ASSERT_TRUE(OneEdgeSession(&reference, 2'000'000).ok());
+
+  ASSERT_TRUE(fault::Configure("core/pvs=n1").ok());  // first hit only
+  BlenderOptions options;
+  options.strategy = Strategy::kImmediate;
+  Blender blender(g, *prep, options);
+  ASSERT_TRUE(OneEdgeSession(&blender, 2'000'000).ok());
+  fault::Reset();
+  EXPECT_FALSE(blender.report().truncated);
+  EXPECT_GE(blender.report().transient_retries, 1u);
+  EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()),
+            boomer::testing::Canonicalize(reference.Results()))
+      << "an absorbed transient fault must not change the answer";
+}
+
+TEST_F(BlenderBudgetTest, PersistentFaultDegradesThenRecovers) {
+  auto g = boomer::testing::Figure2Graph();
+  auto prep = Prep(g);
+  ASSERT_TRUE(fault::Configure("core/pvs=a1").ok());  // always fails
+  BlenderOptions options;
+  options.strategy = Strategy::kDeferToRun;
+  options.t_lat_seconds = 0.0;
+  Blender blender(g, *prep, options);
+  ASSERT_TRUE(OneEdgeSession(&blender, 1'000'000).ok());
+  EXPECT_TRUE(blender.report().truncated);
+  EXPECT_TRUE(blender.Results().empty());
+  EXPECT_GE(blender.report().edges_repooled_on_failure, 1u);
+  // The rolled-back CAP is still structurally sound.
+  EXPECT_TRUE(blender.cap().Validate(&g).ok());
+  fault::Reset();
+
+  // Recovery: a fresh session over the same artifacts works normally.
+  Blender again(g, *prep, options);
+  ASSERT_TRUE(OneEdgeSession(&again, 1'000'000).ok());
+  EXPECT_FALSE(again.report().truncated);
+  EXPECT_GT(again.report().num_results, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -36,7 +36,9 @@ struct PvsHarness {
     cap.AddLevel(1, {sj.begin(), sj.end()});
     cap.AddEdgeAdjacency(0, 0, 1);
     ctx.mode = mode;
-    return PopulateVertexSet(ctx, &cap, 0, 0, 1, upper);
+    auto counters = PopulateVertexSet(ctx, &cap, 0, 0, 1, upper);
+    BOOMER_CHECK(counters.ok()) << counters.status();
+    return *counters;
   }
 
   /// Checks the populated adjacency against BFS ground truth.

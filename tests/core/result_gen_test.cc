@@ -34,7 +34,9 @@ CapIndex BuildFullCap(const Graph& g, const BphQuery& q,
   for (query::QueryEdgeId e : q.LiveEdges()) {
     const auto& edge = q.Edge(e);
     cap.AddEdgeAdjacency(e, edge.src, edge.dst);
-    PopulateVertexSet(ctx, &cap, e, edge.src, edge.dst, edge.bounds.upper);
+    BOOMER_CHECK_OK(
+        PopulateVertexSet(ctx, &cap, e, edge.src, edge.dst, edge.bounds.upper)
+            .status());
     if (prune) cap.PruneIsolated(e);
   }
   return cap;

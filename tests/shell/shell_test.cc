@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "graph/io.h"
 #include "support/test_graphs.h"
+#include "util/fault.h"
 
 namespace boomer {
 namespace shell {
@@ -133,6 +136,87 @@ TEST_F(ShellTest, LatencyCommand) {
   EXPECT_NE(shell_->Exec("latency 0.5").find("0.500"), std::string::npos);
   EXPECT_NE(shell_->Exec("latency -1").find("error"), std::string::npos);
   EXPECT_NE(shell_->Exec("latency abc").find("error"), std::string::npos);
+}
+
+TEST_F(ShellTest, BudgetCommand) {
+  EXPECT_NE(shell_->Exec("budget 0.25").find("0.250"), std::string::npos);
+  EXPECT_NE(shell_->Exec("budget 0").find("unbounded"), std::string::npos);
+  EXPECT_NE(shell_->Exec("budget -1").find("error"), std::string::npos);
+  EXPECT_NE(shell_->Exec("budget abc").find("error"), std::string::npos);
+}
+
+TEST_F(ShellTest, FaultCommandArmsAndDisarms) {
+  EXPECT_NE(shell_->Exec("fault core/pvs=n1,seed=3").find("armed"),
+            std::string::npos);
+  EXPECT_TRUE(fault::Armed());
+  EXPECT_NE(shell_->Exec("fault stats").find("core/pvs"), std::string::npos);
+  EXPECT_NE(shell_->Exec("fault off").find("disarmed"), std::string::npos);
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_NE(shell_->Exec("fault core/pvs=z9").find("error"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, PersistentFaultRunTruncatesButSessionSurvives) {
+  Load();
+  shell_->Exec("strategy dr");
+  shell_->Exec("fault core/pvs=a1,seed=1");
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 3");
+  std::string out = shell_->Exec("run");
+  EXPECT_NE(out.find("[truncated]"), std::string::npos) << out;
+  shell_->Exec("fault off");
+  // The session is still alive and consistent; a fresh attempt succeeds.
+  EXPECT_NE(shell_->Exec("validate").find("hold"), std::string::npos);
+  shell_->Exec("reset");
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 3");
+  out = shell_->Exec("run");
+  EXPECT_EQ(out.find("[truncated]"), std::string::npos) << out;
+  fault::Reset();
+}
+
+TEST_F(ShellTest, SessionSaveLoadRoundTrip) {
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 2");
+  const std::string prefix = ::testing::TempDir() + "/shell_session";
+  EXPECT_NE(shell_->Exec("save-session " + prefix).find("session saved"),
+            std::string::npos);
+  shell_->Exec("reset");
+  std::string out = shell_->Exec("load-session " + prefix);
+  EXPECT_NE(out.find("session loaded"), std::string::npos) << out;
+  // The restored session runs like the original.
+  EXPECT_NE(shell_->Exec("run").find("match(es)"), std::string::npos);
+  std::remove((prefix + ".query").c_str());
+  std::remove((prefix + ".cap").c_str());
+}
+
+TEST_F(ShellTest, CorruptSessionCapResetsButPreservesQuery) {
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 2");
+  const std::string prefix = ::testing::TempDir() + "/shell_bad_session";
+  shell_->Exec("save-session " + prefix);
+  {
+    // boomer-lint-allow(naked-ofstream): the test forges a corrupt snapshot.
+    std::ofstream smash(prefix + ".cap", std::ios::trunc);
+    smash << "level 0 garbage that is not a vertex id\n";
+  }
+  shell_->Exec("reset");
+  std::string out = shell_->Exec("load-session " + prefix);
+  EXPECT_NE(out.find("session reset, query preserved"), std::string::npos)
+      << out;
+  // The damaged snapshot was quarantined, and the replayed query works.
+  std::ifstream corrupt(prefix + ".cap.corrupt");
+  EXPECT_TRUE(corrupt.is_open());
+  EXPECT_NE(shell_->Exec("query").find("q0"), std::string::npos);
+  EXPECT_NE(shell_->Exec("run").find("match(es)"), std::string::npos);
+  std::remove((prefix + ".query").c_str());
+  std::remove((prefix + ".cap.corrupt").c_str());
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/fault.h"
+
+namespace boomer {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/atomic_file_test_" + name;
+}
+
+std::string RawRead(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void RawWrite(const std::string& path, const std::string& bytes) {
+  // boomer-lint-allow(naked-ofstream): tests forge corrupt files on purpose.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+TEST_F(AtomicFileTest, Crc32KnownVector) {
+  // The classic zlib check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST_F(AtomicFileTest, BinaryRoundTrip) {
+  const std::string path = TempPath("bin");
+  std::string payload = "binary\0payload";
+  payload += std::string(1, '\0');
+  ASSERT_TRUE(WriteFileAtomic(path, payload, FileKind::kBinary).ok());
+  auto read = ReadFileVerified(path, FileKind::kBinary);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  // On disk the file is payload + 16-byte footer.
+  EXPECT_EQ(RawRead(path).size(), payload.size() + 16);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, TextRoundTripAppendsCommentFooter) {
+  const std::string path = TempPath("txt");
+  const std::string payload = "line one\nline two\n";
+  ASSERT_TRUE(WriteFileAtomic(path, payload, FileKind::kText).ok());
+  std::string on_disk = RawRead(path);
+  EXPECT_NE(on_disk.find("# crc32 "), std::string::npos);
+  auto read = ReadFileVerified(path, FileKind::kText);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, TextWithoutFooterStillLoads) {
+  // Hand-authored fixtures predate the footer; they must keep parsing.
+  const std::string path = TempPath("legacy");
+  RawWrite(path, "legacy fixture\n");
+  auto read = ReadFileVerified(path, FileKind::kText);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, "legacy fixture\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, BinaryWithoutFooterRejected) {
+  const std::string path = TempPath("nofooter");
+  RawWrite(path, "short");
+  EXPECT_EQ(ReadFileVerified(path, FileKind::kBinary).status().code(),
+            StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, CorruptionDetectedByChecksum) {
+  for (FileKind kind : {FileKind::kBinary, FileKind::kText}) {
+    const std::string path = TempPath("flip");
+    ASSERT_TRUE(WriteFileAtomic(path, "sensitive payload data", kind).ok());
+    std::string bytes = RawRead(path);
+    bytes[3] ^= 0x40;  // flip one payload bit
+    RawWrite(path, bytes);
+    EXPECT_EQ(ReadFileVerified(path, kind).status().code(),
+              StatusCode::kIOError)
+        << (kind == FileKind::kBinary ? "binary" : "text");
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(AtomicFileTest, TruncationDetected) {
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(
+      WriteFileAtomic(path, "0123456789abcdef", FileKind::kBinary).ok());
+  std::string bytes = RawRead(path);
+  RawWrite(path, bytes.substr(0, bytes.size() - 7));
+  EXPECT_EQ(ReadFileVerified(path, FileKind::kBinary).status().code(),
+            StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, MissingFileIsIOError) {
+  EXPECT_EQ(
+      ReadFileVerified(TempPath("does_not_exist"), FileKind::kText)
+          .status()
+          .code(),
+      StatusCode::kIOError);
+}
+
+TEST_F(AtomicFileTest, FailedWriteLeavesOldFileIntact) {
+  const std::string path = TempPath("survivor");
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents", FileKind::kText).ok());
+  // Persistent failure at each stage of the write path: the destination
+  // must survive untouched (rename never happens).
+  for (const char* site :
+       {"io/atomic_write/open", "io/atomic_write/write",
+        "io/atomic_write/flush", "io/atomic_write/rename"}) {
+    ASSERT_TRUE(fault::Configure(std::string(site) + "=a1").ok());
+    Status s = WriteFileAtomic(path, "new contents", FileKind::kText);
+    fault::Reset();
+    EXPECT_FALSE(s.ok()) << site;
+    auto read = ReadFileVerified(path, FileKind::kText);
+    ASSERT_TRUE(read.ok()) << site;
+    EXPECT_EQ(*read, "old contents") << site;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, TransientWriteFaultIsRetried) {
+  const std::string path = TempPath("retry");
+  // Fire on the first hit only — the retry must succeed.
+  ASSERT_TRUE(fault::Configure("io/atomic_write/write=n1").ok());
+  Status s = WriteFileAtomic(path, "eventually lands", FileKind::kText);
+  fault::Reset();
+  ASSERT_TRUE(s.ok()) << s;
+  auto read = ReadFileVerified(path, FileKind::kText);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "eventually lands");
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, PersistentFaultExhaustsRetries) {
+  const std::string path = TempPath("exhaust");
+  ASSERT_TRUE(fault::Configure("io/atomic_write/rename=a1").ok());
+  Status s = WriteFileAtomic(path, "never lands", FileKind::kText);
+  fault::Reset();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(fault::IsInjected(s));
+  EXPECT_EQ(ReadFileVerified(path, FileKind::kText).status().code(),
+            StatusCode::kIOError)
+      << "no destination file may appear";
+}
+
+TEST_F(AtomicFileTest, InjectedReadFault) {
+  const std::string path = TempPath("readfault");
+  ASSERT_TRUE(WriteFileAtomic(path, "data", FileKind::kText).ok());
+  ASSERT_TRUE(fault::Configure("io/read/open=a1").ok());
+  Status s = ReadFileVerified(path, FileKind::kText).status();
+  fault::Reset();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(fault::IsInjected(s));
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileTest, QuarantineRenamesAndTolerartesMissing) {
+  const std::string path = TempPath("bad_cache");
+  RawWrite(path, "garbage");
+  ASSERT_TRUE(QuarantineFile(path).ok());
+  EXPECT_EQ(ReadFileVerified(path, FileKind::kText).status().code(),
+            StatusCode::kIOError)
+      << "original gone";
+  EXPECT_EQ(RawRead(path + ".corrupt"), "garbage");
+  // Missing file: nothing to do, still OK.
+  EXPECT_TRUE(QuarantineFile(TempPath("never_existed")).ok());
+  std::remove((path + ".corrupt").c_str());
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,67 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  Deadline d;
+  EXPECT_FALSE(d.bounded());
+  EXPECT_FALSE(d.Exceeded());
+  d.Charge(1'000'000'000);
+  EXPECT_FALSE(d.Exceeded());
+  EXPECT_FALSE(d.WouldExceed(1'000'000'000));
+  EXPECT_EQ(d.charged_micros(), 1'000'000'000);
+}
+
+TEST(DeadlineTest, BoundedChargesTowardBudget) {
+  Deadline d = Deadline::FromBudgetMicros(100);
+  EXPECT_TRUE(d.bounded());
+  EXPECT_EQ(d.budget_micros(), 100);
+  EXPECT_EQ(d.remaining_micros(), 100);
+  d.Charge(40);
+  EXPECT_FALSE(d.Exceeded());
+  EXPECT_EQ(d.remaining_micros(), 60);
+  d.Charge(60);
+  EXPECT_TRUE(d.Exceeded());
+  EXPECT_EQ(d.remaining_micros(), 0);
+}
+
+TEST(DeadlineTest, WouldExceedRefusesWorkThatCannotFinish) {
+  Deadline d = Deadline::FromBudgetMicros(100);
+  EXPECT_FALSE(d.WouldExceed(100));  // exactly fits
+  EXPECT_TRUE(d.WouldExceed(101));
+  d.Charge(50);
+  EXPECT_FALSE(d.WouldExceed(50));
+  EXPECT_TRUE(d.WouldExceed(51));
+}
+
+TEST(DeadlineTest, FromBudgetSecondsConverts) {
+  Deadline d = Deadline::FromBudgetSeconds(0.5);
+  EXPECT_EQ(d.budget_micros(), 500'000);
+  d.ChargeSeconds(0.25);
+  EXPECT_EQ(d.charged_micros(), 250'000);
+  EXPECT_FALSE(d.Exceeded());
+  d.ChargeSeconds(0.25);
+  EXPECT_TRUE(d.Exceeded());
+}
+
+TEST(DeadlineTest, ZeroBudgetIsImmediatelyExceeded) {
+  Deadline d = Deadline::FromBudgetMicros(0);
+  EXPECT_TRUE(d.Exceeded());
+  EXPECT_TRUE(d.WouldExceed(1));
+  EXPECT_FALSE(d.WouldExceed(0));
+}
+
+TEST(DeadlineTest, ExceededIsSticky) {
+  Deadline d = Deadline::FromBudgetMicros(10);
+  d.Charge(15);
+  EXPECT_TRUE(d.Exceeded());
+  d.Charge(0);
+  EXPECT_TRUE(d.Exceeded());
+  EXPECT_EQ(d.remaining_micros(), 0);
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,146 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace fault {
+namespace {
+
+/// Every test leaves the process-global registry disarmed.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Reset(); }
+};
+
+TEST_F(FaultTest, DisarmedByDefaultAndNeverFires) {
+  Reset();
+  EXPECT_FALSE(Armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ShouldFail("io/read/open"));
+  }
+  // Disarmed probes are not even counted.
+  EXPECT_TRUE(Stats().empty());
+}
+
+TEST_F(FaultTest, NthOnceFiresExactlyOnTheNthHit) {
+  ASSERT_TRUE(Configure("a/site=n3").ok());
+  EXPECT_TRUE(Armed());
+  EXPECT_FALSE(ShouldFail("a/site"));
+  EXPECT_FALSE(ShouldFail("a/site"));
+  EXPECT_TRUE(ShouldFail("a/site"));   // 3rd hit
+  EXPECT_FALSE(ShouldFail("a/site"));  // once only: transient
+  EXPECT_FALSE(ShouldFail("a/site"));
+}
+
+TEST_F(FaultTest, NthOnwardsFiresPersistently) {
+  ASSERT_TRUE(Configure("a/site=a2").ok());
+  EXPECT_FALSE(ShouldFail("a/site"));
+  EXPECT_TRUE(ShouldFail("a/site"));
+  EXPECT_TRUE(ShouldFail("a/site"));
+  EXPECT_TRUE(ShouldFail("a/site"));
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicPerSeed) {
+  auto sample = [&](const std::string& spec) {
+    EXPECT_TRUE(Configure(spec).ok());
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(ShouldFail("x"));
+    return fires;
+  };
+  auto a = sample("x=p0.3,seed=7");
+  auto b = sample("x=p0.3,seed=7");
+  EXPECT_EQ(a, b) << "same seed must replay the same schedule";
+  auto c = sample("x=p0.3,seed=8");
+  EXPECT_NE(a, c) << "different seed should differ (p=0.3, 200 draws)";
+  // Rough sanity on the rate: 200 draws at p=0.3 ⇒ expect [20, 100] fires.
+  int n = 0;
+  for (bool f : a) n += f;
+  EXPECT_GT(n, 20);
+  EXPECT_LT(n, 100);
+}
+
+TEST_F(FaultTest, ProbabilityZeroAndOne) {
+  ASSERT_TRUE(Configure("never=p0,always=p1").ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ShouldFail("never"));
+    EXPECT_TRUE(ShouldFail("always"));
+  }
+}
+
+TEST_F(FaultTest, SitesAreIndependent) {
+  ASSERT_TRUE(Configure("a=n1,b=n2").ok());
+  EXPECT_TRUE(ShouldFail("a"));
+  EXPECT_FALSE(ShouldFail("b"));  // b's counter unaffected by a's hits
+  EXPECT_TRUE(ShouldFail("b"));
+}
+
+TEST_F(FaultTest, UnconfiguredSitesAreCountedButNeverFail) {
+  ASSERT_TRUE(Configure("a=n1").ok());
+  EXPECT_FALSE(ShouldFail("other/site"));
+  EXPECT_FALSE(ShouldFail("other/site"));
+  auto stats = Stats();
+  bool found = false;
+  for (const auto& s : stats) {
+    if (s.site == "other/site") {
+      found = true;
+      EXPECT_EQ(s.hits, 2u);
+      EXPECT_EQ(s.fires, 0u);
+    }
+  }
+  EXPECT_TRUE(found) << "armed probes double as coverage discovery";
+}
+
+TEST_F(FaultTest, MalformedSpecsRejectedAndScheduleKept) {
+  ASSERT_TRUE(Configure("a=n1").ok());
+  EXPECT_FALSE(Configure("a=z9").ok());
+  EXPECT_FALSE(Configure("a=p").ok());
+  EXPECT_FALSE(Configure("noequals").ok());
+  EXPECT_FALSE(Configure("a=p2.0").ok());  // probability > 1
+  // Previous schedule still active.
+  EXPECT_TRUE(Armed());
+  EXPECT_TRUE(ShouldFail("a"));
+}
+
+TEST_F(FaultTest, EmptySpecDisarms) {
+  ASSERT_TRUE(Configure("a=n1").ok());
+  ASSERT_TRUE(Configure("").ok());
+  EXPECT_FALSE(Armed());
+}
+
+TEST_F(FaultTest, InjectedFailureIsRecognizable) {
+  Status s = InjectedFailure("core/pvs");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE(IsInjected(s));
+  EXPECT_FALSE(IsInjected(Status::OK()));
+  EXPECT_FALSE(IsInjected(Status::IOError("disk on fire")));
+}
+
+TEST_F(FaultTest, StatsCountHitsAndFires) {
+  ASSERT_TRUE(Configure("a=a1").ok());
+  ShouldFail("a");
+  ShouldFail("a");
+  ShouldFail("a");
+  auto stats = Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "a");
+  EXPECT_EQ(stats[0].hits, 3u);
+  EXPECT_EQ(stats[0].fires, 3u);
+  EXPECT_NE(StatsToString().find("a"), std::string::npos);
+}
+
+TEST_F(FaultTest, FaultPointMacroReturnsFromFunction) {
+  ASSERT_TRUE(Configure("macro/site=a1").ok());
+  auto probed = []() -> Status {
+    BOOMER_FAULT_POINT("macro/site");
+    return Status::OK();
+  };
+  Status s = probed();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(IsInjected(s));
+  Reset();
+  EXPECT_TRUE(probed().ok());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace boomer

@@ -12,12 +12,30 @@
 //   show 0
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <unistd.h>
 
 #include "shell/shell.h"
+#include "util/fault.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--validate] [--budget <seconds>] [--fault <spec>]\n"
+               "  --validate         deep-verify invariants after every "
+               "command\n"
+               "  --budget <seconds> SRT budget for run (0 = unbounded)\n"
+               "  --fault <spec>     arm fault injection, e.g. "
+               "'core/pvs=p0.1,seed=7'\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   boomer::shell::ShellOptions options;
@@ -25,9 +43,21 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--validate") == 0) {
       // Deep-verify Graph/PML/CAP invariants after every command.
       options.validate_after_command = true;
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      options.srt_budget_seconds = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || options.srt_budget_seconds < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      boomer::Status status = boomer::fault::Configure(argv[++i]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "bad --fault spec: %s\n",
+                     status.ToString().c_str());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--validate]\n", argv[0]);
-      return 2;
+      return Usage(argv[0]);
     }
   }
   boomer::shell::Shell shell(options);

@@ -45,6 +45,14 @@ else
   echo "clang-format not found; skipping format check" >&2
 fi
 
+step "chaos gate (ctest -L chaos: fault schedules + corruption fuzz)"
+if [ -d build ]; then
+  cmake --build build -j "$(nproc)" --target chaos_test || fail "chaos build"
+  ctest --test-dir build -L chaos --output-on-failure || fail "chaos ctest"
+else
+  echo "build/ not configured; chaos label runs in the sanitizer pass" >&2
+fi
+
 if [ "$SKIP_SANITIZERS" -eq 0 ]; then
   step "configure (asan-ubsan preset)"
   cmake --preset asan-ubsan || fail "cmake configure"
@@ -54,6 +62,12 @@ if [ "$SKIP_SANITIZERS" -eq 0 ]; then
 
   step "ctest (asan-ubsan; includes boomer_lint)"
   ctest --preset asan-ubsan || fail "ctest"
+
+  # The chaos label again, explicitly under sanitizers: injected faults and
+  # corrupt inputs must not just be rejected but rejected without a single
+  # wild read, overflow, or leak.
+  step "ctest chaos label (asan-ubsan)"
+  ctest --preset asan-ubsan -L chaos || fail "ctest chaos (asan-ubsan)"
 fi
 
 step "clang-tidy gate"

@@ -12,6 +12,11 @@ compilers cannot:
                    contract *is* stdout, is allowlisted.
   naked-new        no naked `new` / `delete` in src/ — containers and
                    smart pointers own memory (escape: `boomer-lint-allow`).
+  naked-ofstream   no direct `std::ofstream` in src/ — every writer persists
+                   through util/atomic_file.h
+                   (WriteFileAtomic: tmp + flush + rename + CRC footer) so a
+                   crash can never tear a snapshot.  The helper itself is
+                   allowlisted.
   rand             no rand()/srand()/random() anywhere; all randomness flows
                    through util/rng.h so runs stay seed-reproducible.
   using-namespace  no `using namespace std;`
@@ -36,7 +41,14 @@ STDOUT_ALLOWLIST = {
     "src/bench_util/flags.cc",
 }
 
+# The one blessed writer: everything else must funnel through it.
+OFSTREAM_ALLOWLIST = {
+    "src/util/atomic_file.cc",
+    "src/util/atomic_file.h",
+}
+
 STDOUT_RE = re.compile(r"std::cout|\bprintf\s*\(|\bputs\s*\(|\bfputs\s*\(")
+OFSTREAM_RE = re.compile(r"std::ofstream\b")
 STDOUT_STDERR_OK_RE = re.compile(r"\bfprintf\s*\(\s*stderr|\bfputs\s*\([^,]*,\s*stderr")
 NAKED_NEW_RE = re.compile(r"(^|[^\w.:>])new\s+[A-Za-z_:<]|(^|[^\w.:>])delete\s*(\[\s*\])?\s+?[A-Za-z_(*]")
 RAND_RE = re.compile(r"(^|[^\w:.])(s?rand|random|rand_r|drand48)\s*\(")
@@ -104,6 +116,13 @@ class Linter:
                 self.report(rel, lineno, "stdout",
                             "library code must not write to stdout; "
                             "use BOOMER_LOG or return strings")
+
+            if (in_src and str(rel) not in OFSTREAM_ALLOWLIST
+                    and OFSTREAM_RE.search(line)
+                    and not self.allowed(lines, idx, "naked-ofstream")):
+                self.report(rel, lineno, "naked-ofstream",
+                            "direct file writes bypass crash-safety; "
+                            "use WriteFileAtomic (util/atomic_file.h)")
 
             if (in_src and NAKED_NEW_RE.search(line)
                     and not self.allowed(lines, idx, "naked-new")):

@@ -29,6 +29,22 @@ const char* StrategyName(Strategy s) {
   return "??";
 }
 
+const char* TruncationReasonName(TruncationReason r) {
+  switch (r) {
+    case TruncationReason::kNone:
+      return "none";
+    case TruncationReason::kBudget:
+      return "budget";
+    case TruncationReason::kPersistentFailure:
+      return "persistent-failure";
+    case TruncationReason::kCancelled:
+      return "cancelled";
+    case TruncationReason::kEvicted:
+      return "evicted";
+  }
+  return "??";
+}
+
 Blender::Blender(const graph::Graph& g, const PreprocessResult& prep,
                  BlenderOptions options)
     : graph_(g), prep_(prep), options_(options) {
@@ -131,6 +147,9 @@ void Blender::ProbePool(int64_t deadline_micros) {
   // window — in trace-driven simulation the window is exactly
   // [engine_free_at, next-action arrival).
   while (!pool_.empty()) {
+    // Cancellation point: an idle-time probe is pure opportunism, so a stop
+    // request simply ends the window (no truncation — Run settles the pool).
+    if (stop_.stop_requested()) return;
     // Fault site: a probe that fails (e.g. the engine is briefly wedged)
     // simply ends this idle window; Run's drain picks the pool up later.
     if (fault::Armed() && fault::ShouldFail("core/pool_probe")) return;
@@ -156,13 +175,20 @@ void Blender::ProbePool(int64_t deadline_micros) {
 
 void Blender::DrainPool(Deadline* deadline) {
   while (!pool_.empty()) {
+    // Cancellation point: per-edge granularity keeps the CAP transactional —
+    // a stop lands between edges, never inside one, so Validate() stays
+    // clean and the unprocessed remainder stays pooled for a later resume.
+    if (stop_.stop_requested()) {
+      report_.truncation = cancel_reason_.load(std::memory_order_relaxed);
+      return;
+    }
     const QueryEdgeId e = MinPoolEdge();
     // Cooperative budgeting: refuse edges whose estimate cannot finish
     // within the remaining SRT budget, rather than overrunning it.
     const int64_t estimate_micros =
         static_cast<int64_t>(EstimateEdgeCost(e) * 1e6);
     if (deadline->WouldExceed(estimate_micros)) {
-      report_.truncated = true;
+      report_.truncation = TruncationReason::kBudget;
       return;
     }
     RemoveFromPool(e);
@@ -170,7 +196,7 @@ void Blender::DrainPool(Deadline* deadline) {
     if (!wall_or.ok()) {
       pool_.push_back(e);
       ++report_.edges_repooled_on_failure;
-      report_.truncated = true;
+      report_.truncation = TruncationReason::kPersistentFailure;
       return;
     }
     Charge(*wall_or);
@@ -262,7 +288,7 @@ Status Blender::HandleRun() {
   deadline.Charge(
       std::max<int64_t>(0, engine_free_at_micros_ - clock_.NowMicros()));
   DrainPool(&deadline);
-  if (report_.truncated) {
+  if (report_.truncated()) {
     // The CAP is incomplete (unprocessed pooled edges), so enumeration
     // could only produce unsound matches; degrade to an empty result set.
     results_.clear();
@@ -276,7 +302,7 @@ Status Blender::HandleRun() {
     const double gen_wall = timer.ElapsedSeconds();
     report_.enumeration_wall_seconds = gen_wall;
     Charge(gen_wall);
-    if (gen_truncated) report_.truncated = true;
+    if (gen_truncated) report_.truncation = TruncationReason::kBudget;
   }
 
   run_complete_ = true;

@@ -28,7 +28,9 @@
 #ifndef BOOMER_CORE_BLENDER_H_
 #define BOOMER_CORE_BLENDER_H_
 
+#include <atomic>
 #include <optional>
+#include <stop_token>
 #include <vector>
 
 #include "core/cap_index.h"
@@ -54,6 +56,19 @@ enum class Strategy {
 };
 
 const char* StrategyName(Strategy s);
+
+/// Why a Run returned a degraded (but never wrong) answer. Ordered roughly
+/// by "how voluntary": budget refusal is policy, persistent failure is the
+/// environment, cancellation/eviction is the serving runtime.
+enum class TruncationReason {
+  kNone = 0,               // full answer
+  kBudget,                 // SRT budget refused the remaining work
+  kPersistentFailure,      // an edge failed processing beyond retry
+  kCancelled,              // cooperative stop (watchdog / shutdown)
+  kEvicted,                // serving runtime reclaimed the session
+};
+
+const char* TruncationReasonName(TruncationReason r);
 
 struct BlenderOptions {
   Strategy strategy = Strategy::kDeferToIdle;
@@ -98,10 +113,12 @@ struct BlendReport {
   size_t prune_removals = 0;
   size_t modifications = 0;
   PvsCounters pvs_totals;
-  /// True when Run returned a degraded answer: the SRT budget ran out or a
-  /// persistent processing failure left the CAP incomplete. Results() is
+  /// Non-kNone when Run returned a degraded answer: the SRT budget ran
+  /// out, a persistent processing failure left the CAP incomplete, or the
+  /// serving runtime cancelled/evicted the session mid-drain. Results() is
   /// then empty or partial — never wrong, just incomplete.
-  bool truncated = false;
+  TruncationReason truncation = TruncationReason::kNone;
+  bool truncated() const { return truncation != TruncationReason::kNone; }
   /// Transparent retries of edge processing after transient faults.
   size_t transient_retries = 0;
   /// Edges whose processing failed persistently and were returned to the
@@ -145,6 +162,21 @@ class Blender {
 
   /// Pool contents (unprocessed deferred edges), for tests.
   const std::vector<query::QueryEdgeId>& pool() const { return pool_; }
+
+  /// Cooperative cancellation: once `stop` is requested, DrainPool and
+  /// ProbePool return at their next per-edge loop head, leaving the edge
+  /// being considered pooled and the CAP transactionally consistent. A Run
+  /// cancelled this way completes with truncation = the configured cancel
+  /// reason (kCancelled by default). Thread-safe to request the stop from
+  /// another thread; the blender itself is still single-threaded.
+  void SetStopToken(std::stop_token stop) { stop_ = std::move(stop); }
+
+  /// The TruncationReason a stop request reports (kCancelled or kEvicted).
+  /// Thread-safe: the serving runtime sets kEvicted *before* requesting
+  /// the stop, possibly while a worker is mid-drain.
+  void SetCancelReason(TruncationReason r) {
+    cancel_reason_.store(r, std::memory_order_relaxed);
+  }
 
  private:
   Status HandleNewVertex(const gui::Action& a);
@@ -203,6 +235,11 @@ class Blender {
   /// Virtual time at which the engine finishes all charged work.
   int64_t engine_free_at_micros_ = 0;
   bool run_complete_ = false;
+
+  /// Cooperative cancellation (see SetStopToken). Default token: never
+  /// requested, zero-cost checks.
+  std::stop_token stop_;
+  std::atomic<TruncationReason> cancel_reason_{TruncationReason::kCancelled};
 
   BlendReport report_;
 };

@@ -1,0 +1,510 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gui/trace_io.h"
+#include "query/serialization.h"
+#include "util/strings.h"
+
+namespace boomer {
+namespace serve {
+
+using core::TruncationReason;
+
+const char* SessionStateName(SessionState s) {
+  switch (s) {
+    case SessionState::kActive:
+      return "active";
+    case SessionState::kCompleted:
+      return "completed";
+    case SessionState::kEvicted:
+      return "evicted";
+    case SessionState::kFailed:
+      return "failed";
+    case SessionState::kClosed:
+      return "closed";
+  }
+  return "??";
+}
+
+SessionManager::SessionManager(const graph::Graph& g,
+                               const core::PreprocessResult& prep,
+                               ServeOptions options)
+    : graph_(g), prep_(prep), options_(std::move(options)) {
+  watchdog_ = std::make_unique<Watchdog>();
+  // At most one drain task per session is in flight (the `scheduled` flag),
+  // so this capacity can never block a Submit for long.
+  pool_ = std::make_unique<ThreadPool>(
+      options_.num_workers,
+      std::max<size_t>(options_.max_live_sessions * 2, 64));
+}
+
+SessionManager::~SessionManager() {
+  std::vector<SessionPtr> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [id, s] : sessions_) all.push_back(s);
+    admission_cv_.notify_all();
+  }
+  // Cooperatively cancel in-flight work, then close every session so queued
+  // drain tasks exit at their next state check.
+  for (const SessionPtr& s : all) s->stopper.request_stop();
+  for (const SessionPtr& s : all) {
+    std::lock_guard<std::mutex> elock(s->emu);
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    s->queue.clear();
+    s->queued.store(0);
+    if (s->state.load() == SessionState::kActive) {
+      s->state.store(SessionState::kClosed);
+    }
+    s->qcv.notify_all();
+  }
+  pool_->Shutdown();   // drains remaining tasks while sessions still exist
+  watchdog_.reset();   // then stop firing handlers
+}
+
+void SessionManager::BumpMax(std::atomic<size_t>* target, size_t candidate) {
+  size_t seen = target->load();
+  while (candidate > seen &&
+         !target->compare_exchange_weak(seen, candidate)) {
+  }
+}
+
+SessionManager::SessionPtr SessionManager::Find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionManager::CanAdmitLocked() const {
+  if (sessions_.size() >= options_.max_live_sessions) return false;
+  if (options_.memory_budget_bytes != 0 &&
+      total_cap_bytes_.load() >= options_.memory_budget_bytes) {
+    return false;
+  }
+  return true;
+}
+
+StatusOr<SessionId> SessionManager::OpenLocked() {
+  auto s = std::make_shared<Session>();
+  s->id = next_id_++;
+  s->blender =
+      std::make_unique<core::Blender>(graph_, prep_, options_.blender);
+  s->blender->SetStopToken(s->stopper.get_token());
+  sessions_.emplace(s->id, s);
+  opened_.fetch_add(1);
+  BumpMax(&peak_live_, sessions_.size());
+  return s->id;
+}
+
+StatusOr<SessionId> SessionManager::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Overloaded("session manager shutting down");
+  if (!CanAdmitLocked()) {
+    admission_rejected_.fetch_add(1);
+    return Status::Overloaded(StrFormat(
+        "admission refused: %zu live session(s) (max %zu), CAP footprint "
+        "%zu bytes (budget %zu)",
+        sessions_.size(), options_.max_live_sessions,
+        total_cap_bytes_.load(), options_.memory_budget_bytes));
+  }
+  return OpenLocked();
+}
+
+StatusOr<SessionId> SessionManager::WaitAdmission() {
+  std::unique_lock<std::mutex> lock(mu_);
+  admission_cv_.wait(lock, [this] { return shutdown_ || CanAdmitLocked(); });
+  if (shutdown_) return Status::Overloaded("session manager shutting down");
+  return OpenLocked();
+}
+
+Status SessionManager::SubmitAction(SessionId id, const gui::Action& action) {
+  SessionPtr s = Find(id);
+  if (s == nullptr) {
+    return Status::NotFound(StrFormat("no session %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    switch (s->state.load()) {
+      case SessionState::kActive:
+        break;
+      case SessionState::kCompleted:
+        return Status::FailedPrecondition("session already ran");
+      case SessionState::kEvicted:
+      case SessionState::kFailed:
+        return s->terminal_status;
+      case SessionState::kClosed:
+        return Status::NotFound("session closed");
+    }
+    if (s->queue.size() >= options_.max_queued_actions) {
+      actions_rejected_.fetch_add(1);
+      return Status::Overloaded(StrFormat(
+          "session %llu action queue full (%zu queued)",
+          static_cast<unsigned long long>(id), s->queue.size()));
+    }
+    s->queue.push_back(action);
+    s->queued.store(s->queue.size());
+    if (!s->scheduled) {
+      s->scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) ScheduleDrain(s);
+  return Status::OK();
+}
+
+void SessionManager::ScheduleDrain(const SessionPtr& s) {
+  const bool accepted = pool_->Submit([this, s] { DrainSession(s); });
+  if (!accepted) {
+    // Pool shut down: leave the queue frozen but don't strand WaitIdle.
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    s->scheduled = false;
+    s->qcv.notify_all();
+  }
+}
+
+void SessionManager::DrainSession(const SessionPtr& s) {
+  for (;;) {
+    gui::Action action;
+    {
+      std::lock_guard<std::mutex> qlock(s->qmu);
+      if (s->state.load() != SessionState::kActive || s->queue.empty()) {
+        s->scheduled = false;
+        s->qcv.notify_all();
+        return;
+      }
+      action = s->queue.front();
+      s->queue.pop_front();
+      s->queued.store(s->queue.size());
+    }
+    ApplyAction(s, action);
+    // Outside all session locks: shedding may evict (and lock) any session,
+    // including this one.
+    MaybeShedForMemory();
+  }
+}
+
+void SessionManager::ApplyAction(const SessionPtr& s,
+                                 const gui::Action& action) {
+  std::lock_guard<std::mutex> elock(s->emu);
+  // The session may have been evicted or closed between the queue pop and
+  // here; the popped action is intentionally dropped — it is past the
+  // snapshot's actions_applied mark, so a resume replays it correctly.
+  if (s->state.load() != SessionState::kActive) return;
+  s->busy.store(true);
+  Watchdog::Leash leash;
+  if (options_.stuck_session_seconds > 0.0) {
+    SessionPtr session = s;  // keep the session alive for a late handler
+    leash = watchdog_->Watch(
+        StrFormat("session-%llu", static_cast<unsigned long long>(s->id)),
+        options_.stuck_session_seconds, [this, session] {
+          // Cooperative, not preemptive: the blender notices at its next
+          // per-edge cancellation point and completes truncated
+          // (kCancelled, the default reason).
+          watchdog_cancels_.fetch_add(1);
+          session->stopper.request_stop();
+        });
+  }
+  const Status status = s->blender->OnAction(action);
+  leash.Release();
+  s->busy.store(false);
+  if (!status.ok()) {
+    failed_.fetch_add(1);
+    UpdateCapBytes(s, 0);
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    s->blender.reset();  // under emu+qmu: every reader checks state first
+    s->queue.clear();
+    s->queued.store(0);
+    s->terminal_status = status;
+    s->state.store(SessionState::kFailed);
+    s->qcv.notify_all();
+    return;
+  }
+  s->applied.Append(action);
+  UpdateCapBytes(s, s->blender->cap().ComputeStats().size_bytes);
+  if (s->blender->run_complete()) {
+    s->report = s->blender->report();
+    s->results = s->blender->Results();
+    // A Run cancelled by an eviction is counted by the eviction that
+    // finishes it, not as a completion.
+    if (s->report.truncation != TruncationReason::kEvicted) {
+      completed_.fetch_add(1);
+    }
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    s->state.store(SessionState::kCompleted);
+    s->qcv.notify_all();
+  }
+}
+
+Status SessionManager::WaitIdle(SessionId id) {
+  SessionPtr s = Find(id);
+  if (s == nullptr) return Status::NotFound("no such session");
+  std::unique_lock<std::mutex> qlock(s->qmu);
+  s->qcv.wait(qlock, [&s] {
+    return s->state.load() != SessionState::kActive ||
+           (s->queue.empty() && !s->scheduled);
+  });
+  switch (s->state.load()) {
+    case SessionState::kEvicted:
+    case SessionState::kFailed:
+      return s->terminal_status;
+    default:
+      return Status::OK();
+  }
+}
+
+StatusOr<SessionResult> SessionManager::Await(SessionId id) {
+  SessionPtr s = Find(id);
+  if (s == nullptr) return Status::NotFound("no such session");
+  {
+    std::unique_lock<std::mutex> qlock(s->qmu);
+    s->qcv.wait(qlock,
+                [&s] { return s->state.load() != SessionState::kActive; });
+  }
+  std::lock_guard<std::mutex> elock(s->emu);
+  SessionResult result;
+  result.state = s->state.load();
+  result.report = s->report;
+  result.results = s->results;
+  result.snapshot = s->snapshot;
+  {
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    result.status = s->terminal_status;
+  }
+  return result;
+}
+
+StatusOr<SessionSnapshot> SessionManager::GetEviction(SessionId id) {
+  SessionPtr s = Find(id);
+  if (s == nullptr) return Status::NotFound("no such session");
+  std::lock_guard<std::mutex> qlock(s->qmu);
+  if (s->state.load() != SessionState::kEvicted) {
+    return Status::FailedPrecondition(
+        StrFormat("session is %s, not evicted",
+                  SessionStateName(s->state.load())));
+  }
+  return s->snapshot;  // immutable once state is kEvicted
+}
+
+Status SessionManager::EvictSession(SessionId id) {
+  SessionPtr s = Find(id);
+  if (s == nullptr) return Status::NotFound("no such session");
+  return EvictSessionInternal(s);
+}
+
+Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
+  {
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    const SessionState st = s->state.load();
+    if (st == SessionState::kEvicted) return Status::OK();
+    if (st != SessionState::kActive) {
+      return Status::FailedPrecondition(
+          StrFormat("cannot evict a %s session", SessionStateName(st)));
+    }
+    if (s->evicting) {
+      return Status::FailedPrecondition("eviction already in progress");
+    }
+    s->evicting = true;
+    // Safe deref: state is kActive under qmu, so only the (single) eviction
+    // ticket we just took may free the blender.
+    s->blender->SetCancelReason(TruncationReason::kEvicted);
+  }
+  s->stopper.request_stop();
+
+  bool evicted = false;
+  Status result = Status::OK();
+  {
+    // Waits for any in-flight action to finish (the stop request makes a
+    // long drain exit at its next per-edge cancellation point).
+    std::lock_guard<std::mutex> elock(s->emu);
+    const SessionState st = s->state.load();
+    const bool cancelled_run =
+        st == SessionState::kCompleted &&
+        s->report.truncation == TruncationReason::kEvicted;
+    if (st != SessionState::kActive && !cancelled_run) {
+      // Completed for real (or failed/closed) before the stop landed —
+      // nothing to shed.
+      std::lock_guard<std::mutex> qlock(s->qmu);
+      s->evicting = false;
+      result = Status::FailedPrecondition(StrFormat(
+          "session reached %s before eviction", SessionStateName(st)));
+    } else {
+      const std::string prefix =
+          options_.snapshot_dir + "/session-" +
+          std::to_string(static_cast<unsigned long long>(s->id));
+      Status save = gui::SaveTrace(s->applied, prefix + ".trace");
+      if (save.ok()) {
+        save = query::SaveQuery(s->blender->current_query(),
+                                prefix + ".query");
+      }
+      if (!save.ok()) {
+        // Abort the eviction: re-arm the session with fresh stop plumbing
+        // so it stays usable.
+        s->stopper = std::stop_source();
+        s->blender->SetStopToken(s->stopper.get_token());
+        s->blender->SetCancelReason(TruncationReason::kCancelled);
+        bool reschedule = false;
+        {
+          std::lock_guard<std::mutex> qlock(s->qmu);
+          s->evicting = false;
+          // A drain may have exited while we held the ticket; restart it.
+          if (st == SessionState::kActive && !s->queue.empty() &&
+              !s->scheduled) {
+            s->scheduled = true;
+            reschedule = true;
+          }
+        }
+        if (reschedule) ScheduleDrain(s);
+        result = save;
+      } else {
+        s->snapshot = SessionSnapshot{prefix, s->applied.size()};
+        UpdateCapBytes(s, 0);
+        std::lock_guard<std::mutex> qlock(s->qmu);
+        s->blender.reset();
+        s->queue.clear();
+        s->queued.store(0);
+        s->evicting = false;
+        s->terminal_status = Status::Evicted(
+            StrFormat("session %llu evicted; resume from %s",
+                      static_cast<unsigned long long>(s->id),
+                      prefix.c_str()));
+        s->state.store(SessionState::kEvicted);
+        s->qcv.notify_all();
+        evicted = true;
+      }
+    }
+  }
+  if (evicted) {
+    evictions_.fetch_add(1);
+    // Freed memory may unblock admission waiters.
+    std::lock_guard<std::mutex> lock(mu_);
+    admission_cv_.notify_all();
+  }
+  return result;
+}
+
+void SessionManager::MaybeShedForMemory() {
+  if (options_.memory_budget_bytes == 0) return;
+  // Bounded attempts: a victim whose snapshot write keeps failing (fault
+  // injection) must not spin this worker forever.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (total_cap_bytes_.load() <= options_.memory_budget_bytes) return;
+    SessionPtr victim;
+    size_t victim_bytes = 0;
+    {
+      // Victim selection reads only atomics — mu_ is never held while a
+      // session lock is acquired (lock hierarchy).
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, s] : sessions_) {
+        if (s->state.load() != SessionState::kActive) continue;
+        if (s->busy.load() || s->queued.load() != 0) continue;  // idle only
+        const size_t bytes = s->cap_bytes.load();
+        if (bytes > victim_bytes) {
+          victim_bytes = bytes;
+          victim = s;
+        }
+      }
+    }
+    if (victim == nullptr) return;  // nothing idle; a later apply retries
+    (void)EvictSessionInternal(victim);
+  }
+}
+
+StatusOr<SessionId> SessionManager::ResumeSession(const std::string& prefix) {
+  // Replay the *original* snapshot trace on every attempt: the returned
+  // session must hold exactly the state `prefix` recorded, because the
+  // caller continues submitting from that snapshot's actions_applied mark.
+  // (A chase that handed back a re-eviction's shorter snapshot instead
+  // would silently skip the actions in between.)
+  BOOMER_ASSIGN_OR_RETURN(gui::ActionTrace trace,
+                          gui::LoadTrace(prefix + ".trace"));
+  // A resume can itself be evicted under sustained pressure; retry a
+  // bounded number of times before giving up (livelock protection, not
+  // fairness — the original snapshot stays on disk either way).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    BOOMER_ASSIGN_OR_RETURN(SessionId id, WaitAdmission());
+    resumed_.fetch_add(1);
+    Status st = Status::OK();
+    for (const gui::Action& a : trace.actions()) {
+      st = SubmitAction(id, a);
+      while (!st.ok() && st.code() == StatusCode::kOverloaded) {
+        st = WaitIdle(id);
+        if (st.ok()) st = SubmitAction(id, a);
+      }
+      if (!st.ok()) break;
+    }
+    if (st.ok()) {
+      // The replay queue may still be draining; that's fine — the state is
+      // deterministic regardless of when the worker gets there.
+      return id;
+    }
+    (void)CloseSession(id);
+    if (st.code() != StatusCode::kEvicted) return st;
+  }
+  return Status::Evicted("resume evicted repeatedly; service overloaded");
+}
+
+Status SessionManager::CloseSession(SessionId id) {
+  SessionPtr s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return Status::NotFound("no such session");
+    s = it->second;
+    sessions_.erase(it);
+  }
+  s->stopper.request_stop();
+  {
+    std::lock_guard<std::mutex> elock(s->emu);
+    UpdateCapBytes(s, 0);
+    std::lock_guard<std::mutex> qlock(s->qmu);
+    s->blender.reset();
+    s->queue.clear();
+    s->queued.store(0);
+    s->state.store(SessionState::kClosed);
+    s->qcv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admission_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+void SessionManager::UpdateCapBytes(const SessionPtr& s, size_t new_bytes) {
+  const size_t old = s->cap_bytes.exchange(new_bytes);
+  if (new_bytes >= old) {
+    const size_t grown = new_bytes - old;
+    const size_t total = total_cap_bytes_.fetch_add(grown) + grown;
+    BumpMax(&peak_cap_bytes_, total);
+  } else {
+    total_cap_bytes_.fetch_sub(old - new_bytes);
+  }
+}
+
+ServeStats SessionManager::stats() const {
+  ServeStats out;
+  out.sessions_opened = opened_.load();
+  out.sessions_completed = completed_.load();
+  out.sessions_failed = failed_.load();
+  out.sessions_resumed = resumed_.load();
+  out.admission_rejected = admission_rejected_.load();
+  out.actions_rejected = actions_rejected_.load();
+  out.evictions = evictions_.load();
+  out.watchdog_cancels = watchdog_cancels_.load();
+  out.peak_live_sessions = peak_live_.load();
+  out.peak_cap_bytes = peak_cap_bytes_.load();
+  return out;
+}
+
+size_t SessionManager::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace serve
+}  // namespace boomer

@@ -1,0 +1,254 @@
+// Concurrent multi-session blending service.
+//
+// One SessionManager serves many interactive blend sessions over a shared
+// read-only graph + preprocessing result. Each session owns a private
+// Blender (the blender itself stays single-threaded); session action
+// queues are drained by a fixed ThreadPool, so idle-time pool probing (DI)
+// genuinely runs on worker threads while clients submit the next action.
+//
+// Robustness model — the three ways the service says "no":
+//
+//   * Admission control. At most `max_live_sessions` sessions exist at
+//     once, and (when configured) the summed CAP footprint of all live
+//     sessions must stay under `memory_budget_bytes`. OpenSession returns
+//     a typed kOverloaded Status when either gate is shut; WaitAdmission
+//     blocks until a slot frees instead.
+//   * Backpressure. Each session queues at most `max_queued_actions`
+//     unapplied actions; SubmitAction returns kOverloaded beyond that.
+//     Clients WaitIdle and retry — the backlog is bounded by construction.
+//   * Load shedding. When the memory budget is exceeded the manager evicts
+//     the largest idle session: its applied-action trace is snapshotted
+//     (crash-safe, via the PR's atomic trace writer) and its Blender freed.
+//     The evicted session answers every later call with a typed kEvicted
+//     Status carrying the snapshot prefix; ResumeSession replays the
+//     snapshot into a fresh session, yielding the same deterministic
+//     virtual-clock state the evicted session had.
+//
+// A per-session Watchdog leash (optional, `stuck_session_seconds`) guards
+// every action application; an overdue action gets a cooperative stop
+// request and the Run completes truncated with reason kCancelled — degraded
+// but sound, exactly like an SRT budget overrun.
+//
+// Lock hierarchy (strict, deadlock-free by construction):
+//   manager `mu_`  — session table, admission; never held while acquiring a
+//                    session lock. Eviction victims are picked from atomics.
+//   session `emu`  — blender execution + applied trace; held across one
+//                    OnAction at most.
+//   session `qmu`  — action queue + state machine; innermost, held briefly.
+// Acquire order within a session: emu before qmu, never the reverse.
+
+#ifndef BOOMER_SERVE_SESSION_MANAGER_H_
+#define BOOMER_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "core/blender.h"
+#include "core/preprocessor.h"
+#include "graph/graph.h"
+#include "gui/actions.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/watchdog.h"
+
+namespace boomer {
+namespace serve {
+
+using SessionId = uint64_t;
+
+struct ServeOptions {
+  /// Worker threads draining session queues. 0 is legal and means no action
+  /// is ever applied — tests use it to freeze queues deterministically.
+  size_t num_workers = 4;
+  /// Admission gate: maximum concurrently open (not yet closed) sessions.
+  size_t max_live_sessions = 64;
+  /// Backpressure gate: maximum unapplied actions buffered per session.
+  size_t max_queued_actions = 128;
+  /// Shedding gate: summed CapStats::size_bytes across live sessions that
+  /// triggers eviction of the largest idle session. 0 = unbounded.
+  size_t memory_budget_bytes = 0;
+  /// Watchdog timeout for a single action application. 0 disables it.
+  double stuck_session_seconds = 0.0;
+  /// Directory receiving eviction snapshots ("session-<id>.trace/.query").
+  std::string snapshot_dir = ".";
+  /// Blender configuration shared by every session.
+  core::BlenderOptions blender;
+};
+
+enum class SessionState {
+  kActive,     // accepting actions
+  kCompleted,  // Run finished (possibly truncated); results available
+  kEvicted,    // shed; state snapshotted, blender freed
+  kFailed,     // an action errored; terminal status recorded
+  kClosed,     // released by the client or at shutdown
+};
+
+const char* SessionStateName(SessionState s);
+
+/// Where an evicted session's progress lives and how far it got: the first
+/// `actions_applied` actions of the submitted stream are durably saved at
+/// `prefix`.trace (plus `prefix`.query for the shell's load-session).
+struct SessionSnapshot {
+  std::string prefix;
+  size_t actions_applied = 0;
+};
+
+/// Terminal outcome of a session, copied out by Await.
+struct SessionResult {
+  SessionState state = SessionState::kActive;
+  Status status = Status::OK();
+  core::BlendReport report;
+  std::vector<core::PartialMatch> results;
+  SessionSnapshot snapshot;  // meaningful when state == kEvicted
+};
+
+struct ServeStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t sessions_failed = 0;
+  uint64_t sessions_resumed = 0;
+  uint64_t admission_rejected = 0;  // OpenSession -> kOverloaded
+  uint64_t actions_rejected = 0;    // SubmitAction -> kOverloaded
+  uint64_t evictions = 0;
+  uint64_t watchdog_cancels = 0;
+  size_t peak_live_sessions = 0;
+  size_t peak_cap_bytes = 0;  // peak summed CAP footprint
+};
+
+class SessionManager {
+ public:
+  /// `g` and `prep` must outlive the manager (they are shared, read-only).
+  SessionManager(const graph::Graph& g, const core::PreprocessResult& prep,
+                 ServeOptions options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admits a new session or sheds with kOverloaded (session table full or
+  /// memory budget exhausted).
+  StatusOr<SessionId> OpenSession();
+
+  /// Blocking OpenSession: waits for admission capacity. kOverloaded only
+  /// at shutdown.
+  StatusOr<SessionId> WaitAdmission();
+
+  /// Enqueues one action. kOverloaded when the session queue is full (the
+  /// caller should WaitIdle and retry), kEvicted when the session was shed
+  /// (the caller should GetEviction and ResumeSession), FailedPrecondition
+  /// after Run, the terminal status of a failed session otherwise.
+  Status SubmitAction(SessionId id, const gui::Action& action);
+
+  /// Blocks until the session's queue is fully applied (or the session left
+  /// kActive). OK while the session is usable; its terminal status after.
+  Status WaitIdle(SessionId id);
+
+  /// Blocks until the session reaches a terminal state and returns it.
+  StatusOr<SessionResult> Await(SessionId id);
+
+  /// Snapshot handle of an evicted session; FailedPrecondition otherwise.
+  StatusOr<SessionSnapshot> GetEviction(SessionId id);
+
+  /// Force-evicts a session (also used internally for shedding): cancels
+  /// in-flight work cooperatively, snapshots the applied trace, frees the
+  /// blender. FailedPrecondition when the session is already terminal.
+  Status EvictSession(SessionId id);
+
+  /// Re-opens an evicted session from its snapshot: blocks for admission,
+  /// then replays the saved applied-action trace (original latencies, so
+  /// the virtual clock lands in the identical state) through the normal
+  /// submit path. Returns the fresh session id.
+  StatusOr<SessionId> ResumeSession(const std::string& prefix);
+
+  /// Releases the session's slot and memory. Safe in any state.
+  Status CloseSession(SessionId id);
+
+  ServeStats stats() const;
+  size_t live_sessions() const;
+  size_t total_cap_bytes() const { return total_cap_bytes_.load(); }
+
+ private:
+  struct Session {
+    SessionId id = 0;
+
+    // Execution lock: guards blender, applied trace, report/result copies.
+    // Held across one OnAction at most. Ordered before qmu.
+    std::mutex emu;
+    std::unique_ptr<core::Blender> blender;
+    gui::ActionTrace applied;
+    core::BlendReport report;
+    std::vector<core::PartialMatch> results;
+    SessionSnapshot snapshot;
+
+    // Queue lock: guards queue/scheduled/terminal_status and the cv.
+    std::mutex qmu;
+    std::condition_variable_any qcv;
+    std::deque<gui::Action> queue;
+    bool scheduled = false;  // a drain task is queued or running
+    bool evicting = false;   // an eviction holds the (single) ticket
+    Status terminal_status = Status::OK();
+
+    // Written under qmu; atomic so victim selection can read lock-free.
+    std::atomic<SessionState> state{SessionState::kActive};
+    // Lock-free signals for victim selection and memory accounting.
+    std::atomic<size_t> cap_bytes{0};
+    std::atomic<size_t> queued{0};
+    std::atomic<bool> busy{false};
+
+    std::stop_source stopper;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  SessionPtr Find(SessionId id) const;
+  bool CanAdmitLocked() const;
+  StatusOr<SessionId> OpenLocked();
+  void ScheduleDrain(const SessionPtr& s);
+  void DrainSession(const SessionPtr& s);
+  void ApplyAction(const SessionPtr& s, const gui::Action& action);
+  Status EvictSessionInternal(const SessionPtr& s);
+  void MaybeShedForMemory();
+  void UpdateCapBytes(const SessionPtr& s, size_t new_bytes);
+  static void BumpMax(std::atomic<size_t>* target, size_t candidate);
+
+  const graph::Graph& graph_;
+  const core::PreprocessResult& prep_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;  // session table + admission; outermost
+  std::condition_variable_any admission_cv_;
+  std::map<SessionId, SessionPtr> sessions_;
+  SessionId next_id_ = 1;
+  bool shutdown_ = false;
+
+  std::atomic<size_t> total_cap_bytes_{0};
+
+  // Counters (lock-free so hot paths never take mu_ just to count).
+  std::atomic<uint64_t> opened_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> resumed_{0};
+  std::atomic<uint64_t> admission_rejected_{0};
+  std::atomic<uint64_t> actions_rejected_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> watchdog_cancels_{0};
+  std::atomic<size_t> peak_live_{0};
+  std::atomic<size_t> peak_cap_bytes_{0};
+
+  // Declared after all state they reference; destroyed first (reverse
+  // order): the pool drains while sessions and the watchdog still exist.
+  std::unique_ptr<Watchdog> watchdog_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace boomer
+
+#endif  // BOOMER_SERVE_SESSION_MANAGER_H_

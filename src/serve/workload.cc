@@ -1,0 +1,161 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "gui/latency_model.h"
+#include "gui/trace_builder.h"
+#include "query/templates.h"
+#include "util/check.h"
+
+namespace boomer {
+namespace serve {
+
+std::vector<gui::ActionTrace> SeededTraces(const graph::Graph& g,
+                                           size_t count, uint64_t seed) {
+  std::vector<gui::ActionTrace> traces;
+  traces.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t trace_seed = seed + i;
+    query::QueryInstantiator inst(g, trace_seed);
+    const query::TemplateId id =
+        std::vector<query::TemplateId>{query::TemplateId::kQ1,
+                                       query::TemplateId::kQ3,
+                                       query::TemplateId::kQ5}[i % 3];
+    auto q = inst.Instantiate(id);
+    BOOMER_CHECK(q.ok()) << "trace seed " << trace_seed << ": "
+                         << q.status();
+    gui::LatencyModel latency(gui::LatencyParams{}, trace_seed);
+    auto trace = gui::BuildTrace(*q, gui::DefaultSequence(*q), &latency);
+    BOOMER_CHECK(trace.ok()) << trace.status();
+    traces.push_back(std::move(trace).value());
+  }
+  return traces;
+}
+
+namespace {
+
+/// Drives one trace through the overload protocol; never throws, never
+/// sleeps — all waiting happens inside the manager's condition variables.
+ClientReport DriveTrace(SessionManager* manager, const gui::ActionTrace& trace,
+                        size_t trace_index, const ClientOptions& options) {
+  ClientReport rep;
+  rep.trace_index = trace_index;
+
+  // Admission: a shed open degrades to the blocking path.
+  StatusOr<SessionId> id_or = manager->OpenSession();
+  while (!id_or.ok() && id_or.status().code() == StatusCode::kOverloaded &&
+         rep.admission_retries < options.max_admission_retries) {
+    ++rep.admission_retries;
+    id_or = manager->WaitAdmission();
+  }
+  if (!id_or.ok()) {
+    rep.final_status = id_or.status();
+    return rep;
+  }
+  SessionId id = *id_or;
+
+  const std::vector<gui::Action>& actions = trace.actions();
+  size_t next = 0;
+  for (;;) {
+    bool evicted = false;
+    Status error = Status::OK();
+    while (next < actions.size()) {
+      Status st = manager->SubmitAction(id, actions[next]);
+      if (st.ok()) {
+        ++next;
+        continue;
+      }
+      if (st.code() == StatusCode::kOverloaded) {
+        // Queue backpressure: wait until the worker drains, then retry.
+        ++rep.submit_retries;
+        Status idle = manager->WaitIdle(id);
+        if (idle.ok()) continue;
+        st = idle;  // terminal state surfaced by WaitIdle (e.g. evicted)
+      }
+      if (st.code() == StatusCode::kEvicted) {
+        evicted = true;
+      } else {
+        error = st;
+      }
+      break;
+    }
+    if (!error.ok()) {
+      rep.final_status = error;
+      (void)manager->CloseSession(id);
+      return rep;
+    }
+    if (!evicted) {
+      auto result = manager->Await(id);
+      if (!result.ok()) {
+        rep.final_status = result.status();
+        (void)manager->CloseSession(id);
+        return rep;
+      }
+      if (result->state == SessionState::kEvicted) {
+        evicted = true;
+      } else {
+        rep.completed = result->state == SessionState::kCompleted;
+        rep.final_status = result->status;
+        rep.report = result->report;
+        rep.results = result->results;
+        (void)manager->CloseSession(id);
+        return rep;
+      }
+    }
+    // Shed mid-flight: recover the snapshot, resume, and carry on from the
+    // applied-prefix mark.
+    auto snap = manager->GetEviction(id);
+    (void)manager->CloseSession(id);
+    if (!snap.ok()) {
+      rep.final_status = snap.status();
+      return rep;
+    }
+    if (rep.resumes >= options.max_resumes) {
+      rep.final_status =
+          Status::Evicted("gave up after " + std::to_string(rep.resumes) +
+                          " resume(s): " + snap->prefix);
+      return rep;
+    }
+    ++rep.resumes;
+    auto resumed = manager->ResumeSession(snap->prefix);
+    if (!resumed.ok()) {
+      rep.final_status = resumed.status();
+      return rep;
+    }
+    id = *resumed;
+    // The server replayed exactly the first actions_applied submitted
+    // actions; continue from there (a popped-but-unapplied action is
+    // re-submitted here).
+    next = snap->actions_applied;
+  }
+}
+
+}  // namespace
+
+ReplaySummary ReplayConcurrently(SessionManager* manager,
+                                 const std::vector<gui::ActionTrace>& traces,
+                                 const ClientOptions& options) {
+  ReplaySummary summary;
+  summary.clients.resize(traces.size());
+  const size_t threads =
+      std::max<size_t>(1, std::min(options.client_threads, traces.size()));
+  {
+    std::vector<std::jthread> clients;
+    clients.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        // Striped assignment: disjoint report slots, no client-side locks.
+        for (size_t i = t; i < traces.size(); i += threads) {
+          summary.clients[i] = DriveTrace(manager, traces[i], i, options);
+        }
+      });
+    }
+  }  // jthreads join here
+  summary.stats = manager->stats();
+  return summary;
+}
+
+}  // namespace serve
+}  // namespace boomer

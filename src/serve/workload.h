@@ -1,0 +1,72 @@
+// Trace workloads and concurrent replay clients for the serving runtime.
+//
+// SeededTraces builds deterministic per-session formulation traces (query
+// templates Q1/Q3/Q5 instantiated on the served graph, human latencies from
+// the Section 5.3 model) — the same recipe the chaos harness uses, so a
+// serving run is directly comparable to a single-threaded replay of the
+// identical trace.
+//
+// ReplayConcurrently is the reference client: a set of threads that drive
+// many sessions through the full overload protocol — retry admission on
+// kOverloaded, back off on queue pressure, resume from snapshot on
+// kEvicted — and report per-session outcomes plus the manager's stats.
+// The stress suite and the `serve` shell command are both thin wrappers
+// around it.
+
+#ifndef BOOMER_SERVE_WORKLOAD_H_
+#define BOOMER_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "gui/actions.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+
+namespace boomer {
+namespace serve {
+
+/// `count` deterministic traces over `g`: trace i instantiates template
+/// Q1/Q3/Q5 (round-robin) with per-trace seed derived from `seed` + i.
+std::vector<gui::ActionTrace> SeededTraces(const graph::Graph& g,
+                                           size_t count, uint64_t seed);
+
+struct ClientOptions {
+  /// Client threads; trace i is driven by thread i % client_threads.
+  size_t client_threads = 4;
+  /// Bounded patience for WaitAdmission after a shed OpenSession.
+  int max_admission_retries = 1024;
+  /// How many evictions one session will resume through before giving up.
+  int max_resumes = 8;
+};
+
+/// Outcome of driving one trace end-to-end.
+struct ClientReport {
+  size_t trace_index = 0;
+  bool completed = false;     // reached kCompleted (possibly truncated)
+  Status final_status = Status::OK();
+  core::BlendReport report;   // valid when completed
+  std::vector<core::PartialMatch> results;  // valid when completed
+  int admission_retries = 0;  // OpenSession -> kOverloaded bounces
+  int submit_retries = 0;     // SubmitAction -> kOverloaded bounces
+  int resumes = 0;            // evictions survived via ResumeSession
+};
+
+struct ReplaySummary {
+  std::vector<ClientReport> clients;  // index-aligned with `traces`
+  ServeStats stats;                   // manager stats after the replay
+};
+
+/// Replays every trace through `manager` concurrently and waits for all of
+/// them. Deterministic per-session results (modulo truncation) — see the
+/// equivalence contract asserted by tests/stress.
+ReplaySummary ReplayConcurrently(SessionManager* manager,
+                                 const std::vector<gui::ActionTrace>& traces,
+                                 const ClientOptions& options);
+
+}  // namespace serve
+}  // namespace boomer
+
+#endif  // BOOMER_SERVE_WORKLOAD_H_

@@ -1,5 +1,6 @@
 #include "shell/shell.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/cap_io.h"
@@ -8,6 +9,8 @@
 #include "graph/io.h"
 #include "gui/actions.h"
 #include "query/serialization.h"
+#include "serve/session_manager.h"
+#include "serve/workload.h"
 #include "util/atomic_file.h"
 #include "util/fault.h"
 #include "util/strings.h"
@@ -27,6 +30,7 @@ constexpr char kHelp[] =
     "  vertex <label> | edge <qi> <qj> [lower] [upper]\n"
     "  bounds <edge> <lower> <upper> | delete <edge>\n"
     "  query | cap | run | show <k> | validate\n"
+    "  serve <sessions> [workers] [max-live] [seed]\n"
     "  save-query <path> | load-query <path>\n"
     "  save-session <prefix> | load-session <prefix>\n"
     "  reset | help | quit\n";
@@ -255,10 +259,11 @@ std::string Shell::CmdRun() {
           .c_str(),
       report.prune_removals, report.edges_deferred,
       report.edges_processed_idle, report.edges_processed_at_run);
-  if (report.truncated) {
+  if (report.truncated()) {
     out += StrFormat(
-        "[truncated] partial answer: SRT budget %.3f s exhausted or "
-        "processing failed persistently (%zu edge(s) still pooled)\n",
+        "[truncated] partial answer (reason: %s, SRT budget %.3f s, "
+        "%zu edge(s) still pooled)\n",
+        core::TruncationReasonName(report.truncation),
         options_.srt_budget_seconds, blender_->pool().size());
   }
   if (report.transient_retries > 0 || report.edges_repooled_on_failure > 0) {
@@ -373,6 +378,86 @@ std::string Shell::CmdLoadSession(const std::vector<std::string_view>& args) {
                           blender_->current_query().ToString().c_str());
 }
 
+std::string Shell::CmdServe(const std::vector<std::string_view>& args) {
+  if (graph_ == nullptr) return "error: load a graph first\n";
+  if (args.size() < 2 || args.size() > 5) {
+    return "usage: serve <sessions> [workers] [max-live] [seed]\n";
+  }
+  auto sessions = ParseUint32(args[1]);
+  if (!sessions.ok() || *sessions == 0) {
+    return "usage: serve <sessions> [workers] [max-live] [seed]\n";
+  }
+  uint32_t workers = 4;
+  uint32_t max_live = 8;
+  uint32_t seed = 7;
+  if (args.size() > 2) {
+    auto w = ParseUint32(args[2]);
+    if (!w.ok()) return "error: bad worker count\n";
+    workers = *w;
+  }
+  if (args.size() > 3) {
+    auto m = ParseUint32(args[3]);
+    if (!m.ok() || *m == 0) return "error: bad max-live\n";
+    max_live = *m;
+  }
+  if (args.size() > 4) {
+    auto s = ParseUint32(args[4]);
+    if (!s.ok()) return "error: bad seed\n";
+    seed = *s;
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.num_workers = workers;
+  serve_options.max_live_sessions = max_live;
+  serve_options.blender.strategy = options_.strategy;
+  serve_options.blender.max_results = options_.max_results;
+  serve_options.blender.t_lat_seconds = options_.action_latency_seconds;
+  serve_options.blender.srt_budget_seconds = options_.srt_budget_seconds;
+  serve::SessionManager manager(*graph_, *prep_, serve_options);
+
+  auto traces = serve::SeededTraces(*graph_, *sessions, seed);
+  serve::ClientOptions client_options;
+  client_options.client_threads = std::min<size_t>(*sessions, 8);
+  serve::ReplaySummary summary =
+      serve::ReplayConcurrently(&manager, traces, client_options);
+
+  size_t completed = 0;
+  size_t shed_or_failed = 0;
+  size_t resumes = 0;
+  double srt_sum = 0.0;
+  double srt_max = 0.0;
+  for (const serve::ClientReport& c : summary.clients) {
+    resumes += static_cast<size_t>(c.resumes);
+    if (!c.completed) {
+      ++shed_or_failed;
+      continue;
+    }
+    ++completed;
+    srt_sum += c.report.srt_seconds;
+    srt_max = std::max(srt_max, c.report.srt_seconds);
+  }
+  std::string out = StrFormat(
+      "served %zu session(s) on %u worker(s): %zu completed, %zu "
+      "unfinished, %zu resume(s)\n",
+      summary.clients.size(), workers, completed, shed_or_failed, resumes);
+  if (completed > 0) {
+    out += StrFormat("SRT mean %s, max %s\n",
+                     HumanMicros(static_cast<int64_t>(
+                         srt_sum / completed * 1e6)).c_str(),
+                     HumanMicros(static_cast<int64_t>(srt_max * 1e6)).c_str());
+  }
+  const serve::ServeStats& stats = summary.stats;
+  out += StrFormat(
+      "overload: %llu admission shed, %llu action(s) backpressured, "
+      "%llu eviction(s), %llu watchdog cancel(s); peak %zu live, CAP %s\n",
+      static_cast<unsigned long long>(stats.admission_rejected),
+      static_cast<unsigned long long>(stats.actions_rejected),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.watchdog_cancels),
+      stats.peak_live_sessions, HumanBytes(stats.peak_cap_bytes).c_str());
+  return out;
+}
+
 std::string Shell::CmdReset() {
   if (graph_ == nullptr) return "error: load a graph first\n";
   ResetBlender();
@@ -423,6 +508,7 @@ std::string Shell::Dispatch(std::string_view cmd,
   if (cmd == "cap") return CmdCap();
   if (cmd == "run") return CmdRun();
   if (cmd == "show") return CmdShow(args);
+  if (cmd == "serve") return CmdServe(args);
   if (cmd == "save-query") return CmdSaveQuery(args);
   if (cmd == "load-query") return CmdLoadQuery(args);
   if (cmd == "save-session") return CmdSaveSession(args);

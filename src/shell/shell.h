@@ -22,6 +22,10 @@
 //   cap                         print CAP index statistics
 //   run                         execute; prints match count and SRT
 //   show <k>                    realize match #k (witness paths)
+//   serve <sessions> [workers] [max-live] [seed]
+//                               replay N seeded sessions concurrently
+//                               through the serving runtime; prints SRT and
+//                               overload (shed/evicted/retried) statistics
 //   save-query <path> / load-query <path>
 //   save-session <prefix> / load-session <prefix>
 //                               suspend/resume query + CAP snapshot; a
@@ -97,6 +101,7 @@ class Shell {
   std::string CmdCap();
   std::string CmdRun();
   std::string CmdShow(const std::vector<std::string_view>& args);
+  std::string CmdServe(const std::vector<std::string_view>& args);
   std::string CmdSaveQuery(const std::vector<std::string_view>& args);
   std::string CmdLoadQuery(const std::vector<std::string_view>& args);
   std::string CmdSaveSession(const std::vector<std::string_view>& args);

@@ -132,6 +132,8 @@ Status Configure(const std::string& spec) {
     site.rng = Rng(SiteSeed(seed, name));
   }
   registry.sites = std::move(parsed);
+  // Relaxed is enough: g_armed is a hint, the schedule itself is published
+  // by the mutex (see the memory-ordering contract in fault.h).
   internal::g_armed.store(!registry.sites.empty(),
                           std::memory_order_relaxed);
   return Status::OK();

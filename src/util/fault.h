@@ -24,9 +24,30 @@
 // When the registry is disarmed (the default) every probe is a single
 // relaxed atomic load — cheap enough to leave in release hot paths.
 //
-// The registry is process-global and guarded by a mutex; tests that
-// configure it must not run concurrently with each other (gtest's default
-// serial execution within a binary satisfies this).
+// Thread-safety & memory-ordering contract
+// ----------------------------------------
+// Every entry point (Configure, Reset, ShouldFail, Stats) is safe to call
+// concurrently from any number of threads; worker threads may evaluate
+// probes while another thread arms, re-arms, or disarms the registry.
+//
+//   * All site state — triggers, per-site RNGs, hit/fire counters — lives
+//     behind one registry mutex. Any probe that reaches the slow path is
+//     therefore fully ordered against every Configure/Reset/Stats call:
+//     counters never tear and a site's decision stream stays exactly as
+//     deterministic as in single-threaded use.
+//   * `g_armed` is only a *fast-path hint*, read and written with relaxed
+//     ordering. It publishes no data by itself; the data it guards is
+//     republished under the mutex. The only consequence of the relaxed
+//     ordering is benign staleness: a probe racing with Configure may skip
+//     (or take) the locked path for a moment longer than strictly
+//     necessary. A hit that skips the lock during that window is simply
+//     not counted — equivalent to the probe running just before the
+//     Configure call, which a racing caller cannot distinguish anyway.
+//   * Deterministic replay of a fault schedule is guaranteed per-site, not
+//     across sites: under concurrency the interleaving of *different*
+//     sites' hits is scheduler-dependent, but each site's Nth hit sees the
+//     same decision it would see serially (per-site RNGs are seeded from
+//     the site name, independent of other sites' hit order).
 
 #ifndef BOOMER_UTIL_FAULT_H_
 #define BOOMER_UTIL_FAULT_H_

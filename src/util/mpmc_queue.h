@@ -1,0 +1,120 @@
+// Bounded multi-producer/multi-consumer queue with backpressure.
+//
+// The serving runtime's unit of flow control: producers that outrun the
+// consumers block in Push (or observe TryPush == false and shed load), so a
+// burst of sessions can never grow an unbounded backlog — overload surfaces
+// at the admission edge as a typed kOverloaded Status instead of as memory
+// exhaustion deep inside a worker.
+//
+// Blocking operations accept a std::stop_token so waiters cooperate with
+// jthread cancellation: a stop request wakes them immediately and they
+// return failure (Push) / std::nullopt (Pop) without consuming an element.
+//
+// Thread-safety: every member is safe to call concurrently from any number
+// of threads. Internally a single mutex + two condition variables — the
+// queue favors obviousness over lock-free throughput; profile before
+// replacing it.
+
+#ifndef BOOMER_UTIL_MPMC_QUEUE_H_
+#define BOOMER_UTIL_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <utility>
+
+#include "util/check.h"
+
+namespace boomer {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity) {
+    BOOMER_CHECK(capacity > 0) << "a zero-capacity queue can never accept";
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while full. Returns false — without enqueuing — when the queue
+  /// is closed or `stop` is requested.
+  bool Push(T value, std::stop_token stop = {}) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, stop, [this] {
+      return closed_ || items_.size() < capacity_;
+    });
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Push: false when full or closed (the backpressure signal).
+  bool TryPush(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt when `stop` is requested, or when
+  /// the queue is closed and fully drained (elements enqueued before Close
+  /// are still delivered).
+  std::optional<T> Pop(std::stop_token stop = {}) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, stop, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking Pop: nullopt when empty.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Rejects all future pushes and wakes every waiter. Idempotent. Elements
+  /// already queued remain poppable (drain-then-nullopt semantics).
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  // condition_variable_any: the std::stop_token overloads of wait() need it.
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_MPMC_QUEUE_H_

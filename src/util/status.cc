@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "TIMEOUT";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
+    case StatusCode::kEvicted:
+      return "EVICTED";
   }
   return "UNKNOWN";
 }

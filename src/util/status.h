@@ -31,6 +31,12 @@ enum class StatusCode : int {
   kIOError = 7,
   kTimeout = 8,
   kUnimplemented = 9,
+  /// Admission control: the serving runtime refused new work (session table
+  /// full, action queue full, or memory budget exhausted). Retry later.
+  kOverloaded = 10,
+  /// Load shedding: the session was evicted to reclaim resources. Its state
+  /// was snapshotted first; resume from the snapshot instead of retrying.
+  kEvicted = 11,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -74,6 +80,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Evicted(std::string msg) {
+    return Status(StatusCode::kEvicted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

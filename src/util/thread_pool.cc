@@ -1,0 +1,39 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace boomer {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_(queue_capacity) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this](std::stop_token stop) { Worker(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  return queue_.TryPush(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  // jthread join; each worker drains the closed queue and exits on nullopt.
+  threads_.clear();
+}
+
+void ThreadPool::Worker(std::stop_token stop) {
+  for (;;) {
+    std::optional<std::function<void()>> task = queue_.Pop(stop);
+    if (!task.has_value()) return;
+    (*task)();
+  }
+}
+
+}  // namespace boomer

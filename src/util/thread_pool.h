@@ -1,0 +1,62 @@
+// Fixed-size worker pool over a bounded MPMC task queue.
+//
+// Workers are std::jthread: destruction requests stop and joins, so the
+// pool can never leak a running thread, and blocking queue waits observe
+// the stop_token and wake immediately at shutdown. Submit blocks when the
+// task queue is full (backpressure); TrySubmit returns false instead so
+// callers can shed load with a typed kOverloaded Status.
+//
+// Tasks are plain std::function<void()>; long-running tasks that must be
+// cancellable should capture their own std::stop_token (e.g. a serving
+// session's stop source) — the pool deliberately does not cancel tasks
+// mid-flight, it only stops *dispatching* at shutdown.
+//
+// Shutdown semantics: Shutdown() (or the destructor) closes the queue —
+// rejecting new submissions — lets the workers drain every task already
+// queued, then joins them. Call it explicitly when tasks reference state
+// that dies before the pool does.
+
+#ifndef BOOMER_UTIL_THREAD_POOL_H_
+#define BOOMER_UTIL_THREAD_POOL_H_
+
+#include <functional>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include "util/mpmc_queue.h"
+
+namespace boomer {
+
+class ThreadPool {
+ public:
+  /// `num_threads` may be 0: tasks then queue up but never run — useful in
+  /// tests that need deterministic "worker never got there yet" states.
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocks while the task queue is full. False when shut down.
+  bool Submit(std::function<void()> task);
+
+  /// Non-blocking Submit: false when the queue is full or shut down.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t queued() const { return queue_.size(); }
+
+ private:
+  void Worker(std::stop_token stop);
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_THREAD_POOL_H_

@@ -1,0 +1,96 @@
+#include "util/watchdog.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace boomer {
+
+Watchdog::Watchdog(Options options, Handler default_handler)
+    : options_(options), default_handler_(std::move(default_handler)) {
+  poller_ = std::jthread([this](std::stop_token stop) { Poll(stop); });
+}
+
+Watchdog::~Watchdog() {
+  poller_.request_stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_all();
+  }
+  // jthread joins on destruction; explicit join keeps entries_ alive for
+  // the poller's final pass regardless of member destruction order.
+  if (poller_.joinable()) poller_.join();
+}
+
+Watchdog::Leash Watchdog::Watch(std::string name, double timeout_seconds,
+                                std::function<void()> on_expired) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(timeout_seconds * 1e6));
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  entries_.emplace(id,
+                   Entry{std::move(name), deadline, std::move(on_expired)});
+  return Leash(this, id);
+}
+
+void Watchdog::Disarm(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(id);
+}
+
+uint64_t Watchdog::expired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return expired_;
+}
+
+size_t Watchdog::armed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Watchdog::Poll(std::stop_token stop) {
+  const auto interval = std::chrono::microseconds(
+      static_cast<int64_t>(options_.poll_interval_seconds * 1e6));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop.stop_requested()) {
+    // Timed wait doubling as the poll tick; a stop request wakes it early.
+    cv_.wait_for(lock, stop, interval, [] { return false; });
+    if (stop.stop_requested()) return;
+    const auto now = std::chrono::steady_clock::now();
+    // Collect expired handlers first, run them with the lock released —
+    // handlers may call back into Watch/Disarm.
+    struct Fired {
+      std::string name;
+      double overdue;
+      std::function<void()> handler;
+    };
+    std::vector<Fired> fired;
+    for (auto& [id, entry] : entries_) {
+      if (entry.fired || now < entry.deadline) continue;
+      entry.fired = true;
+      ++expired_;
+      const double overdue =
+          std::chrono::duration<double>(now - entry.deadline).count();
+      fired.push_back({entry.name, overdue, entry.on_expired});
+    }
+    if (fired.empty()) continue;
+    lock.unlock();
+    for (const Fired& f : fired) {
+      if (f.handler) {
+        f.handler();
+      } else if (default_handler_) {
+        default_handler_(f.name, f.overdue);
+      } else {
+        BOOMER_LOG(Error) << "watchdog: '" << f.name << "' stuck "
+                          << f.overdue << "s past its deadline; aborting";
+        std::abort();
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace boomer

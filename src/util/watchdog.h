@@ -1,0 +1,125 @@
+// Monotonic watchdog for stuck work.
+//
+// A serving runtime must never let one wedged session freeze the process
+// silently. Callers arm a named Leash around a bounded piece of work; if
+// the leash is still armed when its deadline (std::chrono::steady_clock —
+// immune to wall-clock jumps) passes, the watchdog fires the leash's
+// handler exactly once. The default handler logs and aborts the process —
+// a stuck session under the default policy is a bug, not a condition to
+// limp through. Tests and the serving runtime install a softer handler
+// that flags the session and requests cooperative cancellation through its
+// stop_source instead.
+//
+// Thread-safety: all members are safe to call concurrently. Handlers run
+// on the watchdog's poll thread with no watchdog lock held, so they may
+// arm/disarm leashes, but they must not block for long — every other
+// deadline waits behind them.
+
+#ifndef BOOMER_UTIL_WATCHDOG_H_
+#define BOOMER_UTIL_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <thread>
+
+namespace boomer {
+
+struct WatchdogOptions {
+  /// Expiry detection granularity; deadlines fire within one interval.
+  double poll_interval_seconds = 0.005;
+};
+
+class Watchdog {
+ public:
+  /// Fired at most once per leash: `name` is the leash's label,
+  /// `overdue_seconds` how far past its deadline the poll observed it.
+  using Handler =
+      std::function<void(const std::string& name, double overdue_seconds)>;
+
+  using Options = WatchdogOptions;
+
+  /// `default_handler` applies to leashes armed without their own handler;
+  /// when empty, an expired leash logs and aborts the process.
+  explicit Watchdog(Options options = {}, Handler default_handler = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// RAII guard: disarms its deadline on destruction (or Release). A leash
+  /// whose work finished in time therefore never fires.
+  class Leash {
+   public:
+    Leash() = default;
+    Leash(Leash&& other) noexcept { *this = std::move(other); }
+    Leash& operator=(Leash&& other) noexcept {
+      Release();
+      dog_ = other.dog_;
+      id_ = other.id_;
+      other.dog_ = nullptr;
+      other.id_ = 0;
+      return *this;
+    }
+    ~Leash() { Release(); }
+
+    /// Disarms early; idempotent.
+    void Release() {
+      if (dog_ != nullptr) dog_->Disarm(id_);
+      dog_ = nullptr;
+      id_ = 0;
+    }
+
+    bool armed() const { return dog_ != nullptr; }
+
+   private:
+    friend class Watchdog;
+    Leash(Watchdog* dog, uint64_t id) : dog_(dog), id_(id) {}
+    Watchdog* dog_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Arms a deadline `timeout_seconds` from now. `on_expired` (may be
+  /// empty) overrides the watchdog-wide handler for this leash; it receives
+  /// no arguments because it already knows its context.
+  [[nodiscard]] Leash Watch(std::string name, double timeout_seconds,
+                            std::function<void()> on_expired = {});
+
+  /// Leashes that have fired since construction.
+  uint64_t expired_count() const;
+
+  /// Leashes currently armed (fired-but-not-yet-released ones included).
+  size_t armed_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void()> on_expired;
+    bool fired = false;
+  };
+
+  void Disarm(uint64_t id);
+  void Poll(std::stop_token stop);
+
+  const Options options_;
+  const Handler default_handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::map<uint64_t, Entry> entries_;
+  uint64_t next_id_ = 1;
+  uint64_t expired_ = 0;
+
+  // Last member: joins (via jthread) before the state above is destroyed.
+  std::jthread poller_;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_WATCHDOG_H_

@@ -119,11 +119,17 @@ TEST_P(ChaosBlendTest, SeededFaultSchedulesDegradeButNeverCorrupt) {
     ASSERT_TRUE(chaotic.cap().Validate(&f.g).ok()) << "seed " << seed;
 
     auto got = boomer::testing::Canonicalize(chaotic.Results());
-    if (!chaotic.report().truncated) {
+    if (!chaotic.report().truncated()) {
       ASSERT_EQ(got, expected)
           << "non-truncated chaotic run diverged (seed " << seed << ")";
     } else {
       ++truncated_runs;
+      // Chaos has no budget and no cancellation: the only legal diagnosis
+      // for its truncations is a persistent processing failure.
+      ASSERT_EQ(chaotic.report().truncation,
+                TruncationReason::kPersistentFailure)
+          << "seed " << seed << " reported "
+          << TruncationReasonName(chaotic.report().truncation);
       ASSERT_TRUE(std::includes(expected.begin(), expected.end(),
                                 got.begin(), got.end()))
           << "truncated run produced an unsound match (seed " << seed << ")";

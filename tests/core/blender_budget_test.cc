@@ -50,7 +50,7 @@ TEST_F(BlenderBudgetTest, UnboundedRunNeverTruncates) {
   BlenderOptions options;  // srt_budget_seconds = 0 -> unbounded
   Blender blender(g, *prep, options);
   ASSERT_TRUE(OneEdgeSession(&blender, 2'000'000).ok());
-  EXPECT_FALSE(blender.report().truncated);
+  EXPECT_FALSE(blender.report().truncated());
   EXPECT_GT(blender.report().num_results, 0u);
 }
 
@@ -63,7 +63,7 @@ TEST_F(BlenderBudgetTest, GenerousBudgetCompletesNormally) {
   ASSERT_TRUE(OneEdgeSession(&a, 2'000'000).ok());
   Blender b(g, *prep, BlenderOptions{});
   ASSERT_TRUE(OneEdgeSession(&b, 2'000'000).ok());
-  EXPECT_FALSE(a.report().truncated);
+  EXPECT_FALSE(a.report().truncated());
   EXPECT_EQ(boomer::testing::Canonicalize(a.Results()),
             boomer::testing::Canonicalize(b.Results()))
       << "a budget that is not hit must not change the answer";
@@ -83,7 +83,8 @@ TEST_F(BlenderBudgetTest, TinyBudgetRefusesExpensiveDrainAndDegrades) {
   ASSERT_TRUE(OneEdgeSession(&blender, 1'000'000).ok())
       << "a budget overrun degrades, it does not error";
   ASSERT_TRUE(blender.run_complete());
-  EXPECT_TRUE(blender.report().truncated);
+  EXPECT_TRUE(blender.report().truncated());
+  EXPECT_EQ(blender.report().truncation, TruncationReason::kBudget);
   EXPECT_TRUE(blender.Results().empty())
       << "an incomplete CAP must not leak unsound matches";
   EXPECT_EQ(blender.pool().size(), 1u) << "the refused edge stays pooled";
@@ -108,7 +109,9 @@ TEST_F(BlenderBudgetTest, TinyBudgetTruncatesEnumeration) {
   ASSERT_TRUE(
       blender.OnAction(Action::NewEdge(1, 2, Bounds{1, 1}, 2'000'000)).ok());
   ASSERT_TRUE(blender.OnAction(Action::Run()).ok());
-  EXPECT_TRUE(blender.report().truncated);
+  EXPECT_TRUE(blender.report().truncated());
+  EXPECT_EQ(blender.report().truncation, TruncationReason::kBudget)
+      << "an enumeration cut-off is a budget truncation";
   EXPECT_LT(blender.report().num_results, 30u * 29u * 28u);
   // Partial results are sound: every returned match is a true match.
   auto partial = boomer::testing::Canonicalize(blender.Results());
@@ -130,7 +133,7 @@ TEST_F(BlenderBudgetTest, TransientFaultIsAbsorbedByRetry) {
   Blender blender(g, *prep, options);
   ASSERT_TRUE(OneEdgeSession(&blender, 2'000'000).ok());
   fault::Reset();
-  EXPECT_FALSE(blender.report().truncated);
+  EXPECT_FALSE(blender.report().truncated());
   EXPECT_GE(blender.report().transient_retries, 1u);
   EXPECT_EQ(boomer::testing::Canonicalize(blender.Results()),
             boomer::testing::Canonicalize(reference.Results()))
@@ -146,7 +149,9 @@ TEST_F(BlenderBudgetTest, PersistentFaultDegradesThenRecovers) {
   options.t_lat_seconds = 0.0;
   Blender blender(g, *prep, options);
   ASSERT_TRUE(OneEdgeSession(&blender, 1'000'000).ok());
-  EXPECT_TRUE(blender.report().truncated);
+  EXPECT_TRUE(blender.report().truncated());
+  EXPECT_EQ(blender.report().truncation,
+            TruncationReason::kPersistentFailure);
   EXPECT_TRUE(blender.Results().empty());
   EXPECT_GE(blender.report().edges_repooled_on_failure, 1u);
   // The rolled-back CAP is still structurally sound.
@@ -156,7 +161,7 @@ TEST_F(BlenderBudgetTest, PersistentFaultDegradesThenRecovers) {
   // Recovery: a fresh session over the same artifacts works normally.
   Blender again(g, *prep, options);
   ASSERT_TRUE(OneEdgeSession(&again, 1'000'000).ok());
-  EXPECT_FALSE(again.report().truncated);
+  EXPECT_FALSE(again.report().truncated());
   EXPECT_GT(again.report().num_results, 0u);
 }
 

@@ -1,0 +1,176 @@
+// Satellite of the serving PR: cooperative cancellation mid-DrainPool.
+//
+// The serving runtime evicts or watchdog-cancels sessions by requesting
+// stop on the blender's stop_token; the contract (see Blender::SetStopToken)
+// is that a cancelled Run is *degraded but sound*: the CAP stays
+// Validate()-clean, unprocessed edges remain pooled, the report carries the
+// configured truncation reason, and replaying the same trace on a fresh
+// blender still reaches the fault-free answer.
+
+#include <algorithm>
+#include <memory>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/latency_model.h"
+#include "gui/trace_builder.h"
+#include "query/bph_query.h"
+#include "support/reference_matcher.h"
+#include "util/check.h"
+
+namespace boomer {
+namespace core {
+namespace {
+
+struct CancelFixture {
+  CancelFixture() {
+    auto g_or = graph::GenerateErdosRenyi(2000, 6000, 5, 11);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep_or = Preprocess(g, options);
+    BOOMER_CHECK(prep_or.ok());
+    prep = std::make_unique<PreprocessResult>(std::move(prep_or).value());
+  }
+  graph::Graph g;
+  std::unique_ptr<PreprocessResult> prep;
+};
+
+CancelFixture& Fixture() {
+  static CancelFixture* fixture = new CancelFixture();  // boomer-lint-allow(naked-new)
+  return *fixture;
+}
+
+/// Pool-heavy options: with t_lat near zero, every edge whose upper bound
+/// allows deferment (>= 3) counts as expensive, so DR parks the whole query
+/// in the pool and Run's drain does all the work — maximal surface for a
+/// cancellation to land on.
+BlenderOptions PoolHeavyOptions(Strategy strategy) {
+  BlenderOptions options;
+  options.strategy = strategy;
+  options.t_lat_seconds = 1e-9;
+  return options;
+}
+
+/// A triangle query with [1,3] bounds everywhere: every edge is deferrable.
+gui::ActionTrace ExpensiveTriangleTrace(uint64_t seed) {
+  query::BphQuery q;
+  const query::QueryVertexId a = q.AddVertex(0);
+  const query::QueryVertexId b = q.AddVertex(1);
+  const query::QueryVertexId c = q.AddVertex(2);
+  BOOMER_CHECK(q.AddEdge(a, b, query::Bounds{1, 3}).ok());
+  BOOMER_CHECK(q.AddEdge(b, c, query::Bounds{1, 3}).ok());
+  BOOMER_CHECK(q.AddEdge(a, c, query::Bounds{1, 3}).ok());
+  gui::LatencyModel latency(gui::LatencyParams{}, seed);
+  auto trace = gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+  BOOMER_CHECK(trace.ok());
+  return std::move(trace).value();
+}
+
+boomer::testing::CanonicalMatches Reference(const gui::ActionTrace& trace,
+                                            const BlenderOptions& options) {
+  auto& f = Fixture();
+  Blender reference(f.g, *f.prep, options);
+  BOOMER_CHECK(reference.RunTrace(trace).ok());
+  return boomer::testing::Canonicalize(reference.Results());
+}
+
+TEST(BlenderCancelTest, StopBeforeRunTruncatesCancelledAndLeavesPoolIntact) {
+  auto& f = Fixture();
+  gui::ActionTrace trace = ExpensiveTriangleTrace(3);
+  BlenderOptions options = PoolHeavyOptions(Strategy::kDeferToRun);
+  auto expected = Reference(trace, options);
+  ASSERT_FALSE(expected.empty()) << "triangle must have matches to lose";
+
+  Blender blender(f.g, *f.prep, options);
+  std::stop_source stopper;
+  blender.SetStopToken(stopper.get_token());
+
+  // Formulate everything; DR defers every (expensive) edge to the pool.
+  const std::vector<gui::Action>& actions = trace.actions();
+  for (size_t i = 0; i + 1 < actions.size(); ++i) {
+    ASSERT_TRUE(blender.OnAction(actions[i]).ok());
+  }
+  const size_t pooled_before_run = blender.pool().size();
+  ASSERT_EQ(pooled_before_run, blender.current_query().NumEdges())
+      << "pool-heavy options must defer every edge";
+
+  // The stop arrives before the Run click (e.g. an eviction racing it).
+  stopper.request_stop();
+  ASSERT_TRUE(blender.OnAction(actions.back()).ok());
+  ASSERT_TRUE(blender.run_complete());
+  EXPECT_TRUE(blender.report().truncated());
+  EXPECT_EQ(blender.report().truncation, TruncationReason::kCancelled);
+
+  // DrainPool bailed at its first cancellation point: every edge is still
+  // pooled, the CAP rollback invariant held, and no unsound partial answer
+  // escaped (an all-pooled CAP can vouch for nothing).
+  EXPECT_EQ(blender.pool().size(), pooled_before_run);
+  EXPECT_TRUE(blender.cap().Validate(&f.g).ok());
+  EXPECT_TRUE(blender.Results().empty());
+
+  // The session is resumable: a fresh blender over the same trace reaches
+  // the fault-free answer (this is exactly what ResumeSession replays).
+  Blender resumed(f.g, *f.prep, options);
+  ASSERT_TRUE(resumed.RunTrace(trace).ok());
+  EXPECT_EQ(boomer::testing::Canonicalize(resumed.Results()), expected);
+}
+
+TEST(BlenderCancelTest, EvictionReasonPropagatesToReport) {
+  auto& f = Fixture();
+  gui::ActionTrace trace = ExpensiveTriangleTrace(4);
+  BlenderOptions options = PoolHeavyOptions(Strategy::kDeferToRun);
+
+  Blender blender(f.g, *f.prep, options);
+  std::stop_source stopper;
+  stopper.request_stop();
+  blender.SetStopToken(stopper.get_token());
+  blender.SetCancelReason(TruncationReason::kEvicted);
+
+  ASSERT_TRUE(blender.RunTrace(trace).ok());
+  EXPECT_TRUE(blender.report().truncated());
+  EXPECT_EQ(blender.report().truncation, TruncationReason::kEvicted);
+  EXPECT_TRUE(blender.cap().Validate(&f.g).ok());
+}
+
+TEST(BlenderCancelTest, RacingStopMidRunStaysSound) {
+  auto& f = Fixture();
+  BlenderOptions options = PoolHeavyOptions(Strategy::kDeferToIdle);
+  for (uint64_t seed = 20; seed < 26; ++seed) {
+    gui::ActionTrace trace = ExpensiveTriangleTrace(seed);
+    auto expected = Reference(trace, options);
+
+    Blender blender(f.g, *f.prep, options);
+    std::stop_source stopper;
+    blender.SetStopToken(stopper.get_token());
+    {
+      // Stop lands at a scheduler-dependent point: before, during, or
+      // after the drain. Every landing must leave a sound blender.
+      std::jthread racer([&] { stopper.request_stop(); });
+      ASSERT_TRUE(blender.RunTrace(trace).ok()) << "seed " << seed;
+    }
+    ASSERT_TRUE(blender.run_complete()) << "seed " << seed;
+    ASSERT_TRUE(blender.cap().Validate(&f.g).ok()) << "seed " << seed;
+
+    auto got = boomer::testing::Canonicalize(blender.Results());
+    if (blender.report().truncated()) {
+      EXPECT_EQ(blender.report().truncation, TruncationReason::kCancelled)
+          << "seed " << seed;
+      EXPECT_TRUE(std::includes(expected.begin(), expected.end(),
+                                got.begin(), got.end()))
+          << "seed " << seed;
+    } else {
+      EXPECT_EQ(got, expected) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace boomer

@@ -1,0 +1,278 @@
+// SessionManager unit tests: admission control, backpressure, eviction /
+// resume round-trips, and the watchdog's cooperative cancellation — each
+// overload path observable through its typed Status.
+
+#include "serve/session_manager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "serve/workload.h"
+#include "support/reference_matcher.h"
+#include "util/check.h"
+
+namespace boomer {
+namespace serve {
+namespace {
+
+struct ServeFixture {
+  ServeFixture() {
+    auto g_or = graph::GenerateErdosRenyi(60, 140, 3, 17);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    core::PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep_or = core::Preprocess(g, options);
+    BOOMER_CHECK(prep_or.ok());
+    prep = std::make_unique<core::PreprocessResult>(
+        std::move(prep_or).value());
+  }
+  graph::Graph g;
+  std::unique_ptr<core::PreprocessResult> prep;
+};
+
+ServeFixture& Fixture() {
+  static ServeFixture* fixture = new ServeFixture();  // boomer-lint-allow(naked-new)
+  return *fixture;
+}
+
+ServeOptions BaseOptions() {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_live_sessions = 8;
+  options.max_queued_actions = 64;
+  options.snapshot_dir = ::testing::TempDir();
+  return options;
+}
+
+boomer::testing::CanonicalMatches Reference(const gui::ActionTrace& trace,
+                                            const core::BlenderOptions& o) {
+  auto& f = Fixture();
+  core::Blender reference(f.g, *f.prep, o);
+  BOOMER_CHECK(reference.RunTrace(trace).ok());
+  return boomer::testing::Canonicalize(reference.Results());
+}
+
+TEST(SessionManagerTest, AdmissionShedsWithTypedOverloadedStatus) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  options.max_live_sessions = 2;
+  SessionManager manager(f.g, *f.prep, options);
+
+  auto a = manager.OpenSession();
+  auto b = manager.OpenSession();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(manager.live_sessions(), 2u);
+
+  auto c = manager.OpenSession();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(manager.stats().admission_rejected, 1u);
+
+  // A freed slot re-opens the gate.
+  ASSERT_TRUE(manager.CloseSession(*a).ok());
+  auto d = manager.OpenSession();
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(manager.stats().peak_live_sessions, 2u);
+}
+
+TEST(SessionManagerTest, QueueBackpressureIsTypedAndBounded) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  options.num_workers = 0;  // nothing drains: the queue freezes
+  options.max_queued_actions = 2;
+  SessionManager manager(f.g, *f.prep, options);
+
+  auto id = manager.OpenSession();
+  ASSERT_TRUE(id.ok());
+  const gui::Action vertex = gui::Action::NewVertex(0, 0, 1000);
+  EXPECT_TRUE(manager.SubmitAction(*id, vertex).ok());
+  EXPECT_TRUE(
+      manager.SubmitAction(*id, gui::Action::NewVertex(1, 1, 1000)).ok());
+  Status third = manager.SubmitAction(*id, gui::Action::NewVertex(2, 2, 1000));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kOverloaded);
+  EXPECT_GE(manager.stats().actions_rejected, 1u);
+}
+
+TEST(SessionManagerTest, SingleSessionMatchesSingleThreadedBlend) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  SessionManager manager(f.g, *f.prep, options);
+  auto traces = SeededTraces(f.g, 3, 21);
+
+  for (const gui::ActionTrace& trace : traces) {
+    auto expected = Reference(trace, options.blender);
+    auto id = manager.OpenSession();
+    ASSERT_TRUE(id.ok());
+    for (const gui::Action& action : trace.actions()) {
+      Status s = manager.SubmitAction(*id, action);
+      ASSERT_TRUE(s.ok()) << s;
+    }
+    auto result = manager.Await(*id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->state, SessionState::kCompleted);
+    ASSERT_TRUE(result->status.ok());
+    EXPECT_FALSE(result->report.truncated());
+    EXPECT_EQ(boomer::testing::Canonicalize(result->results), expected);
+    ASSERT_TRUE(manager.CloseSession(*id).ok());
+  }
+  EXPECT_EQ(manager.stats().sessions_completed, 3u);
+}
+
+TEST(SessionManagerTest, EvictResumeRoundTripReachesReferenceAnswer) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  options.num_workers = 1;
+  SessionManager manager(f.g, *f.prep, options);
+  gui::ActionTrace trace = SeededTraces(f.g, 1, 33)[0];
+  ASSERT_GT(trace.size(), 2u);
+  auto expected = Reference(trace, options.blender);
+
+  // Apply everything but the final Run, then evict the idle session.
+  auto id = manager.OpenSession();
+  ASSERT_TRUE(id.ok());
+  const size_t prefix = trace.size() - 1;
+  for (size_t i = 0; i < prefix; ++i) {
+    ASSERT_TRUE(manager.SubmitAction(*id, trace.at(i)).ok());
+  }
+  ASSERT_TRUE(manager.WaitIdle(*id).ok());
+  ASSERT_TRUE(manager.EvictSession(*id).ok());
+
+  // The evicted session answers with a typed kEvicted Status...
+  Status submit = manager.SubmitAction(*id, trace.at(prefix));
+  ASSERT_FALSE(submit.ok());
+  EXPECT_EQ(submit.code(), StatusCode::kEvicted);
+
+  // ...and hands out a snapshot that records exactly the applied prefix.
+  auto snapshot = manager.GetEviction(*id);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->actions_applied, prefix);
+  ASSERT_TRUE(manager.CloseSession(*id).ok());
+
+  // Resume replays the snapshot; submitting the tail completes the blend
+  // with results identical to the uninterrupted single-threaded run.
+  auto resumed = manager.ResumeSession(snapshot->prefix);
+  ASSERT_TRUE(resumed.ok());
+  for (size_t i = prefix; i < trace.size(); ++i) {
+    ASSERT_TRUE(manager.SubmitAction(*resumed, trace.at(i)).ok());
+  }
+  auto result = manager.Await(*resumed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->state, SessionState::kCompleted);
+  EXPECT_FALSE(result->report.truncated());
+  EXPECT_EQ(boomer::testing::Canonicalize(result->results), expected);
+
+  const ServeStats stats = manager.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.sessions_resumed, 1u);
+}
+
+TEST(SessionManagerTest, EvictionOfTerminalSessionIsRejected) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  SessionManager manager(f.g, *f.prep, options);
+  gui::ActionTrace trace = SeededTraces(f.g, 1, 8)[0];
+
+  auto id = manager.OpenSession();
+  ASSERT_TRUE(id.ok());
+  for (const gui::Action& action : trace.actions()) {
+    ASSERT_TRUE(manager.SubmitAction(*id, action).ok());
+  }
+  auto result = manager.Await(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->state, SessionState::kCompleted);
+  EXPECT_FALSE(manager.EvictSession(*id).ok());
+  EXPECT_FALSE(manager.GetEviction(*id).ok());
+}
+
+TEST(SessionManagerTest, MemoryBudgetShedsIdleSessionWithSnapshot) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  options.num_workers = 1;
+  // Any live CAP footprint at all busts a 1-byte budget: the moment the
+  // session's CAP becomes non-empty (DI probes the pool during formulation)
+  // and the session goes idle, the shedder must evict it.
+  options.memory_budget_bytes = 1;
+  SessionManager manager(f.g, *f.prep, options);
+  gui::ActionTrace trace = SeededTraces(f.g, 1, 41)[0];
+
+  auto a = manager.OpenSession();
+  ASSERT_TRUE(a.ok());
+  bool evicted = false;
+  size_t submitted = 0;
+  for (const gui::Action& action : trace.actions()) {
+    Status s = manager.SubmitAction(*a, action);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kEvicted) << s;
+      evicted = true;
+      break;
+    }
+    ++submitted;
+    Status idle = manager.WaitIdle(*a);  // idle after every action: shed
+    if (!idle.ok()) {
+      EXPECT_EQ(idle.code(), StatusCode::kEvicted) << idle;
+      evicted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(evicted) << "CAP grew past the budget but nothing was shed";
+
+  auto snapshot = manager.GetEviction(*a);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_FALSE(snapshot->prefix.empty());
+  EXPECT_LE(snapshot->actions_applied, submitted);
+  EXPECT_GE(manager.stats().evictions, 1u);
+  // The eviction released the victim's footprint.
+  EXPECT_EQ(manager.total_cap_bytes(), 0u);
+}
+
+TEST(SessionManagerTest, WatchdogCancelsStuckRunIntoTruncatedCompletion) {
+  // A private, larger fixture: the Run must genuinely outlast the leash.
+  auto g_or = graph::GenerateErdosRenyi(4000, 12000, 3, 29);
+  ASSERT_TRUE(g_or.ok());
+  core::PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 200;
+  auto prep = core::Preprocess(*g_or, prep_options);
+  ASSERT_TRUE(prep.ok());
+
+  ServeOptions options = BaseOptions();
+  options.num_workers = 1;
+  options.stuck_session_seconds = 0.005;
+  SessionManager manager(*g_or, *prep, options);
+
+  gui::ActionTrace trace = SeededTraces(*g_or, 1, 3)[0];
+  auto id = manager.OpenSession();
+  ASSERT_TRUE(id.ok());
+  for (const gui::Action& action : trace.actions()) {
+    ASSERT_TRUE(manager.SubmitAction(*id, action).ok());
+  }
+  auto result = manager.Await(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->state, SessionState::kCompleted);
+  EXPECT_GE(manager.stats().watchdog_cancels, 1u);
+  EXPECT_TRUE(result->report.truncated());
+  EXPECT_EQ(result->report.truncation, core::TruncationReason::kCancelled);
+}
+
+TEST(SessionManagerTest, ShutdownWithLiveSessionsIsClean) {
+  auto& f = Fixture();
+  ServeOptions options = BaseOptions();
+  SessionManager manager(f.g, *f.prep, options);
+  auto id = manager.OpenSession();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(
+      manager.SubmitAction(*id, gui::Action::NewVertex(0, 0, 1000)).ok());
+  // No Close, no Await: the destructor must stop workers and release the
+  // session without deadlock or leak (ASan/TSan patrol this test).
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace boomer

@@ -1,0 +1,237 @@
+// Serving-runtime stress: hundreds of interleaved sessions, faults armed.
+//
+// The acceptance contract of the serving PR, asserted end-to-end:
+//   * every session that completes non-truncated returns results identical
+//     to a single-threaded, fault-free replay of its trace;
+//   * truncated completions are subsets of that reference — degraded,
+//     never wrong — and carry a diagnosed TruncationReason;
+//   * overload is typed: shed admissions and evicted sessions surface
+//     kOverloaded / kEvicted Statuses, and evicted sessions resume from
+//     their snapshots and still finish;
+//   * the run is TSan-clean (this binary is in the `concurrency` label the
+//     tsan preset gates on).
+//
+// Sized for CI: a chaos-scale graph keeps each blend cheap while the
+// session count (>= 200, ISSUE acceptance) keeps the interleaving dense.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "serve/session_manager.h"
+#include "serve/workload.h"
+#include "support/reference_matcher.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace boomer {
+namespace serve {
+namespace {
+
+struct StressFixture {
+  StressFixture() {
+    auto g_or = graph::GenerateErdosRenyi(60, 140, 3, 17);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    core::PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep_or = core::Preprocess(g, options);
+    BOOMER_CHECK(prep_or.ok());
+    prep = std::make_unique<core::PreprocessResult>(
+        std::move(prep_or).value());
+  }
+  graph::Graph g;
+  std::unique_ptr<core::PreprocessResult> prep;
+};
+
+StressFixture& Fixture() {
+  static StressFixture* fixture = new StressFixture();  // boomer-lint-allow(naked-new)
+  return *fixture;
+}
+
+struct ReferenceRun {
+  boomer::testing::CanonicalMatches matches;
+  size_t cap_bytes = 0;
+};
+
+/// Single-threaded, fault-free replay of every trace — the ground truth the
+/// concurrent run is compared against (and the CAP-size calibration for the
+/// memory budget).
+std::vector<ReferenceRun> References(const std::vector<gui::ActionTrace>& ts,
+                                     const core::BlenderOptions& options) {
+  auto& f = Fixture();
+  std::vector<ReferenceRun> refs;
+  refs.reserve(ts.size());
+  for (const gui::ActionTrace& trace : ts) {
+    core::Blender blender(f.g, *f.prep, options);
+    BOOMER_CHECK(blender.RunTrace(trace).ok());
+    BOOMER_CHECK(blender.run_complete());
+    ReferenceRun ref;
+    ref.matches = boomer::testing::Canonicalize(blender.Results());
+    ref.cap_bytes = blender.cap().ComputeStats().size_bytes;
+    refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
+class ServeStressTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Reset(); }
+};
+
+void CheckClientAgainstReference(const ClientReport& c,
+                                 const ReferenceRun& ref) {
+  SCOPED_TRACE("trace " + std::to_string(c.trace_index));
+  if (!c.completed) {
+    // Unfinished sessions must have been refused in a *typed* way, never
+    // with a generic error (and never silently).
+    ASSERT_FALSE(c.final_status.ok());
+    const StatusCode code = c.final_status.code();
+    EXPECT_TRUE(code == StatusCode::kOverloaded ||
+                code == StatusCode::kEvicted)
+        << c.final_status;
+    return;
+  }
+  ASSERT_TRUE(c.final_status.ok()) << c.final_status;
+  auto got = boomer::testing::Canonicalize(c.results);
+  if (!c.report.truncated()) {
+    EXPECT_EQ(got, ref.matches) << "non-truncated session diverged from the "
+                                   "single-threaded fault-free replay";
+  } else {
+    // No SRT budget, no watchdog: the only legal diagnosis is a persistent
+    // processing failure (injected faults exhausting the retry budget).
+    EXPECT_EQ(c.report.truncation, core::TruncationReason::kPersistentFailure)
+        << core::TruncationReasonName(c.report.truncation);
+    EXPECT_TRUE(std::includes(ref.matches.begin(), ref.matches.end(),
+                              got.begin(), got.end()))
+        << "truncated session produced an unsound match";
+  }
+}
+
+TEST_F(ServeStressTest, HundredsOfInterleavedSessionsUnderFaults) {
+  constexpr size_t kSessions = 220;
+  auto& f = Fixture();
+
+  ServeOptions options;
+  options.num_workers = 8;
+  options.max_live_sessions = 12;  // well under the client count: sheds
+  options.max_queued_actions = 8;  // small queues: backpressure is common
+  options.snapshot_dir = ::testing::TempDir();
+
+  auto traces = SeededTraces(f.g, kSessions, 5);
+  auto refs = References(traces, options.blender);
+
+  // Memory budget: a handful of grown sessions fit, twelve do not — the
+  // shedder must evict (and the evicted clients must resume) mid-run.
+  size_t max_bytes = 0;
+  for (const ReferenceRun& ref : refs) {
+    max_bytes = std::max(max_bytes, ref.cap_bytes);
+  }
+  ASSERT_GT(max_bytes, 0u);
+  options.memory_budget_bytes = 4 * max_bytes;
+
+  ASSERT_TRUE(fault::Configure("core/pvs=p0.10,cap/add_pair=p0.002,"
+                               "core/pool_probe=p0.2,seed=33")
+                  .ok());
+
+  ClientOptions client_options;
+  client_options.client_threads = 16;
+  client_options.max_resumes = 32;
+
+  ReplaySummary summary;
+  {
+    SessionManager manager(f.g, *f.prep, options);
+    summary = ReplayConcurrently(&manager, traces, client_options);
+  }
+  fault::Reset();
+
+  ASSERT_EQ(summary.clients.size(), kSessions);
+  size_t completed = 0;
+  size_t truncated = 0;
+  size_t resumes = 0;
+  for (size_t i = 0; i < summary.clients.size(); ++i) {
+    const ClientReport& c = summary.clients[i];
+    CheckClientAgainstReference(c, refs[i]);
+    if (c.completed) {
+      ++completed;
+      if (c.report.truncated()) ++truncated;
+    }
+    resumes += static_cast<size_t>(c.resumes);
+  }
+
+  // The overload machinery must have actually been exercised.
+  const ServeStats& stats = summary.stats;
+  EXPECT_GT(stats.admission_rejected, 0u)
+      << "16 clients against 12 slots never shed an admission";
+  EXPECT_GT(stats.evictions, 0u)
+      << "the memory budget never forced an eviction";
+  EXPECT_GT(resumes, 0u) << "no evicted client resumed from a snapshot";
+  // >=: a resume that was itself evicted replays more than once.
+  EXPECT_GE(stats.sessions_resumed, static_cast<uint64_t>(resumes));
+  EXPECT_LE(stats.peak_live_sessions, options.max_live_sessions);
+
+  // Overload may legitimately refuse a few stragglers, but the service must
+  // remain a service: the overwhelming majority completes.
+  EXPECT_GE(completed, kSessions * 95 / 100)
+      << completed << "/" << kSessions << " completed";
+  EXPECT_LT(truncated, completed) << "every session truncated";
+}
+
+TEST_F(ServeStressTest, EvictionChurnStillReachesReferenceAnswers) {
+  constexpr size_t kSessions = 24;
+  auto& f = Fixture();
+
+  ServeOptions options;
+  options.num_workers = 4;
+  options.max_live_sessions = 4;
+  options.max_queued_actions = 4;
+  options.snapshot_dir = ::testing::TempDir();
+
+  auto traces = SeededTraces(f.g, kSessions, 91);
+  auto refs = References(traces, options.blender);
+  size_t max_bytes = 0;
+  for (const ReferenceRun& ref : refs) {
+    max_bytes = std::max(max_bytes, ref.cap_bytes);
+  }
+  // One full-grown session always fits (no self-eviction livelock); two
+  // rarely do — eviction churn is constant.
+  options.memory_budget_bytes = max_bytes + max_bytes / 2;
+
+  ClientOptions client_options;
+  client_options.client_threads = 8;
+  client_options.max_resumes = 64;
+
+  ReplaySummary summary;
+  {
+    SessionManager manager(f.g, *f.prep, options);
+    summary = ReplayConcurrently(&manager, traces, client_options);
+  }
+
+  ASSERT_EQ(summary.clients.size(), kSessions);
+  size_t completed = 0;
+  for (size_t i = 0; i < summary.clients.size(); ++i) {
+    const ClientReport& c = summary.clients[i];
+    CheckClientAgainstReference(c, refs[i]);
+    if (c.completed) {
+      ++completed;
+      // Fault-free: completions must be exact, not merely sound.
+      EXPECT_FALSE(c.report.truncated()) << "trace " << i;
+    }
+  }
+  // Sustained churn may legitimately force one bounded, *typed* give-up
+  // (ResumeSession's livelock guard); anything more means the protocol
+  // lost sessions. CheckClientAgainstReference already verified that every
+  // unfinished session carries kOverloaded/kEvicted.
+  EXPECT_GE(completed, kSessions - 1);
+  EXPECT_GT(summary.stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace boomer

@@ -1,0 +1,140 @@
+#include "util/mpmc_queue.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+TEST(MpmcQueueTest, PushPopPreservesFifoOrder) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueueTest, TryPushSignalsBackpressureWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  ASSERT_TRUE(q.TryPop().has_value());
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(MpmcQueueTest, TryPopOnEmptyReturnsNullopt) {
+  MpmcQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseDrainsQueuedElementsThenReturnsNullopt) {
+  MpmcQueue<int> q(4);
+  EXPECT_TRUE(q.Push(7));
+  EXPECT_TRUE(q.Push(8));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(9));
+  EXPECT_FALSE(q.TryPush(9));
+  // Elements enqueued before Close are still delivered, in order.
+  auto a = q.Pop();
+  auto b = q.Pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(*b, 8);
+  // Closed and drained: Pop no longer blocks.
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseIsIdempotent) {
+  MpmcQueue<int> q(2);
+  q.Close();
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+}
+
+TEST(MpmcQueueTest, StopTokenWakesBlockedPush) {
+  MpmcQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));  // now full
+  std::atomic<bool> pushed{true};
+  std::jthread producer([&](std::stop_token stop) {
+    pushed = q.Push(2, stop);  // blocks: queue full
+  });
+  producer.request_stop();
+  producer.join();
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.size(), 1u);  // the stopped Push enqueued nothing
+}
+
+TEST(MpmcQueueTest, StopTokenWakesBlockedPop) {
+  MpmcQueue<int> q(1);
+  std::atomic<bool> got{true};
+  std::jthread consumer([&](std::stop_token stop) {
+    got = q.Pop(stop).has_value();  // blocks: queue empty
+  });
+  consumer.request_stop();
+  consumer.join();
+  EXPECT_FALSE(got.load());
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedWaiters) {
+  MpmcQueue<int> q(1);
+  std::atomic<bool> got{true};
+  std::jthread consumer([&] { got = q.Pop().has_value(); });
+  q.Close();
+  consumer.join();
+  EXPECT_FALSE(got.load());
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  MpmcQueue<int> q(8);  // deliberately tight: exercises both waits
+
+  std::mutex mu;
+  std::multiset<int> received;
+  {
+    std::vector<std::jthread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        for (;;) {
+          auto v = q.Pop();
+          if (!v.has_value()) return;
+          std::lock_guard<std::mutex> lock(mu);
+          received.insert(*v);
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (int i = 0; i < kPerProducer; ++i) {
+            ASSERT_TRUE(q.Push(p * kPerProducer + i));
+          }
+        });
+      }
+    }  // all producers joined
+    q.Close();  // consumers drain the remainder and exit
+  }
+
+  ASSERT_EQ(received.size(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  for (int v = 0; v < kProducers * kPerProducer; ++v) {
+    EXPECT_EQ(received.count(v), 1u) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace boomer

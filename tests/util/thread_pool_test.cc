@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, 64);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    }
+    pool.Shutdown();  // drains before joining
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1, 64);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    }
+  }  // ~ThreadPool == Shutdown
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersQueueFillsAndTrySubmitSheds) {
+  ThreadPool pool(0, 3);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  }
+  // Queue full and nobody drains: backpressure is observable immediately.
+  EXPECT_FALSE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.queued(), 3u);
+  EXPECT_EQ(ran.load(), 0);  // no worker ever ran anything
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1, 8);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyWithSubmitter) {
+  // A task that blocks until the submitter releases it proves the work is
+  // actually off-thread (a same-thread pool would deadlock here).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool task_started = false;
+  bool release = false;
+
+  ThreadPool pool(1, 4);
+  ASSERT_TRUE(pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    task_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  }));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return task_started; });
+    release = true;
+    cv.notify_all();
+  }
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,123 @@
+#include "util/watchdog.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+WatchdogOptions FastPoll() {
+  WatchdogOptions options;
+  options.poll_interval_seconds = 0.002;
+  return options;
+}
+
+// Waits (bounded) until `pred` holds; the watchdog has no completion
+// callback beyond the handlers themselves, so tests poll its counters.
+template <typename Pred>
+bool EventuallyTrue(Pred pred, double timeout_seconds = 2.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(WatchdogTest, LeashReleasedInTimeNeverFires) {
+  std::atomic<int> fired{0};
+  Watchdog dog(FastPoll(),
+               [&](const std::string&, double) { fired.fetch_add(1); });
+  {
+    Watchdog::Leash leash = dog.Watch("quick-work", 0.010);
+    EXPECT_TRUE(leash.armed());
+    EXPECT_EQ(dog.armed_count(), 1u);
+  }  // released well before the deadline
+  EXPECT_EQ(dog.armed_count(), 0u);
+  // Ride out several poll intervals: the released leash must stay silent.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(dog.expired_count(), 0u);
+}
+
+TEST(WatchdogTest, ExpiredLeashFiresPerLeashHandlerExactlyOnce) {
+  std::atomic<int> default_fired{0};
+  std::atomic<int> leash_fired{0};
+  Watchdog dog(FastPoll(), [&](const std::string&, double) {
+    default_fired.fetch_add(1);
+  });
+  Watchdog::Leash leash =
+      dog.Watch("stuck-work", 0.005, [&] { leash_fired.fetch_add(1); });
+  ASSERT_TRUE(EventuallyTrue([&] { return leash_fired.load() > 0; }));
+  // Held past its deadline across many more polls: still exactly one fire,
+  // and the per-leash handler suppressed the watchdog-wide one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(leash_fired.load(), 1);
+  EXPECT_EQ(default_fired.load(), 0);
+  EXPECT_EQ(dog.expired_count(), 1u);
+  // Fired-but-unreleased leashes still count as armed until released.
+  EXPECT_EQ(dog.armed_count(), 1u);
+  leash.Release();
+  EXPECT_EQ(dog.armed_count(), 0u);
+}
+
+TEST(WatchdogTest, DefaultHandlerReceivesNameAndOverdue) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string fired_name;
+  double overdue = -1.0;
+  Watchdog dog(FastPoll(), [&](const std::string& name, double over) {
+    std::lock_guard<std::mutex> lock(mu);
+    fired_name = name;
+    overdue = over;
+    cv.notify_all();
+  });
+  Watchdog::Leash leash = dog.Watch("named-session", 0.005);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(2),
+                            [&] { return !fired_name.empty(); }));
+    EXPECT_EQ(fired_name, "named-session");
+    EXPECT_GE(overdue, 0.0);
+  }
+}
+
+TEST(WatchdogTest, IndependentLeashesFireIndependently) {
+  std::atomic<int> slow_fired{0};
+  Watchdog dog(FastPoll());
+  Watchdog::Leash fast =
+      dog.Watch("finishes", 10.0, [] { FAIL() << "must not fire"; });
+  Watchdog::Leash slow =
+      dog.Watch("wedges", 0.005, [&] { slow_fired.fetch_add(1); });
+  ASSERT_TRUE(EventuallyTrue([&] { return slow_fired.load() > 0; }));
+  EXPECT_EQ(dog.expired_count(), 1u);
+  fast.Release();
+  slow.Release();
+}
+
+TEST(WatchdogTest, MovedLeashDisarmsOnlyOnce) {
+  std::atomic<int> fired{0};
+  Watchdog dog(FastPoll(),
+               [&](const std::string&, double) { fired.fetch_add(1); });
+  Watchdog::Leash outer;
+  {
+    Watchdog::Leash inner = dog.Watch("moved", 10.0);
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.armed());  // NOLINT(bugprone-use-after-move)
+  }  // inner's destruction must not disarm the moved-to leash
+  EXPECT_TRUE(outer.armed());
+  EXPECT_EQ(dog.armed_count(), 1u);
+  outer.Release();
+  EXPECT_EQ(dog.armed_count(), 0u);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,249 @@
+// boomer_serve: concurrent serving driver.
+//
+// Replays N seeded formulation traces through the multi-session serving
+// runtime and reports per-session SRT plus overload statistics — the
+// command-line twin of the shell's `serve` command, with the admission and
+// shedding knobs exposed.
+//
+// Usage:
+//   boomer_serve [--sessions N] [--workers N] [--max-live N]
+//                [--queue N] [--mem-budget BYTES] [--watchdog SECONDS]
+//                [--strategy ic|dr|di] [--budget SECONDS]
+//                [--dataset er|wordnet|dblp|flickr] [--scale F] [--seed N]
+//                [--snapshot-dir DIR] [--faults SPEC] [--per-session]
+//
+// --dataset er (the default) generates a small Erdős–Rényi graph sized for
+// quick runs; the named analogs accept --scale as the fraction of the
+// paper's dataset size (see graph/datasets.h).
+//
+// Faults can also be armed via the BOOMER_FAULTS environment variable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+
+#include "core/blender.h"
+#include "core/preprocessor.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "serve/session_manager.h"
+#include "serve/workload.h"
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace {
+
+struct Args {
+  size_t sessions = 64;
+  size_t workers = 8;
+  size_t max_live = 16;
+  size_t queue = 32;
+  size_t mem_budget = 0;
+  double watchdog_seconds = 0.0;
+  double srt_budget = 0.0;
+  boomer::core::Strategy strategy = boomer::core::Strategy::kDeferToIdle;
+  std::string dataset = "er";
+  double scale = 0.02;
+  uint64_t seed = 7;
+  std::string snapshot_dir = ".";
+  std::string faults;
+  bool per_session = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--sessions N] [--workers N] [--max-live N] [--queue N]\n"
+      "          [--mem-budget BYTES] [--watchdog SECONDS]\n"
+      "          [--strategy ic|dr|di] [--budget SECONDS]\n"
+      "          [--dataset er|wordnet|dblp|flickr] [--scale F] [--seed N]\n"
+      "          [--snapshot-dir DIR] [--faults SPEC] [--per-session]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool ParseSize(const char* text, size_t* out) {
+  auto v = boomer::ParseInt64(text);
+  if (!v.ok() || *v < 0) return false;
+  *out = static_cast<size_t>(*v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using boomer::core::Strategy;
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--sessions") {
+      if (!ParseSize(next(), &args.sessions)) Usage(argv[0]);
+    } else if (flag == "--workers") {
+      if (!ParseSize(next(), &args.workers)) Usage(argv[0]);
+    } else if (flag == "--max-live") {
+      if (!ParseSize(next(), &args.max_live)) Usage(argv[0]);
+    } else if (flag == "--queue") {
+      if (!ParseSize(next(), &args.queue)) Usage(argv[0]);
+    } else if (flag == "--mem-budget") {
+      if (!ParseSize(next(), &args.mem_budget)) Usage(argv[0]);
+    } else if (flag == "--watchdog") {
+      auto v = boomer::ParseDouble(next());
+      if (!v.ok()) Usage(argv[0]);
+      args.watchdog_seconds = *v;
+    } else if (flag == "--budget") {
+      auto v = boomer::ParseDouble(next());
+      if (!v.ok()) Usage(argv[0]);
+      args.srt_budget = *v;
+    } else if (flag == "--strategy") {
+      const std::string s = next();
+      if (s == "ic") {
+        args.strategy = Strategy::kImmediate;
+      } else if (s == "dr") {
+        args.strategy = Strategy::kDeferToRun;
+      } else if (s == "di") {
+        args.strategy = Strategy::kDeferToIdle;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (flag == "--dataset") {
+      args.dataset = next();
+    } else if (flag == "--scale") {
+      auto v = boomer::ParseDouble(next());
+      if (!v.ok() || *v <= 0.0) Usage(argv[0]);
+      args.scale = *v;
+    } else if (flag == "--seed") {
+      auto v = boomer::ParseInt64(next());
+      if (!v.ok() || *v < 0) Usage(argv[0]);
+      args.seed = static_cast<uint64_t>(*v);
+    } else if (flag == "--snapshot-dir") {
+      args.snapshot_dir = next();
+    } else if (flag == "--faults") {
+      args.faults = next();
+    } else if (flag == "--per-session") {
+      args.per_session = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  boomer::StatusOr<boomer::graph::Graph> g_or =
+      boomer::Status::InvalidArgument("no dataset");
+  if (args.dataset == "er") {
+    g_or = boomer::graph::GenerateErdosRenyi(2000, 6000, 5, args.seed);
+  } else {
+    auto kind = boomer::graph::DatasetKindFromName(args.dataset);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+      return 1;
+    }
+    boomer::graph::DatasetSpec spec;
+    spec.kind = *kind;
+    spec.scale = args.scale;
+    spec.seed = args.seed;
+    g_or = boomer::graph::GenerateDataset(spec);
+  }
+  if (!g_or.ok()) {
+    std::fprintf(stderr, "graph generation failed: %s\n",
+                 g_or.status().ToString().c_str());
+    return 1;
+  }
+  boomer::graph::Graph graph = std::move(g_or).value();
+  boomer::core::PreprocessOptions prep_options;
+  prep_options.t_avg_samples = 2000;
+  auto prep_or = boomer::core::Preprocess(graph, prep_options);
+  if (!prep_or.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 prep_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %s scale %.3f — %zu vertices, %zu edges\n",
+              args.dataset.c_str(), args.scale, graph.NumVertices(),
+              graph.NumEdges());
+
+  if (!args.faults.empty()) {
+    boomer::Status s = boomer::fault::Configure(args.faults);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad --faults: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  boomer::serve::ServeOptions serve_options;
+  serve_options.num_workers = args.workers;
+  serve_options.max_live_sessions = args.max_live;
+  serve_options.max_queued_actions = args.queue;
+  serve_options.memory_budget_bytes = args.mem_budget;
+  serve_options.stuck_session_seconds = args.watchdog_seconds;
+  serve_options.snapshot_dir = args.snapshot_dir;
+  serve_options.blender.strategy = args.strategy;
+  serve_options.blender.srt_budget_seconds = args.srt_budget;
+  boomer::serve::SessionManager manager(graph, *prep_or, serve_options);
+
+  auto traces =
+      boomer::serve::SeededTraces(graph, args.sessions, args.seed);
+  boomer::serve::ClientOptions client_options;
+  client_options.client_threads =
+      std::min<size_t>(args.sessions, args.workers * 4);
+  boomer::serve::ReplaySummary summary =
+      boomer::serve::ReplayConcurrently(&manager, traces, client_options);
+
+  size_t completed = 0;
+  size_t truncated = 0;
+  size_t unfinished = 0;
+  size_t resumes = 0;
+  size_t submit_retries = 0;
+  double srt_sum = 0.0;
+  double srt_max = 0.0;
+  for (const boomer::serve::ClientReport& c : summary.clients) {
+    resumes += static_cast<size_t>(c.resumes);
+    submit_retries += static_cast<size_t>(c.submit_retries);
+    if (args.per_session) {
+      std::printf(
+          "session %4zu: %s srt=%.3fs results=%zu truncation=%s "
+          "resumes=%d retries=%d status=%s\n",
+          c.trace_index, c.completed ? "done " : "UNFIN", c.report.srt_seconds,
+          c.results.size(),
+          boomer::core::TruncationReasonName(c.report.truncation), c.resumes,
+          c.submit_retries, c.final_status.ToString().c_str());
+    }
+    if (!c.completed) {
+      ++unfinished;
+      continue;
+    }
+    ++completed;
+    if (c.report.truncated()) ++truncated;
+    srt_sum += c.report.srt_seconds;
+    srt_max = std::max(srt_max, c.report.srt_seconds);
+  }
+
+  const boomer::serve::ServeStats& stats = summary.stats;
+  std::printf(
+      "served %zu session(s) | workers %zu | completed %zu "
+      "(%zu truncated) | unfinished %zu\n",
+      summary.clients.size(), args.workers, completed, truncated, unfinished);
+  if (completed > 0) {
+    std::printf("SRT mean %.3f s, max %.3f s\n", srt_sum / completed,
+                srt_max);
+  }
+  std::printf(
+      "overload: admission shed %llu | backpressured %llu | evictions %llu "
+      "| resumes %zu | submit retries %zu | watchdog cancels %llu\n",
+      static_cast<unsigned long long>(stats.admission_rejected),
+      static_cast<unsigned long long>(stats.actions_rejected),
+      static_cast<unsigned long long>(stats.evictions), resumes,
+      submit_retries,
+      static_cast<unsigned long long>(stats.watchdog_cancels));
+  std::printf("peak: %zu live session(s), %zu CAP bytes\n",
+              stats.peak_live_sessions, stats.peak_cap_bytes);
+  if (!args.faults.empty()) {
+    std::printf("fault sites:\n%s", boomer::fault::StatsToString().c_str());
+  }
+  return 0;
+}

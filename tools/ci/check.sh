@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Correctness gate: build + test the tree under ASan/UBSan with -Werror and
-# DCHECKs pinned on, then run the project lint and (when the binaries exist)
-# clang-format / clang-tidy. Any finding exits non-zero.
+# DCHECKs pinned on, run the concurrency suite under TSan, then run the
+# project lint and (when the binaries exist) clang-format / clang-tidy. Any
+# finding exits non-zero.
 #
 # Usage: tools/ci/check.sh [--skip-sanitizers]
 #
-# The sanitizer pass uses the `asan-ubsan` CMake preset and builds into
-# build-asan-ubsan/, leaving the default build/ tree untouched.
+# The sanitizer passes use the `asan-ubsan` / `tsan` CMake presets and build
+# into build-asan-ubsan/ / build-tsan/, leaving the default build/ tree
+# untouched. --skip-sanitizers skips both.
 set -u -o pipefail
 
 cd "$(dirname "$0")/../.."
@@ -53,7 +55,37 @@ else
   echo "build/ not configured; chaos label runs in the sanitizer pass" >&2
 fi
 
+supports_tsan() {
+  # Probe the toolchain: some container images ship a compiler without the
+  # tsan runtime, in which case the gate is skipped with a loud warning
+  # (mirroring the clang-format / clang-tidy skip behavior).
+  local probe_dir probe_src
+  probe_dir="$(mktemp -d)" || return 1
+  probe_src="$probe_dir/probe.cc"
+  echo 'int main() { return 0; }' > "$probe_src"
+  if c++ -fsanitize=thread -o "$probe_dir/probe" "$probe_src" >/dev/null 2>&1 \
+      && "$probe_dir/probe"; then
+    rm -rf "$probe_dir"
+    return 0
+  fi
+  rm -rf "$probe_dir"
+  return 1
+}
+
 if [ "$SKIP_SANITIZERS" -eq 0 ]; then
+  # The serving runtime's suite (`concurrency` label: session manager,
+  # thread pool, watchdog, fault-registry races, the >=200-session stress)
+  # must be data-race-free, not merely green: TSAN_OPTIONS=halt_on_error=1
+  # (set in the tsan test preset) turns the first race into a failure.
+  step "tsan gate (ctest -L concurrency under ThreadSanitizer)"
+  if supports_tsan; then
+    cmake --preset tsan || fail "cmake configure (tsan)"
+    cmake --build --preset tsan -j "$(nproc)" || fail "build (tsan)"
+    ctest --preset tsan -L concurrency || fail "ctest concurrency (tsan)"
+  else
+    echo "toolchain cannot build/run -fsanitize=thread; skipping tsan gate" >&2
+  fi
+
   step "configure (asan-ubsan preset)"
   cmake --preset asan-ubsan || fail "cmake configure"
 

@@ -20,6 +20,18 @@ compilers cannot:
   rand             no rand()/srand()/random() anywhere; all randomness flows
                    through util/rng.h so runs stay seed-reproducible.
   using-namespace  no `using namespace std;`
+  raw-thread       no raw `std::thread` — use std::jthread (or ThreadPool,
+                   util/thread_pool.h): destruction then joins instead of
+                   calling std::terminate, and blocking waits observe the
+                   stop_token.  std::thread:: statics (hardware_concurrency)
+                   stay legal.
+  thread-detach    no `.detach()` — a detached thread outlives every
+                   invariant this codebase can check; cancel through
+                   stop_token and join instead.
+  sleep-sync       no sleep_for/sleep_until/usleep/nanosleep outside util/
+                   and tests/ — sleeping is not synchronization; wait on a
+                   condition variable or stop_token.  (Tests may sleep to
+                   ride out a watchdog poll; util/ owns the primitives.)
 
 A line (or its predecessor) containing `boomer-lint-allow(<rule>)` exempts
 that single occurrence; use sparingly and explain why in the comment.
@@ -53,6 +65,12 @@ STDOUT_STDERR_OK_RE = re.compile(r"\bfprintf\s*\(\s*stderr|\bfputs\s*\([^,]*,\s*
 NAKED_NEW_RE = re.compile(r"(^|[^\w.:>])new\s+[A-Za-z_:<]|(^|[^\w.:>])delete\s*(\[\s*\])?\s+?[A-Za-z_(*]")
 RAND_RE = re.compile(r"(^|[^\w:.])(s?rand|random|rand_r|drand48)\s*\(")
 USING_NAMESPACE_STD_RE = re.compile(r"using\s+namespace\s+std\s*;")
+# std::thread as a type (declaration, member, vector<std::thread>) but not
+# std::thread::hardware_concurrency() and friends.
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
+THREAD_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+SLEEP_RE = re.compile(
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
 ALLOW_RE = re.compile(r"boomer-lint-allow\(([a-z-]+)\)")
 
@@ -140,6 +158,25 @@ class Linter:
                     and not self.allowed(lines, idx, "using-namespace")):
                 self.report(rel, lineno, "using-namespace",
                             "'using namespace std' is banned")
+
+            if (RAW_THREAD_RE.search(line)
+                    and not self.allowed(lines, idx, "raw-thread")):
+                self.report(rel, lineno, "raw-thread",
+                            "raw std::thread terminates on unjoined "
+                            "destruction; use std::jthread or ThreadPool")
+
+            if (THREAD_DETACH_RE.search(line)
+                    and not self.allowed(lines, idx, "thread-detach")):
+                self.report(rel, lineno, "thread-detach",
+                            "detached threads outlive every invariant; "
+                            "cancel via stop_token and join")
+
+            if (top not in ("tests",) and not str(rel).startswith("src/util/")
+                    and SLEEP_RE.search(line)
+                    and not self.allowed(lines, idx, "sleep-sync")):
+                self.report(rel, lineno, "sleep-sync",
+                            "sleeping is not synchronization; wait on a "
+                            "condition variable or stop_token")
 
     def run(self) -> int:
         scanned = 0

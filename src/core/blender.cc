@@ -45,6 +45,16 @@ const char* TruncationReasonName(TruncationReason r) {
   return "??";
 }
 
+const char* DegradeLevelName(DegradeLevel d) {
+  switch (d) {
+    case DegradeLevel::kNone:
+      return "none";
+    case DegradeLevel::kLowMemory:
+      return "low-memory";
+  }
+  return "??";
+}
+
 Blender::Blender(const graph::Graph& g, const PreprocessResult& prep,
                  BlenderOptions options)
     : graph_(g), prep_(prep), options_(options) {
@@ -52,6 +62,7 @@ Blender::Blender(const graph::Graph& g, const PreprocessResult& prep,
   pvs_ctx_.oracle = &prep_.pml();
   pvs_ctx_.two_hop_counts = &prep_.two_hop_counts();
   pvs_ctx_.mode = options_.pvs_mode;
+  if (options_.low_memory) report_.degrade = DegradeLevel::kLowMemory;
 }
 
 double Blender::EstimateEdgeCost(QueryEdgeId e) const {
@@ -212,8 +223,10 @@ Status Blender::OnAction(const Action& action) {
   BOOMER_DCHECK_GE(action.latency_micros, 0)
       << "trace actions cannot arrive in the past";
   const int64_t arrival = clock_.NowMicros() + action.latency_micros;
-  // The user is busy forming this action; DI exploits the window.
-  if (options_.strategy == Strategy::kDeferToIdle) {
+  // The user is busy forming this action; DI exploits the window. Not in
+  // low-memory mode: idle processing would re-grow the CAP the mode exists
+  // to keep flat, so everything waits for Run's drain.
+  if (options_.strategy == Strategy::kDeferToIdle && !options_.low_memory) {
     ProbePool(arrival);
   }
   clock_.AdvanceTo(arrival);
@@ -258,8 +271,9 @@ Status Blender::HandleNewVertex(const Action& a) {
 Status Blender::HandleNewEdge(const Action& a) {
   BOOMER_ASSIGN_OR_RETURN(QueryEdgeId e,
                           query_.AddEdge(a.src, a.dst, a.bounds));
-  const bool defer = options_.strategy != Strategy::kImmediate &&
-                     IsExpensive(e);
+  const bool defer =
+      options_.low_memory ||
+      (options_.strategy != Strategy::kImmediate && IsExpensive(e));
   if (defer) {
     pool_.push_back(e);
     ++report_.edges_deferred;

@@ -70,6 +70,18 @@ enum class TruncationReason {
 
 const char* TruncationReasonName(TruncationReason r);
 
+/// How much work the blender gave up during formulation to save memory.
+/// Unlike TruncationReason this never affects the *answer* — a degraded
+/// blend produces the same results as a healthy one, only later (all CAP
+/// work lands in the Run drain, NAV-style), so SRT grows while peak
+/// formulation-time memory stays flat.
+enum class DegradeLevel {
+  kNone = 0,       // normal blending for the configured strategy
+  kLowMemory,      // every edge deferred to Run; no idle probing
+};
+
+const char* DegradeLevelName(DegradeLevel d);
+
 struct BlenderOptions {
   Strategy strategy = Strategy::kDeferToIdle;
   PvsMode pvs_mode = PvsMode::kThreeStrategy;
@@ -88,6 +100,12 @@ struct BlenderOptions {
   /// LabelSimilarity matrix + threshold generalizes to full 1-1 p-hom
   /// similarity matching (Fan et al.); the matrix must outlive the blender.
   query::SimilarityConfig similarity;
+  /// Low-memory mode (serve-layer degradation ladder, rung 1): defer every
+  /// edge to Run's drain and skip idle probing, so no CAP edge work — and
+  /// none of its pair memory — accumulates during formulation. Results are
+  /// identical to normal blending (strategy equivalence), but the SRT
+  /// absorbs all processing. Surfaced as BlendReport::degrade.
+  bool low_memory = false;
 };
 
 /// Metrics of one blend session; the benchmark harness reads these.
@@ -124,6 +142,10 @@ struct BlendReport {
   /// Edges whose processing failed persistently and were returned to the
   /// pool (retried at the next drain opportunity).
   size_t edges_repooled_on_failure = 0;
+  /// Non-kNone when the blend ran in a memory-saving mode (see
+  /// BlenderOptions::low_memory). Orthogonal to `truncation`: degraded
+  /// blends still produce full, sound answers.
+  DegradeLevel degrade = DegradeLevel::kNone;
 };
 
 class Blender {

@@ -9,34 +9,49 @@
 namespace boomer {
 namespace gui {
 
+std::string ActionToText(const Action& a) {
+  std::ostringstream out;
+  switch (a.kind) {
+    case ActionKind::kNewVertex:
+      out << "vertex " << a.vertex << " " << a.label << " "
+          << a.latency_micros;
+      break;
+    case ActionKind::kNewEdge:
+      out << "edge " << a.src << " " << a.dst << " " << a.bounds.lower << " "
+          << a.bounds.upper << " " << a.latency_micros;
+      break;
+    case ActionKind::kModify:
+      if (a.modify_kind == ModifyKind::kDeleteEdge) {
+        out << "delete " << a.target_edge << " " << a.latency_micros;
+      } else {
+        out << "bounds " << a.target_edge << " " << a.new_bounds.lower << " "
+            << a.new_bounds.upper << " " << a.latency_micros;
+      }
+      break;
+    case ActionKind::kRun:
+      out << "run " << a.latency_micros;
+      break;
+  }
+  return out.str();
+}
+
 std::string TraceToText(const ActionTrace& trace) {
   std::ostringstream out;
   out << "# BOOMER action trace: " << trace.size() << " actions\n";
   for (const Action& a : trace.actions()) {
-    switch (a.kind) {
-      case ActionKind::kNewVertex:
-        out << "vertex " << a.vertex << " " << a.label << " "
-            << a.latency_micros << "\n";
-        break;
-      case ActionKind::kNewEdge:
-        out << "edge " << a.src << " " << a.dst << " " << a.bounds.lower
-            << " " << a.bounds.upper << " " << a.latency_micros << "\n";
-        break;
-      case ActionKind::kModify:
-        if (a.modify_kind == ModifyKind::kDeleteEdge) {
-          out << "delete " << a.target_edge << " " << a.latency_micros
-              << "\n";
-        } else {
-          out << "bounds " << a.target_edge << " " << a.new_bounds.lower
-              << " " << a.new_bounds.upper << " " << a.latency_micros << "\n";
-        }
-        break;
-      case ActionKind::kRun:
-        out << "run " << a.latency_micros << "\n";
-        break;
-    }
+    out << ActionToText(a) << "\n";
   }
   return out.str();
+}
+
+StatusOr<Action> ActionFromText(const std::string& line) {
+  BOOMER_ASSIGN_OR_RETURN(ActionTrace trace, TraceFromText(line));
+  if (trace.size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("expected exactly one action, got %zu in '%s'",
+                  trace.size(), line.c_str()));
+  }
+  return trace.at(0);
 }
 
 StatusOr<ActionTrace> TraceFromText(const std::string& text) {

@@ -25,6 +25,15 @@ namespace gui {
 /// Renders `trace` in the text format above.
 std::string TraceToText(const ActionTrace& trace);
 
+/// Renders one action as a single line of the trace format (no trailing
+/// newline). This is also the serving runtime's WAL record format, so a
+/// write-ahead log is a byte-compatible prefix of a saved trace.
+std::string ActionToText(const Action& action);
+
+/// Parses a single action line. InvalidArgument unless `line` holds
+/// exactly one well-formed action.
+StatusOr<Action> ActionFromText(const std::string& line);
+
 /// Parses the text format. Structural validity (ids in sequence, edges
 /// legal) is checked lazily by ReplayToQuery / the blender, not here.
 StatusOr<ActionTrace> TraceFromText(const std::string& text);

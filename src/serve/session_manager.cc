@@ -1,10 +1,13 @@
 #include "serve/session_manager.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "gui/trace_io.h"
 #include "query/serialization.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -24,6 +27,18 @@ const char* SessionStateName(SessionState s) {
       return "failed";
     case SessionState::kClosed:
       return "closed";
+  }
+  return "??";
+}
+
+const char* HealthStateName(HealthState h) {
+  switch (h) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
   }
   return "??";
 }
@@ -87,30 +102,99 @@ bool SessionManager::CanAdmitLocked() const {
   return true;
 }
 
+size_t SessionManager::DegradeThresholdBytes() const {
+  if (options_.memory_budget_bytes == 0) {
+    return std::numeric_limits<size_t>::max();
+  }
+  const double f = std::clamp(options_.degrade_fraction, 0.0, 1.0);
+  return static_cast<size_t>(
+      f * static_cast<double>(options_.memory_budget_bytes));
+}
+
+void SessionManager::RatchetHealth(HealthState observed) {
+  const int candidate = static_cast<int>(observed);
+  int seen = peak_health_.load();
+  while (candidate > seen &&
+         !peak_health_.compare_exchange_weak(seen, candidate)) {
+  }
+}
+
+HealthState SessionManager::health() const {
+  if (options_.memory_budget_bytes == 0) return HealthState::kHealthy;
+  const size_t total = total_cap_bytes_.load();
+  if (total >= options_.memory_budget_bytes) return HealthState::kShedding;
+  if (total >= DegradeThresholdBytes()) return HealthState::kDegraded;
+  return HealthState::kHealthy;
+}
+
+HealthState SessionManager::peak_health() const {
+  return static_cast<HealthState>(peak_health_.load());
+}
+
+std::string SessionManager::WalPath(SessionId id) const {
+  return options_.wal_dir + "/session-" +
+         std::to_string(static_cast<unsigned long long>(id)) + ".wal";
+}
+
 StatusOr<SessionId> SessionManager::OpenLocked() {
+  // Degradation ladder, rung 1: above the threshold new sessions still
+  // open, but in low-memory mode — their CAP work (and its footprint)
+  // moves from formulation time to the Run drain.
+  core::BlenderOptions blender_options = options_.blender;
+  const bool degraded = total_cap_bytes_.load() >= DegradeThresholdBytes();
+  if (degraded) blender_options.low_memory = true;
+
   auto s = std::make_shared<Session>();
   s->id = next_id_++;
+  if (!options_.wal_dir.empty()) {
+    // Refusing the session beats admitting it without the durability the
+    // configuration promised.
+    WalOptions wal_options;
+    wal_options.group_commit_interval = options_.wal_group_commit;
+    auto wal_or = WalWriter::Open(WalPath(s->id), wal_options);
+    if (!wal_or.ok()) return wal_or.status();
+    s->wal = std::move(*wal_or);
+  }
   s->blender =
-      std::make_unique<core::Blender>(graph_, prep_, options_.blender);
+      std::make_unique<core::Blender>(graph_, prep_, blender_options);
   s->blender->SetStopToken(s->stopper.get_token());
   sessions_.emplace(s->id, s);
   opened_.fetch_add(1);
+  if (degraded) {
+    degraded_.fetch_add(1);
+    RatchetHealth(HealthState::kDegraded);
+  }
   BumpMax(&peak_live_, sessions_.size());
   return s->id;
 }
 
 StatusOr<SessionId> SessionManager::OpenSession() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Overloaded("session manager shutting down");
+    if (CanAdmitLocked()) return OpenLocked();
+    if (sessions_.size() >= options_.max_live_sessions) {
+      admission_rejected_.fetch_add(1);
+      return Status::Overloaded(StrFormat(
+          "admission refused: %zu live session(s) (max %zu)",
+          sessions_.size(), options_.max_live_sessions));
+    }
+  }
+  // Only the memory gate is shut: climb the ladder's last rung — try to
+  // shed an idle victim (outside mu_, per the lock hierarchy) and re-check
+  // once. When nothing is idle this must *reject*, never over-admit: every
+  // live session is mid-action, so admitting one more could only grow the
+  // footprint further with no evictable slack left.
+  RatchetHealth(HealthState::kShedding);
+  MaybeShedForMemory();
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) return Status::Overloaded("session manager shutting down");
-  if (!CanAdmitLocked()) {
-    admission_rejected_.fetch_add(1);
-    return Status::Overloaded(StrFormat(
-        "admission refused: %zu live session(s) (max %zu), CAP footprint "
-        "%zu bytes (budget %zu)",
-        sessions_.size(), options_.max_live_sessions,
-        total_cap_bytes_.load(), options_.memory_budget_bytes));
-  }
-  return OpenLocked();
+  if (CanAdmitLocked()) return OpenLocked();
+  admission_rejected_.fetch_add(1);
+  return Status::Overloaded(StrFormat(
+      "admission refused: CAP footprint %zu bytes >= budget %zu and no "
+      "idle session to shed",
+      total_cap_bytes_.load(), options_.memory_budget_bytes));
 }
 
 StatusOr<SessionId> SessionManager::WaitAdmission() {
@@ -195,6 +279,31 @@ void SessionManager::ApplyAction(const SessionPtr& s,
   // here; the popped action is intentionally dropped — it is past the
   // snapshot's actions_applied mark, so a resume replays it correctly.
   if (s->state.load() != SessionState::kActive) return;
+  if (s->wal != nullptr) {
+    // Write-ahead: the record must be in the log before the blender sees
+    // the action, so a crash mid-apply replays it instead of losing it.
+    // Transient (injected) append faults get the same bounded retry as the
+    // atomic file writer; a real failure fails the session — applying an
+    // action the log cannot carry would silently void the crash contract.
+    Status wal_status = Status::OK();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      wal_status = s->wal->Append(gui::ActionToText(action));
+      if (wal_status.ok() || !fault::IsInjected(wal_status)) break;
+    }
+    if (!wal_status.ok()) {
+      failed_.fetch_add(1);
+      UpdateCapBytes(s, 0);
+      std::lock_guard<std::mutex> qlock(s->qmu);
+      s->blender.reset();
+      s->queue.clear();
+      s->queued.store(0);
+      s->terminal_status = wal_status;
+      s->state.store(SessionState::kFailed);
+      s->qcv.notify_all();
+      return;
+    }
+    wal_records_.fetch_add(1);
+  }
   s->busy.store(true);
   Watchdog::Leash leash;
   if (options_.stuck_session_seconds > 0.0) {
@@ -214,6 +323,7 @@ void SessionManager::ApplyAction(const SessionPtr& s,
   s->busy.store(false);
   if (!status.ok()) {
     failed_.fetch_add(1);
+    if (s->wal != nullptr) (void)s->wal->Close();
     UpdateCapBytes(s, 0);
     std::lock_guard<std::mutex> qlock(s->qmu);
     s->blender.reset();  // under emu+qmu: every reader checks state first
@@ -225,8 +335,17 @@ void SessionManager::ApplyAction(const SessionPtr& s,
     return;
   }
   s->applied.Append(action);
+  s->applied_count.store(s->applied.size());
   UpdateCapBytes(s, s->blender->cap().ComputeStats().size_bytes);
+  if (s->wal != nullptr && s->queued.load() == 0) {
+    // Queue drained: flush the group-commit buffer so "WaitIdle returned
+    // OK" implies "everything applied so far survives a crash".
+    (void)s->wal->Sync();
+  }
   if (s->blender->run_complete()) {
+    // The session is terminal for the WAL's purposes; flush and release
+    // the descriptor (the file stays until CloseSession consumes it).
+    if (s->wal != nullptr) (void)s->wal->Close();
     s->report = s->blender->report();
     s->results = s->blender->Results();
     // A Run cancelled by an eviction is counted by the eviction that
@@ -362,6 +481,15 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
         result = save;
       } else {
         s->snapshot = SessionSnapshot{prefix, s->applied.size()};
+        if (s->wal != nullptr) {
+          // The CRC-whole snapshot now supersedes the WAL; deleting it
+          // keeps recovery from replaying the same prefix twice. (A crash
+          // between the rename above and this unlink is benign: RecoverAll
+          // reconciles the duplicate pair by longest valid prefix.)
+          (void)s->wal->Close();
+          (void)RemoveFileIfExists(s->wal->path());
+          s->wal.reset();
+        }
         UpdateCapBytes(s, 0);
         std::lock_guard<std::mutex> qlock(s->qmu);
         s->blender.reset();
@@ -393,6 +521,7 @@ void SessionManager::MaybeShedForMemory() {
   // injection) must not spin this worker forever.
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (total_cap_bytes_.load() <= options_.memory_budget_bytes) return;
+    RatchetHealth(HealthState::kShedding);
     SessionPtr victim;
     size_t victim_bytes = 0;
     {
@@ -402,6 +531,10 @@ void SessionManager::MaybeShedForMemory() {
       for (const auto& [id, s] : sessions_) {
         if (s->state.load() != SessionState::kActive) continue;
         if (s->busy.load() || s->queued.load() != 0) continue;  // idle only
+        // Shed grace: a freshly resumed session is off-limits until its
+        // client has landed one action past the replayed prefix —
+        // re-evicting it before then makes no forward progress.
+        if (s->applied_count.load() <= s->shed_grace.load()) continue;
         const size_t bytes = s->cap_bytes.load();
         if (bytes > victim_bytes) {
           victim_bytes = bytes;
@@ -409,7 +542,12 @@ void SessionManager::MaybeShedForMemory() {
         }
       }
     }
-    if (victim == nullptr) return;  // nothing idle; a later apply retries
+    if (victim == nullptr) {
+      // Nothing idle to shed; a later apply retries. OpenSession treats
+      // this stall as "reject, don't over-admit".
+      shed_stalls_.fetch_add(1);
+      return;
+    }
     (void)EvictSessionInternal(victim);
   }
 }
@@ -422,12 +560,31 @@ StatusOr<SessionId> SessionManager::ResumeSession(const std::string& prefix) {
   // would silently skip the actions in between.)
   BOOMER_ASSIGN_OR_RETURN(gui::ActionTrace trace,
                           gui::LoadTrace(prefix + ".trace"));
-  // A resume can itself be evicted under sustained pressure; retry a
+  BOOMER_ASSIGN_OR_RETURN(SessionId id, ReplayTrace(trace));
+  // The fresh session's own WAL carries durability from here; the consumed
+  // snapshot pair (and any WAL a crashed eviction left beside it) would
+  // otherwise leak one file set per evict/resume cycle and re-replay stale
+  // state at the next recovery sweep.
+  (void)RemoveFileIfExists(prefix + ".trace");
+  (void)RemoveFileIfExists(prefix + ".query");
+  (void)RemoveFileIfExists(prefix + ".wal");
+  return id;
+}
+
+StatusOr<SessionId> SessionManager::ReplayTrace(
+    const gui::ActionTrace& trace) {
+  // A replay can itself be evicted under sustained pressure; retry a
   // bounded number of times before giving up (livelock protection, not
-  // fairness — the original snapshot stays on disk either way).
+  // fairness — the caller's source trace is unaffected either way).
   for (int attempt = 0; attempt < 16; ++attempt) {
     BOOMER_ASSIGN_OR_RETURN(SessionId id, WaitAdmission());
     resumed_.fetch_add(1);
+    if (SessionPtr s = Find(id)) {
+      // Forward-progress guarantee (see Session::shed_grace): the replayed
+      // prefix is not shed-able; only actions the client adds after the
+      // resume put this session back on the victim list.
+      s->shed_grace.store(trace.size());
+    }
     Status st = Status::OK();
     for (const gui::Action& a : trace.actions()) {
       st = SubmitAction(id, a);
@@ -448,6 +605,201 @@ StatusOr<SessionId> SessionManager::ResumeSession(const std::string& prefix) {
   return Status::Evicted("resume evicted repeatedly; service overloaded");
 }
 
+namespace {
+
+/// Parses "session-<id>.<ext>"; returns true and fills the outputs when
+/// `name` matches, for `ext` in {wal, trace}.
+bool ParseSessionFile(const std::string& name, SessionId* id,
+                      bool* is_wal) {
+  constexpr std::string_view kPrefix = "session-";
+  if (name.size() <= kPrefix.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return false;
+  }
+  size_t pos = kPrefix.size();
+  uint64_t value = 0;
+  size_t digits = 0;
+  while (pos < name.size() && name[pos] >= '0' && name[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(name[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  const std::string_view suffix(name.data() + pos, name.size() - pos);
+  if (suffix == ".wal") {
+    *is_wal = true;
+  } else if (suffix == ".trace") {
+    *is_wal = false;
+  } else {
+    return false;
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<RecoveryOutcome>> SessionManager::RecoverAll(
+    const std::string& dir) {
+  BOOMER_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                          ListDirectory(dir));
+  struct Sources {
+    bool wal = false;
+    bool trace = false;
+  };
+  std::map<SessionId, Sources> found;  // ordered -> id-sorted outcomes
+  for (const std::string& name : names) {
+    // Unpublished atomic-write scratch from a dead process is garbage by
+    // definition — the rename that would have made it real never ran.
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      (void)RemoveFileIfExists(dir + "/" + name);
+      continue;
+    }
+    SessionId id = 0;
+    bool is_wal = false;
+    if (!ParseSessionFile(name, &id, &is_wal)) continue;
+    if (is_wal) {
+      found[id].wal = true;
+    } else {
+      found[id].trace = true;
+    }
+  }
+
+  // Replayed sessions get *fresh* ids past every id seen on disk, so a
+  // fresh manager recovering into its own wal_dir can never open a new
+  // WAL (O_APPEND!) on top of a log it has not consumed yet.
+  if (!found.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_id_ = std::max(next_id_, found.rbegin()->first + 1);
+  }
+
+  std::vector<RecoveryOutcome> outcomes;
+  outcomes.reserve(found.size());
+  for (const auto& [id, sources] : found) {
+    const std::string base =
+        dir + "/session-" + std::to_string(static_cast<unsigned long long>(id));
+    const std::string wal_path = base + ".wal";
+    const std::string trace_path = base + ".trace";
+    RecoveryOutcome out;
+    out.original_id = id;
+
+    // Source 1: the write-ahead log. Torn tails truncate silently (that is
+    // the log's contract); mid-log damage quarantines the file but keeps
+    // the valid prefix in play.
+    gui::ActionTrace wal_trace;
+    bool have_wal = false;
+    if (sources.wal) {
+      auto read_or = ReadWal(wal_path);
+      if (read_or.ok()) {
+        have_wal = true;
+        out.torn_tail = read_or->torn_tail;
+        bool parse_bad = false;
+        for (const std::string& record : read_or->records) {
+          auto action_or = gui::ActionFromText(record);
+          if (!action_or.ok()) {
+            // CRC-valid bytes that don't parse: the writer (not the disk)
+            // misbehaved. Same treatment as mid-log corruption.
+            parse_bad = true;
+            break;
+          }
+          wal_trace.Append(*action_or);
+        }
+        if (read_or->corrupt || parse_bad) {
+          out.quarantined = true;
+          (void)QuarantineFile(wal_path);
+        }
+      } else {
+        out.quarantined = true;
+        (void)QuarantineFile(wal_path);
+        out.status = read_or.status();
+      }
+    }
+
+    // Source 2: an eviction snapshot (CRC-verified whole file).
+    gui::ActionTrace snap_trace;
+    bool have_snap = false;
+    if (sources.trace) {
+      auto trace_or = gui::LoadTrace(trace_path);
+      if (trace_or.ok()) {
+        have_snap = true;
+        snap_trace = std::move(*trace_or);
+      } else {
+        out.quarantined = true;
+        (void)QuarantineFile(trace_path);
+        if (out.status.ok()) out.status = trace_or.status();
+      }
+    }
+
+    // Reconcile: longest valid prefix wins. On a tie the snapshot does —
+    // it is whole-file checksummed, and a WAL of equal length holds the
+    // identical actions anyway.
+    const gui::ActionTrace* chosen = nullptr;
+    if (have_wal && (!have_snap || wal_trace.size() > snap_trace.size())) {
+      chosen = &wal_trace;
+      out.from_wal = true;
+    } else if (have_snap) {
+      chosen = &snap_trace;
+    }
+    if (chosen == nullptr) {
+      if (out.status.ok()) {
+        out.status = Status::IOError(StrFormat(
+            "session %llu: no recoverable source",
+            static_cast<unsigned long long>(id)));
+      }
+      recovery_failures_.fetch_add(1);
+      outcomes.push_back(std::move(out));
+      continue;
+    }
+    if (chosen->size() == 0) {
+      // The session never applied an action; there is no state to rebuild
+      // and no client to hand a fresh id to. Consume the empty files.
+      out.status = Status::OK();
+      (void)RemoveFileIfExists(wal_path);
+      (void)RemoveFileIfExists(trace_path);
+      (void)RemoveFileIfExists(base + ".query");
+      outcomes.push_back(std::move(out));
+      continue;
+    }
+
+    auto replayed_or = ReplayTrace(*chosen);
+    Status replay_status = replayed_or.ok()
+                               ? Status::OK()
+                               : replayed_or.status();
+    if (replay_status.ok()) {
+      // Let the replay queue settle so a deterministic apply failure is
+      // reported here, as a recovery failure, not later as a mystery
+      // kFailed session. Post-replay eviction is not a failure — the
+      // session is safely snapshotted again.
+      Status settle = WaitIdle(*replayed_or);
+      if (!settle.ok() && settle.code() != StatusCode::kEvicted) {
+        (void)CloseSession(*replayed_or);
+        replay_status = settle;
+      }
+    }
+    if (!replay_status.ok()) {
+      out.status = replay_status;
+      recovery_failures_.fetch_add(1);
+      if (!out.quarantined) {
+        out.quarantined = true;
+        (void)QuarantineFile(out.from_wal ? wal_path : trace_path);
+      }
+      outcomes.push_back(std::move(out));
+      continue;
+    }
+    out.new_id = *replayed_or;
+    out.actions_replayed = chosen->size();
+    recovered_.fetch_add(1);
+    // Consumed: the fresh session's WAL carries the prefix from here.
+    (void)RemoveFileIfExists(wal_path);
+    (void)RemoveFileIfExists(trace_path);
+    (void)RemoveFileIfExists(base + ".query");
+    outcomes.push_back(std::move(out));
+  }
+
+  (void)PruneCorruptFiles(dir, options_.retain_corrupt);
+  return outcomes;
+}
+
 Status SessionManager::CloseSession(SessionId id) {
   SessionPtr s;
   {
@@ -460,6 +812,14 @@ Status SessionManager::CloseSession(SessionId id) {
   s->stopper.request_stop();
   {
     std::lock_guard<std::mutex> elock(s->emu);
+    if (s->wal != nullptr) {
+      // A deliberate close abandons the session; its log has nothing left
+      // to recover. (Process shutdown does NOT take this path — WALs of
+      // never-closed sessions stay on disk for the next RecoverAll.)
+      (void)s->wal->Close();
+      (void)RemoveFileIfExists(s->wal->path());
+      s->wal.reset();
+    }
     UpdateCapBytes(s, 0);
     std::lock_guard<std::mutex> qlock(s->qmu);
     s->blender.reset();
@@ -496,6 +856,11 @@ ServeStats SessionManager::stats() const {
   out.actions_rejected = actions_rejected_.load();
   out.evictions = evictions_.load();
   out.watchdog_cancels = watchdog_cancels_.load();
+  out.sessions_degraded = degraded_.load();
+  out.sessions_recovered = recovered_.load();
+  out.recovery_failures = recovery_failures_.load();
+  out.shed_stalls = shed_stalls_.load();
+  out.wal_records = wal_records_.load();
   out.peak_live_sessions = peak_live_.load();
   out.peak_cap_bytes = peak_cap_bytes_.load();
   return out;

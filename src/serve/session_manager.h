@@ -24,6 +24,23 @@
 //     snapshot into a fresh session, yielding the same deterministic
 //     virtual-clock state the evicted session had.
 //
+// Between admission and shedding sits a *degradation ladder* (DESIGN.md
+// §5d) instead of a binary admit/reject: once the summed CAP footprint
+// crosses `degrade_fraction` of the budget, new sessions open in the
+// blender's low-memory mode (all CAP work deferred to Run — results
+// identical, SRT larger, formulation-time memory flat), surfaced as
+// BlendReport::degrade and the kDegraded health state. Only at the full
+// budget does the manager shed idle sessions, and only when nothing is
+// idle does OpenSession answer kOverloaded. health() exposes where on the
+// ladder the service currently sits.
+//
+// Crash durability: with `wal_dir` set, every action is appended to a
+// per-session write-ahead log (util/wal.h) *before* it reaches the
+// blender. After a crash, RecoverAll scans a directory for WALs and
+// eviction snapshots, reconciles the two (longest valid prefix wins),
+// replays each recoverable session through the normal submit path, and
+// quarantines unreplayable logs to `<name>.corrupt`.
+//
 // A per-session Watchdog leash (optional, `stuck_session_seconds`) guards
 // every action application; an overdue action gets a cooperative stop
 // request and the Run completes truncated with reason kCancelled — degraded
@@ -57,6 +74,7 @@
 #include "gui/actions.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/wal.h"
 #include "util/watchdog.h"
 
 namespace boomer {
@@ -79,6 +97,21 @@ struct ServeOptions {
   double stuck_session_seconds = 0.0;
   /// Directory receiving eviction snapshots ("session-<id>.trace/.query").
   std::string snapshot_dir = ".";
+  /// Directory receiving per-session write-ahead logs
+  /// ("session-<id>.wal"). Empty disables the WAL (no crash durability).
+  /// Point RecoverAll at the same directory after a crash; keeping
+  /// wal_dir == snapshot_dir lets one sweep reconcile both.
+  std::string wal_dir;
+  /// WAL group-commit interval: appends between fsyncs (0 = fsync every
+  /// record). See WalOptions::group_commit_interval.
+  size_t wal_group_commit = 8;
+  /// Degradation ladder rung 1: once the summed CAP footprint reaches this
+  /// fraction of memory_budget_bytes, new sessions open in the blender's
+  /// low-memory mode. Ignored when the budget is unbounded.
+  double degrade_fraction = 0.75;
+  /// Maximum quarantined `.corrupt` files RecoverAll leaves behind
+  /// (oldest pruned first). 0 keeps none.
+  size_t retain_corrupt = 8;
   /// Blender configuration shared by every session.
   core::BlenderOptions blender;
 };
@@ -92,6 +125,36 @@ enum class SessionState {
 };
 
 const char* SessionStateName(SessionState s);
+
+/// Where on the degradation ladder the service sits right now, computed
+/// from the live CAP footprint against the memory budget.
+enum class HealthState {
+  kHealthy,   // below the degrade threshold; sessions open at full quality
+  kDegraded,  // above it; new sessions open in low-memory mode
+  kShedding,  // at/over the budget; idle sessions are being evicted
+};
+
+const char* HealthStateName(HealthState h);
+
+/// Per-session outcome of a RecoverAll sweep.
+struct RecoveryOutcome {
+  /// Session id encoded in the recovered file names (session-<id>.*).
+  SessionId original_id = 0;
+  /// Fresh session holding the replayed state; 0 when recovery failed.
+  SessionId new_id = 0;
+  size_t actions_replayed = 0;
+  /// True when the WAL held the longest valid prefix; false when an
+  /// eviction snapshot won the reconciliation.
+  bool from_wal = false;
+  /// The WAL ended mid-record (crash between write and fsync); the torn
+  /// tail was truncated at the last valid record.
+  bool torn_tail = false;
+  /// The WAL (or snapshot) was damaged before its tail and has been moved
+  /// to a `.corrupt` quarantine file.
+  bool quarantined = false;
+  /// OK when the session was rebuilt; the blocking error otherwise.
+  Status status = Status::OK();
+};
 
 /// Where an evicted session's progress lives and how far it got: the first
 /// `actions_applied` actions of the submitted stream are durably saved at
@@ -119,6 +182,11 @@ struct ServeStats {
   uint64_t actions_rejected = 0;    // SubmitAction -> kOverloaded
   uint64_t evictions = 0;
   uint64_t watchdog_cancels = 0;
+  uint64_t sessions_degraded = 0;   // opened in low-memory mode
+  uint64_t sessions_recovered = 0;  // rebuilt by RecoverAll
+  uint64_t recovery_failures = 0;   // RecoverAll outcomes with !status.ok()
+  uint64_t shed_stalls = 0;         // budget exceeded but nothing was idle
+  uint64_t wal_records = 0;         // actions made durable across sessions
   size_t peak_live_sessions = 0;
   size_t peak_cap_bytes = 0;  // peak summed CAP footprint
 };
@@ -165,8 +233,19 @@ class SessionManager {
   /// Re-opens an evicted session from its snapshot: blocks for admission,
   /// then replays the saved applied-action trace (original latencies, so
   /// the virtual clock lands in the identical state) through the normal
-  /// submit path. Returns the fresh session id.
+  /// submit path. Returns the fresh session id. On success the consumed
+  /// snapshot files (`prefix`.trace/.query and the superseded WAL) are
+  /// deleted — the fresh session's own WAL carries durability from here.
   StatusOr<SessionId> ResumeSession(const std::string& prefix);
+
+  /// Whole-process crash recovery: scans `dir` for per-session WALs and
+  /// eviction snapshots, reconciles each session's two sources (longest
+  /// valid prefix wins), replays every recoverable prefix into a fresh
+  /// session, quarantines damaged logs to `.corrupt` (capped at
+  /// retain_corrupt files), and deletes consumed inputs. One bad file
+  /// never derails the sweep: per-session failures are reported in the
+  /// returned outcomes, id-sorted. IOError only when `dir` is unreadable.
+  StatusOr<std::vector<RecoveryOutcome>> RecoverAll(const std::string& dir);
 
   /// Releases the session's slot and memory. Safe in any state.
   Status CloseSession(SessionId id);
@@ -175,14 +254,24 @@ class SessionManager {
   size_t live_sessions() const;
   size_t total_cap_bytes() const { return total_cap_bytes_.load(); }
 
+  /// Current rung of the degradation ladder. Always kHealthy when no
+  /// memory budget is configured.
+  HealthState health() const;
+  /// Worst health the service has visited (ratchets up only) — lets an
+  /// after-the-fact report prove a workload drove the service into
+  /// degraded mode even if pressure has since receded.
+  HealthState peak_health() const;
+
  private:
   struct Session {
     SessionId id = 0;
 
-    // Execution lock: guards blender, applied trace, report/result copies.
-    // Held across one OnAction at most. Ordered before qmu.
+    // Execution lock: guards blender, applied trace, report/result copies,
+    // and the WAL writer. Held across one OnAction at most. Ordered before
+    // qmu. WAL appends under emu make log order identical to apply order.
     std::mutex emu;
     std::unique_ptr<core::Blender> blender;
+    std::unique_ptr<WalWriter> wal;
     gui::ActionTrace applied;
     core::BlendReport report;
     std::vector<core::PartialMatch> results;
@@ -202,6 +291,16 @@ class SessionManager {
     std::atomic<size_t> cap_bytes{0};
     std::atomic<size_t> queued{0};
     std::atomic<bool> busy{false};
+    // Shed grace (forward-progress guarantee): the shedder never picks a
+    // session until it has applied more than `shed_grace` actions.
+    // ReplayTrace sets the grace to the replayed prefix length, so a
+    // resumed session cannot be re-evicted before its client lands at
+    // least one *new* action — without this, a tight budget can starve an
+    // evict/resume chase forever (the replay drains, the session idles,
+    // the shedder strikes before the client's next submit). Explicit
+    // EvictSession calls ignore the grace.
+    std::atomic<size_t> applied_count{0};
+    std::atomic<size_t> shed_grace{0};
 
     std::stop_source stopper;
   };
@@ -217,6 +316,15 @@ class SessionManager {
   void MaybeShedForMemory();
   void UpdateCapBytes(const SessionPtr& s, size_t new_bytes);
   static void BumpMax(std::atomic<size_t>* target, size_t candidate);
+  /// CAP-footprint threshold at which new sessions open degraded
+  /// (degrade_fraction * memory_budget_bytes; SIZE_MAX when unbounded).
+  size_t DegradeThresholdBytes() const;
+  void RatchetHealth(HealthState observed);
+  std::string WalPath(SessionId id) const;
+  /// Replays `trace` into a fresh session through the normal submit path
+  /// (the shared core of ResumeSession and RecoverAll). Bounded retries
+  /// when the replaying session is itself evicted mid-replay.
+  StatusOr<SessionId> ReplayTrace(const gui::ActionTrace& trace);
 
   const graph::Graph& graph_;
   const core::PreprocessResult& prep_;
@@ -239,8 +347,14 @@ class SessionManager {
   std::atomic<uint64_t> actions_rejected_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> watchdog_cancels_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> recovered_{0};
+  std::atomic<uint64_t> recovery_failures_{0};
+  std::atomic<uint64_t> shed_stalls_{0};
+  std::atomic<uint64_t> wal_records_{0};
   std::atomic<size_t> peak_live_{0};
   std::atomic<size_t> peak_cap_bytes_{0};
+  std::atomic<int> peak_health_{0};  // HealthState, ratcheted up only
 
   // Declared after all state they reference; destroyed first (reverse
   // order): the pool drains while sessions and the watchdog still exist.

@@ -154,6 +154,8 @@ ReplaySummary ReplayConcurrently(SessionManager* manager,
     }
   }  // jthreads join here
   summary.stats = manager->stats();
+  summary.final_health = manager->health();
+  summary.peak_health = manager->peak_health();
   return summary;
 }
 

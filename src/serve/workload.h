@@ -57,6 +57,10 @@ struct ClientReport {
 struct ReplaySummary {
   std::vector<ClientReport> clients;  // index-aligned with `traces`
   ServeStats stats;                   // manager stats after the replay
+  /// Degradation-ladder state after the replay, plus the worst rung the
+  /// workload drove the service to (pressure may have receded by the end).
+  HealthState final_health = HealthState::kHealthy;
+  HealthState peak_health = HealthState::kHealthy;
 };
 
 /// Replays every trace through `manager` concurrently and waits for all of

@@ -455,6 +455,14 @@ std::string Shell::CmdServe(const std::vector<std::string_view>& args) {
       static_cast<unsigned long long>(stats.evictions),
       static_cast<unsigned long long>(stats.watchdog_cancels),
       stats.peak_live_sessions, HumanBytes(stats.peak_cap_bytes).c_str());
+  out += StrFormat(
+      "health: %s (peak %s), %llu degraded session(s), %llu shed stall(s), "
+      "%llu WAL record(s)\n",
+      serve::HealthStateName(summary.final_health),
+      serve::HealthStateName(summary.peak_health),
+      static_cast<unsigned long long>(stats.sessions_degraded),
+      static_cast<unsigned long long>(stats.shed_stalls),
+      static_cast<unsigned long long>(stats.wal_records));
   return out;
 }
 

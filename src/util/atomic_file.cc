@@ -1,14 +1,19 @@
 #include "util/atomic_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <thread>
+#include <utility>
 
 #include "util/fault.h"
 #include "util/strings.h"
@@ -207,7 +212,13 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload,
   Status build_status;
   const std::string blob = BuildBlob(payload, kind, &build_status);
   BOOMER_RETURN_NOT_OK(build_status);
-  const std::string tmp = path + ".tmp";
+  // The scratch name must be unique per writer: concurrent processes (or
+  // threads) targeting the same destination must not share one tmp file,
+  // or the loser's rename finds it already published away (ENOENT).
+  static std::atomic<uint32_t> scratch_serial{0};
+  const std::string tmp =
+      StrFormat("%s.%d.%u.tmp", path.c_str(), static_cast<int>(::getpid()),
+                scratch_serial.fetch_add(1, std::memory_order_relaxed));
   Status last;
   for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
     last = WriteOnce(path, tmp, blob);
@@ -245,6 +256,57 @@ Status QuarantineFile(const std::string& path) {
                            ErrnoText());
   }
   return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(path + ": remove failed: " + ErrnoText());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError(dir + ": opendir failed: " + ErrnoText());
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (S_ISREG(st.st_mode)) names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<size_t> PruneCorruptFiles(const std::string& dir, size_t keep) {
+  BOOMER_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDirectory(dir));
+  constexpr std::string_view kSuffix = ".corrupt";
+  std::vector<std::pair<time_t, std::string>> corrupt;  // (mtime, path)
+  for (const std::string& name : names) {
+    if (name.size() < kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;
+    corrupt.emplace_back(st.st_mtime, path);
+  }
+  if (corrupt.size() <= keep) return size_t{0};
+  // Oldest first; name-sorted input breaks mtime ties deterministically.
+  std::stable_sort(corrupt.begin(), corrupt.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t removed = 0;
+  for (size_t i = 0; i + keep < corrupt.size(); ++i) {
+    if (RemoveFileIfExists(corrupt[i].second).ok()) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace boomer

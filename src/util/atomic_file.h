@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -53,6 +54,18 @@ StatusOr<std::string> ReadFileVerified(const std::string& path, FileKind kind);
 /// Renames `path` to `path + ".corrupt"` so a damaged cache is preserved
 /// for inspection but never re-read. Missing file is OK (nothing to do).
 Status QuarantineFile(const std::string& path);
+
+/// Deletes `path` if it exists. Missing file is OK (nothing to do).
+Status RemoveFileIfExists(const std::string& path);
+
+/// Names (not paths) of the regular files directly inside `dir`, sorted.
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+/// Caps the `.corrupt` quarantine population in `dir`: keeps the `keep`
+/// newest (by mtime) files whose name ends in ".corrupt" and deletes the
+/// rest, so repeated quarantines can never fill the disk. Returns the
+/// number of files removed.
+StatusOr<size_t> PruneCorruptFiles(const std::string& dir, size_t keep);
 
 }  // namespace boomer
 

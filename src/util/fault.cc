@@ -1,6 +1,7 @@
 #include "util/fault.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -26,6 +27,7 @@ enum class Trigger {
   kProbability,  // fire each hit with probability `probability`
   kNthOnce,      // fire exactly on hit number `nth`
   kNthOnwards,   // fire on every hit >= `nth`
+  kCrash,        // SIGKILL the process on hit number `nth` (hard crash)
 };
 
 struct Site {
@@ -109,17 +111,19 @@ Status Configure(const std::string& spec) {
       }
       site.trigger = Trigger::kProbability;
       site.probability = p;
-    } else if (kind == 'n' || kind == 'a') {
+    } else if (kind == 'n' || kind == 'a' || kind == 'c') {
       BOOMER_ASSIGN_OR_RETURN(int64_t n, ParseInt64(arg));
       if (n < 1) {
         return Status::InvalidArgument(
             "fault hit number must be >= 1 for site " + std::string(key));
       }
-      site.trigger = kind == 'n' ? Trigger::kNthOnce : Trigger::kNthOnwards;
+      site.trigger = kind == 'n'   ? Trigger::kNthOnce
+                     : kind == 'a' ? Trigger::kNthOnwards
+                                   : Trigger::kCrash;
       site.nth = static_cast<uint64_t>(n);
     } else {
       return Status::InvalidArgument(
-          StrFormat("fault trigger '%.*s' must start with p, n, or a",
+          StrFormat("fault trigger '%.*s' must start with p, n, a, or c",
                     static_cast<int>(value.size()), value.data()));
     }
     parsed.emplace(std::string(key), std::move(site));
@@ -172,6 +176,14 @@ bool ShouldFail(std::string_view site) {
       break;
     case Trigger::kNthOnwards:
       fire = s.hits >= s.nth;
+      break;
+    case Trigger::kCrash:
+      if (s.hits == s.nth) {
+        // Hard crash, not an error return: no destructors, no stream
+        // flushes, no atexit — the closest userspace gets to yanking the
+        // power cord. The crash-test driver waitpid()s for this SIGKILL.
+        std::raise(SIGKILL);
+      }
       break;
   }
   if (fire) ++s.fires;

@@ -19,6 +19,10 @@
 //             models a transient error that a bounded retry survives
 //   site=aN   fire on every hit from the Nth onwards — models a persistent
 //             error that retries cannot absorb
+//   site=cN   CRASH the process on the Nth hit: raise(SIGKILL), no unwind,
+//             no flush — models power loss / kill -9 for the crash-test
+//             harness (tools/boomer_crashtest). Arm only in child processes
+//             that a driver expects to die.
 //   seed=S    seeds all probabilistic sites (default 1)
 //
 // When the registry is disarmed (the default) every probe is a single

@@ -1,0 +1,120 @@
+// Per-session write-ahead action log.
+//
+// The serving runtime's durability contract (DESIGN.md §5d) is that work a
+// user has done is never lost to a process crash: before an action is
+// applied to a session's blender, it is appended to that session's WAL.
+// After a kill -9, SessionManager::RecoverAll replays each log's longest
+// valid prefix through a fresh blender and the session picks up where the
+// crash happened.
+//
+// On-disk format — a sequence of length-framed, CRC-guarded records:
+//
+//   ┌────────────┬────────────┬──────────────┐
+//   │ len  (u32) │ crc32(u32) │ payload[len] │   ... repeated
+//   └────────────┴────────────┴──────────────┘
+//
+// Both header fields are little-endian; the CRC covers the payload bytes
+// only. There is no file header: an empty file is a valid empty log, and
+// recovery never needs to distinguish "new" from "recovered" logs.
+//
+// Durability model: appends go straight to the file descriptor (O_APPEND)
+// but fsync is *group-committed* — one fsync per `group_commit_interval`
+// appends (0 = fsync every record). A crash can therefore tear the
+// un-synced tail; ReadWal detects the torn tail and truncates at the last
+// valid record instead of erroring, which is exactly the prefix the WAL
+// contract promises. Corruption strictly *before* the tail (a CRC-bad
+// record with valid data after it) is not a torn write — it means the log
+// itself is damaged; ReadWal reports it via `corrupt` so the caller can
+// quarantine the file, still keeping the valid prefix.
+//
+// The writer is not thread-safe; the serving runtime serializes appends
+// under the session's execution lock, which is also what makes the log
+// order identical to the apply order.
+
+#ifndef BOOMER_UTIL_WAL_H_
+#define BOOMER_UTIL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace boomer {
+
+struct WalOptions {
+  /// Appends between fsyncs (group commit). 0 means fsync every record —
+  /// maximum durability, one disk flush per action. Sync() and Close()
+  /// always flush regardless of the interval.
+  size_t group_commit_interval = 8;
+};
+
+/// Append-only writer. Create via Open; destruction closes (flushing) the
+/// file. Records larger than kMaxRecordBytes are refused.
+class WalWriter {
+ public:
+  /// Upper bound on one record; also the reader's sanity cap, so a
+  /// corrupted length field can never drive a giant allocation.
+  static constexpr uint32_t kMaxRecordBytes = 16u << 20;
+
+  /// Opens (creating or appending to) the log at `path`.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                   WalOptions options);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and group-commits per the configured interval.
+  /// On any error the in-memory state is unchanged and the caller may
+  /// retry; a torn partial append is healed by ReadWal's tail truncation.
+  Status Append(std::string_view record);
+
+  /// Forces an fsync of everything appended so far.
+  Status Sync();
+
+  /// Syncs and closes the descriptor. Idempotent; the destructor calls it.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  WalWriter(std::string path, int fd, WalOptions options);
+
+  std::string path_;
+  int fd_ = -1;
+  WalOptions options_;
+  size_t unsynced_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+/// Result of scanning a log: the longest valid record prefix plus a
+/// diagnosis of how the scan ended.
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// The file ended mid-record (incomplete frame, or a CRC-bad *final*
+  /// record) — the signature of a crash between write and fsync. The
+  /// prefix in `records` is complete and trustworthy.
+  bool torn_tail = false;
+  /// A record failed its CRC (or declared an insane length) with valid
+  /// data after it — real corruption, not a torn write. The prefix is
+  /// still returned; the caller should quarantine the file.
+  bool corrupt = false;
+  /// Byte offset of the first invalid byte (== file size when clean).
+  size_t valid_bytes = 0;
+};
+
+/// Scans `path` and returns its longest valid prefix (see WalReadResult).
+/// kIOError only when the file cannot be read at all; torn tails and
+/// mid-file corruption are reported in-band, never as an error, so a
+/// recovery sweep over many logs cannot be derailed by one bad file.
+StatusOr<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_WAL_H_

@@ -1,0 +1,380 @@
+// Whole-process crash-recovery tests (`crash` ctest label).
+//
+// These drive SessionManager::RecoverAll over real and hand-damaged WAL /
+// snapshot directories — the in-process complement of the fork/SIGKILL
+// harness in tools/boomer_crashtest.cc:
+//   * a WAL left behind by a destroyed manager replays into a fresh
+//     session that finishes with the reference answer;
+//   * WAL-vs-snapshot reconciliation picks the longest valid prefix;
+//   * mid-log corruption quarantines the file but keeps the prefix, and
+//     quarantine files are capped at `retain_corrupt`;
+//   * empty logs are consumed without inventing a session;
+//   * recovery under a memory budget races the shedder (the replayed
+//     session can be evicted at any point) and the client-side resume
+//     chase still converges on the exact answer.
+
+#include "serve/session_manager.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "gui/trace_io.h"
+#include "serve/workload.h"
+#include "support/reference_matcher.h"
+#include "util/atomic_file.h"
+#include "util/check.h"
+#include "util/wal.h"
+
+namespace boomer {
+namespace serve {
+namespace {
+
+struct ServeFixture {
+  ServeFixture() {
+    auto g_or = graph::GenerateErdosRenyi(60, 140, 3, 17);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    core::PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep_or = core::Preprocess(g, options);
+    BOOMER_CHECK(prep_or.ok());
+    prep = std::make_unique<core::PreprocessResult>(
+        std::move(prep_or).value());
+  }
+  graph::Graph g;
+  std::unique_ptr<core::PreprocessResult> prep;
+};
+
+ServeFixture& Fixture() {
+  static ServeFixture* fixture = new ServeFixture();  // boomer-lint-allow(naked-new)
+  return *fixture;
+}
+
+/// Fresh per-test directory: RecoverAll sweeps *everything* matching
+/// session-<id>.* in its directory, so tests must not share one.
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/crash_" + name;
+  ::mkdir(dir.c_str(), 0755);
+  // Leftovers from a previous run of the same test would replay here.
+  auto names = ListDirectory(dir);
+  if (names.ok()) {
+    for (const std::string& file : *names) {
+      BOOMER_CHECK(RemoveFileIfExists(dir + "/" + file).ok());
+    }
+  }
+  return dir;
+}
+
+ServeOptions BaseOptions(const std::string& dir) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_live_sessions = 8;
+  options.max_queued_actions = 256;
+  options.snapshot_dir = dir;
+  options.wal_dir = dir;
+  return options;
+}
+
+boomer::testing::CanonicalMatches Reference(const gui::ActionTrace& trace,
+                                            const core::BlenderOptions& o) {
+  auto& f = Fixture();
+  core::Blender reference(f.g, *f.prep, o);
+  BOOMER_CHECK(reference.RunTrace(trace).ok());
+  return boomer::testing::Canonicalize(reference.Results());
+}
+
+gui::ActionTrace Prefix(const gui::ActionTrace& trace, size_t n) {
+  gui::ActionTrace prefix;
+  for (size_t i = 0; i < n && i < trace.size(); ++i) {
+    prefix.Append(trace.at(i));
+  }
+  return prefix;
+}
+
+/// Writes `trace` as a WAL at `path` through the real writer.
+void WriteWal(const std::string& path, const gui::ActionTrace& trace) {
+  auto wal_or = WalWriter::Open(path, WalOptions());
+  ASSERT_TRUE(wal_or.ok()) << wal_or.status();
+  for (const gui::Action& action : trace.actions()) {
+    ASSERT_TRUE((*wal_or)->Append(gui::ActionToText(action)).ok());
+  }
+  ASSERT_TRUE((*wal_or)->Close().ok());
+}
+
+/// Flips one byte of the second record's payload: CRC-invalid damage
+/// *before* the tail, which ReadWal must classify as corruption (not a
+/// torn tail) because valid data follows it.
+void CorruptSecondRecord(const std::string& path,
+                         const gui::ActionTrace& trace) {
+  ASSERT_GE(trace.size(), 3u);
+  const size_t first_frame = 8 + gui::ActionToText(trace.at(0)).size();
+  const long offset = static_cast<long>(first_frame + 8);  // rec 1 payload
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+}
+
+size_t CountSuffix(const std::string& dir, const std::string& suffix) {
+  auto names = ListDirectory(dir);
+  BOOMER_CHECK(names.ok());
+  size_t count = 0;
+  for (const std::string& name : *names) {
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(CrashRecoveryTest, WalLeftByDeadProcessReplaysToReferenceAnswer) {
+  auto& f = Fixture();
+  const std::string dir = TestDir("wal_roundtrip");
+  ServeOptions options = BaseOptions(dir);
+  auto trace = SeededTraces(f.g, 1, 71)[0];
+  const size_t applied = trace.size() / 2;
+  ASSERT_GE(applied, 1u);
+
+  {
+    // "Process" 1: applies half the trace, then dies without closing the
+    // session (the destructor keeps WALs of never-closed sessions).
+    SessionManager manager(f.g, *f.prep, options);
+    auto id = manager.OpenSession();
+    ASSERT_TRUE(id.ok());
+    for (size_t i = 0; i < applied; ++i) {
+      ASSERT_TRUE(manager.SubmitAction(*id, trace.at(i)).ok());
+    }
+    ASSERT_TRUE(manager.WaitIdle(*id).ok());  // WaitIdle => durable
+    EXPECT_EQ(manager.stats().wal_records, applied);
+  }
+  ASSERT_TRUE(FileExists(dir + "/session-1.wal"));
+
+  // "Process" 2: recovers, then a client finishes the remaining half.
+  SessionManager manager(f.g, *f.prep, options);
+  auto outcomes = manager.RecoverAll(dir);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 1u);
+  const RecoveryOutcome& out = outcomes->at(0);
+  ASSERT_TRUE(out.status.ok()) << out.status;
+  EXPECT_EQ(out.original_id, 1u);
+  EXPECT_GT(out.new_id, 1u) << "fresh ids must not collide with on-disk logs";
+  EXPECT_EQ(out.actions_replayed, applied);
+  EXPECT_TRUE(out.from_wal);
+  EXPECT_FALSE(out.torn_tail);
+  EXPECT_FALSE(out.quarantined);
+  EXPECT_FALSE(FileExists(dir + "/session-1.wal")) << "consumed WAL must go";
+  EXPECT_EQ(manager.stats().sessions_recovered, 1u);
+
+  for (size_t i = applied; i < trace.size(); ++i) {
+    Status s = manager.SubmitAction(out.new_id, trace.at(i));
+    ASSERT_TRUE(s.ok()) << s;
+  }
+  auto result = manager.Await(out.new_id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->state, SessionState::kCompleted);
+  EXPECT_EQ(boomer::testing::Canonicalize(result->results),
+            Reference(trace, options.blender));
+}
+
+TEST(CrashRecoveryTest, ReconciliationPicksLongestValidPrefix) {
+  auto& f = Fixture();
+  const std::string dir = TestDir("reconcile");
+  ServeOptions options = BaseOptions(dir);
+  auto trace = SeededTraces(f.g, 1, 73)[0];
+  ASSERT_GE(trace.size(), 6u);
+
+  // Session 4: the WAL (5 actions) outruns the snapshot (3) — a crash
+  // after eviction wrote the snapshot but before the WAL was unlinked
+  // cannot lose the two extra actions.
+  WriteWal(dir + "/session-4.wal", Prefix(trace, 5));
+  ASSERT_TRUE(gui::SaveTrace(Prefix(trace, 3), dir + "/session-4.trace").ok());
+  // Session 6: the snapshot (5) outruns the WAL (3) — e.g. the budget was
+  // tightened between runs and an older, shorter log survived.
+  WriteWal(dir + "/session-6.wal", Prefix(trace, 3));
+  ASSERT_TRUE(gui::SaveTrace(Prefix(trace, 5), dir + "/session-6.trace").ok());
+
+  SessionManager manager(f.g, *f.prep, options);
+  auto outcomes = manager.RecoverAll(dir);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 2u);
+
+  const RecoveryOutcome& wal_wins = outcomes->at(0);
+  EXPECT_EQ(wal_wins.original_id, 4u);
+  ASSERT_TRUE(wal_wins.status.ok()) << wal_wins.status;
+  EXPECT_TRUE(wal_wins.from_wal);
+  EXPECT_EQ(wal_wins.actions_replayed, 5u);
+
+  const RecoveryOutcome& snap_wins = outcomes->at(1);
+  EXPECT_EQ(snap_wins.original_id, 6u);
+  ASSERT_TRUE(snap_wins.status.ok()) << snap_wins.status;
+  EXPECT_FALSE(snap_wins.from_wal);
+  EXPECT_EQ(snap_wins.actions_replayed, 5u);
+
+  // Both source pairs are consumed either way.
+  EXPECT_EQ(CountSuffix(dir, ".trace"), 0u);
+  EXPECT_FALSE(FileExists(dir + "/session-4.wal"));
+  EXPECT_FALSE(FileExists(dir + "/session-6.wal"));
+}
+
+TEST(CrashRecoveryTest, MidLogCorruptionQuarantinesButKeepsThePrefix) {
+  auto& f = Fixture();
+  const std::string dir = TestDir("corrupt_middle");
+  ServeOptions options = BaseOptions(dir);
+  auto trace = SeededTraces(f.g, 1, 79)[0];
+  const gui::ActionTrace written = Prefix(trace, 4);
+  ASSERT_EQ(written.size(), 4u);
+  const std::string wal_path = dir + "/session-2.wal";
+  WriteWal(wal_path, written);
+  CorruptSecondRecord(wal_path, written);
+
+  SessionManager manager(f.g, *f.prep, options);
+  auto outcomes = manager.RecoverAll(dir);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 1u);
+  const RecoveryOutcome& out = outcomes->at(0);
+  ASSERT_TRUE(out.status.ok()) << out.status;
+  EXPECT_TRUE(out.quarantined);
+  EXPECT_TRUE(out.from_wal);
+  EXPECT_EQ(out.actions_replayed, 1u)
+      << "only the prefix before the damage is trustworthy";
+  EXPECT_TRUE(FileExists(wal_path + ".corrupt"))
+      << "damaged log must be preserved for forensics, not deleted";
+  EXPECT_FALSE(FileExists(wal_path));
+}
+
+TEST(CrashRecoveryTest, QuarantineFilesAreCappedAtRetainCorrupt) {
+  auto& f = Fixture();
+  const std::string dir = TestDir("retain_cap");
+  ServeOptions options = BaseOptions(dir);
+  options.retain_corrupt = 1;
+  auto trace = SeededTraces(f.g, 1, 83)[0];
+  const gui::ActionTrace written = Prefix(trace, 4);
+  for (SessionId id : {SessionId{3}, SessionId{5}, SessionId{8}}) {
+    const std::string path =
+        dir + "/session-" + std::to_string(id) + ".wal";
+    WriteWal(path, written);
+    CorruptSecondRecord(path, written);
+  }
+
+  SessionManager manager(f.g, *f.prep, options);
+  auto outcomes = manager.RecoverAll(dir);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 3u);
+  for (const RecoveryOutcome& out : *outcomes) {
+    EXPECT_TRUE(out.quarantined);
+  }
+  EXPECT_EQ(CountSuffix(dir, ".corrupt"), 1u)
+      << "retain_corrupt must bound quarantine growth";
+}
+
+TEST(CrashRecoveryTest, EmptyWalIsConsumedWithoutInventingASession) {
+  auto& f = Fixture();
+  const std::string dir = TestDir("empty_wal");
+  ServeOptions options = BaseOptions(dir);
+  const std::string wal_path = dir + "/session-9.wal";
+  WriteWal(wal_path, gui::ActionTrace());
+
+  SessionManager manager(f.g, *f.prep, options);
+  auto outcomes = manager.RecoverAll(dir);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 1u);
+  const RecoveryOutcome& out = outcomes->at(0);
+  EXPECT_TRUE(out.status.ok()) << out.status;
+  EXPECT_EQ(out.new_id, 0u);
+  EXPECT_EQ(out.actions_replayed, 0u);
+  EXPECT_FALSE(FileExists(wal_path)) << "empty log is consumed, not leaked";
+  EXPECT_EQ(manager.live_sessions(), 0u);
+
+  // The dead session's id is still retired: a fresh session must not be
+  // able to collide with any id ever seen on disk.
+  auto id = manager.OpenSession();
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(*id, 9u);
+}
+
+TEST(CrashRecoveryTest, RecoveryRacingEvictionStillConvergesExactly) {
+  auto& f = Fixture();
+  const std::string dir = TestDir("race_evict");
+  auto trace = SeededTraces(f.g, 1, 89)[0];
+  const size_t applied = trace.size() / 2;
+  ASSERT_GE(applied, 2u);
+  WriteWal(dir + "/session-1.wal", Prefix(trace, applied));
+
+  // A one-byte budget keeps the shedder permanently hungry: the replayed
+  // session is evicted the moment it goes idle, so recovery and the
+  // client's resume chase race real evictions the whole way down.
+  ServeOptions options = BaseOptions(dir);
+  options.num_workers = 1;
+  options.memory_budget_bytes = 1;
+
+  SessionManager manager(f.g, *f.prep, options);
+  auto outcomes = manager.RecoverAll(dir);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 1u);
+  const RecoveryOutcome& out = outcomes->at(0);
+  ASSERT_TRUE(out.status.ok())
+      << "post-replay eviction is pressure, not failure: " << out.status;
+  EXPECT_EQ(out.actions_replayed, applied);
+
+  // Client chase, as serve/workload.cc clients do it: submit the suffix;
+  // on kEvicted resume from the snapshot and continue from its applied
+  // mark. Eviction can strike between any two submits.
+  SessionId id = out.new_id;
+  size_t position = out.actions_replayed;
+  int resumes = 0;
+  while (true) {
+    Status s = Status::OK();
+    for (; position < trace.size(); ++position) {
+      s = manager.SubmitAction(id, trace.at(position));
+      while (!s.ok() && s.code() == StatusCode::kOverloaded) {
+        s = manager.WaitIdle(id);
+        if (s.ok()) s = manager.SubmitAction(id, trace.at(position));
+      }
+      if (!s.ok()) break;
+    }
+    if (s.ok()) {
+      auto result = manager.Await(id);
+      ASSERT_TRUE(result.ok());
+      if (result->state == SessionState::kCompleted) {
+        EXPECT_EQ(boomer::testing::Canonicalize(result->results),
+                  Reference(trace, options.blender));
+        break;
+      }
+      ASSERT_EQ(result->state, SessionState::kEvicted)
+          << result->status << " (" << SessionStateName(result->state) << ")";
+      s = result->status;
+    }
+    ASSERT_EQ(s.code(), StatusCode::kEvicted) << s;
+    auto snapshot = manager.GetEviction(id);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    auto resumed = manager.ResumeSession(snapshot->prefix);
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ASSERT_TRUE(manager.CloseSession(id).ok());
+    id = *resumed;
+    position = snapshot->actions_applied;
+    ASSERT_LT(++resumes, 64) << "resume chase failed to converge";
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace boomer

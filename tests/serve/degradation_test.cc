@@ -1,0 +1,227 @@
+// Degradation-ladder tests (DESIGN.md §5d): the serve layer must step down
+// gracefully under memory pressure instead of flipping straight from
+// "admit everything" to "reject everything".
+//
+//   rung 1  kDegraded  — new sessions open in the blender's low-memory
+//                        mode (identical results, CAP work deferred to
+//                        Run), observable via BlendReport::degrade;
+//   rung 2  kShedding  — idle sessions are evicted to reclaim footprint;
+//   rung 3  reject     — nothing idle to shed: OpenSession answers a typed
+//                        kOverloaded and must NEVER over-admit.
+//
+// Budgets are calibrated from single-threaded reference runs (the manager
+// accounts footprint with the same CapStats::size_bytes metric), so each
+// rung is reached deterministically.
+
+#include "serve/session_manager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blender.h"
+#include "graph/generators.h"
+#include "serve/workload.h"
+#include "support/reference_matcher.h"
+#include "support/scratch_dir.h"
+#include "util/check.h"
+
+namespace boomer {
+namespace serve {
+namespace {
+
+struct ServeFixture {
+  ServeFixture() {
+    auto g_or = graph::GenerateErdosRenyi(60, 140, 3, 17);
+    BOOMER_CHECK(g_or.ok());
+    g = std::move(g_or).value();
+    core::PreprocessOptions options;
+    options.t_avg_samples = 500;
+    auto prep_or = core::Preprocess(g, options);
+    BOOMER_CHECK(prep_or.ok());
+    prep = std::make_unique<core::PreprocessResult>(
+        std::move(prep_or).value());
+  }
+  graph::Graph g;
+  std::unique_ptr<core::PreprocessResult> prep;
+};
+
+ServeFixture& Fixture() {
+  static ServeFixture* fixture = new ServeFixture();  // boomer-lint-allow(naked-new)
+  return *fixture;
+}
+
+ServeOptions BaseOptions() {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_live_sessions = 8;
+  options.max_queued_actions = 256;
+  options.snapshot_dir = boomer::testing::ScratchDir("degradation");
+  return options;
+}
+
+struct ReferenceRun {
+  boomer::testing::CanonicalMatches matches;
+  size_t cap_bytes = 0;
+};
+
+/// Single-threaded fault-free replay: ground truth for results AND the
+/// CAP-size calibration the budget thresholds are derived from.
+ReferenceRun Reference(const gui::ActionTrace& trace,
+                       const core::BlenderOptions& options) {
+  auto& f = Fixture();
+  core::Blender blender(f.g, *f.prep, options);
+  BOOMER_CHECK(blender.RunTrace(trace).ok());
+  ReferenceRun ref;
+  ref.matches = boomer::testing::Canonicalize(blender.Results());
+  ref.cap_bytes = blender.cap().ComputeStats().size_bytes;
+  return ref;
+}
+
+/// Runs one whole trace through a session to completion, chasing evictions
+/// the way serve/workload.cc clients do (under a tight budget the shedder
+/// may evict the session whenever its queue momentarily drains). Returns
+/// the terminal result and leaves the completed session's id in `*id` so
+/// the caller can close it.
+SessionResult RunSession(SessionManager* manager, SessionId* id,
+                         const gui::ActionTrace& trace) {
+  size_t position = 0;
+  for (int resumes = 0; resumes < 64; ++resumes) {
+    Status s = Status::OK();
+    for (; position < trace.size(); ++position) {
+      s = manager->SubmitAction(*id, trace.at(position));
+      while (!s.ok() && s.code() == StatusCode::kOverloaded) {
+        s = manager->WaitIdle(*id);
+        if (s.ok()) s = manager->SubmitAction(*id, trace.at(position));
+      }
+      if (!s.ok()) break;
+    }
+    if (s.ok()) {
+      auto result = manager->Await(*id);
+      BOOMER_CHECK(result.ok());
+      if (result->state != SessionState::kEvicted) return std::move(*result);
+      s = result->status;
+    }
+    BOOMER_CHECK(s.code() == StatusCode::kEvicted);
+    auto snapshot = manager->GetEviction(*id);
+    BOOMER_CHECK(snapshot.ok());
+    auto resumed = manager->ResumeSession(snapshot->prefix);
+    BOOMER_CHECK(resumed.ok());
+    BOOMER_CHECK(manager->CloseSession(*id).ok());
+    *id = *resumed;
+    position = snapshot->actions_applied;
+  }
+  BOOMER_CHECK(false);  // resume chase failed to converge
+  return SessionResult();
+}
+
+TEST(DegradationTest, LadderStepsToLowMemorySessionsPastThreshold) {
+  auto& f = Fixture();
+  auto traces = SeededTraces(f.g, 2, 47);
+  ServeOptions options = BaseOptions();
+  const ReferenceRun ref_a = Reference(traces[0], options.blender);
+  const ReferenceRun ref_b = Reference(traces[1], options.blender);
+  ASSERT_GT(ref_a.cap_bytes, 0u);
+
+  // Budget sized so one completed session sits between the degrade
+  // threshold (0.75 * budget ≈ 0.94 * cap) and the budget itself: session
+  // A opens healthy, session B opens on rung 1.
+  options.memory_budget_bytes = ref_a.cap_bytes + ref_a.cap_bytes / 4;
+  SessionManager manager(f.g, *f.prep, options);
+  EXPECT_EQ(manager.health(), HealthState::kHealthy);
+
+  auto a = manager.OpenSession();
+  ASSERT_TRUE(a.ok());
+  SessionId a_id = *a;
+  SessionResult result_a = RunSession(&manager, &a_id, traces[0]);
+  ASSERT_EQ(result_a.state, SessionState::kCompleted);
+  EXPECT_EQ(result_a.report.degrade, core::DegradeLevel::kNone);
+  EXPECT_EQ(boomer::testing::Canonicalize(result_a.results), ref_a.matches);
+
+  // A's footprint (still live: completed-but-open sessions hold their CAP)
+  // now exceeds the threshold but not the budget.
+  EXPECT_EQ(manager.total_cap_bytes(), ref_a.cap_bytes);
+  EXPECT_EQ(manager.health(), HealthState::kDegraded);
+  EXPECT_EQ(manager.stats().sessions_degraded, 0u);
+
+  auto b = manager.OpenSession();
+  ASSERT_TRUE(b.ok()) << b.status();
+  SessionId b_id = *b;
+  SessionResult result_b = RunSession(&manager, &b_id, traces[1]);
+  ASSERT_EQ(result_b.state, SessionState::kCompleted);
+
+  // Rung 1 is observable in the report — and harmless to the answer.
+  EXPECT_EQ(result_b.report.degrade, core::DegradeLevel::kLowMemory);
+  EXPECT_EQ(boomer::testing::Canonicalize(result_b.results), ref_b.matches);
+  EXPECT_GE(manager.stats().sessions_degraded, 1u);
+  EXPECT_GE(static_cast<int>(manager.peak_health()),
+            static_cast<int>(HealthState::kDegraded));
+
+  ASSERT_TRUE(manager.CloseSession(a_id).ok());
+  ASSERT_TRUE(manager.CloseSession(b_id).ok());
+}
+
+TEST(DegradationTest, RejectsWithTypedOverloadWhenNothingIsIdleToShed) {
+  auto& f = Fixture();
+  auto traces = SeededTraces(f.g, 1, 53);
+  ServeOptions options = BaseOptions();
+  options.num_workers = 1;
+  options.memory_budget_bytes = 1;  // any footprint exceeds the budget
+
+  SessionManager manager(f.g, *f.prep, options);
+  auto a = manager.OpenSession();
+  ASSERT_TRUE(a.ok());
+  SessionId a_id = *a;
+  SessionResult result_a = RunSession(&manager, &a_id, traces[0]);
+  ASSERT_EQ(result_a.state, SessionState::kCompleted);
+  ASSERT_GE(manager.total_cap_bytes(), options.memory_budget_bytes);
+  EXPECT_EQ(manager.health(), HealthState::kShedding);
+
+  // The only live session is kCompleted — results pending pickup — so the
+  // shedder has no idle *active* victim. The ladder's last rung must
+  // reject, never over-admit past the budget.
+  auto b = manager.OpenSession();
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(manager.live_sessions(), 1u);
+  ServeStats stats = manager.stats();
+  EXPECT_GE(stats.shed_stalls, 1u);
+  EXPECT_GE(stats.admission_rejected, 1u);
+  EXPECT_EQ(manager.peak_health(), HealthState::kShedding);
+
+  // Releasing the footprint reopens the gate.
+  ASSERT_TRUE(manager.CloseSession(a_id).ok());
+  auto c = manager.OpenSession();
+  EXPECT_TRUE(c.ok()) << c.status();
+}
+
+TEST(DegradationTest, LowMemorySessionsStayBitIdenticalAcrossSeeds) {
+  auto& f = Fixture();
+  auto traces = SeededTraces(f.g, 3, 61);
+  ServeOptions options = BaseOptions();
+  // Budget of one byte: the threshold floors to zero, so every session
+  // opens on rung 1. Each must still reproduce the full-quality answer.
+  options.memory_budget_bytes = 1;
+
+  SessionManager manager(f.g, *f.prep, options);
+  for (const gui::ActionTrace& trace : traces) {
+    const ReferenceRun ref = Reference(trace, options.blender);
+    auto opened = manager.OpenSession();
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    SessionId id = *opened;
+    SessionResult result = RunSession(&manager, &id, trace);
+    ASSERT_EQ(result.state, SessionState::kCompleted);
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    EXPECT_EQ(result.report.degrade, core::DegradeLevel::kLowMemory);
+    EXPECT_FALSE(result.report.truncated());
+    EXPECT_EQ(boomer::testing::Canonicalize(result.results), ref.matches);
+    ASSERT_TRUE(manager.CloseSession(id).ok());
+  }
+  EXPECT_GE(manager.stats().sessions_degraded, 3u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace boomer

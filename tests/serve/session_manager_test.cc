@@ -14,6 +14,7 @@
 #include "graph/generators.h"
 #include "serve/workload.h"
 #include "support/reference_matcher.h"
+#include "support/scratch_dir.h"
 #include "util/check.h"
 
 namespace boomer {
@@ -46,7 +47,7 @@ ServeOptions BaseOptions() {
   options.num_workers = 2;
   options.max_live_sessions = 8;
   options.max_queued_actions = 64;
-  options.snapshot_dir = ::testing::TempDir();
+  options.snapshot_dir = boomer::testing::ScratchDir("session-manager");
   return options;
 }
 

@@ -27,6 +27,7 @@
 #include "serve/session_manager.h"
 #include "serve/workload.h"
 #include "support/reference_matcher.h"
+#include "support/scratch_dir.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -122,7 +123,7 @@ TEST_F(ServeStressTest, HundredsOfInterleavedSessionsUnderFaults) {
   options.num_workers = 8;
   options.max_live_sessions = 12;  // well under the client count: sheds
   options.max_queued_actions = 8;  // small queues: backpressure is common
-  options.snapshot_dir = ::testing::TempDir();
+  options.snapshot_dir = boomer::testing::ScratchDir("serve-stress");
 
   auto traces = SeededTraces(f.g, kSessions, 5);
   auto refs = References(traces, options.blender);
@@ -191,7 +192,7 @@ TEST_F(ServeStressTest, EvictionChurnStillReachesReferenceAnswers) {
   options.num_workers = 4;
   options.max_live_sessions = 4;
   options.max_queued_actions = 4;
-  options.snapshot_dir = ::testing::TempDir();
+  options.snapshot_dir = boomer::testing::ScratchDir("serve-stress");
 
   auto traces = SeededTraces(f.g, kSessions, 91);
   auto refs = References(traces, options.blender);

@@ -1,0 +1,24 @@
+#include "support/scratch_dir.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace boomer {
+namespace testing {
+
+std::string ScratchDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/" + tag + "-" +
+                          std::to_string(static_cast<long>(::getpid()));
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    struct stat st;
+    BOOMER_CHECK(::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+  }
+  return dir;
+}
+
+}  // namespace testing
+}  // namespace boomer

@@ -1,0 +1,21 @@
+#ifndef BOOMER_TESTS_SUPPORT_SCRATCH_DIR_H_
+#define BOOMER_TESTS_SUPPORT_SCRATCH_DIR_H_
+
+#include <string>
+
+namespace boomer {
+namespace testing {
+
+/// Returns a private scratch directory `<TempDir>/<tag>-<pid>`, creating it
+/// on first use. gtest's TempDir() is shared by every test process in a
+/// parallel ctest run; serve-layer tests that spill eviction snapshots or
+/// WALs there collide, because session ids restart at 1 in each process
+/// (two tests evicting concurrently both publish "session-1.trace", and
+/// ResumeSession *consumes* the file it loads). The pid suffix makes the
+/// directory private to the calling process.
+std::string ScratchDir(const std::string& tag);
+
+}  // namespace testing
+}  // namespace boomer
+
+#endif  // BOOMER_TESTS_SUPPORT_SCRATCH_DIR_H_

@@ -6,6 +6,7 @@
 #include "util/fault.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -71,13 +72,15 @@ TEST_F(FaultConcurrencyTest, ProbesRaceConfigureResetWithoutCorruption) {
     for (int t = 0; t < kProbeThreads; ++t) {
       probers.emplace_back([&] {
         started.fetch_add(1);
-        uint64_t local = 0;
         while (!done.load(std::memory_order_relaxed)) {
-          if (ShouldFail("race/site")) ++local;
+          // Publish immediately (not at thread exit): the churn loop below
+          // keeps going until it *observes* a fire.
+          if (ShouldFail("race/site")) {
+            fires.fetch_add(1, std::memory_order_relaxed);
+          }
           // Unconfigured-but-armed sites are counted too; probe one.
           (void)ShouldFail("race/other");
         }
-        fires.fetch_add(local);
       });
     }
     // Don't start churning until every prober is live — otherwise on a
@@ -86,8 +89,16 @@ TEST_F(FaultConcurrencyTest, ProbesRaceConfigureResetWithoutCorruption) {
     while (started.load() < kProbeThreads) std::this_thread::yield();
     // Main thread churns the registry state the whole time: every probe
     // must land either on the old config or the new one, never on torn
-    // state (TSan enforces the "no data" part of the contract).
-    for (int round = 0; round < kRounds; ++round) {
+    // state (TSan enforces the "no data" part of the contract). A fixed
+    // round count is schedule-dependent on a loaded machine (the probers
+    // can be starved for the whole churn window), so past the minimum we
+    // keep churning until a fire lands or a generous deadline expires.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (int round = 0;
+         round < kRounds ||
+         (fires.load() == 0 && std::chrono::steady_clock::now() < deadline);
+         ++round) {
       ASSERT_TRUE(Configure("race/site=a1,seed=" +
                             std::to_string(round + 1))
                       .ok());

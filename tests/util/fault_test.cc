@@ -101,6 +101,26 @@ TEST_F(FaultTest, MalformedSpecsRejectedAndScheduleKept) {
   EXPECT_TRUE(ShouldFail("a"));
 }
 
+TEST_F(FaultTest, CrashTriggerParsesAndHoldsFireBeforeNthHit) {
+  // The crash trigger SIGKILLs the process *on* the nth hit — actually
+  // reaching it would kill the test runner, so this asserts everything
+  // short of the bang: the spec parses, earlier hits pass clean (no error
+  // return: a crash site either kills or is invisible), and hits are
+  // counted. The firing path is exercised for real by the fork/exec
+  // driver in tools/boomer_crashtest.cc.
+  ASSERT_TRUE(Configure("wal/append/write=c3").ok());
+  EXPECT_TRUE(Armed());
+  EXPECT_FALSE(ShouldFail("wal/append/write"));
+  EXPECT_FALSE(ShouldFail("wal/append/write"));
+  auto stats = Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].hits, 2u);
+  EXPECT_EQ(stats[0].fires, 0u);
+  // Hit numbers start at 1, same as n/a triggers.
+  EXPECT_FALSE(Configure("x=c0").ok());
+  EXPECT_FALSE(Configure("x=c").ok());
+}
+
 TEST_F(FaultTest, EmptySpecDisarms) {
   ASSERT_TRUE(Configure("a=n1").ok());
   ASSERT_TRUE(Configure("").ok());

@@ -1,0 +1,442 @@
+// boomer_crashtest: fork/exec SIGKILL-recovery harness for the serving
+// runtime's crash-durability contract (DESIGN.md §5d).
+//
+// Each *schedule* runs one child process (this same binary, re-executed
+// with --child) that serves a seeded multi-session workload with the WAL
+// enabled and a `site=cN` crash trigger armed: on the Nth hit of the
+// chosen fault site the child raises SIGKILL against itself — no unwind,
+// no flush, the userspace equivalent of yanking the power cord. The parent
+// waits for the corpse, runs SessionManager::RecoverAll over the child's
+// WAL directory, re-submits each session's remaining action suffix, and
+// asserts the final Run results are bit-identical to an uninterrupted
+// single-threaded replay of the same trace.
+//
+// Usage:
+//   boomer_crashtest [--schedules N] [--sessions N] [--seed S]
+//                    [--dir DIR] [--keep]
+//
+// Exit status 0 iff every schedule recovered bit-identically. The default
+// 50 schedules sweep both WAL fault sites (append and fsync) across crash
+// hit counts and workload seeds.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/blender.h"
+#include "core/preprocessor.h"
+#include "graph/generators.h"
+#include "gui/actions.h"
+#include "serve/session_manager.h"
+#include "serve/workload.h"
+#include "util/atomic_file.h"
+#include "util/strings.h"
+
+namespace {
+
+using boomer::Status;
+using boomer::StatusCode;
+using boomer::core::Blender;
+using boomer::core::PreprocessResult;
+using boomer::graph::Graph;
+using boomer::gui::ActionTrace;
+using boomer::serve::RecoveryOutcome;
+using boomer::serve::ServeOptions;
+using boomer::serve::SessionId;
+using boomer::serve::SessionManager;
+using boomer::serve::SessionResult;
+using boomer::serve::SessionState;
+
+struct Args {
+  size_t schedules = 50;
+  size_t sessions = 4;
+  uint64_t seed = 101;
+  std::string dir = "/tmp/boomer_crashtest";
+  bool keep = false;
+  // Internal child mode.
+  bool child = false;
+  std::string child_dir;
+  uint64_t child_seed = 0;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--schedules N] [--sessions N] [--seed S]\n"
+               "          [--dir DIR] [--keep]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Order-insensitive canonical form of a result set, mirroring the test
+/// support library's Canonicalize (tools do not link tests/support).
+using Canonical = std::set<std::vector<boomer::graph::VertexId>>;
+
+Canonical Canonicalize(const std::vector<boomer::core::PartialMatch>& ms) {
+  Canonical out;
+  for (const auto& m : ms) out.insert(m.assignment);
+  return out;
+}
+
+/// The shared workload fixture: parent and child must derive the identical
+/// graph, preprocessing, and traces from the schedule seed, or the
+/// bit-identical assertion would be comparing different queries.
+struct Fixture {
+  Graph graph;
+  std::unique_ptr<PreprocessResult> prep;
+  std::vector<ActionTrace> traces;
+};
+
+bool BuildFixture(size_t sessions, uint64_t seed, Fixture* out) {
+  if (out->prep == nullptr) {
+    // The graph and its preprocessing are seed-independent; only the
+    // traces vary per schedule. Reuse across schedules (the parent calls
+    // this 50 times).
+    auto g_or = boomer::graph::GenerateErdosRenyi(60, 140, 3, 17);
+    if (!g_or.ok()) return false;
+    out->graph = std::move(g_or).value();
+    boomer::core::PreprocessOptions prep_options;
+    prep_options.t_avg_samples = 500;
+    auto prep_or = boomer::core::Preprocess(out->graph, prep_options);
+    if (!prep_or.ok()) return false;
+    out->prep =
+        std::make_unique<PreprocessResult>(std::move(prep_or).value());
+  }
+  out->traces = boomer::serve::SeededTraces(out->graph, sessions, seed);
+  return true;
+}
+
+ServeOptions ChildServeOptions(const std::string& dir) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_live_sessions = 16;
+  options.snapshot_dir = dir;
+  options.wal_dir = dir;
+  // Small group-commit interval so fsync-site schedules get frequent hits
+  // while write-site schedules still exercise the unsynced-tail window.
+  options.wal_group_commit = 2;
+  return options;
+}
+
+/// Child mode: serve the seeded workload until done (or until the armed
+/// crash trigger kills the process mid-flight, which is the point).
+int RunChild(const Args& args) {
+  Fixture f;
+  if (!BuildFixture(args.sessions, args.child_seed, &f)) {
+    std::fprintf(stderr, "child: fixture construction failed\n");
+    return 3;
+  }
+  SessionManager manager(f.graph, *f.prep, ChildServeOptions(args.child_dir));
+
+  // Sessions open sequentially before any action, so session id i+1 always
+  // serves trace i — the parent relies on this mapping to know which suffix
+  // belongs to which recovered session.
+  std::vector<SessionId> ids;
+  for (size_t i = 0; i < f.traces.size(); ++i) {
+    auto id_or = manager.OpenSession();
+    if (!id_or.ok()) {
+      std::fprintf(stderr, "child: open failed: %s\n",
+                   id_or.status().ToString().c_str());
+      return 3;
+    }
+    ids.push_back(*id_or);
+  }
+  // Round-robin submission interleaves every session's apply stream, so a
+  // single crash trigger lands at a different multi-session cut each
+  // schedule.
+  size_t longest = 0;
+  for (const ActionTrace& t : f.traces) longest = std::max(longest, t.size());
+  for (size_t step = 0; step < longest; ++step) {
+    for (size_t i = 0; i < f.traces.size(); ++i) {
+      if (step >= f.traces[i].size()) continue;
+      for (;;) {
+        Status s = manager.SubmitAction(ids[i], f.traces[i].at(step));
+        if (s.ok()) break;
+        if (s.code() != StatusCode::kOverloaded) {
+          std::fprintf(stderr, "child: submit failed: %s\n",
+                       s.ToString().c_str());
+          return 3;
+        }
+        (void)manager.WaitIdle(ids[i]);
+      }
+    }
+  }
+  for (SessionId id : ids) {
+    auto result_or = manager.Await(id);
+    if (!result_or.ok() || result_or->state != SessionState::kCompleted) {
+      std::fprintf(stderr, "child: session did not complete\n");
+      return 3;
+    }
+  }
+  // Survived: the armed hit count was beyond this workload. The parent
+  // treats a clean exit as "recover whatever the WALs hold" all the same.
+  return 0;
+}
+
+/// Re-executes this binary in child mode with a crash schedule armed.
+/// Returns the child's wait status via waitpid, or -1 on spawn failure.
+int SpawnChild(const char* self, const std::string& dir, size_t sessions,
+               uint64_t seed, const std::string& fault_spec) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (pid == 0) {
+    ::setenv("BOOMER_FAULTS", fault_spec.c_str(), 1);
+    const std::string sessions_text = std::to_string(sessions);
+    const std::string seed_text = std::to_string(seed);
+    ::execl(self, self, "--child", "--child-dir", dir.c_str(),
+            "--child-sessions", sessions_text.c_str(), "--child-seed",
+            seed_text.c_str(), static_cast<char*>(nullptr));
+    // Only reached when exec itself failed; _exit avoids running the
+    // parent's atexit/static-destructor state in the forked image.
+    std::fprintf(stderr, "exec %s failed: %s\n", self, std::strerror(errno));
+    ::_exit(127);
+  }
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) < 0) {
+    std::fprintf(stderr, "waitpid failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  return wstatus;
+}
+
+/// Recovers the child's directory and drives every session to completion,
+/// comparing against the uninterrupted reference. Returns the number of
+/// failed assertions (0 = schedule passed).
+size_t RecoverAndVerify(const Fixture& f, const std::string& dir) {
+  size_t failures = 0;
+  SessionManager manager(f.graph, *f.prep, ChildServeOptions(dir));
+  auto outcomes_or = manager.RecoverAll(dir);
+  if (!outcomes_or.ok()) {
+    std::fprintf(stderr, "  FAIL: recovery sweep: %s\n",
+                 outcomes_or.status().ToString().c_str());
+    return 1;
+  }
+  // Child session ids are 1-based and sequential (see RunChild).
+  std::vector<const RecoveryOutcome*> by_trace(f.traces.size(), nullptr);
+  for (const RecoveryOutcome& r : *outcomes_or) {
+    if (r.original_id == 0 || r.original_id > f.traces.size()) {
+      std::fprintf(stderr, "  FAIL: recovered unknown session %llu\n",
+                   static_cast<unsigned long long>(r.original_id));
+      ++failures;
+      continue;
+    }
+    by_trace[r.original_id - 1] = &r;
+  }
+  for (size_t i = 0; i < f.traces.size(); ++i) {
+    const ActionTrace& trace = f.traces[i];
+    const RecoveryOutcome* outcome = by_trace[i];
+    if (outcome != nullptr && !outcome->status.ok()) {
+      // SIGKILL never corrupts already-written bytes, so every log must
+      // replay; a quarantine here means the WAL or reader is broken.
+      std::fprintf(stderr, "  FAIL: trace %zu unreplayable: %s\n", i,
+                   outcome->status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    SessionId id = 0;
+    size_t start = 0;
+    if (outcome != nullptr && outcome->new_id != 0) {
+      id = outcome->new_id;
+      start = outcome->actions_replayed;
+    } else {
+      // Nothing recoverable logged (crash before the first append): the
+      // session restarts from scratch.
+      auto id_or = manager.OpenSession();
+      if (!id_or.ok()) {
+        std::fprintf(stderr, "  FAIL: trace %zu reopen: %s\n", i,
+                     id_or.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      id = *id_or;
+    }
+    if (start > trace.size()) {
+      std::fprintf(stderr,
+                   "  FAIL: trace %zu replayed %zu of %zu actions — the "
+                   "log holds more than was ever submitted\n",
+                   i, start, trace.size());
+      ++failures;
+      continue;
+    }
+    Status st = Status::OK();
+    for (size_t a = start; a < trace.size(); ++a) {
+      st = manager.SubmitAction(id, trace.at(a));
+      while (!st.ok() && st.code() == StatusCode::kOverloaded) {
+        st = manager.WaitIdle(id);
+        if (st.ok()) st = manager.SubmitAction(id, trace.at(a));
+      }
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "  FAIL: trace %zu suffix submit: %s\n", i,
+                   st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto result_or = manager.Await(id);
+    if (!result_or.ok() ||
+        result_or->state != SessionState::kCompleted) {
+      std::fprintf(stderr, "  FAIL: trace %zu did not complete after "
+                   "recovery\n", i);
+      ++failures;
+      continue;
+    }
+    // The reference: the same trace, uninterrupted, single-threaded.
+    Blender reference(f.graph, *f.prep, ServeOptions().blender);
+    Status ref_st = reference.RunTrace(trace);
+    if (!ref_st.ok()) {
+      std::fprintf(stderr, "  FAIL: trace %zu reference replay: %s\n", i,
+                   ref_st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (Canonicalize(result_or->results) !=
+        Canonicalize(reference.Results())) {
+      std::fprintf(stderr,
+                   "  FAIL: trace %zu results diverge from the "
+                   "uninterrupted replay (%zu vs %zu matches)\n",
+                   i, result_or->results.size(),
+                   reference.Results().size());
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  auto names_or = boomer::ListDirectory(dir);
+  if (names_or.ok()) {
+    for (const std::string& name : *names_or) {
+      (void)boomer::RemoveFileIfExists(dir + "/" + name);
+    }
+  }
+  (void)::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    auto parse_size = [&](size_t* out) {
+      auto v = boomer::ParseInt64(next());
+      if (!v.ok() || *v < 0) Usage(argv[0]);
+      *out = static_cast<size_t>(*v);
+    };
+    if (flag == "--schedules") {
+      parse_size(&args.schedules);
+    } else if (flag == "--sessions") {
+      parse_size(&args.sessions);
+    } else if (flag == "--seed") {
+      size_t s = 0;
+      parse_size(&s);
+      args.seed = s;
+    } else if (flag == "--dir") {
+      args.dir = next();
+    } else if (flag == "--keep") {
+      args.keep = true;
+    } else if (flag == "--child") {
+      args.child = true;
+    } else if (flag == "--child-dir") {
+      args.child_dir = next();
+    } else if (flag == "--child-sessions") {
+      parse_size(&args.sessions);
+    } else if (flag == "--child-seed") {
+      size_t s = 0;
+      parse_size(&s);
+      args.child_seed = s;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (args.child) return RunChild(args);
+
+  if (::mkdir(args.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "mkdir %s failed: %s\n", args.dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+
+  // Crash sites: the WAL's write path fires once per action (crash lands
+  // *before* a record hits the log — the action must replay from the
+  // suffix), the fsync path once per group commit (crash lands with an
+  // unsynced tail in the page cache). Alternating them with a sweep of hit
+  // counts and workload seeds covers early, mid, and post-workload cuts.
+  const char* kSites[] = {"wal/append/write", "wal/append/fsync"};
+  Fixture fixture;
+  size_t total_failures = 0;
+  size_t crashed = 0;
+  size_t survived = 0;
+  for (size_t k = 0; k < args.schedules; ++k) {
+    const char* site = kSites[k % 2];
+    const uint64_t nth = 1 + (k * 7) % 41;
+    const uint64_t seed = args.seed + k / 4;
+    const std::string dir =
+        args.dir + "/schedule-" + std::to_string(k);
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "mkdir %s failed: %s\n", dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    const std::string fault_spec =
+        std::string(site) + "=c" + std::to_string(nth);
+
+    if (!BuildFixture(args.sessions, seed, &fixture)) {
+      std::fprintf(stderr, "fixture construction failed\n");
+      return 1;
+    }
+    const int wstatus =
+        SpawnChild(argv[0], dir, args.sessions, seed, fault_spec);
+    if (wstatus < 0) return 1;
+    bool ok_exit = false;
+    if (WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL) {
+      ++crashed;
+      ok_exit = true;
+    } else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+      ++survived;  // hit count beyond the workload; still recover below
+      ok_exit = true;
+    }
+    if (!ok_exit) {
+      std::fprintf(stderr,
+                   "schedule %zu (%s): child died unexpectedly "
+                   "(wstatus 0x%x)\n",
+                   k, fault_spec.c_str(), wstatus);
+      ++total_failures;
+      continue;
+    }
+
+    const size_t failures = RecoverAndVerify(fixture, dir);
+    if (failures > 0) {
+      std::fprintf(stderr, "schedule %zu (%s, seed %llu): %zu failure(s)\n",
+                   k, fault_spec.c_str(),
+                   static_cast<unsigned long long>(seed), failures);
+      total_failures += failures;
+    }
+    if (!args.keep) RemoveDirRecursive(dir);
+  }
+  if (!args.keep && total_failures == 0) RemoveDirRecursive(args.dir);
+
+  std::printf(
+      "%zu schedule(s): %zu crashed+recovered, %zu survived, "
+      "%zu failure(s)\n",
+      args.schedules, crashed, survived, total_failures);
+  return total_failures == 0 ? 0 : 1;
+}

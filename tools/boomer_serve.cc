@@ -10,11 +10,17 @@
 //                [--queue N] [--mem-budget BYTES] [--watchdog SECONDS]
 //                [--strategy ic|dr|di] [--budget SECONDS]
 //                [--dataset er|wordnet|dblp|flickr] [--scale F] [--seed N]
-//                [--snapshot-dir DIR] [--faults SPEC] [--per-session]
+//                [--snapshot-dir DIR] [--wal-dir DIR] [--recover DIR]
+//                [--wal-commit N] [--degrade-fraction F]
+//                [--retain-corrupt N] [--faults SPEC] [--per-session]
 //
 // --dataset er (the default) generates a small Erdős–Rényi graph sized for
 // quick runs; the named analogs accept --scale as the fraction of the
 // paper's dataset size (see graph/datasets.h).
+//
+// --wal-dir enables per-session write-ahead logging; after a crash
+// (kill -9 included), rerun with --recover pointed at that directory and
+// the interrupted sessions are replayed before the new workload starts.
 //
 // Faults can also be armed via the BOOMER_FAULTS environment variable.
 
@@ -49,6 +55,11 @@ struct Args {
   double scale = 0.02;
   uint64_t seed = 7;
   std::string snapshot_dir = ".";
+  std::string wal_dir;
+  std::string recover_dir;
+  size_t wal_commit = 8;
+  double degrade_fraction = 0.75;
+  size_t retain_corrupt = 8;
   std::string faults;
   bool per_session = false;
 };
@@ -60,7 +71,9 @@ struct Args {
       "          [--mem-budget BYTES] [--watchdog SECONDS]\n"
       "          [--strategy ic|dr|di] [--budget SECONDS]\n"
       "          [--dataset er|wordnet|dblp|flickr] [--scale F] [--seed N]\n"
-      "          [--snapshot-dir DIR] [--faults SPEC] [--per-session]\n",
+      "          [--snapshot-dir DIR] [--wal-dir DIR] [--recover DIR]\n"
+      "          [--wal-commit N] [--degrade-fraction F]\n"
+      "          [--retain-corrupt N] [--faults SPEC] [--per-session]\n",
       argv0);
   std::exit(2);
 }
@@ -124,6 +137,18 @@ int main(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(*v);
     } else if (flag == "--snapshot-dir") {
       args.snapshot_dir = next();
+    } else if (flag == "--wal-dir") {
+      args.wal_dir = next();
+    } else if (flag == "--recover") {
+      args.recover_dir = next();
+    } else if (flag == "--wal-commit") {
+      if (!ParseSize(next(), &args.wal_commit)) Usage(argv[0]);
+    } else if (flag == "--degrade-fraction") {
+      auto v = boomer::ParseDouble(next());
+      if (!v.ok() || *v < 0.0 || *v > 1.0) Usage(argv[0]);
+      args.degrade_fraction = *v;
+    } else if (flag == "--retain-corrupt") {
+      if (!ParseSize(next(), &args.retain_corrupt)) Usage(argv[0]);
     } else if (flag == "--faults") {
       args.faults = next();
     } else if (flag == "--per-session") {
@@ -182,9 +207,34 @@ int main(int argc, char** argv) {
   serve_options.memory_budget_bytes = args.mem_budget;
   serve_options.stuck_session_seconds = args.watchdog_seconds;
   serve_options.snapshot_dir = args.snapshot_dir;
+  serve_options.wal_dir = args.wal_dir;
+  serve_options.wal_group_commit = args.wal_commit;
+  serve_options.degrade_fraction = args.degrade_fraction;
+  serve_options.retain_corrupt = args.retain_corrupt;
   serve_options.blender.strategy = args.strategy;
   serve_options.blender.srt_budget_seconds = args.srt_budget;
   boomer::serve::SessionManager manager(graph, *prep_or, serve_options);
+
+  if (!args.recover_dir.empty()) {
+    auto recovered_or = manager.RecoverAll(args.recover_dir);
+    if (!recovered_or.ok()) {
+      std::fprintf(stderr, "recovery sweep failed: %s\n",
+                   recovered_or.status().ToString().c_str());
+      return 1;
+    }
+    for (const boomer::serve::RecoveryOutcome& r : *recovered_or) {
+      const std::string failed =
+          r.status.ok() ? "" : " FAILED: " + r.status.ToString();
+      std::printf(
+          "recovered session %llu -> %llu: %zu action(s) from %s%s%s%s\n",
+          static_cast<unsigned long long>(r.original_id),
+          static_cast<unsigned long long>(r.new_id), r.actions_replayed,
+          r.from_wal ? "wal" : "snapshot",
+          r.torn_tail ? " (torn tail truncated)" : "",
+          r.quarantined ? " (corrupt part quarantined)" : "",
+          failed.c_str());
+    }
+  }
 
   auto traces =
       boomer::serve::SeededTraces(graph, args.sessions, args.seed);
@@ -242,6 +292,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.watchdog_cancels));
   std::printf("peak: %zu live session(s), %zu CAP bytes\n",
               stats.peak_live_sessions, stats.peak_cap_bytes);
+  std::printf(
+      "health: %s (peak %s) | degraded %llu | shed stalls %llu | "
+      "recovered %llu (%llu failed) | wal records %llu\n",
+      boomer::serve::HealthStateName(summary.final_health),
+      boomer::serve::HealthStateName(summary.peak_health),
+      static_cast<unsigned long long>(stats.sessions_degraded),
+      static_cast<unsigned long long>(stats.shed_stalls),
+      static_cast<unsigned long long>(stats.sessions_recovered),
+      static_cast<unsigned long long>(stats.recovery_failures),
+      static_cast<unsigned long long>(stats.wal_records));
   if (!args.faults.empty()) {
     std::printf("fault sites:\n%s", boomer::fault::StatsToString().c_str());
   }

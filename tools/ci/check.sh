@@ -55,6 +55,19 @@ else
   echo "build/ not configured; chaos label runs in the sanitizer pass" >&2
 fi
 
+# Crash-durability gate: the in-process RecoverAll tests plus the
+# fork/SIGKILL harness (tools/boomer_crashtest — seeded schedules that kill
+# a serving child at armed WAL fault sites, recover, and require
+# bit-identical results).
+step "crash gate (ctest -L crash: WAL recovery + SIGKILL schedules)"
+if [ -d build ]; then
+  cmake --build build -j "$(nproc)" --target crash_test boomer_crashtest \
+    || fail "crash build"
+  ctest --test-dir build -L crash --output-on-failure || fail "crash ctest"
+else
+  echo "build/ not configured; crash label runs in the sanitizer pass" >&2
+fi
+
 supports_tsan() {
   # Probe the toolchain: some container images ship a compiler without the
   # tsan runtime, in which case the gate is skipped with a loud warning
@@ -100,6 +113,12 @@ if [ "$SKIP_SANITIZERS" -eq 0 ]; then
   # wild read, overflow, or leak.
   step "ctest chaos label (asan-ubsan)"
   ctest --preset asan-ubsan -L chaos || fail "ctest chaos (asan-ubsan)"
+
+  # And the crash label: recovery code paths parse bytes a dead process left
+  # behind — exactly where a wild read would hide. The SIGKILL harness runs
+  # here too (ASan shadows the child as well as the recovering parent).
+  step "ctest crash label (asan-ubsan)"
+  ctest --preset asan-ubsan -L crash || fail "ctest crash (asan-ubsan)"
 fi
 
 step "clang-tidy gate"

@@ -32,6 +32,11 @@ compilers cannot:
                    and tests/ — sleeping is not synchronization; wait on a
                    condition variable or stop_token.  (Tests may sleep to
                    ride out a watchdog poll; util/ owns the primitives.)
+  wal-bypass       no fsync/fdatasync/O_APPEND in src/ outside util/wal.cc
+                   and util/atomic_file.cc — durability has exactly two
+                   blessed writers (the WAL and the atomic snapshot file);
+                   ad-hoc append-and-sync code silently escapes the
+                   crash-recovery contract RecoverAll relies on.
 
 A line (or its predecessor) containing `boomer-lint-allow(<rule>)` exempts
 that single occurrence; use sparingly and explain why in the comment.
@@ -59,6 +64,12 @@ OFSTREAM_ALLOWLIST = {
     "src/util/atomic_file.h",
 }
 
+# The only files allowed to talk durability to the kernel directly.
+WAL_BYPASS_ALLOWLIST = {
+    "src/util/wal.cc",
+    "src/util/atomic_file.cc",
+}
+
 STDOUT_RE = re.compile(r"std::cout|\bprintf\s*\(|\bputs\s*\(|\bfputs\s*\(")
 OFSTREAM_RE = re.compile(r"std::ofstream\b")
 STDOUT_STDERR_OK_RE = re.compile(r"\bfprintf\s*\(\s*stderr|\bfputs\s*\([^,]*,\s*stderr")
@@ -71,6 +82,7 @@ RAW_THREAD_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
 THREAD_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 SLEEP_RE = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
+WAL_BYPASS_RE = re.compile(r"\bf(?:data)?sync\s*\(|\bO_APPEND\b")
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
 ALLOW_RE = re.compile(r"boomer-lint-allow\(([a-z-]+)\)")
 
@@ -177,6 +189,15 @@ class Linter:
                 self.report(rel, lineno, "sleep-sync",
                             "sleeping is not synchronization; wait on a "
                             "condition variable or stop_token")
+
+            if (in_src and str(rel) not in WAL_BYPASS_ALLOWLIST
+                    and WAL_BYPASS_RE.search(line)
+                    and not self.allowed(lines, idx, "wal-bypass")):
+                self.report(rel, lineno, "wal-bypass",
+                            "fsync/O_APPEND outside util/wal.cc and "
+                            "util/atomic_file.cc escapes the crash-recovery "
+                            "contract; log through WalWriter or "
+                            "WriteFileAtomic")
 
     def run(self) -> int:
         scanned = 0

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/timer.h"
@@ -151,6 +152,7 @@ void Blender::RemoveFromPool(QueryEdgeId e) {
 }
 
 void Blender::ProbePool(int64_t deadline_micros) {
+  OBS_SPAN("blend.probe_pool");
   BOOMER_DCHECK(options_.strategy == Strategy::kDeferToIdle)
       << "only DI probes the pool during idle windows";
   // Algorithm 10: keep processing the cheapest pooled edge while its
@@ -181,10 +183,12 @@ void Blender::ProbePool(int64_t deadline_micros) {
     }
     Charge(*wall_or);
     ++report_.edges_processed_idle;
+    OBS_COUNTER_INC("blend.edges_idle");
   }
 }
 
 void Blender::DrainPool(Deadline* deadline) {
+  OBS_SPAN("blend.drain_pool");
   while (!pool_.empty()) {
     // Cancellation point: per-edge granularity keeps the CAP transactional —
     // a stop lands between edges, never inside one, so Validate() stays
@@ -213,6 +217,7 @@ void Blender::DrainPool(Deadline* deadline) {
     Charge(*wall_or);
     deadline->ChargeSeconds(*wall_or);
     ++report_.edges_processed_at_run;
+    OBS_COUNTER_INC("blend.edges_at_run");
   }
 }
 
@@ -289,19 +294,25 @@ Status Blender::HandleNewEdge(const Action& a) {
   }
   Charge(*wall_or);
   ++report_.edges_processed_immediately;
+  OBS_COUNTER_INC("blend.edges_immediate");
   return Status::OK();
 }
 
 Status Blender::HandleRun() {
+  OBS_SPAN("blend.run");
   Deadline deadline = options_.srt_budget_seconds > 0.0
                           ? Deadline::FromBudgetSeconds(
                                 options_.srt_budget_seconds)
                           : Deadline::Unbounded();
   // The SRT clock starts at the Run click: backlog the engine already owes
   // eats into the budget before the drain begins.
-  deadline.Charge(
-      std::max<int64_t>(0, engine_free_at_micros_ - clock_.NowMicros()));
+  const int64_t backlog_micros =
+      std::max<int64_t>(0, engine_free_at_micros_ - clock_.NowMicros());
+  report_.run_backlog_seconds = static_cast<double>(backlog_micros) * 1e-6;
+  deadline.Charge(backlog_micros);
+  WallTimer drain_timer;
   DrainPool(&deadline);
+  report_.run_drain_wall_seconds = drain_timer.ElapsedSeconds();
   if (report_.truncated()) {
     // The CAP is incomplete (unprocessed pooled edges), so enumeration
     // could only produce unsound matches; degrade to an empty result set.
@@ -325,6 +336,25 @@ Status Blender::HandleRun() {
       std::max<int64_t>(0, engine_free_at_micros_ - clock_.NowMicros()) * 1e-6;
   report_.cap_stats = cap_.ComputeStats();
   report_.num_results = results_.size();
+  // SRT decomposition for the perf gate: what the user waits for at Run
+  // (backlog + drain + enumeration) vs. CAP work blended into formulation.
+  OBS_COUNTER_INC("blend.runs");
+  if (report_.truncated()) OBS_COUNTER_INC("blend.truncated_runs");
+  OBS_HIST_OBSERVE_US("blend.srt_us",
+                      static_cast<int64_t>(report_.srt_seconds * 1e6));
+  OBS_HIST_OBSERVE_US("blend.run_backlog_us", backlog_micros);
+  OBS_HIST_OBSERVE_US(
+      "blend.run_drain_us",
+      static_cast<int64_t>(report_.run_drain_wall_seconds * 1e6));
+  OBS_HIST_OBSERVE_US(
+      "blend.run_enum_us",
+      static_cast<int64_t>(report_.enumeration_wall_seconds * 1e6));
+  OBS_HIST_OBSERVE_US(
+      "blend.formulation_blend_us",
+      static_cast<int64_t>(report_.FormulationBlendSeconds() * 1e6));
+  OBS_HIST_OBSERVE_US(
+      "blend.cap_build_us",
+      static_cast<int64_t>(report_.cap_build_wall_seconds * 1e6));
   return Status::OK();
 }
 

@@ -123,6 +123,18 @@ struct BlendReport {
   /// Wall time spent handling Modify actions (subset of cap_build_wall).
   double modification_wall_seconds = 0.0;
   CapStats cap_stats;
+  /// SRT decomposition (all in seconds; srt ~ backlog + drain + enum wall):
+  /// engine backlog still owed at the Run click (work started during
+  /// formulation that had not finished in the blended windows)...
+  double run_backlog_seconds = 0.0;
+  /// ...wall time of the Run-time pool drain...
+  double run_drain_wall_seconds = 0.0;
+  /// ...and enumeration_wall_seconds below. CAP work blended *before* Run
+  /// (immediate + idle + modification wall) is the complement:
+  double FormulationBlendSeconds() const {
+    const double blended = cap_build_wall_seconds - run_drain_wall_seconds;
+    return blended > 0.0 ? blended : 0.0;
+  }
   size_t num_results = 0;
   size_t edges_processed_immediately = 0;
   size_t edges_deferred = 0;

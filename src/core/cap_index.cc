@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace boomer {
@@ -42,6 +43,8 @@ void CapIndex::AddLevel(QueryVertexId q, std::vector<VertexId> candidates) {
                    candidates.end());
   levels_[q].present = true;
   levels_[q].candidates = std::move(candidates);
+  OBS_COUNTER_INC("cap.levels_added");
+  OBS_COUNTER_ADD("cap.level_candidates", levels_[q].candidates.size());
 }
 
 void CapIndex::RemoveLevel(QueryVertexId q) {
@@ -134,6 +137,7 @@ void CapIndex::AddPair(QueryEdgeId e, VertexId vi, VertexId vj) {
       << "pair endpoint v" << vj << " not a candidate of level " << adj.qj;
   SortedInsert(&adj.from_qi[vi], vj);
   SortedInsert(&adj.from_qj[vj], vi);
+  OBS_COUNTER_INC("cap.pairs_added");
 }
 
 void CapIndex::RemovePair(QueryEdgeId e, VertexId vi, VertexId vj) {
@@ -155,6 +159,7 @@ const std::vector<VertexId>& CapIndex::Aivs(QueryEdgeId e, QueryVertexId q,
   const EdgeAdjacency& adj = GetEdge(e);
   BOOMER_CHECK(q == adj.qi || q == adj.qj);
   const auto& side = (q == adj.qi) ? adj.from_qi : adj.from_qj;
+  OBS_COUNTER_INC("cap.aivs_lookups");
   auto it = side.find(v);
   if (it == side.end()) return kEmpty;
   return it->second;
@@ -163,6 +168,7 @@ const std::vector<VertexId>& CapIndex::Aivs(QueryEdgeId e, QueryVertexId q,
 size_t CapIndex::PruneVertex(QueryVertexId q, VertexId v) {
   if (!HasLevel(q)) return 0;
   if (!SortedErase(&levels_[q].candidates, v)) return 0;
+  OBS_COUNTER_INC("cap.prune_removals");
   size_t removed = 1;
 
   // Collect (edge, neighbor level, affected neighbor vertex) before mutating

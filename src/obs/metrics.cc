@@ -1,0 +1,272 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace boomer {
+namespace obs {
+namespace {
+
+bool EnvEnabled() {
+  const char* v = std::getenv("BOOMER_OBS");
+  if (v == nullptr) return false;
+  const std::string_view s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true" || s == "TRUE";
+}
+
+// One registry per metric kind. std::map keeps snapshot output name-sorted
+// and — crucially — never moves a mapped cell: pointers handed to call
+// sites stay valid forever (ResetAll zeroes, never erases).
+template <typename T>
+class Registry {
+ public:
+  T* For(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find(name);
+    if (it == cells_.end()) {
+      it = cells_.emplace(std::string(name), std::make_unique<T>()).first;
+    }
+    return it->second.get();
+  }
+
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, cell] : cells_) cell->Reset();
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, cell] : cells_) fn(name, *cell);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> cells_;
+};
+
+Registry<Counter>& Counters() {
+  static Registry<Counter>* r = new Registry<Counter>;  // boomer-lint-allow(naked-new)
+  return *r;  // leaked intentionally: call-site caches may outlive statics
+}
+Registry<Gauge>& Gauges() {
+  static Registry<Gauge>* r = new Registry<Gauge>;  // boomer-lint-allow(naked-new)
+  return *r;
+}
+Registry<Histogram>& Histograms() {
+  static Registry<Histogram>* r = new Registry<Histogram>;  // boomer-lint-allow(naked-new)
+  return *r;
+}
+Registry<SpanSite>& Spans() {
+  static Registry<SpanSite>* r = new Registry<SpanSite>;  // boomer-lint-allow(naked-new)
+  return *r;
+}
+
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_enabled{EnvEnabled()};
+
+Counter* CounterFor(std::string_view name) { return Counters().For(name); }
+Gauge* GaugeFor(std::string_view name) { return Gauges().For(name); }
+Histogram* HistogramFor(std::string_view name) {
+  return Histograms().For(name);
+}
+SpanSite* SpanFor(std::string_view name) { return Spans().For(name); }
+}  // namespace internal
+
+void Enable() { internal::g_enabled.store(true, std::memory_order_relaxed); }
+void Disable() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void ResetAll() {
+  Counters().ResetAll();
+  Gauges().ResetAll();
+  Histograms().ResetAll();
+  Spans().ResetAll();
+}
+
+double HistogramPercentile(const std::vector<uint64_t>& buckets, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= target) {
+      // Linear interpolation inside bucket i between its edges. Bucket 0
+      // spans (0, 1]; the overflow bucket is capped at twice the last
+      // finite edge for interpolation purposes.
+      const double lower =
+          i == 0 ? 0.0
+                 : static_cast<double>(Histogram::BucketUpperEdge(
+                       static_cast<int>(i) - 1));
+      const double upper =
+          static_cast<double>(Histogram::BucketUpperEdge(static_cast<int>(i)));
+      const double span_upper =
+          static_cast<int>(i) >= Histogram::kPow2Buckets ? 2.0 * upper : upper;
+      double fraction =
+          (target - cumulative) / static_cast<double>(buckets[i]);
+      fraction = std::clamp(fraction, 0.0, 1.0);
+      return lower + fraction * (span_upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(
+      2 * Histogram::BucketUpperEdge(Histogram::kPow2Buckets));
+}
+
+MetricsSnapshot Snapshot() {
+  MetricsSnapshot snap;
+  Counters().ForEach([&](const std::string& name, const Counter& c) {
+    snap.counters.push_back({name, c.Value()});
+  });
+  Gauges().ForEach([&](const std::string& name, const Gauge& g) {
+    snap.gauges.push_back({name, g.Value()});
+  });
+  Histograms().ForEach([&](const std::string& name, const Histogram& h) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.buckets = h.SampleBuckets();
+    hs.sum_micros = h.SumMicros();
+    for (uint64_t b : hs.buckets) hs.count += b;
+    hs.p50_us = HistogramPercentile(hs.buckets, 0.50);
+    hs.p95_us = HistogramPercentile(hs.buckets, 0.95);
+    hs.p99_us = HistogramPercentile(hs.buckets, 0.99);
+    snap.histograms.push_back(std::move(hs));
+  });
+  Spans().ForEach([&](const std::string& name, const SpanSite& s) {
+    snap.spans.push_back({name, s.Hits(), s.TotalMicros()});
+  });
+  return snap;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  if (counters.empty() && gauges.empty() && histograms.empty() &&
+      spans.empty()) {
+    return "no metrics recorded (enable with `stats on` or BOOMER_OBS=1)\n";
+  }
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterSnapshot& c : counters) {
+      AppendFormat(&out, "  %-36s %llu\n", c.name.c_str(),
+                   static_cast<unsigned long long>(c.value));
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeSnapshot& g : gauges) {
+      AppendFormat(&out, "  %-36s %lld\n", g.name.c_str(),
+                   static_cast<long long>(g.value));
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:                            count      mean_us"
+           "      p50_us      p95_us      p99_us\n";
+    for (const HistogramSnapshot& h : histograms) {
+      AppendFormat(&out, "  %-36s %-10llu %-12.1f %-11.1f %-11.1f %.1f\n",
+                   h.name.c_str(), static_cast<unsigned long long>(h.count),
+                   h.MeanMicros(), h.p50_us, h.p95_us, h.p99_us);
+    }
+  }
+  if (!spans.empty()) {
+    out += "spans:                                 hits       total_us\n";
+    for (const SpanSnapshot& s : spans) {
+      AppendFormat(&out, "  %-36s %-10llu %llu\n", s.name.c_str(),
+                   static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.total_micros));
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  out += "\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    AppendFormat(&out, "%s\"%s\":%llu", i ? "," : "",
+                 JsonEscape(counters[i].name).c_str(),
+                 static_cast<unsigned long long>(counters[i].value));
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    AppendFormat(&out, "%s\"%s\":%lld", i ? "," : "",
+                 JsonEscape(gauges[i].name).c_str(),
+                 static_cast<long long>(gauges[i].value));
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    AppendFormat(&out,
+                 "%s\"%s\":{\"count\":%llu,\"sum_us\":%llu,"
+                 "\"mean_us\":%.3f,\"p50_us\":%.3f,\"p95_us\":%.3f,"
+                 "\"p99_us\":%.3f}",
+                 i ? "," : "", JsonEscape(h.name).c_str(),
+                 static_cast<unsigned long long>(h.count),
+                 static_cast<unsigned long long>(h.sum_micros),
+                 h.MeanMicros(), h.p50_us, h.p95_us, h.p99_us);
+  }
+  out += "},\"spans\":{";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    AppendFormat(&out, "%s\"%s\":{\"hits\":%llu,\"total_us\":%llu}",
+                 i ? "," : "", JsonEscape(spans[i].name).c_str(),
+                 static_cast<unsigned long long>(spans[i].hits),
+                 static_cast<unsigned long long>(spans[i].total_micros));
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace boomer

@@ -1,0 +1,318 @@
+// Low-overhead observability for the BOOMER hot paths.
+//
+// A process-wide registry of *named metrics* — monotonic counters, gauges,
+// fixed-bucket latency histograms (p50/p95/p99 extraction on snapshot), and
+// scoped spans that aggregate per-site wall time + hit counts. Production
+// code instruments with the OBS_* macros:
+//
+//   OBS_COUNTER_INC("cap.pairs_added");
+//   OBS_HIST_OBSERVE_US("blend.srt_us", micros);
+//   OBS_SPAN("cap.drain_pool");          // RAII: records on scope exit
+//
+// Cost model (the contract the bench gate enforces):
+//
+//   * Disarmed (the default, and whenever BOOMER_OBS is unset): every macro
+//     is a single relaxed atomic load + a predictable branch — no lock, no
+//     string hashing, no allocation. Safe to leave in release hot paths;
+//     tests/obs/metrics_test.cc asserts the disarmed path is allocation-free
+//     and the CI perf gate (tools/ci/bench_compare.py) bounds its cost.
+//   * Armed (BOOMER_OBS=1 in the environment, or obs::Enable()): counter /
+//     gauge / histogram updates are lock-free relaxed atomic RMWs on
+//     registry-owned cells. The registry lookup that finds a site's cell
+//     runs once per call site (function-local static) for counters and
+//     histograms, and per armed hit for the coarse-grained spans.
+//
+// Snapshot-on-read: Snapshot() walks the registry under its mutex and loads
+// every cell with relaxed ordering. Counters never tear (each is one
+// atomic); a histogram's bucket vector is read bucket-by-bucket while
+// writers may still be appending, so `count` is *defined* as the sum of the
+// sampled buckets (internally consistent) while `sum_micros` is sampled
+// separately and may lag by in-flight observations — fine for the mean it
+// feeds. All of this is race-free under TSan: every shared cell is atomic.
+//
+// Reset semantics: ResetAll() zeroes values but never deallocates — cached
+// call-site pointers stay valid for the life of the process. Enable/Disable
+// only toggle the fast-path hint.
+//
+// Metric naming scheme (see DESIGN.md §5e): "<subsystem>.<event>[_us]",
+// lower_snake within dot-separated components; the "_us" suffix marks
+// histogram/span units of microseconds. Subsystems in use: cap, blend, pml,
+// wal, serve.
+
+#ifndef BOOMER_OBS_METRICS_H_
+#define BOOMER_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace boomer {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Fast-path hint: one relaxed load. True once Enable() ran (or BOOMER_OBS
+/// was set in the environment at process start) and Disable() has not.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms metric collection process-wide.
+void Enable();
+
+/// Disarms collection. Recorded values are kept (snapshot still reads them).
+void Disable();
+
+/// Zeroes every registered metric. Never deallocates: pointers returned by
+/// the internal::*For lookups (and cached at call sites) stay valid.
+void ResetAll();
+
+/// Monotonic counter. Lock-free relaxed increments.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value (set/add; may go down). Lock-free relaxed updates.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram over microseconds. Bucket i holds
+/// observations v (us) with upper(i-1) < v <= upper(i), where
+/// upper(i) = 2^i for i in [0, kPow2Buckets) and the final bucket is
+/// unbounded. 2^26 us ~ 67 s: everything this project times fits below the
+/// overflow bucket.
+class Histogram {
+ public:
+  static constexpr int kPow2Buckets = 27;               // upper edges 2^0..2^26
+  static constexpr int kNumBuckets = kPow2Buckets + 1;  // + overflow
+
+  /// Bucket index for an observation of `micros` (clamped at 0).
+  static int BucketIndex(int64_t micros) {
+    if (micros <= 1) return 0;
+    const int idx =
+        std::bit_width(static_cast<uint64_t>(micros) - 1);  // ceil(log2)
+    return idx < kPow2Buckets ? idx : kPow2Buckets;
+  }
+
+  /// Inclusive upper edge of bucket `i` in micros; the overflow bucket
+  /// reports twice the last finite edge (interpolation cap, not a bound).
+  static int64_t BucketUpperEdge(int i) {
+    return int64_t{1} << (i < kPow2Buckets ? i : kPow2Buckets);
+  }
+
+  void ObserveMicros(int64_t micros) {
+    buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros < 0 ? 0 : static_cast<uint64_t>(micros),
+                          std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_micros_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Relaxed per-bucket sample (see snapshot-consistency note above).
+  std::vector<uint64_t> SampleBuckets() const {
+    std::vector<uint64_t> out(kNumBuckets);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  uint64_t SumMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Per-site span aggregate: how often the scope ran and its total wall time.
+class SpanSite {
+ public:
+  void Record(int64_t micros) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    total_micros_.fetch_add(micros < 0 ? 0 : static_cast<uint64_t>(micros),
+                            std::memory_order_relaxed);
+  }
+  uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t TotalMicros() const {
+    return total_micros_.load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    hits_.store(0, std::memory_order_relaxed);
+    total_micros_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> total_micros_{0};
+};
+
+namespace internal {
+
+// Registry lookups: find-or-create the named cell under the registry mutex
+// and return a pointer that stays valid for the life of the process. Hot
+// call sites cache the result in a function-local static (see the macros).
+Counter* CounterFor(std::string_view name);
+Gauge* GaugeFor(std::string_view name);
+Histogram* HistogramFor(std::string_view name);
+SpanSite* SpanFor(std::string_view name);
+
+/// nullptr when disarmed — lets OBS_SPAN skip the clock reads entirely.
+inline SpanSite* SpanIfEnabled(std::string_view name) {
+  return Enabled() ? SpanFor(name) : nullptr;
+}
+
+}  // namespace internal
+
+/// RAII scope timer feeding a SpanSite (null site = fully disarmed no-op).
+class SpanTimer {
+ public:
+  explicit SpanTimer(SpanSite* site) : site_(site) {
+    if (site_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~SpanTimer() {
+    if (site_ != nullptr) {
+      site_->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  SpanSite* site_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---- Snapshots --------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;       // == sum of `buckets` (consistent by definition)
+  uint64_t sum_micros = 0;  // sampled separately; feeds the mean
+  std::vector<uint64_t> buckets;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double MeanMicros() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_micros) /
+                            static_cast<double>(count);
+  }
+};
+
+struct SpanSnapshot {
+  std::string name;
+  uint64_t hits = 0;
+  uint64_t total_micros = 0;
+};
+
+/// A point-in-time view of every registered metric, name-sorted per kind.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<SpanSnapshot> spans;
+
+  /// Human-readable table (the shell `stats` command).
+  std::string ToTable() const;
+
+  /// Machine-readable JSON object:
+  ///   {"counters":{name:value,...},"gauges":{...},
+  ///    "histograms":{name:{"count","mean_us","p50_us","p95_us","p99_us"}},
+  ///    "spans":{name:{"hits","total_us"}}}
+  std::string ToJson() const;
+};
+
+MetricsSnapshot Snapshot();
+
+/// Quantile q in [0, 1] over a sampled bucket vector (Histogram bucket
+/// geometry), linearly interpolated inside the selected bucket. 0 when the
+/// histogram is empty. Exposed for tests and the bench driver.
+double HistogramPercentile(const std::vector<uint64_t>& buckets, double q);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace boomer
+
+#define BOOMER_OBS_CONCAT_INNER(a, b) a##b
+#define BOOMER_OBS_CONCAT(a, b) BOOMER_OBS_CONCAT_INNER(a, b)
+
+/// Adds `n` to counter `name`. Disarmed: one relaxed load. Armed: the first
+/// hit at this call site resolves the cell, then a relaxed fetch_add.
+#define OBS_COUNTER_ADD(name, n)                                 \
+  do {                                                           \
+    if (::boomer::obs::Enabled()) {                              \
+      static ::boomer::obs::Counter* boomer_obs_counter_cell =   \
+          ::boomer::obs::internal::CounterFor(name);             \
+      boomer_obs_counter_cell->Add(n);                           \
+    }                                                            \
+  } while (0)
+
+#define OBS_COUNTER_INC(name) OBS_COUNTER_ADD(name, 1)
+
+/// Sets gauge `name` to `v` (same cost model as OBS_COUNTER_ADD).
+#define OBS_GAUGE_SET(name, v)                                   \
+  do {                                                           \
+    if (::boomer::obs::Enabled()) {                              \
+      static ::boomer::obs::Gauge* boomer_obs_gauge_cell =       \
+          ::boomer::obs::internal::GaugeFor(name);               \
+      boomer_obs_gauge_cell->Set(v);                             \
+    }                                                            \
+  } while (0)
+
+/// Records `micros` into histogram `name` (same cost model).
+#define OBS_HIST_OBSERVE_US(name, micros)                        \
+  do {                                                           \
+    if (::boomer::obs::Enabled()) {                              \
+      static ::boomer::obs::Histogram* boomer_obs_hist_cell =    \
+          ::boomer::obs::internal::HistogramFor(name);           \
+      boomer_obs_hist_cell->ObserveMicros(micros);               \
+    }                                                            \
+  } while (0)
+
+/// Scoped span: aggregates wall time + hit count for `name` over the
+/// enclosing scope. Disarmed: a relaxed load, no clock reads.
+#define OBS_SPAN(name)                                           \
+  ::boomer::obs::SpanTimer BOOMER_OBS_CONCAT(                    \
+      boomer_obs_span_, __LINE__)(                               \
+      ::boomer::obs::internal::SpanIfEnabled(name))
+
+#endif  // BOOMER_OBS_METRICS_H_

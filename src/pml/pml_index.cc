@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "graph/bfs.h"
+#include "obs/metrics.h"
 #include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -174,6 +175,7 @@ StatusOr<PmlIndex> PmlIndex::Build(const graph::Graph& g,
 
 uint32_t PmlIndex::Distance(VertexId u, VertexId v) const {
   BOOMER_DCHECK(u < NumVertices() && v < NumVertices());
+  OBS_COUNTER_INC("pml.distance_lookups");
   if (u == v) return 0;
   auto cu = Cover(u);
   auto cv = Cover(v);
@@ -196,6 +198,7 @@ uint32_t PmlIndex::Distance(VertexId u, VertexId v) const {
 
 bool PmlIndex::WithinDistance(VertexId u, VertexId v, uint32_t bound) const {
   BOOMER_DCHECK(u < NumVertices() && v < NumVertices());
+  OBS_COUNTER_INC("pml.within_lookups");
   if (u == v) return true;
   auto cu = Cover(u);
   auto cv = Cover(v);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gui/trace_io.h"
+#include "obs/metrics.h"
 #include "query/serialization.h"
 #include "util/atomic_file.h"
 #include "util/fault.h"
@@ -160,8 +161,11 @@ StatusOr<SessionId> SessionManager::OpenLocked() {
   s->blender->SetStopToken(s->stopper.get_token());
   sessions_.emplace(s->id, s);
   opened_.fetch_add(1);
+  OBS_COUNTER_INC("serve.sessions_opened");
+  OBS_GAUGE_SET("serve.live_sessions", static_cast<int64_t>(sessions_.size()));
   if (degraded) {
     degraded_.fetch_add(1);
+    OBS_COUNTER_INC("serve.sessions_degraded");
     RatchetHealth(HealthState::kDegraded);
   }
   BumpMax(&peak_live_, sessions_.size());
@@ -175,6 +179,7 @@ StatusOr<SessionId> SessionManager::OpenSession() {
     if (CanAdmitLocked()) return OpenLocked();
     if (sessions_.size() >= options_.max_live_sessions) {
       admission_rejected_.fetch_add(1);
+      OBS_COUNTER_INC("serve.admission_rejected");
       return Status::Overloaded(StrFormat(
           "admission refused: %zu live session(s) (max %zu)",
           sessions_.size(), options_.max_live_sessions));
@@ -191,6 +196,7 @@ StatusOr<SessionId> SessionManager::OpenSession() {
   if (shutdown_) return Status::Overloaded("session manager shutting down");
   if (CanAdmitLocked()) return OpenLocked();
   admission_rejected_.fetch_add(1);
+  OBS_COUNTER_INC("serve.admission_rejected");
   return Status::Overloaded(StrFormat(
       "admission refused: CAP footprint %zu bytes >= budget %zu and no "
       "idle session to shed",
@@ -315,6 +321,7 @@ void SessionManager::ApplyAction(const SessionPtr& s,
           // per-edge cancellation point and completes truncated
           // (kCancelled, the default reason).
           watchdog_cancels_.fetch_add(1);
+          OBS_COUNTER_INC("serve.watchdog_cancels");
           session->stopper.request_stop();
         });
   }
@@ -508,6 +515,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
   }
   if (evicted) {
     evictions_.fetch_add(1);
+    OBS_COUNTER_INC("serve.evictions");
     // Freed memory may unblock admission waiters.
     std::lock_guard<std::mutex> lock(mu_);
     admission_cv_.notify_all();
@@ -546,6 +554,7 @@ void SessionManager::MaybeShedForMemory() {
       // Nothing idle to shed; a later apply retries. OpenSession treats
       // this stall as "reject, don't over-admit".
       shed_stalls_.fetch_add(1);
+      OBS_COUNTER_INC("serve.shed_stalls");
       return;
     }
     (void)EvictSessionInternal(victim);
@@ -579,6 +588,7 @@ StatusOr<SessionId> SessionManager::ReplayTrace(
   for (int attempt = 0; attempt < 16; ++attempt) {
     BOOMER_ASSIGN_OR_RETURN(SessionId id, WaitAdmission());
     resumed_.fetch_add(1);
+    OBS_COUNTER_INC("serve.sessions_resumed");
     if (SessionPtr s = Find(id)) {
       // Forward-progress guarantee (see Session::shed_grace): the replayed
       // prefix is not shed-able; only actions the client adds after the

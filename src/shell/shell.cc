@@ -8,6 +8,7 @@
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "gui/actions.h"
+#include "obs/metrics.h"
 #include "query/serialization.h"
 #include "serve/session_manager.h"
 #include "serve/workload.h"
@@ -26,7 +27,7 @@ constexpr char kHelp[] =
     "commands:\n"
     "  load-text <prefix> | load-binary <path> | gen <dataset> <scale> <seed>\n"
     "  strategy <ic|dr|di> | latency <seconds> | budget <seconds>\n"
-    "  fault <spec|off|stats>\n"
+    "  fault <spec|off|stats> | stats [on|off|reset]\n"
     "  vertex <label> | edge <qi> <qj> [lower] [upper]\n"
     "  bounds <edge> <lower> <upper> | delete <edge>\n"
     "  query | cap | run | show <k> | validate\n"
@@ -158,6 +159,30 @@ std::string Shell::CmdFault(const std::vector<std::string_view>& args) {
   if (!status.ok()) return ErrorText(status);
   return StrFormat("fault injection armed: %s\n",
                    std::string(args[1]).c_str());
+}
+
+std::string Shell::CmdStats(const std::vector<std::string_view>& args) {
+  if (args.size() == 1) {
+    if (!obs::Enabled()) {
+      return "metrics disarmed (try 'stats on' or set BOOMER_OBS=1)\n";
+    }
+    return obs::Snapshot().ToTable();
+  }
+  if (args.size() == 2) {
+    if (args[1] == "on") {
+      obs::Enable();
+      return "metrics armed\n";
+    }
+    if (args[1] == "off") {
+      obs::Disable();
+      return "metrics disarmed\n";
+    }
+    if (args[1] == "reset") {
+      obs::ResetAll();
+      return "metrics reset\n";
+    }
+  }
+  return "usage: stats [on|off|reset]\n";
 }
 
 std::string Shell::CmdVertex(const std::vector<std::string_view>& args) {
@@ -508,6 +533,7 @@ std::string Shell::Dispatch(std::string_view cmd,
   if (cmd == "latency") return CmdLatency(args);
   if (cmd == "budget") return CmdBudget(args);
   if (cmd == "fault") return CmdFault(args);
+  if (cmd == "stats") return CmdStats(args);
   if (cmd == "vertex") return CmdVertex(args);
   if (cmd == "edge") return CmdEdge(args);
   if (cmd == "bounds") return CmdBounds(args);

@@ -93,6 +93,7 @@ class Shell {
   std::string CmdLatency(const std::vector<std::string_view>& args);
   std::string CmdBudget(const std::vector<std::string_view>& args);
   std::string CmdFault(const std::vector<std::string_view>& args);
+  std::string CmdStats(const std::vector<std::string_view>& args);
   std::string CmdVertex(const std::vector<std::string_view>& args);
   std::string CmdEdge(const std::vector<std::string_view>& args);
   std::string CmdBounds(const std::vector<std::string_view>& args);

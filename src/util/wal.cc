@@ -7,9 +7,11 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/atomic_file.h"
 #include "util/fault.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace boomer {
 namespace {
@@ -81,6 +83,7 @@ Status WalWriter::Append(std::string_view record) {
   StoreLe32(frame.data() + 4, Crc32(record));
   std::memcpy(frame.data() + kFrameHeaderBytes, record.data(), record.size());
   BOOMER_RETURN_NOT_OK(WriteAllFd(fd_, frame.data(), frame.size(), path_));
+  OBS_COUNTER_INC("wal.appends");
   ++records_appended_;
   ++unsynced_;
   if (options_.group_commit_interval == 0 ||
@@ -94,11 +97,17 @@ Status WalWriter::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition(path_ + ": wal closed");
   if (unsynced_ == 0) return Status::OK();
   BOOMER_FAULT_POINT("wal/append/fsync");
-  if (::fsync(fd_) != 0) {
-    return Status::IOError(path_ + ": wal fsync failed: " + ErrnoText());
+  {
+    OBS_SPAN("wal.fsync");
+    WallTimer fsync_timer;
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(path_ + ": wal fsync failed: " + ErrnoText());
+    }
+    OBS_HIST_OBSERVE_US("wal.fsync_us", fsync_timer.ElapsedMicros());
   }
   unsynced_ = 0;
   ++syncs_;
+  OBS_COUNTER_INC("wal.syncs");
   return Status::OK();
 }
 

@@ -1,0 +1,221 @@
+// Unit tests for the boomer::obs metrics registry: histogram bucket
+// geometry, percentile extraction, snapshot consistency, arm/disarm
+// gating, reset semantics — and the cost-model contract that the disarmed
+// fast path performs no heap allocation (this binary overrides the global
+// allocator to count, which is why it must not share a target with other
+// test files).
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+std::atomic<size_t> g_allocations{0};
+
+size_t AllocCount() { return g_allocations.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+// Counting allocator: every operator-new flavor funnels through here.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace boomer {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketIndexEdges) {
+  // Bucket i holds v with upper(i-1) < v <= upper(i); upper(i) = 2^i.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3);
+  EXPECT_EQ(Histogram::BucketIndex(9), 4);
+  EXPECT_EQ(Histogram::BucketIndex(-7), 0);  // clamped
+  const int64_t last_edge = int64_t{1} << (Histogram::kPow2Buckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(last_edge), Histogram::kPow2Buckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(last_edge + 1), Histogram::kPow2Buckets);
+  EXPECT_EQ(Histogram::BucketIndex(int64_t{1} << 40),
+            Histogram::kPow2Buckets);  // overflow bucket
+}
+
+TEST(HistogramTest, BucketUpperEdge) {
+  EXPECT_EQ(Histogram::BucketUpperEdge(0), 1);
+  EXPECT_EQ(Histogram::BucketUpperEdge(1), 2);
+  EXPECT_EQ(Histogram::BucketUpperEdge(Histogram::kPow2Buckets - 1),
+            int64_t{1} << (Histogram::kPow2Buckets - 1));
+}
+
+TEST(HistogramTest, PercentileInterpolatesInsideBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.ObserveMicros(7);  // bucket 3: (4, 8]
+  const auto buckets = h.SampleBuckets();
+  EXPECT_DOUBLE_EQ(HistogramPercentile(buckets, 0.50), 6.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(buckets, 0.99), 7.96);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(buckets, 1.00), 8.0);
+}
+
+TEST(HistogramTest, PercentileAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.ObserveMicros(1);    // bucket 0: (0, 1]
+  for (int i = 0; i < 10; ++i) h.ObserveMicros(100);  // bucket 7: (64, 128]
+  const auto buckets = h.SampleBuckets();
+  // p50 sits fully inside bucket 0 (target 50 of 90 there).
+  EXPECT_NEAR(HistogramPercentile(buckets, 0.50), 50.0 / 90.0, 1e-9);
+  // p95 lands in the second bucket: fraction (95-90)/10 of (64, 128].
+  EXPECT_DOUBLE_EQ(HistogramPercentile(buckets, 0.95), 64.0 + 0.5 * 64.0);
+}
+
+TEST(HistogramTest, PercentileEmptyAndOverflow) {
+  EXPECT_DOUBLE_EQ(
+      HistogramPercentile(std::vector<uint64_t>(Histogram::kNumBuckets, 0),
+                          0.99),
+      0.0);
+  Histogram h;
+  h.ObserveMicros(int64_t{1} << 30);  // beyond the last finite edge
+  const double p = HistogramPercentile(h.SampleBuckets(), 0.5);
+  EXPECT_GE(p, static_cast<double>(int64_t{1} << (Histogram::kPow2Buckets - 1)));
+  EXPECT_LE(p, static_cast<double>(int64_t{1} << (Histogram::kPow2Buckets + 1)));
+}
+
+TEST(MetricsTest, CounterGaugeSpanRoundTrip) {
+  Enable();
+  OBS_COUNTER_ADD("test.counter_rt", 3);
+  OBS_COUNTER_INC("test.counter_rt");
+  OBS_GAUGE_SET("test.gauge_rt", -17);
+  { OBS_SPAN("test.span_rt"); }
+  { OBS_SPAN("test.span_rt"); }
+
+  const MetricsSnapshot snap = Snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_span = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "test.counter_rt") {
+      saw_counter = true;
+      EXPECT_EQ(c.value, 4u);
+    }
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.name == "test.gauge_rt") {
+      saw_gauge = true;
+      EXPECT_EQ(g.value, -17);
+    }
+  }
+  for (const auto& s : snap.spans) {
+    if (s.name == "test.span_rt") {
+      saw_span = true;
+      EXPECT_EQ(s.hits, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(MetricsTest, SnapshotCountMatchesBucketSum) {
+  Enable();
+  for (int i = 0; i < 500; ++i) {
+    OBS_HIST_OBSERVE_US("test.hist_sum", i % 300);
+  }
+  const MetricsSnapshot snap = Snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name != "test.hist_sum") continue;
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : h.buckets) bucket_sum += b;
+    EXPECT_EQ(h.count, bucket_sum);  // consistency is definitional
+    EXPECT_EQ(h.count, 500u);
+    EXPECT_GT(h.p99_us, h.p50_us);
+    EXPECT_GT(h.MeanMicros(), 0.0);
+    return;
+  }
+  FAIL() << "test.hist_sum not found in snapshot";
+}
+
+TEST(MetricsTest, DisarmedMacrosRecordNothing) {
+  Enable();
+  OBS_COUNTER_ADD("test.gated", 2);  // armed: lands
+  Disable();
+  for (int i = 0; i < 100; ++i) OBS_COUNTER_ADD("test.gated", 5);  // dropped
+  Enable();
+  OBS_COUNTER_ADD("test.gated", 1);  // armed again: lands
+  for (const auto& c : Snapshot().counters) {
+    if (c.name == "test.gated") {
+      EXPECT_EQ(c.value, 3u);
+      return;
+    }
+  }
+  FAIL() << "test.gated not found";
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsCellsValid) {
+  Enable();
+  Counter* cell = internal::CounterFor("test.reset_keep");
+  cell->Add(41);
+  EXPECT_EQ(cell->Value(), 41u);
+  ResetAll();
+  // The same pointer must stay usable: call sites cache it for the life of
+  // the process.
+  EXPECT_EQ(cell->Value(), 0u);
+  cell->Add(7);
+  EXPECT_EQ(internal::CounterFor("test.reset_keep")->Value(), 7u);
+}
+
+TEST(MetricsTest, ToJsonShape) {
+  Enable();
+  ResetAll();
+  OBS_COUNTER_ADD("test.json_counter", 9);
+  OBS_HIST_OBSERVE_US("test.json_hist", 12);
+  const std::string json = Snapshot().ToJson();
+  EXPECT_NE(json.find("\"test.json_counter\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST(MetricsTest, JsonEscapeControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
+}
+
+// The cost-model contract from the header: with collection disarmed, the
+// OBS_* macros must not touch the heap (nor the registry). This is what
+// makes it safe to leave instrumentation in release hot paths.
+TEST(MetricsTest, DisarmedFastPathIsAllocationFree) {
+  Disable();
+  const size_t before = AllocCount();
+  for (int i = 0; i < 10000; ++i) {
+    OBS_COUNTER_ADD("test.disarmed_alloc_counter", 2);
+    OBS_COUNTER_INC("test.disarmed_alloc_inc");
+    OBS_GAUGE_SET("test.disarmed_alloc_gauge", i);
+    OBS_HIST_OBSERVE_US("test.disarmed_alloc_hist", i);
+    OBS_SPAN("test.disarmed_alloc_span");
+  }
+  EXPECT_EQ(AllocCount(), before);
+  // ...and no cells were created as a side effect.
+  Enable();
+  for (const auto& c : Snapshot().counters) {
+    EXPECT_NE(c.name, "test.disarmed_alloc_counter");
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace boomer

@@ -1,0 +1,104 @@
+// TSan-facing obs tests: hammer counters / histograms / spans from many
+// threads while a reader snapshots concurrently, then assert exact totals.
+// Runs in the concurrency_test target (`ctest -L concurrency`), which the
+// tsan CMake preset gates on — every shared obs cell is atomic, so this
+// must be race-free, not just "usually right".
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace boomer {
+namespace obs {
+namespace {
+
+TEST(ObsConcurrencyTest, ConcurrentIncrementsSumExactly) {
+  Enable();
+  ResetAll();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        for (int i = 0; i < kIters; ++i) {
+          OBS_COUNTER_INC("obs_test.conc_counter");
+          OBS_HIST_OBSERVE_US("obs_test.conc_hist", i % 1000);
+          OBS_SPAN("obs_test.conc_span");
+        }
+      });
+    }
+  }  // joins
+  const MetricsSnapshot snap = Snapshot();
+  constexpr uint64_t kExpected = uint64_t{kThreads} * kIters;
+  bool saw_counter = false, saw_hist = false, saw_span = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "obs_test.conc_counter") {
+      saw_counter = true;
+      EXPECT_EQ(c.value, kExpected);
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name == "obs_test.conc_hist") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, kExpected);
+    }
+  }
+  for (const auto& s : snap.spans) {
+    if (s.name == "obs_test.conc_span") {
+      saw_span = true;
+      EXPECT_EQ(s.hits, kExpected);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(ObsConcurrencyTest, SnapshotsRaceWritersSafely) {
+  Enable();
+  ResetAll();
+  constexpr int kWriters = 4;
+  constexpr int kIters = 20000;
+  std::atomic<bool> stop{false};
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([] {
+        for (int i = 0; i < kIters; ++i) {
+          OBS_COUNTER_ADD("obs_test.race_counter", 3);
+          OBS_HIST_OBSERVE_US("obs_test.race_hist", i);
+        }
+      });
+    }
+    std::jthread reader([&] {
+      // Snapshot continuously while writers append: every mid-race view
+      // must still satisfy the histogram invariant count == sum(buckets),
+      // because count is *defined* as the sum of the sampled buckets.
+      while (!stop.load(std::memory_order_relaxed)) {
+        const MetricsSnapshot snap = Snapshot();
+        for (const auto& h : snap.histograms) {
+          uint64_t s = 0;
+          for (uint64_t b : h.buckets) s += b;
+          EXPECT_EQ(s, h.count);  // definitional, even mid-race
+        }
+      }
+    });
+    writers.clear();  // join all writers
+    stop.store(true, std::memory_order_relaxed);
+  }
+  // Post-join the totals are exact.
+  for (const auto& c : Snapshot().counters) {
+    if (c.name == "obs_test.race_counter") {
+      EXPECT_EQ(c.value, uint64_t{kWriters} * kIters * 3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace boomer

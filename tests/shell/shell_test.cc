@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "graph/io.h"
+#include "obs/metrics.h"
 #include "support/test_graphs.h"
 #include "util/fault.h"
 
@@ -154,6 +155,24 @@ TEST_F(ShellTest, FaultCommandArmsAndDisarms) {
   EXPECT_FALSE(fault::Armed());
   EXPECT_NE(shell_->Exec("fault core/pvs=z9").find("error"),
             std::string::npos);
+}
+
+TEST_F(ShellTest, StatsCommandTogglesAndPrintsMetrics) {
+  EXPECT_NE(shell_->Exec("stats off").find("disarmed"), std::string::npos);
+  EXPECT_NE(shell_->Exec("stats").find("disarmed"), std::string::npos);
+  EXPECT_NE(shell_->Exec("stats on").find("armed"), std::string::npos);
+  EXPECT_TRUE(obs::Enabled());
+  Load();
+  shell_->Exec("vertex 0");
+  shell_->Exec("vertex 1");
+  shell_->Exec("edge 0 1 1 2");
+  shell_->Exec("run");
+  std::string table = shell_->Exec("stats");
+  EXPECT_NE(table.find("cap.levels_added"), std::string::npos) << table;
+  EXPECT_NE(table.find("blend.srt_us"), std::string::npos) << table;
+  EXPECT_NE(shell_->Exec("stats reset").find("reset"), std::string::npos);
+  EXPECT_NE(shell_->Exec("stats bogus").find("usage"), std::string::npos);
+  shell_->Exec("stats off");
 }
 
 TEST_F(ShellTest, PersistentFaultRunTruncatesButSessionSurvives) {

@@ -1,0 +1,426 @@
+// Unified benchmark driver: wraps the Exp-* workloads behind subcommands
+// and emits machine-readable, schema-versioned BENCH_<name>.json results
+// that tools/ci/bench_compare.py can diff across commits.
+//
+//   boomer_bench <subcommand> [driver flags] [common bench flags]
+//
+// Subcommands:
+//   exp3_srt       SRT per strategy with per-phase decomposition
+//                  (backlog / drain / enumeration / formulation-blended)
+//   exp3_cap_time  CAP construction wall time per strategy
+//   exp3_cap_size  CAP size (bytes, adjacency pairs) per strategy
+//   micro_pml      PML distance / within-distance lookup latency
+//   list           print the subcommand table
+//
+// Driver flags (stripped before the common bench flags are parsed):
+//   --smoke          tiny preset (wordnet @ scale 0.01, Q1/Q2, 3 iters)
+//   --iterations=N   timed iterations (default 5)
+//   --warmup=N       untimed warmup iterations (default 1)
+//   --out=DIR        output directory for BENCH_<name>.json (default ".")
+//
+// Protocol: run --warmup untimed iterations (dataset + PML caches get hot),
+// reset the obs metrics registry, then run --iterations timed iterations
+// with per-iteration derived seeds. Every per-run sample lands in a named
+// series; the JSON stores p50/p95/p99/mean/n per series plus the full
+// boomer::obs metrics snapshot and environment metadata (git sha, build
+// type, dataset, seed) so two result files are comparable or provably not.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util/dataset_registry.h"
+#include "bench_util/experiment.h"
+#include "bench_util/flags.h"
+#include "graph/datasets.h"
+#include "obs/metrics.h"
+#include "pml/pml_index.h"
+#include "query/templates.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+// Build metadata injected by tools/CMakeLists.txt; fall back gracefully so
+// the file also compiles standalone.
+#ifndef BOOMER_GIT_SHA
+#define BOOMER_GIT_SHA "unknown"
+#endif
+#ifndef BOOMER_BUILD_TYPE
+#define BOOMER_BUILD_TYPE "unknown"
+#endif
+#ifndef BOOMER_SANITIZE_FLAGS
+#define BOOMER_SANITIZE_FLAGS ""
+#endif
+
+namespace boomer {
+namespace bench {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+constexpr char kUsage[] =
+    "usage: boomer_bench <subcommand> [--smoke] [--iterations=N]\n"
+    "                    [--warmup=N] [--out=DIR] [common bench flags]\n"
+    "subcommands:\n"
+    "  exp3_srt       SRT + per-phase decomposition per strategy\n"
+    "  exp3_cap_time  CAP construction time per strategy\n"
+    "  exp3_cap_size  CAP index size per strategy\n"
+    "  micro_pml      PML lookup latency microbenchmark\n"
+    "  list           print this table\n"
+    "common flags: --scale= --seed= --datasets= --queries= --instances=\n"
+    "              --cache-dir= --max-results= --latency-scale=\n";
+
+struct DriverFlags {
+  bool smoke = false;
+  int iterations = 5;
+  int warmup = 1;
+  std::string out = ".";
+};
+
+/// One per-run sample sink: series name -> samples, insertion-ordered not
+/// required (JSON object keys are sorted by std::map for determinism).
+using SeriesMap = std::map<std::string, std::vector<double>>;
+
+struct IterationRecord {
+  int iter = 0;
+  uint64_t seed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Interpolated percentile of an unsorted sample; q in [0, 1].
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+const char* StrategySuffix(core::Strategy s) {
+  switch (s) {
+    case core::Strategy::kImmediate:
+      return "IC";
+    case core::Strategy::kDeferToRun:
+      return "DR";
+    case core::Strategy::kDeferToIdle:
+      return "DI";
+  }
+  return "??";
+}
+
+enum class GridMode { kSrt, kCapTime, kCapSize };
+
+/// One pass over the Exp-3 grid (datasets x templates x instances x
+/// strategies). Samples land in `series` keyed by metric + strategy; pass
+/// nullptr during warmup.
+Status RunExp3Iteration(const CommonFlags& flags, DatasetRegistry* registry,
+                        GridMode mode, uint64_t instance_seed,
+                        SeriesMap* series) {
+  auto datasets = flags.datasets;
+  if (datasets.empty()) {
+    datasets = {graph::DatasetKind::kWordNet, graph::DatasetKind::kDblp,
+                graph::DatasetKind::kFlickr};
+  }
+  auto queries = flags.queries;
+  if (queries.empty()) {
+    queries.assign(std::begin(query::kAllTemplates),
+                   std::end(query::kAllTemplates));
+  }
+  for (graph::DatasetKind kind : datasets) {
+    graph::DatasetSpec spec{kind, flags.scale, flags.seed};
+    BOOMER_ASSIGN_OR_RETURN(LoadedDataset dataset, registry->Get(spec));
+    for (query::TemplateId tmpl : queries) {
+      auto overrides = Exp3Overrides(kind, tmpl);
+      auto instances_or = MakeInstances(dataset, tmpl, flags.instances,
+                                        instance_seed, overrides);
+      if (!instances_or.ok()) {
+        std::fprintf(stderr, "skip %s/%s: %s\n", graph::DatasetKindName(kind),
+                     query::TemplateName(tmpl),
+                     instances_or.status().ToString().c_str());
+        continue;
+      }
+      for (const query::BphQuery& q : *instances_or) {
+        for (core::Strategy strategy :
+             {core::Strategy::kImmediate, core::Strategy::kDeferToRun,
+              core::Strategy::kDeferToIdle}) {
+          BlendRunSpec run;
+          run.strategy = strategy;
+          run.max_results = flags.max_results;
+          run.latency_factor = flags.LatencyFactor();
+          run.latency_seed = instance_seed + 7;
+          BOOMER_ASSIGN_OR_RETURN(BlendRunResult result,
+                                  RunBlend(dataset, q, run));
+          if (series == nullptr) continue;
+          const core::BlendReport& r = result.report;
+          const std::string sfx = StrategySuffix(strategy);
+          switch (mode) {
+            case GridMode::kSrt:
+              (*series)["srt_seconds_" + sfx].push_back(r.srt_seconds);
+              (*series)["srt_backlog_seconds_" + sfx].push_back(
+                  r.run_backlog_seconds);
+              (*series)["srt_drain_seconds_" + sfx].push_back(
+                  r.run_drain_wall_seconds);
+              (*series)["srt_enum_seconds_" + sfx].push_back(
+                  r.enumeration_wall_seconds);
+              (*series)["formulation_blend_seconds_" + sfx].push_back(
+                  r.FormulationBlendSeconds());
+              (*series)["cap_build_seconds_" + sfx].push_back(
+                  r.cap_build_wall_seconds);
+              break;
+            case GridMode::kCapTime:
+              (*series)["cap_build_seconds_" + sfx].push_back(
+                  r.cap_build_wall_seconds);
+              break;
+            case GridMode::kCapSize:
+              (*series)["cap_bytes_" + sfx].push_back(
+                  static_cast<double>(r.cap_stats.size_bytes));
+              (*series)["cap_pairs_" + sfx].push_back(
+                  static_cast<double>(r.cap_stats.num_adjacency_pairs));
+              break;
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// PML lookup latency: timed batches of random Distance / WithinDistance
+/// probes; each sample is the mean per-lookup latency of one batch.
+Status RunPmlIteration(const CommonFlags& flags, DatasetRegistry* registry,
+                       bool smoke, uint64_t iter_seed, SeriesMap* series) {
+  graph::DatasetKind kind = flags.datasets.empty()
+                                ? graph::DatasetKind::kWordNet
+                                : flags.datasets.front();
+  graph::DatasetSpec spec{kind, flags.scale, flags.seed};
+  BOOMER_ASSIGN_OR_RETURN(LoadedDataset dataset, registry->Get(spec));
+  const pml::PmlIndex& pml = dataset.prep->pml();
+  const auto n = static_cast<uint64_t>(dataset.graph->NumVertices());
+  if (n == 0) return Status::InvalidArgument("micro_pml: empty graph");
+  const int batches = smoke ? 20 : 200;
+  constexpr int kLookupsPerBatch = 256;
+  std::mt19937_64 rng(iter_seed);
+  uint64_t checksum = 0;  // defeats dead-code elimination of the lookups
+  for (int b = 0; b < batches; ++b) {
+    WallTimer timer;
+    for (int i = 0; i < kLookupsPerBatch; ++i) {
+      checksum += pml.Distance(static_cast<graph::VertexId>(rng() % n),
+                               static_cast<graph::VertexId>(rng() % n));
+    }
+    const double dist_us =
+        static_cast<double>(timer.ElapsedMicros()) / kLookupsPerBatch;
+    timer.Restart();
+    for (int i = 0; i < kLookupsPerBatch; ++i) {
+      checksum += pml.WithinDistance(static_cast<graph::VertexId>(rng() % n),
+                                     static_cast<graph::VertexId>(rng() % n),
+                                     static_cast<uint32_t>(1 + rng() % 6))
+                      ? 1
+                      : 0;
+    }
+    const double within_us =
+        static_cast<double>(timer.ElapsedMicros()) / kLookupsPerBatch;
+    if (series != nullptr) {
+      (*series)["pml_distance_us"].push_back(dist_us);
+      (*series)["pml_within_us"].push_back(within_us);
+    }
+  }
+  if (checksum == 0xdeadbeef) std::fprintf(stderr, "checksum sentinel\n");
+  return Status::OK();
+}
+
+std::string DatasetsMetaString(const CommonFlags& flags) {
+  if (flags.datasets.empty()) return "wordnet,dblp,flickr";
+  std::string out;
+  for (graph::DatasetKind kind : flags.datasets) {
+    if (!out.empty()) out += ",";
+    out += graph::DatasetKindName(kind);
+  }
+  return out;
+}
+
+std::string BuildJson(const std::string& bench_name,
+                      const DriverFlags& driver, const CommonFlags& flags,
+                      const std::vector<IterationRecord>& iterations,
+                      const SeriesMap& series) {
+  std::string j = "{\n";
+  j += StrFormat("  \"schema_version\": %d,\n", kSchemaVersion);
+  j += StrFormat("  \"bench\": \"%s\",\n",
+                 obs::JsonEscape(bench_name).c_str());
+  j += "  \"meta\": {\n";
+  j += StrFormat("    \"git_sha\": \"%s\",\n",
+                 obs::JsonEscape(BOOMER_GIT_SHA).c_str());
+  j += StrFormat("    \"build_type\": \"%s\",\n",
+                 obs::JsonEscape(BOOMER_BUILD_TYPE).c_str());
+  j += StrFormat("    \"sanitize_flags\": \"%s\",\n",
+                 obs::JsonEscape(BOOMER_SANITIZE_FLAGS).c_str());
+  j += StrFormat("    \"datasets\": \"%s\",\n",
+                 obs::JsonEscape(DatasetsMetaString(flags)).c_str());
+  j += StrFormat("    \"scale\": %.9g,\n", flags.scale);
+  j += StrFormat("    \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(flags.seed));
+  j += StrFormat("    \"instances\": %zu,\n", flags.instances);
+  j += StrFormat("    \"iterations\": %d,\n", driver.iterations);
+  j += StrFormat("    \"warmup\": %d,\n", driver.warmup);
+  j += StrFormat("    \"smoke\": %s,\n", driver.smoke ? "true" : "false");
+  j += StrFormat("    \"unix_time\": %lld\n",
+                 static_cast<long long>(::time(nullptr)));
+  j += "  },\n";
+  j += "  \"iterations\": [\n";
+  for (size_t i = 0; i < iterations.size(); ++i) {
+    const IterationRecord& it = iterations[i];
+    j += StrFormat("    {\"iter\": %d, \"seed\": %llu, "
+                   "\"wall_seconds\": %.9g}%s\n",
+                   it.iter, static_cast<unsigned long long>(it.seed),
+                   it.wall_seconds, i + 1 < iterations.size() ? "," : "");
+  }
+  j += "  ],\n";
+  j += "  \"series\": {\n";
+  size_t emitted = 0;
+  for (const auto& [name, samples] : series) {
+    ++emitted;
+    j += StrFormat(
+        "    \"%s\": {\"p50\": %.9g, \"p95\": %.9g, \"p99\": %.9g, "
+        "\"mean\": %.9g, \"n\": %zu}%s\n",
+        obs::JsonEscape(name).c_str(), Percentile(samples, 0.50),
+        Percentile(samples, 0.95), Percentile(samples, 0.99), Mean(samples),
+        samples.size(), emitted < series.size() ? "," : "");
+  }
+  j += "  },\n";
+  j += "  \"metrics\": " + obs::Snapshot().ToJson() + "\n";
+  j += "}\n";
+  return j;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "list") == 0 ||
+      std::strcmp(argv[1], "--help") == 0) {
+    std::fputs(kUsage, stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string bench_name = argv[1];
+  const bool is_exp3 = bench_name == "exp3_srt" ||
+                       bench_name == "exp3_cap_time" ||
+                       bench_name == "exp3_cap_size";
+  if (!is_exp3 && bench_name != "micro_pml") {
+    std::fprintf(stderr, "unknown subcommand '%s'\n%s", argv[1], kUsage);
+    return 2;
+  }
+
+  // Split driver flags from the common bench flags.
+  DriverFlags driver;
+  bool iterations_set = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      driver.smoke = true;
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      driver.iterations = std::atoi(argv[i] + std::strlen("--iterations="));
+      iterations_set = true;
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      driver.warmup = std::atoi(argv[i] + std::strlen("--warmup="));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      driver.out = std::string(arg.substr(std::strlen("--out=")));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  bool help_requested = false;
+  auto flags_or = ParseCommonFlags(static_cast<int>(rest.size()), rest.data(),
+                                   &help_requested);
+  if (help_requested) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags_or.status().ToString().c_str());
+    return 2;
+  }
+  CommonFlags flags = std::move(flags_or).value();
+  if (driver.smoke) {
+    // Tiny fixed preset so CI smoke runs finish in seconds: one small
+    // dataset, the two cheapest templates, one instance.
+    flags.scale = 0.01;
+    flags.instances = 1;
+    flags.datasets = {graph::DatasetKind::kWordNet};
+    flags.queries = {query::kAllTemplates[0], query::kAllTemplates[1]};
+    if (!iterations_set) driver.iterations = 3;
+  }
+  if (driver.iterations < 1 || driver.warmup < 0) {
+    std::fprintf(stderr, "error: need --iterations>=1 and --warmup>=0\n");
+    return 2;
+  }
+
+  const GridMode mode = bench_name == "exp3_cap_time" ? GridMode::kCapTime
+                        : bench_name == "exp3_cap_size" ? GridMode::kCapSize
+                                                        : GridMode::kSrt;
+  DatasetRegistry registry(flags.cache_dir);
+  obs::Enable();
+
+  auto run_once = [&](uint64_t seed, SeriesMap* series) -> Status {
+    if (is_exp3) return RunExp3Iteration(flags, &registry, mode, seed, series);
+    return RunPmlIteration(flags, &registry, driver.smoke, seed, series);
+  };
+
+  for (int w = 0; w < driver.warmup; ++w) {
+    Status s = run_once(flags.seed + 3, nullptr);
+    if (!s.ok()) {
+      std::fprintf(stderr, "warmup failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  // Warmup work (dataset generation, cache priming) must not pollute the
+  // reported metrics snapshot.
+  obs::ResetAll();
+
+  SeriesMap series;
+  std::vector<IterationRecord> iterations;
+  for (int it = 0; it < driver.iterations; ++it) {
+    const uint64_t seed = flags.seed + 3 + static_cast<uint64_t>(it);
+    WallTimer timer;
+    Status s = run_once(seed, &series);
+    if (!s.ok()) {
+      std::fprintf(stderr, "iteration %d failed: %s\n", it,
+                   s.ToString().c_str());
+      return 1;
+    }
+    IterationRecord rec;
+    rec.iter = it;
+    rec.seed = seed;
+    rec.wall_seconds = timer.ElapsedSeconds();
+    iterations.push_back(rec);
+    std::fprintf(stderr, "iter %d/%d: %.3f s\n", it + 1, driver.iterations,
+                 rec.wall_seconds);
+  }
+
+  const std::string json =
+      BuildJson(bench_name, driver, flags, iterations, series);
+  std::error_code ec;
+  std::filesystem::create_directories(driver.out, ec);
+  const std::string path = driver.out + "/BENCH_" + bench_name + ".json";
+  Status write = WriteFileAtomic(path, json, FileKind::kText);
+  if (!write.ok()) {
+    std::fprintf(stderr, "error: %s\n", write.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu series, %d iterations)\n", path.c_str(),
+              series.size(), driver.iterations);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace boomer
+
+int main(int argc, char** argv) { return boomer::bench::Run(argc, argv); }

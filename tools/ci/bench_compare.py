@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json result files and gate on performance regressions.
+
+Usage:
+    bench_compare.py <baseline> <candidate> [--threshold=0.10]
+                     [--min-floor=1e-3] [--stat=p95]
+    bench_compare.py --write-baseline <src> <dest-dir>
+    bench_compare.py --self-test
+
+<baseline> and <candidate> are either single BENCH_*.json files or
+directories; directories are matched by file name (a candidate file with
+no baseline counterpart is reported but not gated — new benchmarks must be
+able to land).
+
+Gating policy: only series whose name contains a *gated key* ("srt" or
+"cap_build") fail the run; everything else is informational. A gated
+series fails when
+
+    candidate[stat] > baseline[stat] * (1 + threshold)
+
+with two escape hatches: baselines below --min-floor (seconds) are too
+noisy to gate (a 0.2 ms p95 doubling is scheduler jitter, not a
+regression), and improvements are never gated. Non-gated series that move
+beyond the threshold emit a warning so drift is visible without blocking.
+
+Schema discipline: files written by different schema versions are not
+comparable; a schema_version mismatch is a hard failure, never a silent
+skip. boomer_bench appends a "# crc32 ..." integrity footer (see
+util/atomic_file.h kText); it is stripped before JSON parsing.
+"""
+
+import argparse
+import copy
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+GATED_KEYS = ("srt", "cap_build")
+EXPECTED_SCHEMA = 1
+
+
+def load_bench(path):
+    """Parses one BENCH_*.json, stripping the atomic-file CRC footer."""
+    with open(path, "r", encoding="utf-8") as f:
+        payload = "".join(line for line in f if not line.startswith("# crc32"))
+    return json.loads(payload)
+
+
+def is_gated(series_name):
+    return any(key in series_name for key in GATED_KEYS)
+
+
+def collect_files(path):
+    """Maps file name -> full path for a file or directory argument."""
+    if os.path.isdir(path):
+        return {
+            name: os.path.join(path, name)
+            for name in sorted(os.listdir(path))
+            if name.startswith("BENCH_") and name.endswith(".json")
+        }
+    return {os.path.basename(path): path}
+
+
+def compare_one(name, base, cand, args):
+    """Compares one bench file pair. Returns a list of failure strings."""
+    failures = []
+    if base.get("schema_version") != EXPECTED_SCHEMA or cand.get(
+            "schema_version") != EXPECTED_SCHEMA:
+        failures.append(
+            f"{name}: schema_version mismatch (baseline="
+            f"{base.get('schema_version')}, candidate="
+            f"{cand.get('schema_version')}, expected={EXPECTED_SCHEMA})")
+        return failures
+    base_series = base.get("series", {})
+    cand_series = cand.get("series", {})
+    for series, cstats in sorted(cand_series.items()):
+        bstats = base_series.get(series)
+        if bstats is None:
+            print(f"  note: {name}:{series} has no baseline (new series)")
+            continue
+        old = bstats.get(args.stat, 0.0)
+        new = cstats.get(args.stat, 0.0)
+        if old <= 0:
+            continue
+        ratio = new / old
+        delta_pct = (ratio - 1.0) * 100.0
+        tag = f"{name}:{series} {args.stat} {old:.6g} -> {new:.6g} " \
+              f"({delta_pct:+.1f}%)"
+        if ratio <= 1.0 + args.threshold:
+            continue
+        if not is_gated(series):
+            print(f"  warn: {tag} (not gated)")
+            continue
+        if old < args.min_floor:
+            print(f"  warn: {tag} (baseline below --min-floor="
+                  f"{args.min_floor:g}, too noisy to gate)")
+            continue
+        failures.append(tag)
+    for series in sorted(set(base_series) - set(cand_series)):
+        print(f"  note: {name}:{series} disappeared from candidate")
+    return failures
+
+
+def run_compare(args):
+    base_files = collect_files(args.baseline)
+    cand_files = collect_files(args.candidate)
+    if not cand_files:
+        print(f"error: no BENCH_*.json under {args.candidate}")
+        return 2
+    failures = []
+    for name, cpath in sorted(cand_files.items()):
+        bpath = base_files.get(name)
+        if bpath is None:
+            print(f"  note: {name} has no baseline file (new benchmark)")
+            continue
+        try:
+            base = load_bench(bpath)
+            cand = load_bench(cpath)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"{name}: unreadable ({e})")
+            continue
+        failures.extend(compare_one(name, base, cand, args))
+    if failures:
+        print(f"FAIL: {len(failures)} gated regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: {len(cand_files)} file(s) within +{args.threshold:.0%} "
+          f"on {args.stat} for gated series ({', '.join(GATED_KEYS)})")
+    return 0
+
+
+def run_write_baseline(src, dest_dir):
+    files = collect_files(src)
+    if not files:
+        print(f"error: no BENCH_*.json under {src}")
+        return 2
+    os.makedirs(dest_dir, exist_ok=True)
+    for name, path in sorted(files.items()):
+        shutil.copyfile(path, os.path.join(dest_dir, name))
+        print(f"baseline <- {name}")
+    return 0
+
+
+def self_test():
+    """End-to-end check of the gating logic with synthetic files."""
+    base = {
+        "schema_version": EXPECTED_SCHEMA,
+        "bench": "exp3_srt",
+        "meta": {"git_sha": "aaaa"},
+        "iterations": [],
+        "series": {
+            "srt_seconds_DI": {"p50": 0.10, "p95": 0.20, "p99": 0.25,
+                               "mean": 0.12, "n": 30},
+            "cap_build_seconds_IC": {"p50": 0.05, "p95": 0.09, "p99": 0.10,
+                                     "mean": 0.06, "n": 30},
+            "pml_distance_us": {"p50": 1.0, "p95": 2.0, "p99": 3.0,
+                                "mean": 1.2, "n": 30},
+        },
+        "metrics": {},
+    }
+
+    def run_pair(baseline, candidate, extra=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            bdir = os.path.join(tmp, "base")
+            cdir = os.path.join(tmp, "cand")
+            os.makedirs(bdir)
+            os.makedirs(cdir)
+            with open(os.path.join(bdir, "BENCH_exp3_srt.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(baseline, f)
+            with open(os.path.join(cdir, "BENCH_exp3_srt.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(candidate, f)
+                # boomer_bench output carries this footer; exercise stripping
+                f.write("\n# crc32 deadbeef payload=1\n")
+            return main([bdir, cdir] + (extra or []))
+
+    # 1. Identical files compare clean.
+    assert run_pair(base, copy.deepcopy(base)) == 0, "identical must pass"
+
+    # 2. A +20% regression on a gated series fails.
+    worse = copy.deepcopy(base)
+    worse["series"]["srt_seconds_DI"]["p95"] *= 1.20
+    assert run_pair(base, worse) == 1, "+20% gated must fail"
+
+    # 3. The same regression on a non-gated series only warns.
+    drift = copy.deepcopy(base)
+    drift["series"]["pml_distance_us"]["p95"] *= 1.50
+    assert run_pair(base, drift) == 0, "non-gated drift must warn, not fail"
+
+    # 4. Schema version mismatch is a hard failure.
+    alien = copy.deepcopy(base)
+    alien["schema_version"] = EXPECTED_SCHEMA + 1
+    assert run_pair(base, alien) == 1, "schema mismatch must fail"
+
+    # 5. Tiny baselines are exempt (noise floor).
+    noisy_base = copy.deepcopy(base)
+    noisy_base["series"]["srt_seconds_DI"]["p95"] = 1e-5
+    noisy_cand = copy.deepcopy(noisy_base)
+    noisy_cand["series"]["srt_seconds_DI"]["p95"] = 5e-5
+    assert run_pair(noisy_base, noisy_cand) == 0, "sub-floor must not gate"
+
+    # 6. An improvement never fails, and a raised threshold forgives.
+    better = copy.deepcopy(base)
+    better["series"]["srt_seconds_DI"]["p95"] *= 0.5
+    assert run_pair(base, better) == 0, "improvement must pass"
+    assert run_pair(base, worse, ["--threshold=0.5"]) == 0, \
+        "raised threshold must forgive +20%"
+
+    print("self-test OK: 7 scenarios")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH_*.json file or directory")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate BENCH_*.json file or directory")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative increase on gated series "
+                             "(default 0.10 = +10%%)")
+    parser.add_argument("--min-floor", type=float, default=1e-3,
+                        help="skip gating when the baseline stat is below "
+                             "this (default 1e-3: sub-millisecond p95s are "
+                             "scheduler noise)")
+    parser.add_argument("--stat", default="p95",
+                        choices=["p50", "p95", "p99", "mean"],
+                        help="which series statistic to gate on")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="copy <baseline> (src) into <candidate> (dest "
+                             "dir) instead of comparing")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in gating-logic test")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        parser.print_usage()
+        return 2
+    if args.write_baseline:
+        return run_write_baseline(args.baseline, args.candidate)
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Bench smoke gate: proves the benchmark pipeline itself works — driver
+# runs, JSON is well-formed and schema-versioned, and bench_compare.py
+# accepts a file against itself. Registered as `ctest -L bench-smoke`.
+#
+# usage: bench_smoke.sh <boomer_bench-binary> <repo-root> [out-dir]
+set -u
+
+BENCH_BIN=${1:?usage: bench_smoke.sh <boomer_bench> <repo-root> [out-dir]}
+REPO_ROOT=${2:?usage: bench_smoke.sh <boomer_bench> <repo-root> [out-dir]}
+OUT_DIR=${3:-$(mktemp -d)}
+COMPARE="$REPO_ROOT/tools/ci/bench_compare.py"
+
+fail() { echo "bench-smoke FAIL: $*" >&2; exit 1; }
+
+mkdir -p "$OUT_DIR"
+# The dataset cache lives next to the output so repeated CI runs stay fast
+# without touching the source tree.
+"$BENCH_BIN" exp3_srt --smoke --out="$OUT_DIR" \
+    --cache-dir="$OUT_DIR/data" || fail "boomer_bench exp3_srt --smoke"
+
+JSON="$OUT_DIR/BENCH_exp3_srt.json"
+[ -s "$JSON" ] || fail "missing or empty $JSON"
+
+python3 - "$JSON" <<'EOF' || fail "JSON validation"
+import json, sys
+lines = [l for l in open(sys.argv[1]) if not l.startswith("# crc32")]
+d = json.loads("".join(lines))
+assert d["schema_version"] == 1, d["schema_version"]
+assert d["bench"] == "exp3_srt"
+assert d["series"], "no series recorded"
+assert any("srt_seconds" in k for k in d["series"]), "no SRT series"
+assert any("srt_drain" in k for k in d["series"]), "no SRT decomposition"
+assert "counters" in d["metrics"], "no obs metrics snapshot"
+print("json ok: %d series" % len(d["series"]))
+EOF
+
+python3 "$COMPARE" "$JSON" "$JSON" || fail "self-comparison must pass"
+
+echo "bench-smoke OK: $JSON"

@@ -68,6 +68,20 @@ else
   echo "build/ not configured; crash label runs in the sanitizer pass" >&2
 fi
 
+# Bench pipeline gate: the comparator's self-test plus an end-to-end smoke
+# run of tools/boomer_bench (tiny dataset, 3 iterations, JSON validated and
+# self-compared). Proves the perf-regression tooling works before CI trusts
+# it to gate real numbers.
+step "bench-smoke gate (ctest -L bench-smoke)"
+if [ -d build ]; then
+  cmake --build build -j "$(nproc)" --target boomer_bench \
+    || fail "bench-smoke build"
+  ctest --test-dir build -L bench-smoke --output-on-failure \
+    || fail "bench-smoke ctest"
+else
+  echo "build/ not configured; bench-smoke label runs in the sanitizer pass" >&2
+fi
+
 supports_tsan() {
   # Probe the toolchain: some container images ship a compiler without the
   # tsan runtime, in which case the gate is skipped with a loud warning

@@ -37,6 +37,17 @@ compilers cannot:
                    blessed writers (the WAL and the atomic snapshot file);
                    ad-hoc append-and-sync code silently escapes the
                    crash-recovery contract RecoverAll relies on.
+  system-clock     no std::chrono::system_clock in timing code outside
+                   src/util/ and tests/ — wall-of-day time jumps (NTP,
+                   suspend) and silently corrupts latency measurements;
+                   every timer flows through util/timer.h (steady_clock)
+                   and timestamps through time(nullptr).
+  bench-stdout     bench/ binaries report through bench_util/reporting.h
+                   (tables + "# paper-shape" annotations) or the
+                   BENCH_*.json pipeline (tools/boomer_bench), never raw
+                   std::cout/printf timing prints — ad-hoc prints are
+                   invisible to tools/ci/bench_compare.py, so a regression
+                   they would have shown cannot gate CI.
 
 A line (or its predecessor) containing `boomer-lint-allow(<rule>)` exempts
 that single occurrence; use sparingly and explain why in the comment.
@@ -83,6 +94,7 @@ THREAD_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 SLEEP_RE = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
 WAL_BYPASS_RE = re.compile(r"\bf(?:data)?sync\s*\(|\bO_APPEND\b")
+SYSTEM_CLOCK_RE = re.compile(r"\bsystem_clock\b")
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
 ALLOW_RE = re.compile(r"boomer-lint-allow\(([a-z-]+)\)")
 
@@ -189,6 +201,23 @@ class Linter:
                 self.report(rel, lineno, "sleep-sync",
                             "sleeping is not synchronization; wait on a "
                             "condition variable or stop_token")
+
+            if (top not in ("tests",) and not str(rel).startswith("src/util/")
+                    and SYSTEM_CLOCK_RE.search(line)
+                    and not self.allowed(lines, idx, "system-clock")):
+                self.report(rel, lineno, "system-clock",
+                            "system_clock jumps with wall time; measure "
+                            "with WallTimer (util/timer.h, steady_clock) "
+                            "and timestamp with time(nullptr)")
+
+            if (top == "bench" and STDOUT_RE.search(line)
+                    and not STDOUT_STDERR_OK_RE.search(line)
+                    and not self.allowed(lines, idx, "bench-stdout")):
+                self.report(rel, lineno, "bench-stdout",
+                            "bench output must flow through "
+                            "bench_util/reporting.h or BENCH_*.json "
+                            "(tools/boomer_bench) so bench_compare.py "
+                            "can gate on it")
 
             if (in_src and str(rel) not in WAL_BYPASS_ALLOWLIST
                     and WAL_BYPASS_RE.search(line)

@@ -1,12 +1,13 @@
 #include "obs/metrics.h"
 
+#include "util/mutex.h"
+
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 
 namespace boomer {
 namespace obs {
@@ -26,7 +27,7 @@ template <typename T>
 class Registry {
  public:
   T* For(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = cells_.find(name);
     if (it == cells_.end()) {
       it = cells_.emplace(std::string(name), std::make_unique<T>()).first;
@@ -35,19 +36,20 @@ class Registry {
   }
 
   void ResetAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [name, cell] : cells_) cell->Reset();
   }
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& [name, cell] : cells_) fn(name, *cell);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<T>, std::less<>> cells_;
+  mutable Mutex mu_{LockRank::kObsRegistry};
+  std::map<std::string, std::unique_ptr<T>, std::less<>> cells_
+      BOOMER_GUARDED_BY(mu_);
 };
 
 Registry<Counter>& Counters() {

@@ -44,6 +44,15 @@ const char* HealthStateName(HealthState h) {
   return "??";
 }
 
+// Deliberately outside the analysis: `blender` is annotated
+// BOOMER_GUARDED_BY(emu), but it is only ever reset under emu AND qmu
+// together, so holding qmu (enforced on callers by BOOMER_REQUIRES) keeps
+// the pointer stable. This is the single blessed qmu-side touch.
+void SessionManager::Session::CancelBlenderUnderQmu(
+    TruncationReason reason) BOOMER_NO_THREAD_SAFETY_ANALYSIS {
+  blender->SetCancelReason(reason);
+}
+
 SessionManager::SessionManager(const graph::Graph& g,
                                const core::PreprocessResult& prep,
                                ServeOptions options)
@@ -59,23 +68,23 @@ SessionManager::SessionManager(const graph::Graph& g,
 SessionManager::~SessionManager() {
   std::vector<SessionPtr> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
     for (auto& [id, s] : sessions_) all.push_back(s);
-    admission_cv_.notify_all();
+    admission_cv_.NotifyAll();
   }
   // Cooperatively cancel in-flight work, then close every session so queued
   // drain tasks exit at their next state check.
   for (const SessionPtr& s : all) s->stopper.request_stop();
   for (const SessionPtr& s : all) {
-    std::lock_guard<std::mutex> elock(s->emu);
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock elock(&s->emu);
+    MutexLock qlock(&s->qmu);
     s->queue.clear();
     s->queued.store(0);
     if (s->state.load() == SessionState::kActive) {
       s->state.store(SessionState::kClosed);
     }
-    s->qcv.notify_all();
+    s->qcv.NotifyAll();
   }
   pool_->Shutdown();   // drains remaining tasks while sessions still exist
   watchdog_.reset();   // then stop firing handlers
@@ -89,7 +98,7 @@ void SessionManager::BumpMax(std::atomic<size_t>* target, size_t candidate) {
 }
 
 SessionManager::SessionPtr SessionManager::Find(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -147,18 +156,24 @@ StatusOr<SessionId> SessionManager::OpenLocked() {
 
   auto s = std::make_shared<Session>();
   s->id = next_id_++;
-  if (!options_.wal_dir.empty()) {
-    // Refusing the session beats admitting it without the durability the
-    // configuration promised.
-    WalOptions wal_options;
-    wal_options.group_commit_interval = options_.wal_group_commit;
-    auto wal_or = WalWriter::Open(WalPath(s->id), wal_options);
-    if (!wal_or.ok()) return wal_or.status();
-    s->wal = std::move(*wal_or);
+  {
+    // The session is still private to this thread; emu is taken (it cannot
+    // contend) purely so the guarded-field initialization satisfies the
+    // analysis. mu_ -> emu respects the rank order.
+    MutexLock elock(&s->emu);
+    if (!options_.wal_dir.empty()) {
+      // Refusing the session beats admitting it without the durability the
+      // configuration promised.
+      WalOptions wal_options;
+      wal_options.group_commit_interval = options_.wal_group_commit;
+      auto wal_or = WalWriter::Open(WalPath(s->id), wal_options);
+      if (!wal_or.ok()) return wal_or.status();
+      s->wal = std::move(*wal_or);
+    }
+    s->blender =
+        std::make_unique<core::Blender>(graph_, prep_, blender_options);
+    s->blender->SetStopToken(s->stopper.get_token());
   }
-  s->blender =
-      std::make_unique<core::Blender>(graph_, prep_, blender_options);
-  s->blender->SetStopToken(s->stopper.get_token());
   sessions_.emplace(s->id, s);
   opened_.fetch_add(1);
   OBS_COUNTER_INC("serve.sessions_opened");
@@ -174,7 +189,7 @@ StatusOr<SessionId> SessionManager::OpenLocked() {
 
 StatusOr<SessionId> SessionManager::OpenSession() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return Status::Overloaded("session manager shutting down");
     if (CanAdmitLocked()) return OpenLocked();
     if (sessions_.size() >= options_.max_live_sessions) {
@@ -192,7 +207,7 @@ StatusOr<SessionId> SessionManager::OpenSession() {
   // footprint further with no evictable slack left.
   RatchetHealth(HealthState::kShedding);
   MaybeShedForMemory();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) return Status::Overloaded("session manager shutting down");
   if (CanAdmitLocked()) return OpenLocked();
   admission_rejected_.fetch_add(1);
@@ -204,8 +219,12 @@ StatusOr<SessionId> SessionManager::OpenSession() {
 }
 
 StatusOr<SessionId> SessionManager::WaitAdmission() {
-  std::unique_lock<std::mutex> lock(mu_);
-  admission_cv_.wait(lock, [this] { return shutdown_ || CanAdmitLocked(); });
+  MutexLock lock(&mu_);
+  // Runs with mu_ held (CondVar wait contract); the checked logic lives
+  // in AdmissionOpenLocked.
+  admission_cv_.Wait(lock, [this]() BOOMER_NO_THREAD_SAFETY_ANALYSIS {
+    return AdmissionOpenLocked();
+  });
   if (shutdown_) return Status::Overloaded("session manager shutting down");
   return OpenLocked();
 }
@@ -218,7 +237,7 @@ Status SessionManager::SubmitAction(SessionId id, const gui::Action& action) {
   }
   bool schedule = false;
   {
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
     switch (s->state.load()) {
       case SessionState::kActive:
         break;
@@ -251,9 +270,9 @@ void SessionManager::ScheduleDrain(const SessionPtr& s) {
   const bool accepted = pool_->Submit([this, s] { DrainSession(s); });
   if (!accepted) {
     // Pool shut down: leave the queue frozen but don't strand WaitIdle.
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
     s->scheduled = false;
-    s->qcv.notify_all();
+    s->qcv.NotifyAll();
   }
 }
 
@@ -261,10 +280,10 @@ void SessionManager::DrainSession(const SessionPtr& s) {
   for (;;) {
     gui::Action action;
     {
-      std::lock_guard<std::mutex> qlock(s->qmu);
+      MutexLock qlock(&s->qmu);
       if (s->state.load() != SessionState::kActive || s->queue.empty()) {
         s->scheduled = false;
-        s->qcv.notify_all();
+        s->qcv.NotifyAll();
         return;
       }
       action = s->queue.front();
@@ -280,7 +299,7 @@ void SessionManager::DrainSession(const SessionPtr& s) {
 
 void SessionManager::ApplyAction(const SessionPtr& s,
                                  const gui::Action& action) {
-  std::lock_guard<std::mutex> elock(s->emu);
+  MutexLock elock(&s->emu);
   // The session may have been evicted or closed between the queue pop and
   // here; the popped action is intentionally dropped — it is past the
   // snapshot's actions_applied mark, so a resume replays it correctly.
@@ -299,13 +318,13 @@ void SessionManager::ApplyAction(const SessionPtr& s,
     if (!wal_status.ok()) {
       failed_.fetch_add(1);
       UpdateCapBytes(s, 0);
-      std::lock_guard<std::mutex> qlock(s->qmu);
+      MutexLock qlock(&s->qmu);
       s->blender.reset();
       s->queue.clear();
       s->queued.store(0);
       s->terminal_status = wal_status;
       s->state.store(SessionState::kFailed);
-      s->qcv.notify_all();
+      s->qcv.NotifyAll();
       return;
     }
     wal_records_.fetch_add(1);
@@ -332,13 +351,13 @@ void SessionManager::ApplyAction(const SessionPtr& s,
     failed_.fetch_add(1);
     if (s->wal != nullptr) (void)s->wal->Close();
     UpdateCapBytes(s, 0);
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
     s->blender.reset();  // under emu+qmu: every reader checks state first
     s->queue.clear();
     s->queued.store(0);
     s->terminal_status = status;
     s->state.store(SessionState::kFailed);
-    s->qcv.notify_all();
+    s->qcv.NotifyAll();
     return;
   }
   s->applied.Append(action);
@@ -360,17 +379,18 @@ void SessionManager::ApplyAction(const SessionPtr& s,
     if (s->report.truncation != TruncationReason::kEvicted) {
       completed_.fetch_add(1);
     }
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
     s->state.store(SessionState::kCompleted);
-    s->qcv.notify_all();
+    s->qcv.NotifyAll();
   }
 }
 
 Status SessionManager::WaitIdle(SessionId id) {
   SessionPtr s = Find(id);
   if (s == nullptr) return Status::NotFound("no such session");
-  std::unique_lock<std::mutex> qlock(s->qmu);
-  s->qcv.wait(qlock, [&s] {
+  MutexLock qlock(&s->qmu);
+  // Runs with qmu held (CondVar wait contract).
+  s->qcv.Wait(qlock, [&s]() BOOMER_NO_THREAD_SAFETY_ANALYSIS {
     return s->state.load() != SessionState::kActive ||
            (s->queue.empty() && !s->scheduled);
   });
@@ -387,18 +407,19 @@ StatusOr<SessionResult> SessionManager::Await(SessionId id) {
   SessionPtr s = Find(id);
   if (s == nullptr) return Status::NotFound("no such session");
   {
-    std::unique_lock<std::mutex> qlock(s->qmu);
-    s->qcv.wait(qlock,
+    MutexLock qlock(&s->qmu);
+    // The predicate reads only the (atomic) state — no guarded fields.
+    s->qcv.Wait(qlock,
                 [&s] { return s->state.load() != SessionState::kActive; });
   }
-  std::lock_guard<std::mutex> elock(s->emu);
+  MutexLock elock(&s->emu);
   SessionResult result;
   result.state = s->state.load();
   result.report = s->report;
   result.results = s->results;
-  result.snapshot = s->snapshot;
   {
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
+    result.snapshot = s->snapshot;
     result.status = s->terminal_status;
   }
   return result;
@@ -407,7 +428,7 @@ StatusOr<SessionResult> SessionManager::Await(SessionId id) {
 StatusOr<SessionSnapshot> SessionManager::GetEviction(SessionId id) {
   SessionPtr s = Find(id);
   if (s == nullptr) return Status::NotFound("no such session");
-  std::lock_guard<std::mutex> qlock(s->qmu);
+  MutexLock qlock(&s->qmu);
   if (s->state.load() != SessionState::kEvicted) {
     return Status::FailedPrecondition(
         StrFormat("session is %s, not evicted",
@@ -424,7 +445,7 @@ Status SessionManager::EvictSession(SessionId id) {
 
 Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
   {
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
     const SessionState st = s->state.load();
     if (st == SessionState::kEvicted) return Status::OK();
     if (st != SessionState::kActive) {
@@ -435,9 +456,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
       return Status::FailedPrecondition("eviction already in progress");
     }
     s->evicting = true;
-    // Safe deref: state is kActive under qmu, so only the (single) eviction
-    // ticket we just took may free the blender.
-    s->blender->SetCancelReason(TruncationReason::kEvicted);
+    s->CancelBlenderUnderQmu(TruncationReason::kEvicted);
   }
   s->stopper.request_stop();
 
@@ -446,7 +465,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
   {
     // Waits for any in-flight action to finish (the stop request makes a
     // long drain exit at its next per-edge cancellation point).
-    std::lock_guard<std::mutex> elock(s->emu);
+    MutexLock elock(&s->emu);
     const SessionState st = s->state.load();
     const bool cancelled_run =
         st == SessionState::kCompleted &&
@@ -454,7 +473,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
     if (st != SessionState::kActive && !cancelled_run) {
       // Completed for real (or failed/closed) before the stop landed —
       // nothing to shed.
-      std::lock_guard<std::mutex> qlock(s->qmu);
+      MutexLock qlock(&s->qmu);
       s->evicting = false;
       result = Status::FailedPrecondition(StrFormat(
           "session reached %s before eviction", SessionStateName(st)));
@@ -475,7 +494,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
         s->blender->SetCancelReason(TruncationReason::kCancelled);
         bool reschedule = false;
         {
-          std::lock_guard<std::mutex> qlock(s->qmu);
+          MutexLock qlock(&s->qmu);
           s->evicting = false;
           // A drain may have exited while we held the ticket; restart it.
           if (st == SessionState::kActive && !s->queue.empty() &&
@@ -487,7 +506,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
         if (reschedule) ScheduleDrain(s);
         result = save;
       } else {
-        s->snapshot = SessionSnapshot{prefix, s->applied.size()};
+        const SessionSnapshot taken{prefix, s->applied.size()};
         if (s->wal != nullptr) {
           // The CRC-whole snapshot now supersedes the WAL; deleting it
           // keeps recovery from replaying the same prefix twice. (A crash
@@ -498,7 +517,8 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
           s->wal.reset();
         }
         UpdateCapBytes(s, 0);
-        std::lock_guard<std::mutex> qlock(s->qmu);
+        MutexLock qlock(&s->qmu);
+        s->snapshot = taken;
         s->blender.reset();
         s->queue.clear();
         s->queued.store(0);
@@ -508,7 +528,7 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
                       static_cast<unsigned long long>(s->id),
                       prefix.c_str()));
         s->state.store(SessionState::kEvicted);
-        s->qcv.notify_all();
+        s->qcv.NotifyAll();
         evicted = true;
       }
     }
@@ -517,8 +537,8 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
     evictions_.fetch_add(1);
     OBS_COUNTER_INC("serve.evictions");
     // Freed memory may unblock admission waiters.
-    std::lock_guard<std::mutex> lock(mu_);
-    admission_cv_.notify_all();
+    MutexLock lock(&mu_);
+    admission_cv_.NotifyAll();
   }
   return result;
 }
@@ -535,7 +555,7 @@ void SessionManager::MaybeShedForMemory() {
     {
       // Victim selection reads only atomics — mu_ is never held while a
       // session lock is acquired (lock hierarchy).
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (const auto& [id, s] : sessions_) {
         if (s->state.load() != SessionState::kActive) continue;
         if (s->busy.load() || s->queued.load() != 0) continue;  // idle only
@@ -679,7 +699,7 @@ StatusOr<std::vector<RecoveryOutcome>> SessionManager::RecoverAll(
   // fresh manager recovering into its own wal_dir can never open a new
   // WAL (O_APPEND!) on top of a log it has not consumed yet.
   if (!found.empty()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     next_id_ = std::max(next_id_, found.rbegin()->first + 1);
   }
 
@@ -813,7 +833,7 @@ StatusOr<std::vector<RecoveryOutcome>> SessionManager::RecoverAll(
 Status SessionManager::CloseSession(SessionId id) {
   SessionPtr s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return Status::NotFound("no such session");
     s = it->second;
@@ -821,7 +841,7 @@ Status SessionManager::CloseSession(SessionId id) {
   }
   s->stopper.request_stop();
   {
-    std::lock_guard<std::mutex> elock(s->emu);
+    MutexLock elock(&s->emu);
     if (s->wal != nullptr) {
       // A deliberate close abandons the session; its log has nothing left
       // to recover. (Process shutdown does NOT take this path — WALs of
@@ -831,16 +851,16 @@ Status SessionManager::CloseSession(SessionId id) {
       s->wal.reset();
     }
     UpdateCapBytes(s, 0);
-    std::lock_guard<std::mutex> qlock(s->qmu);
+    MutexLock qlock(&s->qmu);
     s->blender.reset();
     s->queue.clear();
     s->queued.store(0);
     s->state.store(SessionState::kClosed);
-    s->qcv.notify_all();
+    s->qcv.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    admission_cv_.notify_all();
+    MutexLock lock(&mu_);
+    admission_cv_.NotifyAll();
   }
   return Status::OK();
 }
@@ -877,7 +897,7 @@ ServeStats SessionManager::stats() const {
 }
 
 size_t SessionManager::live_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sessions_.size();
 }
 

@@ -46,24 +46,30 @@
 // request and the Run completes truncated with reason kCancelled — degraded
 // but sound, exactly like an SRT budget overrun.
 //
-// Lock hierarchy (strict, deadlock-free by construction):
-//   manager `mu_`  — session table, admission; never held while acquiring a
-//                    session lock. Eviction victims are picked from atomics.
-//   session `emu`  — blender execution + applied trace; held across one
-//                    OnAction at most.
-//   session `qmu`  — action queue + state machine; innermost, held briefly.
+// Lock hierarchy (strict, deadlock-free by construction — and since this
+// layer moved onto the annotated util/mutex.h wrappers, machine-checked:
+// Clang Thread Safety Analysis proves every guarded access at compile
+// time, and the ranks below are verified at runtime in Debug/sanitizer
+// builds):
+//   manager `mu_`  — rank kServeManager. Session table, admission; never
+//                    held while *blocking on* a session lock (the one
+//                    exception is OpenLocked initializing a still-private
+//                    session, which cannot contend). Eviction victims are
+//                    picked from atomics.
+//   session `emu`  — rank kSessionExec. Blender execution + applied trace;
+//                    held across one OnAction at most.
+//   session `qmu`  — rank kSessionQueue. Action queue + state machine;
+//                    innermost of the pair, held briefly.
 // Acquire order within a session: emu before qmu, never the reverse.
 
 #ifndef BOOMER_SERVE_SESSION_MANAGER_H_
 #define BOOMER_SERVE_SESSION_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stop_token>
 #include <string>
 #include <vector>
@@ -72,6 +78,7 @@
 #include "core/preprocessor.h"
 #include "graph/graph.h"
 #include "gui/actions.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/wal.h"
@@ -269,21 +276,33 @@ class SessionManager {
     // Execution lock: guards blender, applied trace, report/result copies,
     // and the WAL writer. Held across one OnAction at most. Ordered before
     // qmu. WAL appends under emu make log order identical to apply order.
-    std::mutex emu;
-    std::unique_ptr<core::Blender> blender;
-    std::unique_ptr<WalWriter> wal;
-    gui::ActionTrace applied;
-    core::BlendReport report;
-    std::vector<core::PartialMatch> results;
-    SessionSnapshot snapshot;
+    Mutex emu{LockRank::kSessionExec};
+    // The blender pointer follows a dual-lock protocol the analysis cannot
+    // express directly: it is reset only under emu AND qmu together, so
+    // holding EITHER lock keeps the pointer stable. It is annotated with
+    // its primary guard (emu); the one qmu-side reader goes through
+    // CancelBlenderUnderQmu below.
+    std::unique_ptr<core::Blender> blender BOOMER_GUARDED_BY(emu);
+    std::unique_ptr<WalWriter> wal BOOMER_GUARDED_BY(emu);
+    gui::ActionTrace applied BOOMER_GUARDED_BY(emu);
+    core::BlendReport report BOOMER_GUARDED_BY(emu);
+    std::vector<core::PartialMatch> results BOOMER_GUARDED_BY(emu);
 
-    // Queue lock: guards queue/scheduled/terminal_status and the cv.
-    std::mutex qmu;
-    std::condition_variable_any qcv;
-    std::deque<gui::Action> queue;
-    bool scheduled = false;  // a drain task is queued or running
-    bool evicting = false;   // an eviction holds the (single) ticket
-    Status terminal_status = Status::OK();
+    // Queue lock: guards queue/scheduled/terminal_status/snapshot and
+    // the cv.
+    Mutex qmu{LockRank::kSessionQueue};
+    CondVar qcv;
+    std::deque<gui::Action> queue BOOMER_GUARDED_BY(qmu);
+    bool scheduled BOOMER_GUARDED_BY(qmu) = false;  // drain queued/running
+    bool evicting BOOMER_GUARDED_BY(qmu) = false;   // eviction ticket held
+    Status terminal_status BOOMER_GUARDED_BY(qmu) = Status::OK();
+    SessionSnapshot snapshot BOOMER_GUARDED_BY(qmu);
+
+    /// Sets the blender's cancel reason while holding only qmu. Safe by
+    /// the dual-lock protocol above: state is kActive under qmu, so only
+    /// the (single) eviction ticket just taken may free the blender.
+    void CancelBlenderUnderQmu(core::TruncationReason reason)
+        BOOMER_REQUIRES(qmu);
 
     // Written under qmu; atomic so victim selection can read lock-free.
     std::atomic<SessionState> state{SessionState::kActive};
@@ -307,8 +326,8 @@ class SessionManager {
   using SessionPtr = std::shared_ptr<Session>;
 
   SessionPtr Find(SessionId id) const;
-  bool CanAdmitLocked() const;
-  StatusOr<SessionId> OpenLocked();
+  bool CanAdmitLocked() const BOOMER_REQUIRES(mu_);
+  StatusOr<SessionId> OpenLocked() BOOMER_REQUIRES(mu_);
   void ScheduleDrain(const SessionPtr& s);
   void DrainSession(const SessionPtr& s);
   void ApplyAction(const SessionPtr& s, const gui::Action& action);
@@ -330,11 +349,18 @@ class SessionManager {
   const core::PreprocessResult& prep_;
   const ServeOptions options_;
 
-  mutable std::mutex mu_;  // session table + admission; outermost
-  std::condition_variable_any admission_cv_;
-  std::map<SessionId, SessionPtr> sessions_;
-  SessionId next_id_ = 1;
-  bool shutdown_ = false;
+  /// True when a new session may be admitted; runs under mu_ as the
+  /// admission_cv_ wait predicate.
+  bool AdmissionOpenLocked() const BOOMER_REQUIRES(mu_) {
+    return shutdown_ || CanAdmitLocked();
+  }
+
+  // Session table + admission; outermost (rank kServeManager).
+  mutable Mutex mu_{LockRank::kServeManager};
+  CondVar admission_cv_;
+  std::map<SessionId, SessionPtr> sessions_ BOOMER_GUARDED_BY(mu_);
+  SessionId next_id_ BOOMER_GUARDED_BY(mu_) = 1;
+  bool shutdown_ BOOMER_GUARDED_BY(mu_) = false;
 
   std::atomic<size_t> total_cap_bytes_{0};
 

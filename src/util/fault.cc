@@ -5,9 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <sstream>
 
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -40,10 +40,10 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu{LockRank::kFaultRegistry};
   // Ordered map keeps Stats() deterministic without a sort.
-  std::map<std::string, Site, std::less<>> sites;
-  uint64_t seed = 1;
+  std::map<std::string, Site, std::less<>> sites BOOMER_GUARDED_BY(mu);
+  uint64_t seed BOOMER_GUARDED_BY(mu) = 1;
 };
 
 Registry& GetRegistry() {
@@ -130,7 +130,7 @@ Status Configure(const std::string& spec) {
   }
 
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   registry.seed = seed;
   for (auto& [name, site] : parsed) {
     site.rng = Rng(SiteSeed(seed, name));
@@ -145,7 +145,7 @@ Status Configure(const std::string& spec) {
 
 void Reset() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   registry.sites.clear();
   internal::g_armed.store(false, std::memory_order_relaxed);
 }
@@ -153,7 +153,7 @@ void Reset() {
 bool ShouldFail(std::string_view site) {
   if (!Armed()) return false;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   auto it = registry.sites.find(site);
   if (it == registry.sites.end()) {
     // Track unconfigured sites so Stats() reveals available probe points.
@@ -200,7 +200,7 @@ bool IsInjected(const Status& s) {
 
 std::vector<SiteStats> Stats() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   std::vector<SiteStats> out;
   out.reserve(registry.sites.size());
   for (const auto& [name, site] : registry.sites) {

@@ -11,21 +11,21 @@
 // return failure (Push) / std::nullopt (Pop) without consuming an element.
 //
 // Thread-safety: every member is safe to call concurrently from any number
-// of threads. Internally a single mutex + two condition variables — the
-// queue favors obviousness over lock-free throughput; profile before
-// replacing it.
+// of threads. Internally a single annotated Mutex (rank kMpmcQueue — it is
+// acquired under a session's execution lock when an eviction reschedules a
+// drain) + two condition variables — the queue favors obviousness over
+// lock-free throughput; profile before replacing it.
 
 #ifndef BOOMER_UTIL_MPMC_QUEUE_H_
 #define BOOMER_UTIL_MPMC_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stop_token>
 #include <utility>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace boomer {
 
@@ -42,22 +42,25 @@ class MpmcQueue {
   /// Blocks while full. Returns false — without enqueuing — when the queue
   /// is closed or `stop` is requested.
   bool Push(T value, std::stop_token stop = {}) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, stop, [this] {
-      return closed_ || items_.size() < capacity_;
-    });
+    MutexLock lock(&mu_);
+    not_full_.Wait(lock, std::move(stop),
+                   // Runs with mu_ held (CondVar wait contract); the
+                   // checked logic lives in HasPushRoomLocked.
+                   [this]() BOOMER_NO_THREAD_SAFETY_ANALYSIS {
+                     return HasPushRoomLocked();
+                   });
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking Push: false when full or closed (the backpressure signal).
   bool TryPush(T value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -65,54 +68,64 @@ class MpmcQueue {
   /// the queue is closed and fully drained (elements enqueued before Close
   /// are still delivered).
   std::optional<T> Pop(std::stop_token stop = {}) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, stop, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(&mu_);
+    not_empty_.Wait(lock, std::move(stop),
+                    // Runs with mu_ held (CondVar wait contract).
+                    [this]() BOOMER_NO_THREAD_SAFETY_ANALYSIS {
+                      return HasPopWorkLocked();
+                    });
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return value;
   }
 
   /// Non-blocking Pop: nullopt when empty.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return value;
   }
 
   /// Rejects all future pushes and wakes every waiter. Idempotent. Elements
   /// already queued remain poppable (drain-then-nullopt semantics).
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mu_;
-  // condition_variable_any: the std::stop_token overloads of wait() need it.
-  std::condition_variable_any not_full_;
-  std::condition_variable_any not_empty_;
-  std::deque<T> items_;
+  bool HasPushRoomLocked() const BOOMER_REQUIRES(mu_) {
+    return closed_ || items_.size() < capacity_;
+  }
+  bool HasPopWorkLocked() const BOOMER_REQUIRES(mu_) {
+    return closed_ || !items_.empty();
+  }
+
+  mutable Mutex mu_{LockRank::kMpmcQueue};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ BOOMER_GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ BOOMER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace boomer

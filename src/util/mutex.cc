@@ -1,0 +1,145 @@
+#include "util/mutex.h"
+
+#if defined(BOOMER_LOCK_RANK) && BOOMER_LOCK_RANK
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace boomer {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kServeManager:
+      return "serve-manager";
+    case LockRank::kSessionExec:
+      return "session-exec";
+    case LockRank::kSessionQueue:
+      return "session-queue";
+    case LockRank::kMpmcQueue:
+      return "mpmc-queue";
+    case LockRank::kWatchdog:
+      return "watchdog";
+    case LockRank::kFaultRegistry:
+      return "fault-registry";
+    case LockRank::kObsRegistry:
+      return "obs-registry";
+    case LockRank::kLeaf:
+      return "leaf";
+  }
+  return "??";
+}
+
+bool LockRankCheckingEnabled() {
+#if defined(BOOMER_LOCK_RANK) && BOOMER_LOCK_RANK
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(BOOMER_LOCK_RANK) && BOOMER_LOCK_RANK
+
+namespace rank_check {
+namespace {
+
+constexpr int kMaxFrames = 24;
+constexpr int kMaxHeld = 16;
+
+/// One acquisition a thread currently holds, with the stack that took it.
+struct Held {
+  const void* mutex = nullptr;
+  LockRank rank = LockRank::kLeaf;
+  void* frames[kMaxFrames];
+  int frame_count = 0;
+};
+
+/// Per-thread held-lock stack. Plain thread_local state: the checker
+/// itself needs no synchronization, which is what keeps it race-free under
+/// arbitrary lock churn (asserted by tests/util/lock_rank_test.cc).
+struct ThreadState {
+  Held held[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local ThreadState t_state;
+
+void DumpStack(const char* label, void* const* frames, int count) {
+  std::fprintf(stderr, "%s\n", label);
+  // backtrace_symbols_fd is async-signal-safe-ish and allocation-free;
+  // we are about to abort, so keep the failure path as simple as possible.
+  backtrace_symbols_fd(frames, count, STDERR_FILENO);
+}
+
+[[noreturn]] void RankViolation(const void* mu, LockRank rank,
+                                const Held& deepest, void* const* frames,
+                                int frame_count) {
+  std::fprintf(stderr,
+               "lock-rank violation: acquiring rank %d (%s, mutex %p) while "
+               "holding rank %d (%s, mutex %p); acquisition order must be "
+               "strictly increasing (see LockRank, util/mutex.h)\n",
+               static_cast<int>(rank), LockRankName(rank), mu,
+               static_cast<int>(deepest.rank), LockRankName(deepest.rank),
+               deepest.mutex);
+  DumpStack("--- stack of the offending acquisition:", frames, frame_count);
+  DumpStack("--- stack that acquired the held lock:", deepest.frames,
+            deepest.frame_count);
+  std::abort();
+}
+
+}  // namespace
+
+void BeforeAcquire(const void* mu, LockRank rank) {
+  ThreadState& st = t_state;
+  const Held* deepest = nullptr;
+  for (int i = 0; i < st.depth; ++i) {
+    if (deepest == nullptr || st.held[i].rank >= deepest->rank) {
+      deepest = &st.held[i];
+    }
+  }
+  if (deepest != nullptr && rank <= deepest->rank) {
+    void* frames[kMaxFrames];
+    const int n = backtrace(frames, kMaxFrames);
+    RankViolation(mu, rank, *deepest, frames, n);
+  }
+}
+
+void AfterAcquire(const void* mu, LockRank rank) {
+  ThreadState& st = t_state;
+  if (st.depth >= kMaxHeld) {
+    // Deeper nesting than the checker can track is itself a design smell,
+    // but dropping the record (not aborting) keeps the checker advisory
+    // about its own capacity while still checking the tracked prefix.
+    std::fprintf(stderr,
+                 "lock-rank checker: >%d locks held by one thread; rank %d "
+                 "(%s) acquisition untracked\n",
+                 kMaxHeld, static_cast<int>(rank), LockRankName(rank));
+    return;
+  }
+  Held& h = st.held[st.depth++];
+  h.mutex = mu;
+  h.rank = rank;
+  h.frame_count = backtrace(h.frames, kMaxFrames);
+}
+
+void BeforeRelease(const void* mu) {
+  ThreadState& st = t_state;
+  // Locks release LIFO almost always, but a CondVar wait inside an outer
+  // scope can interleave; search from the top and compact.
+  for (int i = st.depth - 1; i >= 0; --i) {
+    if (st.held[i].mutex != mu) continue;
+    for (int j = i; j + 1 < st.depth; ++j) st.held[j] = st.held[j + 1];
+    --st.depth;
+    return;
+  }
+  // Releasing a lock we never tracked: the overflow path above, or a lock
+  // acquired before the checker was compiled in. Ignore.
+}
+
+}  // namespace rank_check
+
+#endif  // BOOMER_LOCK_RANK
+
+}  // namespace boomer

@@ -1,0 +1,255 @@
+// Annotated locking layer: the only place in the tree allowed to touch
+// std::mutex / std::condition_variable (enforced by the `raw-mutex` lint
+// rule). Every lock in BOOMER is a boomer::Mutex, and every Mutex carries
+// two machine-checked contracts:
+//
+//   1. Clang Thread Safety Analysis attributes. Fields say which lock
+//      guards them (BOOMER_GUARDED_BY), functions say which locks they
+//      need (BOOMER_REQUIRES) or take (BOOMER_ACQUIRE/BOOMER_RELEASE),
+//      and a clang build with -Wthread-safety -Wthread-safety-beta
+//      -Werror refuses to compile an access that the lock-graph does not
+//      justify. Under non-Clang compilers the attributes expand to
+//      nothing; the wrappers behave identically.
+//
+//   2. An explicit lock rank (LockRank, the central table below; also
+//      DESIGN.md §5f). Ranks totally order every lock in the process:
+//      a thread may only acquire a mutex whose rank is STRICTLY GREATER
+//      than every rank it already holds, which makes lock-order
+//      inversion — the only way this tree can deadlock — structurally
+//      impossible. Debug and sanitizer builds (BOOMER_LOCK_RANK)
+//      additionally check the rule at runtime on every acquisition and
+//      abort with both acquisition stacks on a violation, so a potential
+//      deadlock is a deterministic test failure instead of a rare hang.
+//
+// Adding a new lock: pick the innermost existing rank your critical
+// sections may be entered from, give the new lock a strictly greater rank
+// (add an enumerator — the rank-literal lint rule requires a named
+// LockRank at every construction site), and annotate the fields it
+// guards. If no existing rank fits, the lock nesting itself is the bug.
+
+#ifndef BOOMER_UTIL_MUTEX_H_
+#define BOOMER_UTIL_MUTEX_H_
+
+// boomer-lint-allow-file(raw-mutex): this header IS the blessed wrapper.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stop_token>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define BOOMER_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define BOOMER_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define BOOMER_CAPABILITY(x) BOOMER_THREAD_ANNOTATION_(capability(x))
+/// Declares an RAII class that acquires in its ctor, releases in its dtor.
+#define BOOMER_SCOPED_CAPABILITY BOOMER_THREAD_ANNOTATION_(scoped_lockable)
+/// Field attribute: reads/writes require holding `x`.
+#define BOOMER_GUARDED_BY(x) BOOMER_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointer field attribute: the pointee's data requires holding `x`.
+#define BOOMER_PT_GUARDED_BY(x) BOOMER_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function attribute: the caller must already hold the listed locks.
+#define BOOMER_REQUIRES(...) \
+  BOOMER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function attribute: acquires the listed locks (held on return).
+#define BOOMER_ACQUIRE(...) \
+  BOOMER_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function attribute: releases the listed locks (held on entry).
+#define BOOMER_RELEASE(...) \
+  BOOMER_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function attribute: acquires on a `ret`-valued return (TryLock).
+#define BOOMER_TRY_ACQUIRE(ret, ...) \
+  BOOMER_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+/// Function attribute: the caller must NOT hold the listed locks.
+#define BOOMER_LOCKS_EXCLUDED(...) \
+  BOOMER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Statement attribute: tells the analysis the lock is held here (runtime
+/// fact the type system cannot see). Use sparingly; document why.
+#define BOOMER_ASSERT_CAPABILITY(x) \
+  BOOMER_THREAD_ANNOTATION_(assert_capability(x))
+/// Escape hatch: disables analysis inside one function. Every use must
+/// carry a comment explaining the protocol the analysis cannot express.
+#define BOOMER_NO_THREAD_SAFETY_ANALYSIS \
+  BOOMER_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace boomer {
+
+// ---------------------------------------------------------------------------
+// The central rank table (DESIGN.md §5f has the prose version).
+// ---------------------------------------------------------------------------
+
+/// Every Mutex in the process names one of these ranks at construction.
+/// Acquisition must be in strictly increasing rank order; gaps leave room
+/// for future locks without renumbering.
+enum class LockRank : int {
+  /// serve::SessionManager::mu_ — session table + admission. Outermost:
+  /// held only around table lookups and admission math, never while a
+  /// session lock is blocked on (victim selection reads atomics).
+  kServeManager = 10,
+  /// serve Session::emu — blender execution + applied trace + WAL writer.
+  kSessionExec = 20,
+  /// serve Session::qmu — action queue + state machine. Innermost of the
+  /// per-session pair: emu before qmu, never the reverse.
+  kSessionQueue = 30,
+  /// MpmcQueue<T>::mu_ — bounded queue internals (ThreadPool task queues).
+  /// Acquired under kSessionExec when an eviction reschedules a drain.
+  kMpmcQueue = 40,
+  /// Watchdog::mu_ — leash table. Armed under kSessionExec; handlers run
+  /// with no watchdog lock held.
+  kWatchdog = 50,
+  /// fault registry — probed from BOOMER_FAULT_POINT sites arbitrarily
+  /// deep in the blender/WAL paths, so it ranks below only the leaves.
+  kFaultRegistry = 60,
+  /// obs metrics registry — OBS_* call sites resolve cells from anywhere,
+  /// including under every lock above.
+  kObsRegistry = 70,
+  /// Strictly-leaf locks: test fixtures, tools, local state that never
+  /// acquires another lock while held.
+  kLeaf = 90,
+};
+
+/// Stable human-readable name ("serve-manager", "leaf", ...).
+const char* LockRankName(LockRank rank);
+
+/// True when this build checks lock ranks at runtime (BOOMER_LOCK_RANK,
+/// default on in Debug and sanitizer presets). Tests use this to skip
+/// rank-violation death tests in builds that compile the checker out.
+bool LockRankCheckingEnabled();
+
+namespace rank_check {
+#if defined(BOOMER_LOCK_RANK) && BOOMER_LOCK_RANK
+/// Called before blocking on the lock: aborts (with this acquisition's
+/// stack and the deepest held lock's acquisition stack) when `rank` is not
+/// strictly greater than every rank the calling thread already holds.
+void BeforeAcquire(const void* mu, LockRank rank);
+/// Called once the lock is held: records the acquisition (and its stack).
+void AfterAcquire(const void* mu, LockRank rank);
+/// Called before unlocking: forgets the acquisition.
+void BeforeRelease(const void* mu);
+#else
+inline void BeforeAcquire(const void*, LockRank) {}
+inline void AfterAcquire(const void*, LockRank) {}
+inline void BeforeRelease(const void*) {}
+#endif
+}  // namespace rank_check
+
+// ---------------------------------------------------------------------------
+// The wrappers.
+// ---------------------------------------------------------------------------
+
+/// A std::mutex carrying thread-safety annotations and a lock rank.
+/// Non-recursive; acquisition order across Mutexes must follow the rank
+/// table. Prefer MutexLock over calling Lock/Unlock directly.
+class BOOMER_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BOOMER_ACQUIRE() {
+    rank_check::BeforeAcquire(this, rank_);
+    mu_.lock();
+    rank_check::AfterAcquire(this, rank_);
+  }
+
+  void Unlock() BOOMER_RELEASE() {
+    rank_check::BeforeRelease(this);
+    mu_.unlock();
+  }
+
+  /// Never blocks, but rank discipline still applies: a TryLock that
+  /// would invert the order is a bug even when it happens to succeed.
+  bool TryLock() BOOMER_TRY_ACQUIRE(true) {
+    rank_check::BeforeAcquire(this, rank_);
+    if (!mu_.try_lock()) return false;
+    rank_check::AfterAcquire(this, rank_);
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+
+  // BasicLockable interface so CondVar can hand *this to
+  // std::condition_variable_any; prefer the capitalized spellings (and
+  // MutexLock) everywhere else — these exist for the wait machinery.
+  void lock() BOOMER_ACQUIRE() { Lock(); }
+  void unlock() BOOMER_RELEASE() { Unlock(); }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+};
+
+/// RAII guard (the project's std::lock_guard / std::unique_lock): acquires
+/// in the constructor, releases in the destructor. Waiting on a CondVar
+/// releases and re-acquires through the same rank bookkeeping.
+class BOOMER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) BOOMER_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() BOOMER_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  Mutex* mutex() const { return mu_; }
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to boomer::Mutex (condition_variable_any
+/// underneath, so waits can observe a std::stop_token). Wait predicates
+/// run with the lock held; annotate predicate lambdas with
+/// BOOMER_NO_THREAD_SAFETY_ANALYSIS and keep the real logic in a
+/// BOOMER_REQUIRES-annotated helper so it stays checked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Blocks until `pred()` is true.
+  template <typename Pred>
+  void Wait(MutexLock& lock, Pred pred) {
+    cv_.wait(*lock.mutex(), std::move(pred));
+  }
+
+  /// Blocks until `pred()` is true or `stop` is requested; returns the
+  /// final `pred()` (false means the wait was abandoned on stop).
+  template <typename Pred>
+  bool Wait(MutexLock& lock, std::stop_token stop, Pred pred) {
+    return cv_.wait(*lock.mutex(), std::move(stop), std::move(pred));
+  }
+
+  /// Bounded wait: until `pred()` or `timeout`. Returns the final `pred()`.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout, Pred pred) {
+    return cv_.wait_for(*lock.mutex(), timeout, std::move(pred));
+  }
+
+  /// Bounded wait: until `pred()`, `stop`, or `timeout` — whichever comes
+  /// first. Returns the final `pred()`.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(MutexLock& lock, std::stop_token stop,
+               const std::chrono::duration<Rep, Period>& timeout, Pred pred) {
+    return cv_.wait_for(*lock.mutex(), std::move(stop), timeout,
+                        std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_MUTEX_H_

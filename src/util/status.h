@@ -44,7 +44,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A Status holds either success (OK) or an error code plus message.
 /// It is cheap to copy in the OK case and small otherwise.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return value is how errors
+/// disappear. Call sites that genuinely do not care must say so with a
+/// `(void)` cast and a comment explaining why the failure is ignorable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -110,7 +114,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// StatusOr<T> holds either a value of type T or a non-OK Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. CHECK-fails if `status` is OK, since an
   /// OK StatusOr must carry a value.

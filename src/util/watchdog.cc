@@ -16,8 +16,8 @@ Watchdog::Watchdog(Options options, Handler default_handler)
 Watchdog::~Watchdog() {
   poller_.request_stop();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+    MutexLock lock(&mu_);
+    cv_.NotifyAll();
   }
   // jthread joins on destruction; explicit join keeps entries_ alive for
   // the poller's final pass regardless of member destruction order.
@@ -29,7 +29,7 @@ Watchdog::Leash Watchdog::Watch(std::string name, double timeout_seconds,
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(static_cast<int64_t>(timeout_seconds * 1e6));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t id = next_id_++;
   entries_.emplace(id,
                    Entry{std::move(name), deadline, std::move(on_expired)});
@@ -37,47 +37,49 @@ Watchdog::Leash Watchdog::Watch(std::string name, double timeout_seconds,
 }
 
 void Watchdog::Disarm(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.erase(id);
 }
 
 uint64_t Watchdog::expired_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return expired_;
 }
 
 size_t Watchdog::armed_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
 void Watchdog::Poll(std::stop_token stop) {
   const auto interval = std::chrono::microseconds(
       static_cast<int64_t>(options_.poll_interval_seconds * 1e6));
-  std::unique_lock<std::mutex> lock(mu_);
+  // Expired handlers are collected under the lock, run with it released —
+  // handlers may call back into Watch/Disarm.
+  struct Fired {
+    std::string name;
+    double overdue;
+    std::function<void()> handler;
+  };
   while (!stop.stop_requested()) {
-    // Timed wait doubling as the poll tick; a stop request wakes it early.
-    cv_.wait_for(lock, stop, interval, [] { return false; });
-    if (stop.stop_requested()) return;
-    const auto now = std::chrono::steady_clock::now();
-    // Collect expired handlers first, run them with the lock released —
-    // handlers may call back into Watch/Disarm.
-    struct Fired {
-      std::string name;
-      double overdue;
-      std::function<void()> handler;
-    };
     std::vector<Fired> fired;
-    for (auto& [id, entry] : entries_) {
-      if (entry.fired || now < entry.deadline) continue;
-      entry.fired = true;
-      ++expired_;
-      const double overdue =
-          std::chrono::duration<double>(now - entry.deadline).count();
-      fired.push_back({entry.name, overdue, entry.on_expired});
+    {
+      MutexLock lock(&mu_);
+      // Timed wait doubling as the poll tick; a stop request wakes it
+      // early. The predicate is constant-false: only the tick or the stop
+      // ends the wait.
+      cv_.WaitFor(lock, stop, interval, [] { return false; });
+      if (stop.stop_requested()) return;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [id, entry] : entries_) {
+        if (entry.fired || now < entry.deadline) continue;
+        entry.fired = true;
+        ++expired_;
+        const double overdue =
+            std::chrono::duration<double>(now - entry.deadline).count();
+        fired.push_back({entry.name, overdue, entry.on_expired});
+      }
     }
-    if (fired.empty()) continue;
-    lock.unlock();
     for (const Fired& f : fired) {
       if (f.handler) {
         f.handler();
@@ -89,7 +91,6 @@ void Watchdog::Poll(std::stop_token stop) {
         std::abort();
       }
     }
-    lock.lock();
   }
 }
 

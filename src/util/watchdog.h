@@ -19,14 +19,14 @@
 #define BOOMER_UTIL_WATCHDOG_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <stop_token>
 #include <string>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace boomer {
 
@@ -110,11 +110,11 @@ class Watchdog {
   const Options options_;
   const Handler default_handler_;
 
-  mutable std::mutex mu_;
-  std::condition_variable_any cv_;
-  std::map<uint64_t, Entry> entries_;
-  uint64_t next_id_ = 1;
-  uint64_t expired_ = 0;
+  mutable Mutex mu_{LockRank::kWatchdog};
+  CondVar cv_;
+  std::map<uint64_t, Entry> entries_ BOOMER_GUARDED_BY(mu_);
+  uint64_t next_id_ BOOMER_GUARDED_BY(mu_) = 1;
+  uint64_t expired_ BOOMER_GUARDED_BY(mu_) = 0;
 
   // Last member: joins (via jthread) before the state above is destroyed.
   std::jthread poller_;

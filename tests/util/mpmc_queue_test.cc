@@ -1,12 +1,13 @@
 #include "util/mpmc_queue.h"
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/mutex.h"
 
 namespace boomer {
 namespace {
@@ -102,7 +103,7 @@ TEST(MpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
   constexpr int kPerProducer = 500;
   MpmcQueue<int> q(8);  // deliberately tight: exercises both waits
 
-  std::mutex mu;
+  Mutex mu{LockRank::kLeaf};
   std::multiset<int> received;
   {
     std::vector<std::jthread> consumers;
@@ -111,7 +112,7 @@ TEST(MpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
         for (;;) {
           auto v = q.Pop();
           if (!v.has_value()) return;
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(&mu);
           received.insert(*v);
         }
       });

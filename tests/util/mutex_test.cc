@@ -1,0 +1,140 @@
+#include "util/mutex.h"
+
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <memory>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace boomer {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu{LockRank::kLeaf};
+  int counter = 0;  // deliberately non-atomic: the lock is the protection
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          MutexLock lock(&mu);
+          ++counter;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(counter, kThreads * kPerThread);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu{LockRank::kLeaf};
+  mu.Lock();
+  std::atomic<bool> grabbed{true};
+  std::jthread([&] { grabbed = mu.TryLock(); }).join();
+  EXPECT_FALSE(grabbed.load());
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, RankAccessorReturnsConstructionRank) {
+  Mutex mu{LockRank::kWatchdog};
+  EXPECT_EQ(mu.rank(), LockRank::kWatchdog);
+}
+
+TEST(CondVarTest, WaitWakesOnPredicate) {
+  Mutex mu{LockRank::kLeaf};
+  CondVar cv;
+  bool ready = false;
+  std::jthread setter([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  MutexLock lock(&mu);
+  cv.Wait(lock, [&] { return ready; });
+  EXPECT_TRUE(ready);
+}
+
+TEST(CondVarTest, WaitForTimesOutOnFalsePredicate) {
+  Mutex mu{LockRank::kLeaf};
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(lock, std::chrono::milliseconds(5),
+                          [] { return false; }));
+}
+
+TEST(CondVarTest, StopRequestAbandonsWait) {
+  Mutex mu{LockRank::kLeaf};
+  CondVar cv;
+  std::stop_source source;
+  std::jthread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    source.request_stop();
+    // condition_variable_any's stop_token wait registers a stop callback
+    // that notifies the cv itself; no explicit NotifyAll needed.
+  });
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.Wait(lock, source.get_token(), [] { return false; }));
+}
+
+// The central rank table, in documented outermost-to-innermost order. This
+// is the clean-baseline assertion for the lock-order analysis: the table
+// must stay strictly increasing, every rank must keep a stable name, and
+// the nesting paths the serve/util layers actually use must be admissible.
+constexpr LockRank kRankTable[] = {
+    LockRank::kServeManager, LockRank::kSessionExec, LockRank::kSessionQueue,
+    LockRank::kMpmcQueue,    LockRank::kWatchdog,    LockRank::kFaultRegistry,
+    LockRank::kObsRegistry,  LockRank::kLeaf,
+};
+
+TEST(LockRankTest, TableIsStrictlyIncreasing) {
+  for (size_t i = 1; i < std::size(kRankTable); ++i) {
+    EXPECT_LT(static_cast<int>(kRankTable[i - 1]),
+              static_cast<int>(kRankTable[i]))
+        << "rank table entry " << i << " out of order";
+  }
+}
+
+TEST(LockRankTest, EveryRankHasAStableName) {
+  const char* const kNames[] = {
+      "serve-manager",  "session-exec", "session-queue", "mpmc-queue",
+      "watchdog",       "fault-registry", "obs-registry", "leaf",
+  };
+  static_assert(std::size(kRankTable) == std::size(kNames));
+  for (size_t i = 0; i < std::size(kRankTable); ++i) {
+    EXPECT_STREQ(LockRankName(kRankTable[i]), kNames[i]);
+  }
+}
+
+TEST(LockRankTest, DocumentedNestingPathsAreAdmissible) {
+  // Acquire the full table in order on one thread: with the runtime
+  // checker enabled this aborts if any documented nesting (manager →
+  // session exec → session queue → pool queue → watchdog → fault → obs)
+  // stopped being rank-admissible; with it compiled out it still proves
+  // the wrappers tolerate deep nesting.
+  std::vector<std::unique_ptr<Mutex>> chain;
+  for (LockRank rank : kRankTable) {
+    // boomer-lint-allow(rank-literal): iterating the central table itself.
+    chain.push_back(std::make_unique<Mutex>(rank));
+  }
+  for (auto& mu : chain) mu->Lock();
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) (*it)->Unlock();
+}
+
+TEST(LockRankTest, CheckingEnabledMatchesBuildFlag) {
+#if defined(BOOMER_LOCK_RANK) && BOOMER_LOCK_RANK
+  EXPECT_TRUE(LockRankCheckingEnabled());
+#else
+  EXPECT_FALSE(LockRankCheckingEnabled());
+#endif
+}
+
+}  // namespace
+}  // namespace boomer

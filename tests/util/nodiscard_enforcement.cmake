@@ -1,0 +1,73 @@
+# ctest script: asserts the [[nodiscard]] contract on Status/StatusOr is
+# live — a translation unit that drops a returned Status must FAIL to
+# compile under -Werror=unused-result, and an otherwise-identical TU that
+# handles the Status must compile. Run as:
+#   cmake -DCXX_COMPILER=... -DSOURCE_DIR=... -DWORK_DIR=... -P this_file
+#
+# This is the "clean baseline" regression test for the nodiscard rollout:
+# the full tree already compiles with -Wunused-result on (zero discarded
+# call sites), and this test keeps the attribute itself from rotting away.
+
+foreach(_var CXX_COMPILER SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "missing -D${_var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+file(WRITE "${WORK_DIR}/discards.cc" [=[
+#include "util/status.h"
+namespace boomer {
+Status Fallible() { return Status::Internal("boom"); }
+StatusOr<int> FallibleOr() { return Status::Internal("boom"); }
+void Caller() {
+  Fallible();    // discarded Status: must not compile
+  FallibleOr();  // discarded StatusOr: must not compile
+}
+}  // namespace boomer
+]=])
+
+file(WRITE "${WORK_DIR}/handles.cc" [=[
+#include "util/status.h"
+namespace boomer {
+Status Fallible() { return Status::Internal("boom"); }
+void Caller() {
+  Status st = Fallible();
+  (void)st;
+  (void)Fallible();  // the blessed explicit-discard spelling
+}
+}  // namespace boomer
+]=])
+
+set(_flags -std=c++20 -Wall -Werror=unused-result
+    -I "${SOURCE_DIR}/src" -fsyntax-only)
+
+execute_process(
+  COMMAND "${CXX_COMPILER}" ${_flags} "${WORK_DIR}/discards.cc"
+  RESULT_VARIABLE _discard_rc
+  ERROR_VARIABLE _discard_err
+  OUTPUT_QUIET)
+if(_discard_rc EQUAL 0)
+  message(FATAL_ERROR
+          "discarding a Status/StatusOr compiled clean — [[nodiscard]] has "
+          "been dropped from util/status.h")
+endif()
+if(NOT _discard_err MATCHES "nodiscard|unused-result|unused result")
+  message(FATAL_ERROR
+          "discard probe failed for the wrong reason:\n${_discard_err}")
+endif()
+
+execute_process(
+  COMMAND "${CXX_COMPILER}" ${_flags} "${WORK_DIR}/handles.cc"
+  RESULT_VARIABLE _handle_rc
+  ERROR_VARIABLE _handle_err
+  OUTPUT_QUIET)
+if(NOT _handle_rc EQUAL 0)
+  message(FATAL_ERROR
+          "handling a Status failed to compile — probe is broken:\n"
+          "${_handle_err}")
+endif()
+
+message(STATUS "nodiscard enforcement verified: discard rejected, "
+               "handled/void-cast accepted")

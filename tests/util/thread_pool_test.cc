@@ -1,10 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include <gtest/gtest.h>
+
+#include "util/mutex.h"
 
 namespace boomer {
 namespace {
@@ -57,23 +57,23 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
 TEST(ThreadPoolTest, TasksRunConcurrentlyWithSubmitter) {
   // A task that blocks until the submitter releases it proves the work is
   // actually off-thread (a same-thread pool would deadlock here).
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu{LockRank::kLeaf};
+  CondVar cv;
   bool task_started = false;
   bool release = false;
 
   ThreadPool pool(1, 4);
   ASSERT_TRUE(pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     task_started = true;
-    cv.notify_all();
-    cv.wait(lock, [&] { return release; });
+    cv.NotifyAll();
+    cv.Wait(lock, [&] { return release; });
   }));
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return task_started; });
+    MutexLock lock(&mu);
+    cv.Wait(lock, [&] { return task_started; });
     release = true;
-    cv.notify_all();
+    cv.NotifyAll();
   }
   pool.Shutdown();
 }

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
+
+#include "util/mutex.h"
 
 namespace boomer {
 namespace {
@@ -69,21 +69,21 @@ TEST(WatchdogTest, ExpiredLeashFiresPerLeashHandlerExactlyOnce) {
 }
 
 TEST(WatchdogTest, DefaultHandlerReceivesNameAndOverdue) {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu{LockRank::kLeaf};
+  CondVar cv;
   std::string fired_name;
   double overdue = -1.0;
   Watchdog dog(FastPoll(), [&](const std::string& name, double over) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     fired_name = name;
     overdue = over;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   Watchdog::Leash leash = dog.Watch("named-session", 0.005);
   {
-    std::unique_lock<std::mutex> lock(mu);
-    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(2),
-                            [&] { return !fired_name.empty(); }));
+    MutexLock lock(&mu);
+    ASSERT_TRUE(cv.WaitFor(lock, std::chrono::seconds(2),
+                           [&] { return !fired_name.empty(); }));
     EXPECT_EQ(fired_name, "named-session");
     EXPECT_GE(overdue, 0.0);
   }

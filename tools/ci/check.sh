@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Correctness gate: build + test the tree under ASan/UBSan with -Werror and
-# DCHECKs pinned on, run the concurrency suite under TSan, then run the
-# project lint and (when the binaries exist) clang-format / clang-tidy. Any
-# finding exits non-zero.
+# Correctness gate: project lint (+ its self-test), the clang
+# thread-safety build (when clang is installed), the chaos/crash/bench
+# labels, build + test the tree under ASan/UBSan with -Werror and DCHECKs
+# pinned on, run the concurrency suite under TSan, then (when the binaries
+# exist) clang-format / clang-tidy. Any finding exits non-zero.
 #
 # Usage: tools/ci/check.sh [--skip-sanitizers]
 #
@@ -33,7 +34,15 @@ fail() {
 }
 
 step "project lint (tools/lint/boomer_lint.py)"
-python3 tools/lint/boomer_lint.py --root "$REPO_ROOT" || fail "boomer_lint"
+# Explicit interpreter check: a missing python3 must fail the gate loudly,
+# not read as "lint passed" — this step is also what the ctest wrapper
+# (add_test boomer_lint) relies on, so its exit code must never be masked.
+if ! command -v python3 >/dev/null 2>&1; then
+  fail "boomer_lint (python3 not found)"
+else
+  python3 tools/lint/boomer_lint.py --root "$REPO_ROOT" || fail "boomer_lint"
+  python3 tools/lint/boomer_lint_selftest.py || fail "boomer_lint_selftest"
+fi
 
 step "clang-format diff check"
 if command -v clang-format >/dev/null 2>&1; then
@@ -45,6 +54,18 @@ if command -v clang-format >/dev/null 2>&1; then
   fi
 else
   echo "clang-format not found; skipping format check" >&2
+fi
+
+step "thread-safety gate (clang -Wthread-safety over src/ and tools/)"
+if command -v clang++ >/dev/null 2>&1; then
+  # The clang-tsa preset builds the whole tree with -Wthread-safety
+  # -Wthread-safety-beta -Werror, enforcing every BOOMER_GUARDED_BY /
+  # BOOMER_REQUIRES annotation in util/mutex.h at compile time.
+  cmake --preset clang-tsa || fail "cmake configure (clang-tsa)"
+  cmake --build --preset clang-tsa -j "$(nproc)" || fail "thread-safety build"
+else
+  echo "clang++ not found; skipping thread-safety gate (annotations are" \
+       "no-ops under this compiler)" >&2
 fi
 
 step "chaos gate (ctest -L chaos: fault schedules + corruption fuzz)"

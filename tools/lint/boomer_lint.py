@@ -48,9 +48,23 @@ compilers cannot:
                    std::cout/printf timing prints — ad-hoc prints are
                    invisible to tools/ci/bench_compare.py, so a regression
                    they would have shown cannot gate CI.
+  raw-mutex        no raw std::mutex / std::lock_guard / std::unique_lock /
+                   std::scoped_lock / std::condition_variable(_any) /
+                   shared/recursive variants outside src/util/mutex.h —
+                   every lock is a boomer::Mutex so it carries thread-safety
+                   annotations and a LockRank; a raw mutex is invisible to
+                   both the Clang Thread Safety gate and the runtime
+                   lock-rank checker.
+  rank-literal     every boomer::Mutex construction names a rank from the
+                   central LockRank enum (LockRank::k...) at the
+                   construction site, so the lock-order table in
+                   util/mutex.h stays the single source of truth.
 
 A line (or its predecessor) containing `boomer-lint-allow(<rule>)` exempts
 that single occurrence; use sparingly and explain why in the comment.
+A line containing `boomer-lint-allow-file(<rule>)` exempts the whole file
+from that rule — reserved for files whose contract IS the exception (e.g.
+util/mutex.h wrapping std::mutex).
 
 Exit status: 0 when clean, 1 with one "path:line: [rule] message" per finding.
 """
@@ -95,8 +109,19 @@ SLEEP_RE = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
 WAL_BYPASS_RE = re.compile(r"\bf(?:data)?sync\s*\(|\bO_APPEND\b")
 SYSTEM_CLOCK_RE = re.compile(r"\bsystem_clock\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b")
+# A Mutex being constructed: `Mutex name{...}`, `Mutex name(...)` (with any
+# qualifiers before), or make_unique/make_shared<Mutex>(...).  MutexLock and
+# `Mutex&`/`Mutex*` parameters don't match (no `name {(` after the type).
+MUTEX_CONSTRUCT_RE = re.compile(
+    r"\bMutex\s+\w+\s*[{(]|make_(?:unique|shared)\s*<\s*Mutex\s*>\s*\(")
+RANK_LITERAL_RE = re.compile(r"\bLockRank\s*::\s*k\w+")
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
 ALLOW_RE = re.compile(r"boomer-lint-allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"boomer-lint-allow-file\(([a-z-]+)\)")
 
 # Crude but effective: strip string literals and // comments so tokens inside
 # them (e.g. the word 'delete' in a usage string) don't trip the scanners.
@@ -138,6 +163,7 @@ class Linter:
         lines = text.splitlines()
         top = rel.parts[0]
         in_src = top == "src"
+        file_allowed = set(ALLOW_FILE_RE.findall(text))
 
         if path.suffix in {".h", ".hpp"} and top in {"src", "bench", "tests"}:
             want = expected_guard(rel)
@@ -227,6 +253,24 @@ class Linter:
                             "util/atomic_file.cc escapes the crash-recovery "
                             "contract; log through WalWriter or "
                             "WriteFileAtomic")
+
+            if ("raw-mutex" not in file_allowed
+                    and RAW_MUTEX_RE.search(line)
+                    and not self.allowed(lines, idx, "raw-mutex")):
+                self.report(rel, lineno, "raw-mutex",
+                            "raw std:: locking is invisible to the "
+                            "thread-safety and lock-rank checkers; use "
+                            "boomer::Mutex/MutexLock/CondVar "
+                            "(util/mutex.h)")
+
+            if ("rank-literal" not in file_allowed
+                    and MUTEX_CONSTRUCT_RE.search(line)
+                    and not RANK_LITERAL_RE.search(line)
+                    and not self.allowed(lines, idx, "rank-literal")):
+                self.report(rel, lineno, "rank-literal",
+                            "every Mutex construction must name its rank "
+                            "from the central enum (LockRank::k..., "
+                            "util/mutex.h) at the construction site")
 
     def run(self) -> int:
         scanned = 0

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/boomer_lint.py (ctest: boomer_lint_selftest).
+
+One positive (must-flag) and one negative (must-pass) snippet per rule, so
+a regex edit that silently stops a rule from firing — or starts flagging
+blessed idioms — fails ctest instead of rotting unnoticed. Runs a real
+Linter over a synthetic repo tree in a temp dir; stdlib unittest only (the
+container has no pytest).
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import boomer_lint  # noqa: E402
+
+
+GUARD = "#ifndef BOOMER_{g}_\n#define BOOMER_{g}_\n#endif  // BOOMER_{g}_\n"
+
+
+class LintHarness(unittest.TestCase):
+    """Writes snippet files into a fake repo and runs the Linter on it."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        (self.root / "src").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def lint(self, relpath, body):
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        linter = boomer_lint.Linter(self.root)
+        linter.lint_file(path)
+        return linter.findings
+
+    def rules_flagged(self, relpath, body):
+        return {f.split("[", 1)[1].split("]", 1)[0]
+                for f in self.lint(relpath, body)}
+
+    def assert_flags(self, rule, relpath, body):
+        self.assertIn(rule, self.rules_flagged(relpath, body),
+                      f"{rule} failed to fire on its positive snippet")
+
+    def assert_clean(self, rule, relpath, body):
+        self.assertNotIn(rule, self.rules_flagged(relpath, body),
+                         f"{rule} fired on its negative snippet")
+
+
+class IncludeGuards(LintHarness):
+    def test_positive(self):
+        self.assert_flags("include-guards", "src/core/thing.h",
+                          "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n")
+
+    def test_negative(self):
+        self.assert_clean("include-guards", "src/core/thing.h",
+                          GUARD.format(g="CORE_THING_H"))
+
+
+class Stdout(LintHarness):
+    def test_positive(self):
+        self.assert_flags("stdout", "src/core/a.cc",
+                          'void F() { std::cout << "hi"; }\n')
+
+    def test_negative(self):
+        # stderr writes and non-src files are out of scope.
+        self.assert_clean("stdout", "src/core/a.cc",
+                          'void F() { fprintf(stderr, "hi"); }\n')
+        self.assert_clean("stdout", "tools/t.cc",
+                          'void F() { std::cout << "hi"; }\n')
+
+
+class NakedNew(LintHarness):
+    def test_positive(self):
+        self.assert_flags("naked-new", "src/core/a.cc",
+                          "int* p = new int[4];\n")
+
+    def test_negative(self):
+        self.assert_clean("naked-new", "src/core/a.cc",
+                          "auto p = std::make_unique<int>(4);\n")
+
+
+class NakedOfstream(LintHarness):
+    def test_positive(self):
+        self.assert_flags("naked-ofstream", "src/core/a.cc",
+                          'std::ofstream out("f");\n')
+
+    def test_negative(self):
+        self.assert_clean("naked-ofstream", "src/util/atomic_file.cc",
+                          'std::ofstream out("f");  // the blessed writer\n')
+
+
+class Rand(LintHarness):
+    def test_positive(self):
+        self.assert_flags("rand", "src/core/a.cc",
+                          "int r = rand();\n")
+
+    def test_negative(self):
+        self.assert_clean("rand", "src/core/a.cc",
+                          "int r = rng.Next();  // operand(x) is fine\n")
+
+
+class UsingNamespace(LintHarness):
+    def test_positive(self):
+        self.assert_flags("using-namespace", "src/core/a.cc",
+                          "using namespace std;\n")
+
+    def test_negative(self):
+        self.assert_clean("using-namespace", "src/core/a.cc",
+                          "using std::string;\n")
+
+
+class RawThread(LintHarness):
+    def test_positive(self):
+        self.assert_flags("raw-thread", "src/core/a.cc",
+                          "std::thread t([]{});\n")
+
+    def test_negative(self):
+        self.assert_clean("raw-thread", "src/core/a.cc",
+                          "unsigned n = std::thread::hardware_concurrency();\n"
+                          "std::jthread t([]{});\n")
+
+
+class ThreadDetach(LintHarness):
+    def test_positive(self):
+        self.assert_flags("thread-detach", "src/core/a.cc",
+                          "t.detach();\n")
+
+    def test_negative(self):
+        self.assert_clean("thread-detach", "src/core/a.cc",
+                          "t.join();\n")
+
+
+class SleepSync(LintHarness):
+    def test_positive(self):
+        self.assert_flags("sleep-sync", "src/core/a.cc",
+                          "std::this_thread::sleep_for(1ms);\n")
+
+    def test_negative(self):
+        # tests/ may sleep to ride out a watchdog poll.
+        self.assert_clean("sleep-sync", "tests/core/a_test.cc",
+                          "std::this_thread::sleep_for(1ms);\n")
+
+
+class WalBypass(LintHarness):
+    def test_positive(self):
+        self.assert_flags("wal-bypass", "src/core/a.cc",
+                          "fsync(fd);\n")
+
+    def test_negative(self):
+        self.assert_clean("wal-bypass", "src/util/wal.cc",
+                          "fsync(fd);  // the blessed durability writer\n")
+
+
+class SystemClock(LintHarness):
+    def test_positive(self):
+        self.assert_flags("system-clock", "src/core/a.cc",
+                          "auto t = std::chrono::system_clock::now();\n")
+
+    def test_negative(self):
+        self.assert_clean("system-clock", "src/core/a.cc",
+                          "auto t = std::chrono::steady_clock::now();\n")
+
+
+class BenchStdout(LintHarness):
+    def test_positive(self):
+        self.assert_flags("bench-stdout", "bench/b.cc",
+                          'std::cout << "took " << ms << "ms";\n')
+
+    def test_negative(self):
+        self.assert_clean("bench-stdout", "bench/b.cc",
+                          "reporting::Table(rows).Print();\n")
+
+
+class RawMutex(LintHarness):
+    def test_positive(self):
+        for snippet in ("std::mutex mu;\n",
+                        "std::lock_guard<std::mutex> lock(mu);\n",
+                        "std::unique_lock<std::mutex> lock(mu);\n",
+                        "std::scoped_lock lock(a, b);\n",
+                        "std::condition_variable cv;\n",
+                        "std::condition_variable_any cv;\n",
+                        "std::shared_mutex smu;\n",
+                        "std::recursive_mutex rmu;\n"):
+            self.assert_flags("raw-mutex", "src/core/a.cc", snippet)
+        # The rule also covers tests/ and tools/: the checkers are
+        # process-wide, so an unranked test lock hides inversions too.
+        self.assert_flags("raw-mutex", "tests/core/a_test.cc",
+                          "std::mutex mu;\n")
+
+    def test_negative(self):
+        self.assert_clean("raw-mutex", "src/core/a.cc",
+                          "Mutex mu{LockRank::kLeaf};\n"
+                          "MutexLock lock(&mu);\n"
+                          "CondVar cv;\n")
+        # The wrapper header itself is exempted wholesale via allow-file.
+        self.assert_clean(
+            "raw-mutex", "src/util/my_mutex.h",
+            GUARD.format(g="UTIL_MY_MUTEX_H") +
+            "// boomer-lint-allow-file(raw-mutex): the blessed wrapper.\n"
+            "std::mutex mu_;\n"
+            "std::condition_variable_any cv_;\n")
+
+
+class RankLiteral(LintHarness):
+    def test_positive(self):
+        for snippet in ("Mutex mu{rank};\n",
+                        "mutable Mutex mu_{some_variable};\n",
+                        "Mutex mu(ComputeRank());\n",
+                        "auto mu = std::make_unique<Mutex>(rank);\n"):
+            self.assert_flags("rank-literal", "src/core/a.cc", snippet)
+
+    def test_negative(self):
+        for snippet in ("Mutex mu{LockRank::kLeaf};\n",
+                        "mutable Mutex mu_{LockRank::kObsRegistry};\n",
+                        "auto mu = std::make_unique<Mutex>("
+                        "LockRank::kWatchdog);\n",
+                        # Non-construction uses of the type never match.
+                        "void F(Mutex* mu);\n"
+                        "MutexLock lock(&mu);\n"):
+            self.assert_clean("rank-literal", "src/core/a.cc", snippet)
+
+
+class AllowEscapes(LintHarness):
+    def test_single_line_allow(self):
+        self.assert_clean(
+            "raw-mutex", "src/core/a.cc",
+            "// boomer-lint-allow(raw-mutex): testing the escape hatch\n"
+            "std::mutex mu;\n")
+
+    def test_allow_file_is_rule_scoped(self):
+        # allow-file(raw-mutex) must not swallow other rules' findings.
+        flagged = self.rules_flagged(
+            "src/core/a.cc",
+            "// boomer-lint-allow-file(raw-mutex)\n"
+            "std::mutex mu;\n"
+            "int* p = new int[4];\n")
+        self.assertNotIn("raw-mutex", flagged)
+        self.assertIn("naked-new", flagged)
+
+
+class RepoIsClean(LintHarness):
+    def test_real_tree_has_no_findings(self):
+        # The clean-baseline assertion, run against the actual repository:
+        # the linter itself must exit 0 over the real tree.
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        linter = boomer_lint.Linter(repo)
+        for top in ("src", "bench", "tests", "tools", "examples"):
+            base = repo / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in boomer_lint.CXX_SUFFIXES and path.is_file():
+                    linter.lint_file(path)
+        self.assertEqual(linter.findings, [])
+
+
+if __name__ == "__main__":
+    unittest.main()

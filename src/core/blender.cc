@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault.h"
+#include "util/retry.h"
 #include "util/timer.h"
 
 namespace boomer {
@@ -120,17 +121,18 @@ StatusOr<double> Blender::ProcessEdgeNow(QueryEdgeId e) {
 }
 
 StatusOr<double> Blender::ProcessEdgeWithRetry(QueryEdgeId e) {
-  constexpr int kMaxAttempts = 3;
-  Status last;
-  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    if (attempt > 0) ++report_.transient_retries;
-    auto wall_or = ProcessEdgeNow(e);
-    if (wall_or.ok()) return wall_or;
-    last = wall_or.status();
-    // Only injected faults model transient conditions worth retrying.
-    if (!fault::IsInjected(last)) break;
+  // Only injected faults model transient conditions worth retrying. No
+  // backoff: the blender runs on a virtual clock, so waiting wall time
+  // would buy nothing — this is a pure bounded-attempt policy.
+  RetryOptions retry_options;
+  retry_options.max_attempts = 3;
+  RetryPolicy retry(retry_options);
+  auto wall_or = ProcessEdgeNow(e);
+  while (!wall_or.ok() && retry.ShouldRetry(wall_or.status())) {
+    ++report_.transient_retries;
+    wall_or = ProcessEdgeNow(e);
   }
-  return last;
+  return wall_or;
 }
 
 QueryEdgeId Blender::MinPoolEdge() const {
@@ -195,6 +197,13 @@ void Blender::DrainPool(Deadline* deadline) {
     // clean and the unprocessed remainder stays pooled for a later resume.
     if (stop_.stop_requested()) {
       report_.truncation = cancel_reason_.load(std::memory_order_relaxed);
+      return;
+    }
+    // Fault site: allocation failure while the CAP grows during the drain
+    // (chaos `alloc` class). Degrade exactly like a persistently failing
+    // edge — truncate the run, keep the remainder pooled, never abort.
+    if (fault::Armed() && fault::ShouldFail("core/drain_alloc")) {
+      report_.truncation = TruncationReason::kPersistentFailure;
       return;
     }
     const QueryEdgeId e = MinPoolEdge();

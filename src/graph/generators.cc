@@ -110,6 +110,9 @@ StatusOr<Graph> GenerateWattsStrogatz(size_t n, size_t k, double beta,
   // Rewire each lattice edge's far endpoint with probability beta.
   for (auto& [u, v] : edges) {
     if (!rng.NextBool(beta)) continue;
+    // Rejection sampling of a rewire target, not an error retry: there is no
+    // Status to back off on, just another uniform draw.
+    // boomer-lint-allow(raw-retry)
     for (int attempts = 0; attempts < 32; ++attempts) {
       VertexId w = static_cast<VertexId>(rng.Uniform(n));
       if (w == u || w == v) continue;

@@ -131,6 +131,9 @@ StatusOr<BphQuery> QueryInstantiator::Instantiate(
   if (num_labels == 0) {
     return Status::FailedPrecondition("data graph has no labels");
   }
+  // Rejection sampling of a label assignment, not an error retry: each pass
+  // is a fresh uniform draw, so backoff would add nothing.
+  // boomer-lint-allow(raw-retry)
   for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
     std::vector<graph::LabelId> labels;
     labels.reserve(t.num_vertices);

@@ -9,6 +9,7 @@
 #include "query/serialization.h"
 #include "util/atomic_file.h"
 #include "util/fault.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -310,10 +311,13 @@ void SessionManager::ApplyAction(const SessionPtr& s,
     // Transient (injected) append faults get the same bounded retry as the
     // atomic file writer; a real failure fails the session — applying an
     // action the log cannot carry would silently void the crash contract.
-    Status wal_status = Status::OK();
-    for (int attempt = 0; attempt < 3; ++attempt) {
+    RetryOptions wal_retry_options;
+    wal_retry_options.max_attempts = 3;
+    RetryPolicy wal_retry(wal_retry_options, s->id);
+    Status wal_status = s->wal->Append(gui::ActionToText(action));
+    while (!wal_status.ok() && wal_retry.ShouldRetry(wal_status)) {
+      wal_retry.Backoff();
       wal_status = s->wal->Append(gui::ActionToText(action));
-      if (wal_status.ok() || !fault::IsInjected(wal_status)) break;
     }
     if (!wal_status.ok()) {
       failed_.fetch_add(1);
@@ -546,7 +550,10 @@ Status SessionManager::EvictSessionInternal(const SessionPtr& s) {
 void SessionManager::MaybeShedForMemory() {
   if (options_.memory_budget_bytes == 0) return;
   // Bounded attempts: a victim whose snapshot write keeps failing (fault
-  // injection) must not spin this worker forever.
+  // injection) must not spin this worker forever. Not a RetryPolicy use:
+  // each iteration sheds a *different* victim rather than re-trying one
+  // failed operation, so status classification does not apply.
+  // boomer-lint-allow(raw-retry): victim-sweep loop, not an error retry
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (total_cap_bytes_.load() <= options_.memory_budget_bytes) return;
     RatchetHealth(HealthState::kShedding);
@@ -604,8 +611,14 @@ StatusOr<SessionId> SessionManager::ReplayTrace(
     const gui::ActionTrace& trace) {
   // A replay can itself be evicted under sustained pressure; retry a
   // bounded number of times before giving up (livelock protection, not
-  // fairness — the caller's source trace is unaffected either way).
-  for (int attempt = 0; attempt < 16; ++attempt) {
+  // fairness — the caller's source trace is unaffected either way). No
+  // backoff: WaitAdmission already blocks until a slot frees up.
+  RetryOptions replay_retry_options;
+  replay_retry_options.max_attempts = 16;
+  replay_retry_options.retry_injected = false;
+  replay_retry_options.retry_codes = {StatusCode::kEvicted};
+  RetryPolicy replay_retry(replay_retry_options);
+  for (;;) {
     BOOMER_ASSIGN_OR_RETURN(SessionId id, WaitAdmission());
     resumed_.fetch_add(1);
     OBS_COUNTER_INC("serve.sessions_resumed");
@@ -630,9 +643,11 @@ StatusOr<SessionId> SessionManager::ReplayTrace(
       return id;
     }
     (void)CloseSession(id);
-    if (st.code() != StatusCode::kEvicted) return st;
+    if (!replay_retry.ShouldRetry(st)) {
+      if (st.code() != StatusCode::kEvicted) return st;
+      return Status::Evicted("resume evicted repeatedly; service overloaded");
+    }
   }
-  return Status::Evicted("resume evicted repeatedly; service overloaded");
 }
 
 namespace {

@@ -8,6 +8,7 @@
 #include "gui/trace_builder.h"
 #include "query/templates.h"
 #include "util/check.h"
+#include "util/retry.h"
 
 namespace boomer {
 namespace serve {
@@ -36,18 +37,199 @@ std::vector<gui::ActionTrace> SeededTraces(const graph::Graph& g,
 
 namespace {
 
-/// Drives one trace through the overload protocol; never throws, never
-/// sleeps — all waiting happens inside the manager's condition variables.
+graph::LabelId HottestLabel(const graph::Graph& g) {
+  graph::LabelId best = 0;
+  size_t best_count = 0;
+  for (size_t l = 0; l < g.NumLabels(); ++l) {
+    const auto label = static_cast<graph::LabelId>(l);
+    const size_t c = g.LabelCount(label);
+    if (c > best_count) {
+      best = label;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+StatusOr<gui::ActionTrace> BenignTrace(const graph::Graph& g, uint64_t seed) {
+  query::QueryInstantiator inst(g, seed);
+  const query::TemplateId id =
+      std::vector<query::TemplateId>{query::TemplateId::kQ1,
+                                     query::TemplateId::kQ3,
+                                     query::TemplateId::kQ5}[seed % 3];
+  BOOMER_ASSIGN_OR_RETURN(query::BphQuery q, inst.Instantiate(id));
+  gui::LatencyModel latency(gui::LatencyParams{}, seed);
+  return gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+}
+
+StatusOr<gui::ActionTrace> HotLabelTrace(const graph::Graph& g,
+                                         uint64_t seed) {
+  // Every vertex carries the graph's most common label: the candidate set of
+  // each query vertex is the largest any single-label query can have, so CAP
+  // rows are maximal and every edge probe scans the hottest posting list.
+  const query::QueryTemplate& t = query::GetTemplate(query::TemplateId::kQ3);
+  const std::vector<graph::LabelId> labels(t.num_vertices, HottestLabel(g));
+  BOOMER_ASSIGN_OR_RETURN(query::BphQuery q,
+                          query::InstantiateTemplate(t.id, labels));
+  gui::LatencyModel latency(gui::LatencyParams{}, seed);
+  return gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+}
+
+StatusOr<gui::ActionTrace> MaxTemplateTrace(const graph::Graph& g,
+                                            uint64_t seed) {
+  // Q6 is the largest template (5 vertices, 6 edges); widening every bound
+  // to [1,3] turns each edge probe into a 3-hop reachability sweep.
+  const query::QueryTemplate& t = query::GetTemplate(query::TemplateId::kQ6);
+  const std::vector<std::optional<query::Bounds>> widened(
+      t.edges.size(), query::Bounds{1, 3});
+  query::QueryInstantiator inst(g, seed);
+  BOOMER_ASSIGN_OR_RETURN(query::BphQuery q, inst.Instantiate(t.id, widened));
+  gui::LatencyModel latency(gui::LatencyParams{}, seed);
+  return gui::BuildTrace(q, gui::DefaultSequence(q), &latency);
+}
+
+StatusOr<gui::ActionTrace> BurstTrace(const graph::Graph& g, uint64_t seed) {
+  // Identical action stream to a benign trace, but the user "types" at
+  // machine speed: zero latency everywhere denies the blender its idle
+  // windows, so the whole backlog lands on Run (worst-case DI degradation).
+  BOOMER_ASSIGN_OR_RETURN(gui::ActionTrace benign, BenignTrace(g, seed));
+  gui::ActionTrace burst;
+  for (gui::Action a : benign.actions()) {
+    a.latency_micros = 0;
+    burst.Append(a);
+  }
+  return burst;
+}
+
+/// Shared body of kUndoChurn and kDupEdgeSpam. Both hand-build their traces:
+/// BuildTrace only supports modifications *after* the full shape is drawn,
+/// while churn interleaves edits with construction. Edge ids are append-only
+/// (a re-add after delete gets a fresh id), so the k-th NewEdge action in
+/// the stream creates edge id k — tracked here with `next_edge`.
+StatusOr<gui::ActionTrace> ChurnTrace(const graph::Graph& g, uint64_t seed,
+                                      bool spam) {
+  query::QueryInstantiator inst(g, seed);
+  BOOMER_ASSIGN_OR_RETURN(query::BphQuery q,
+                          inst.Instantiate(query::TemplateId::kQ3));
+  gui::LatencyModel latency(gui::LatencyParams{}, seed);
+  gui::ActionTrace trace;
+  // Lay out every vertex up front (a user placing the shape before wiring).
+  for (query::QueryVertexId v = 0;
+       v < static_cast<query::QueryVertexId>(q.NumVertices()); ++v) {
+    trace.Append(
+        gui::Action::NewVertex(v, q.Label(v), latency.VertexLatencyMicros()));
+  }
+  query::QueryEdgeId next_edge = 0;
+  const std::vector<query::QueryEdgeId> live = q.LiveEdges();
+  for (size_t k = 0; k < live.size(); ++k) {
+    const query::QueryEdge edge = q.Edge(live[k]);
+    trace.Append(gui::Action::NewEdge(edge.src, edge.dst, edge.bounds,
+                                      latency.EdgeLatencyMicros(edge.bounds)));
+    query::QueryEdgeId cur = next_edge++;
+    // Spam hammers one edge hard; churn cycles every edge a little.
+    if (spam && k != 0) continue;
+    const int cycles = spam ? 12 : 2;
+    for (int c = 0; c < cycles; ++c) {
+      if (!spam) {
+        // Undo/redo of a combo-box bounds edit: widen, then restore.
+        const query::Bounds widened{edge.bounds.lower, edge.bounds.upper + 1};
+        trace.Append(gui::Action::SetBounds(
+            cur, widened, latency.ModifyLatencyMicros(true)));
+        trace.Append(gui::Action::SetBounds(
+            cur, edge.bounds, latency.ModifyLatencyMicros(true)));
+      }
+      // Undo/redo of the edge itself: delete, then draw it again. The
+      // re-add allocates a fresh edge id (tombstone semantics).
+      trace.Append(
+          gui::Action::DeleteEdge(cur, latency.ModifyLatencyMicros(false)));
+      trace.Append(
+          gui::Action::NewEdge(edge.src, edge.dst, edge.bounds,
+                               latency.EdgeLatencyMicros(edge.bounds)));
+      cur = next_edge++;
+    }
+  }
+  trace.Append(gui::Action::Run());
+  return trace;
+}
+
+}  // namespace
+
+const char* AdversaryKindName(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kBenign:      return "benign";
+    case AdversaryKind::kHotLabel:    return "hot-label";
+    case AdversaryKind::kMaxTemplate: return "max-template";
+    case AdversaryKind::kBurst:       return "burst";
+    case AdversaryKind::kUndoChurn:   return "undo-churn";
+    case AdversaryKind::kDupEdgeSpam: return "dup-edge-spam";
+  }
+  return "unknown";
+}
+
+StatusOr<gui::ActionTrace> AdversarialTrace(const graph::Graph& g,
+                                            AdversaryKind kind,
+                                            uint64_t seed) {
+  switch (kind) {
+    case AdversaryKind::kBenign:
+      return BenignTrace(g, seed);
+    case AdversaryKind::kHotLabel:
+      return HotLabelTrace(g, seed);
+    case AdversaryKind::kMaxTemplate:
+      return MaxTemplateTrace(g, seed);
+    case AdversaryKind::kBurst:
+      return BurstTrace(g, seed);
+    case AdversaryKind::kUndoChurn:
+      return ChurnTrace(g, seed, /*spam=*/false);
+    case AdversaryKind::kDupEdgeSpam:
+      return ChurnTrace(g, seed, /*spam=*/true);
+  }
+  return Status::InvalidArgument("unknown adversary kind");
+}
+
+std::vector<gui::ActionTrace> AdversarialTraces(
+    const graph::Graph& g, size_t count, uint64_t seed,
+    const std::vector<AdversaryKind>& mix) {
+  const std::vector<AdversaryKind> kinds =
+      mix.empty() ? std::vector<AdversaryKind>(std::begin(kAllAdversaryKinds),
+                                               std::end(kAllAdversaryKinds))
+                  : mix;
+  std::vector<gui::ActionTrace> traces;
+  traces.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const AdversaryKind kind = kinds[i % kinds.size()];
+    auto trace = AdversarialTrace(g, kind, seed + i);
+    BOOMER_CHECK(trace.ok()) << AdversaryKindName(kind) << " seed "
+                             << seed + i << ": " << trace.status();
+    traces.push_back(std::move(trace).value());
+  }
+  return traces;
+}
+
+namespace {
+
+/// Drives one trace through the overload protocol; never throws. Waiting
+/// happens inside the manager's condition variables, plus the short seeded
+/// admission backoff (RetryPolicy) that keeps re-knocking clients from
+/// arriving in lockstep.
 ClientReport DriveTrace(SessionManager* manager, const gui::ActionTrace& trace,
                         size_t trace_index, const ClientOptions& options) {
   ClientReport rep;
   rep.trace_index = trace_index;
 
-  // Admission: a shed open degrades to the blocking path.
+  // Admission: a shed open degrades to the blocking path, de-synchronized
+  // by seeded-jittered backoff (ClientOptions::admission_backoff_micros).
+  RetryOptions admission_options;
+  admission_options.max_attempts = options.max_admission_retries + 1;
+  admission_options.initial_backoff_micros = options.admission_backoff_micros;
+  admission_options.max_backoff_micros = 20000;
+  admission_options.retry_injected = false;
+  admission_options.retry_codes = {StatusCode::kOverloaded};
+  RetryPolicy admission_retry(admission_options,
+                              options.jitter_seed + trace_index);
   StatusOr<SessionId> id_or = manager->OpenSession();
-  while (!id_or.ok() && id_or.status().code() == StatusCode::kOverloaded &&
-         rep.admission_retries < options.max_admission_retries) {
+  while (!id_or.ok() && admission_retry.ShouldRetry(id_or.status())) {
     ++rep.admission_retries;
+    admission_retry.Backoff();
     id_or = manager->WaitAdmission();
   }
   if (!id_or.ok()) {

@@ -33,6 +33,50 @@ namespace serve {
 std::vector<gui::ActionTrace> SeededTraces(const graph::Graph& g,
                                            size_t count, uint64_t seed);
 
+/// Adversarial trace shapes for the chaos orchestrator (DESIGN.md §5g).
+/// Every generator emits an ordinary, *legal* gui::Action stream ending in
+/// one Run, so adversarial sessions flow through the unchanged submit path
+/// and stay comparable to a single-threaded fault-free replay of the same
+/// trace — the chaos invariants need no generator-specific carve-outs.
+enum class AdversaryKind {
+  /// The SeededTraces Q1/Q3/Q5 recipe — the control group in a chaos mix.
+  kBenign,
+  /// Pathological label skew: every query vertex carries the graph's
+  /// hottest label, maximizing every candidate set and CAP growth.
+  kHotLabel,
+  /// The largest-|V_qi| template with widened path bounds — the biggest
+  /// CAP any single template formulation can demand.
+  kMaxTemplate,
+  /// Zero think time: every action arrives instantly, erasing the idle
+  /// windows DI feeds on and piling the whole engine backlog onto Run.
+  kBurst,
+  /// Deep undo/redo churn: each edge's bounds are flipped and restored and
+  /// the edge delete/re-added before the final shape settles.
+  kUndoChurn,
+  /// Duplicate-edge spam: one edge is deleted and re-added many times,
+  /// hammering tombstone growth and the modification recompute path.
+  kDupEdgeSpam,
+};
+
+inline constexpr AdversaryKind kAllAdversaryKinds[] = {
+    AdversaryKind::kBenign,      AdversaryKind::kHotLabel,
+    AdversaryKind::kMaxTemplate, AdversaryKind::kBurst,
+    AdversaryKind::kUndoChurn,   AdversaryKind::kDupEdgeSpam};
+
+const char* AdversaryKindName(AdversaryKind kind);
+
+/// One adversarial trace of `kind` over `g`, deterministic in `seed`.
+StatusOr<gui::ActionTrace> AdversarialTrace(const graph::Graph& g,
+                                            AdversaryKind kind,
+                                            uint64_t seed);
+
+/// `count` traces cycling through `mix` (all kinds when `mix` is empty):
+/// trace i is AdversarialTrace(mix[i % mix.size()], seed + i). CHECK-fails
+/// on a generator error, mirroring SeededTraces.
+std::vector<gui::ActionTrace> AdversarialTraces(
+    const graph::Graph& g, size_t count, uint64_t seed,
+    const std::vector<AdversaryKind>& mix = {});
+
 struct ClientOptions {
   /// Client threads; trace i is driven by thread i % client_threads.
   size_t client_threads = 4;
@@ -40,6 +84,14 @@ struct ClientOptions {
   int max_admission_retries = 1024;
   /// How many evictions one session will resume through before giving up.
   int max_resumes = 8;
+  /// First admission backoff: after a kOverloaded bounce each client waits
+  /// a seeded-jittered exponential backoff (util/retry.h) before knocking
+  /// again, so a herd woken by one NotifyAll does not stampede the
+  /// admission gate in lockstep. 0 disables the wait (retry immediately).
+  int64_t admission_backoff_micros = 200;
+  /// Seed for the per-client jitter stream; client i derives seed + i, so
+  /// runs stay deterministic while clients desynchronize.
+  uint64_t jitter_seed = 1;
 };
 
 /// Outcome of driving one trace end-to-end.

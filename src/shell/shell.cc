@@ -27,7 +27,7 @@ constexpr char kHelp[] =
     "commands:\n"
     "  load-text <prefix> | load-binary <path> | gen <dataset> <scale> <seed>\n"
     "  strategy <ic|dr|di> | latency <seconds> | budget <seconds>\n"
-    "  fault <spec|off|stats> | stats [on|off|reset]\n"
+    "  fault <spec|off|stats|sites> | stats [on|off|reset]\n"
     "  vertex <label> | edge <qi> <qj> [lower] [upper]\n"
     "  bounds <edge> <lower> <upper> | delete <edge>\n"
     "  query | cap | run | show <k> | validate\n"
@@ -146,7 +146,7 @@ std::string Shell::CmdBudget(const std::vector<std::string_view>& args) {
 
 std::string Shell::CmdFault(const std::vector<std::string_view>& args) {
   if (args.size() != 2) {
-    return "usage: fault <spec|off|stats>   e.g. fault core/pvs=p0.2,seed=7\n";
+    return "usage: fault <spec|off|stats|sites>   e.g. fault core/pvs=p0.2,seed=7\n";
   }
   if (args[1] == "off") {
     fault::Reset();
@@ -154,6 +154,9 @@ std::string Shell::CmdFault(const std::vector<std::string_view>& args) {
   }
   if (args[1] == "stats") {
     return fault::StatsToString();
+  }
+  if (args[1] == "sites") {
+    return fault::KnownSitesToString();
   }
   Status status = fault::Configure(std::string(args[1]));
   if (!status.ok()) return ErrorText(status);

@@ -13,7 +13,7 @@
 //   strategy <ic|dr|di>         pick the blending strategy (before vertices)
 //   latency <seconds>           simulated per-action latency (default 2.0)
 //   budget <seconds>            SRT budget for run (0 = unbounded)
-//   fault <spec|off|stats>      control the fault-injection registry
+//   fault <spec|off|stats|sites> control the fault-injection registry
 //   vertex <label>              add a query vertex; prints its id
 //   edge <qi> <qj> [l] [u]      add a query edge (default bounds [1,1])
 //   bounds <edge> <l> <u>       modify an edge's bounds

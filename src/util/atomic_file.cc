@@ -8,14 +8,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <thread>
 #include <utility>
 
 #include "util/fault.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace boomer {
@@ -219,14 +218,18 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload,
   const std::string tmp =
       StrFormat("%s.%d.%u.tmp", path.c_str(), static_cast<int>(::getpid()),
                 scratch_serial.fetch_add(1, std::memory_order_relaxed));
-  Status last;
-  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+  // Only injected faults are modelled as transient; real filesystem errors
+  // (ENOSPC, EROFS) will not heal within a retry window. Seeding from the
+  // destination path keeps the jitter stream deterministic per target while
+  // concurrent writers to different files desynchronize.
+  RetryOptions retry_options;
+  retry_options.max_attempts = kMaxAttempts;
+  retry_options.initial_backoff_micros = 1000;
+  RetryPolicy retry(retry_options, Fnv1aHash(path));
+  Status last = WriteOnce(path, tmp, blob);
+  while (!last.ok() && retry.ShouldRetry(last)) {
+    retry.Backoff();
     last = WriteOnce(path, tmp, blob);
-    if (last.ok()) return last;
-    // Only injected faults are modelled as transient; real filesystem
-    // errors (ENOSPC, EROFS) will not heal within a retry window.
-    if (!fault::IsInjected(last)) return last;
-    std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
   }
   return last;
 }

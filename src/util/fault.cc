@@ -30,8 +30,17 @@ enum class Trigger {
   kCrash,        // SIGKILL the process on hit number `nth` (hard crash)
 };
 
+/// What resource exhaustion an armed site models (the `:class` suffix).
+enum class FailClass {
+  kGenericIo,  // transient I/O error, the historical default
+  kEnospc,     // disk full at a write boundary
+  kEio,        // device-level read/write error
+  kAlloc,      // allocation failure at a growth point
+};
+
 struct Site {
   Trigger trigger = Trigger::kNever;
+  FailClass fail_class = FailClass::kGenericIo;
   double probability = 0.0;
   uint64_t nth = 0;
   uint64_t hits = 0;
@@ -54,12 +63,7 @@ Registry& GetRegistry() {
 /// Stable per-site seed: global seed mixed with a FNV-1a hash of the name,
 /// so a site's decision stream does not depend on other sites' hit order.
 uint64_t SiteSeed(uint64_t seed, std::string_view site) {
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : site) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return seed ^ h;
+  return seed ^ Fnv1aHash(site);
 }
 
 /// One-time arming from the BOOMER_FAULTS environment variable, so any
@@ -101,7 +105,28 @@ Status Configure(const std::string& spec) {
     }
     Site site;
     const char kind = value[0];
-    const std::string_view arg = value.substr(1);
+    std::string_view arg = value.substr(1);
+    // Optional error-class suffix: "<trigger>:<class>".
+    const size_t colon = arg.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view cls = arg.substr(colon + 1);
+      arg = arg.substr(0, colon);
+      if (cls == "enospc") {
+        site.fail_class = FailClass::kEnospc;
+      } else if (cls == "eio") {
+        site.fail_class = FailClass::kEio;
+      } else if (cls == "alloc") {
+        site.fail_class = FailClass::kAlloc;
+      } else if (cls == "io") {
+        site.fail_class = FailClass::kGenericIo;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("fault error class '%.*s' must be enospc, eio, alloc, "
+                      "or io (site %.*s)",
+                      static_cast<int>(cls.size()), cls.data(),
+                      static_cast<int>(key.size()), key.data()));
+      }
+    }
     if (kind == 'p') {
       BOOMER_ASSIGN_OR_RETURN(double p, ParseDouble(arg));
       if (p < 0.0 || p > 1.0) {
@@ -191,7 +216,28 @@ bool ShouldFail(std::string_view site) {
 }
 
 Status InjectedFailure(std::string_view site) {
-  return Status::IOError(kInjectedPrefix + std::string(site));
+  FailClass fail_class = FailClass::kGenericIo;
+  {
+    Registry& registry = GetRegistry();
+    MutexLock lock(&registry.mu);
+    auto it = registry.sites.find(site);
+    if (it != registry.sites.end()) fail_class = it->second.fail_class;
+  }
+  const std::string at = kInjectedPrefix + std::string(site);
+  switch (fail_class) {
+    case FailClass::kEnospc:
+      return Status::IOError(at + ": ENOSPC, no space left on device");
+    case FailClass::kEio:
+      return Status::IOError(at + ": EIO, device input/output error");
+    case FailClass::kAlloc:
+      // kOverloaded, not kIOError: allocation pressure is what the serving
+      // degradation ladder speaks, so an injected growth failure rides the
+      // same typed path a real memory squeeze would.
+      return Status::Overloaded(at + ": allocation failure at growth point");
+    case FailClass::kGenericIo:
+      break;
+  }
+  return Status::IOError(at);
 }
 
 bool IsInjected(const Status& s) {
@@ -213,6 +259,55 @@ std::string StatsToString() {
   std::ostringstream out;
   for (const SiteStats& s : Stats()) {
     out << s.site << " hits=" << s.hits << " fires=" << s.fires << "\n";
+  }
+  return out.str();
+}
+
+const std::vector<SiteInfo>& KnownSites() {
+  // Name-sorted; tests/util/fault_test.cc asserts the ordering and that
+  // every entry is a valid spec key. Keep in lockstep with the probes in
+  // the tree — the chaos orchestrator schedules against this list, so a
+  // stale entry surfaces as a schedule whose site never fires.
+  // boomer-lint-allow(naked-new): intentionally leaked process-lifetime table
+  static const auto* sites = new std::vector<SiteInfo>{
+      {"cap/add_pair",
+       "CAP pair insertion during PVS population (core/pvs.cc) — the CAP's "
+       "growth point; alloc-class faults model the table failing to grow"},
+      {"core/drain_alloc",
+       "per-edge probe in Blender::DrainPool before the CAP grows at Run "
+       "(core/blender.cc); a fire truncates the run (kPersistentFailure)"},
+      {"core/pool_probe",
+       "idle-window pool probe in Blender::ProbePool (core/blender.cc); a "
+       "fire ends the idle window, Run's drain retries"},
+      {"core/pvs",
+       "PartialVertexSet generation entry (core/pvs.cc); transient engine "
+       "failure the edge-level retry absorbs"},
+      {"io/atomic_write/flush",
+       "flush stage of WriteFileAtomic (util/atomic_file.cc)"},
+      {"io/atomic_write/open",
+       "scratch-file open stage of WriteFileAtomic (util/atomic_file.cc)"},
+      {"io/atomic_write/rename",
+       "publish rename stage of WriteFileAtomic (util/atomic_file.cc) — the "
+       "snapshot-publish boundary for ENOSPC/EIO schedules"},
+      {"io/atomic_write/write",
+       "payload write stage of WriteFileAtomic (util/atomic_file.cc)"},
+      {"io/read/open",
+       "open stage of ReadFileVerified (util/atomic_file.cc)"},
+      {"wal/append/fsync",
+       "group-commit fsync in WalWriter::Append (util/wal.cc)"},
+      {"wal/append/write",
+       "framed record write in WalWriter::Append (util/wal.cc) — the WAL "
+       "append boundary for ENOSPC/EIO schedules"},
+      {"wal/open", "log open in WalWriter::Open (util/wal.cc)"},
+      {"wal/read/open", "log open in ReadWal (util/wal.cc)"},
+  };
+  return *sites;
+}
+
+std::string KnownSitesToString() {
+  std::ostringstream out;
+  for (const SiteInfo& s : KnownSites()) {
+    out << s.site << " — " << s.description << "\n";
   }
   return out.str();
 }

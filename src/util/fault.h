@@ -10,7 +10,7 @@
 // Sites fire according to a schedule configured from a spec string (see
 // Configure) or the BOOMER_FAULTS environment variable:
 //
-//   "io/atomic_write/write=p0.05,core/pvs=n3,seed=42"
+//   "io/atomic_write/write=p0.05,core/pvs=n3,wal/append/write=a2:enospc,seed=42"
 //
 //   site=pP   fire each hit independently with probability P (per-site RNG
 //             seeded from the global seed and the site name — deterministic
@@ -24,6 +24,20 @@
 //             harness (tools/boomer_crashtest). Arm only in child processes
 //             that a driver expects to die.
 //   seed=S    seeds all probabilistic sites (default 1)
+//
+// A trigger may carry an *error class* suffix selecting what resource
+// exhaustion the injected Status models (default: a generic transient
+// I/O error):
+//
+//   site=p0.05:enospc   disk full (kIOError, "No space left on device")
+//   site=n3:eio         device-level I/O error (kIOError)
+//   site=a1:alloc       allocation failure at a growth point (kOverloaded —
+//                       the degradation ladder's typed pressure signal)
+//   site=p0.1:io        explicit generic class (same as no suffix)
+//
+// The class changes only the Status an armed site reports; triggering and
+// counting are identical, and every class keeps the recognizable injected
+// prefix so IsInjected (and therefore RetryPolicy) still classifies it.
 //
 // When the registry is disarmed (the default) every probe is a single
 // relaxed atomic load — cheap enough to leave in release hot paths.
@@ -91,6 +105,8 @@ void Reset();
 bool ShouldFail(std::string_view site);
 
 /// The Status an injected failure reports; recognizable by message prefix.
+/// The code and message reflect the site's configured error class (see the
+/// `:class` suffix above): enospc/eio/io → kIOError, alloc → kOverloaded.
 Status InjectedFailure(std::string_view site);
 
 /// True when `s` was produced by InjectedFailure — lets retry loops treat
@@ -109,6 +125,22 @@ std::vector<SiteStats> Stats();
 
 /// Human-readable rendering of Stats(), one "site hits fires" line each.
 std::string StatsToString();
+
+/// One entry of the compiled-in fault-site catalog.
+struct SiteInfo {
+  std::string_view site;
+  std::string_view description;
+};
+
+/// Every fault site compiled into the tree (BOOMER_FAULT_POINT probes and
+/// explicit ShouldFail calls), name-sorted — the authoritative list behind
+/// `boomer_serve --list-sites` and the shell's `fault sites`, so schedule
+/// authors never grep the tree for site strings. Stats() still discovers
+/// sites dynamically; this catalog also covers sites a given run never hits.
+const std::vector<SiteInfo>& KnownSites();
+
+/// Human-readable rendering of KnownSites(), one "site — description" line.
+std::string KnownSitesToString();
 
 }  // namespace fault
 }  // namespace boomer

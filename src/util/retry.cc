@@ -1,0 +1,56 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace boomer {
+
+RetryPolicy::RetryPolicy(const RetryOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  BOOMER_CHECK(options_.max_attempts >= 1) << "need at least one attempt";
+  BOOMER_CHECK(options_.backoff_multiplier >= 1.0)
+      << "backoff must not shrink";
+  BOOMER_CHECK(options_.jitter_fraction >= 0.0 &&
+               options_.jitter_fraction <= 1.0)
+      << "jitter fraction must be in [0, 1]";
+}
+
+bool RetryPolicy::IsRetryable(const Status& s) const {
+  if (s.ok()) return false;
+  if (options_.retry_injected && fault::IsInjected(s)) return true;
+  for (StatusCode code : options_.retry_codes) {
+    if (s.code() == code) return true;
+  }
+  return false;
+}
+
+bool RetryPolicy::ShouldRetry(const Status& s) {
+  if (!IsRetryable(s)) return false;
+  // retries_ counts consumed retries; the caller made retries_ + 1 attempts.
+  if (retries_ + 1 >= options_.max_attempts) return false;
+  int64_t wait = 0;
+  if (options_.initial_backoff_micros > 0) {
+    double base = static_cast<double>(options_.initial_backoff_micros);
+    for (int i = 0; i < retries_; ++i) base *= options_.backoff_multiplier;
+    base = std::min(base, static_cast<double>(options_.max_backoff_micros));
+    const double j = options_.jitter_fraction;
+    const double scale = j > 0.0 ? 1.0 - j + 2.0 * j * rng_.NextDouble() : 1.0;
+    wait = std::max<int64_t>(0, static_cast<int64_t>(base * scale));
+  }
+  if (deadline_ != nullptr && deadline_->WouldExceed(wait)) return false;
+  ++retries_;
+  next_backoff_micros_ = wait;
+  return true;
+}
+
+void RetryPolicy::Backoff() {
+  if (next_backoff_micros_ <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(next_backoff_micros_));
+  if (deadline_ != nullptr) deadline_->Charge(next_backoff_micros_);
+}
+
+}  // namespace boomer

@@ -1,0 +1,101 @@
+// Unified retry/backoff policy for transient failures.
+//
+// Every bounded retry loop in the tree flows through RetryPolicy (enforced
+// by the `raw-retry` lint rule): the atomic file writer, the WAL append in
+// the serving apply path, the blender's edge re-processing, and the client
+// admission protocol. One policy object drives one logical operation:
+//
+//   RetryPolicy retry(options, seed);
+//   Status st = TryOnce();
+//   while (!st.ok() && retry.ShouldRetry(st)) {
+//     retry.Backoff();       // seeded-jittered exponential wait (may be 0)
+//     st = TryOnce();
+//   }
+//
+// What counts as transient is configured, not guessed: injected faults
+// (util/fault.h) by default, plus an explicit list of retryable
+// StatusCodes (e.g. kOverloaded for admission). Real filesystem errors
+// (ENOSPC, EROFS) are never retried unless their code is listed — they
+// will not heal within a retry window.
+//
+// Backoff is exponential with full deterministic jitter: attempt k waits
+// initial * multiplier^(k-1), capped at max_backoff_micros, then scaled by
+// U[1 - jitter, 1 + jitter] from an Rng seeded at construction. Seeding
+// per-client (e.g. from the trace index) de-synchronizes a thundering
+// herd while keeping every run replayable.
+//
+// Deadline-aware: with a Deadline attached, ShouldRetry refuses a retry
+// whose backoff would blow the remaining budget, and Backoff charges the
+// wait — so a retrying stage can never sleep through the SRT promise.
+
+#ifndef BOOMER_UTIL_RETRY_H_
+#define BOOMER_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/deadline.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace boomer {
+
+struct RetryOptions {
+  /// Total attempts including the first; ShouldRetry returns false once
+  /// this many tries have been consumed.
+  int max_attempts = 3;
+  /// Wait before the first retry; 0 disables waiting entirely (pure
+  /// bounded-attempt loops, e.g. the blender's virtual-clock engine).
+  int64_t initial_backoff_micros = 0;
+  /// Growth factor per retry (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Ceiling applied before jitter.
+  int64_t max_backoff_micros = 1000000;
+  /// Each wait is scaled by U[1 - j, 1 + j]; 0 = exact exponential.
+  double jitter_fraction = 0.5;
+  /// Treat injected faults (fault::IsInjected) as transient.
+  bool retry_injected = true;
+  /// Additional retryable codes (e.g. kOverloaded, kEvicted).
+  std::vector<StatusCode> retry_codes;
+};
+
+class RetryPolicy {
+ public:
+  /// `seed` drives the jitter stream; derive it per client/operation so
+  /// concurrent retriers desynchronize deterministically.
+  explicit RetryPolicy(const RetryOptions& options, uint64_t seed = 1);
+
+  /// Attaches a cooperative budget: retries that cannot fit are refused
+  /// and Backoff() charges its wait. The Deadline must outlive the policy.
+  void AttachDeadline(Deadline* deadline) { deadline_ = deadline; }
+
+  /// True when `s` is transient under the configured options — regardless
+  /// of attempts left. Pure classification, no state change.
+  bool IsRetryable(const Status& s) const;
+
+  /// Decides one more attempt: true iff `s` is retryable, attempts remain,
+  /// and the next backoff fits the attached deadline. On true, consumes
+  /// one retry and stages the jittered wait for Backoff().
+  bool ShouldRetry(const Status& s);
+
+  /// Sleeps the staged backoff (no-op when it is 0) and charges the
+  /// attached deadline. Call between ShouldRetry and the next attempt.
+  void Backoff();
+
+  /// Retries consumed so far (0 until the first successful ShouldRetry).
+  int retries() const { return retries_; }
+
+  /// The wait Backoff() would perform now, in microseconds.
+  int64_t next_backoff_micros() const { return next_backoff_micros_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  Deadline* deadline_ = nullptr;
+  int retries_ = 0;
+  int64_t next_backoff_micros_ = 0;
+};
+
+}  // namespace boomer
+
+#endif  // BOOMER_UTIL_RETRY_H_

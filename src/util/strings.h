@@ -41,6 +41,11 @@ std::string HumanMicros(int64_t micros);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// FNV-1a 64-bit hash — stable across platforms and runs, for deriving
+/// deterministic seeds from names (fault sites, file paths). Not a
+/// cryptographic hash.
+uint64_t Fnv1aHash(std::string_view s);
+
 }  // namespace boomer
 
 #endif  // BOOMER_UTIL_STRINGS_H_

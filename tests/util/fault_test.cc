@@ -127,6 +127,121 @@ TEST_F(FaultTest, EmptySpecDisarms) {
   EXPECT_FALSE(Armed());
 }
 
+TEST_F(FaultTest, FuzzedMalformedSpecsYieldTypedErrorsNeverCrash) {
+  // Table-driven sweep over the spec grammar's failure modes: every entry
+  // must come back kInvalidArgument — never a crash, never a silent no-op
+  // that leaves a half-armed schedule. (BOOMER_FAULTS is user input; this
+  // is its fuzz gate.)
+  const char* kMalformed[] = {
+      "=p1",                    // empty site
+      "a=",                     // empty trigger
+      "a",                      // no equals
+      "a=q1",                   // unknown trigger letter
+      "a=p",                    // probability missing
+      "a=pXYZ",                 // probability not a number
+      "a=p-0.5",                // probability below 0
+      "a=p1.5",                 // probability above 1
+      "a=n0",                   // hit numbers start at 1
+      "a=n-3",                  // negative hit number
+      "a=nfoo",                 // hit number not a number
+      "a=a0",                   // same for onwards trigger
+      "a=c0",                   // same for crash trigger
+      "a=n1:bogus",             // unknown error class
+      "a=n1:",                  // empty error class
+      "a=n1:ENOSPC",            // classes are lowercase
+      "a=n1:enospc:eio",        // at most one class
+      "seed=abc",               // unparsable seed
+      "a=n1,b=",                // one bad entry poisons the whole spec
+      "a=n1,,b=z2",             // empty entries are skipped, bad ones are not
+      "=",                      // degenerate
+  };
+  for (const char* spec : kMalformed) {
+    ASSERT_TRUE(Configure("good=n1").ok());
+    const Status s = Configure(spec);
+    EXPECT_FALSE(s.ok()) << "spec '" << spec << "' must be rejected";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument)
+        << "spec '" << spec << "' yielded " << s.ToString();
+    // A rejected Configure must not have replaced the running schedule.
+    EXPECT_TRUE(Armed()) << "spec '" << spec << "' disarmed the registry";
+    EXPECT_TRUE(ShouldFail("good")) << "spec '" << spec
+                                    << "' clobbered the active schedule";
+    Reset();
+  }
+}
+
+TEST_F(FaultTest, FuzzedWellFormedOddballSpecsParse) {
+  // Odd but legal corners: whitespace, repeated sites (first entry wins),
+  // huge hit numbers, boundary probabilities, explicit io class.
+  const char* kLegal[] = {
+      " a = n1 ",
+      "a=n1,a=a2",
+      "a=n999999999",
+      "a=p0.0",
+      "a=p1.0",
+      "a=n1:io",
+      "a=p0.5:enospc,seed=3",
+      ",,a=n1,,",
+  };
+  for (const char* spec : kLegal) {
+    const Status s = Configure(spec);
+    EXPECT_TRUE(s.ok()) << "spec '" << spec << "': " << s.ToString();
+    EXPECT_TRUE(Armed());
+    Reset();
+  }
+}
+
+TEST_F(FaultTest, ErrorClassesShapeTheInjectedStatus) {
+  ASSERT_TRUE(
+      Configure("d/full=a1:enospc,d/bad=a1:eio,d/mem=a1:alloc,d/io=a1:io")
+          .ok());
+  const Status enospc = InjectedFailure("d/full");
+  EXPECT_EQ(enospc.code(), StatusCode::kIOError);
+  EXPECT_NE(enospc.message().find("ENOSPC"), std::string::npos);
+  EXPECT_TRUE(IsInjected(enospc));
+
+  const Status eio = InjectedFailure("d/bad");
+  EXPECT_EQ(eio.code(), StatusCode::kIOError);
+  EXPECT_NE(eio.message().find("EIO"), std::string::npos);
+  EXPECT_TRUE(IsInjected(eio));
+
+  // Allocation failure speaks the degradation ladder's language.
+  const Status alloc = InjectedFailure("d/mem");
+  EXPECT_EQ(alloc.code(), StatusCode::kOverloaded);
+  EXPECT_NE(alloc.message().find("allocation"), std::string::npos);
+  EXPECT_TRUE(IsInjected(alloc));
+
+  const Status io = InjectedFailure("d/io");
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_TRUE(IsInjected(io));
+}
+
+TEST_F(FaultTest, UnconfiguredSiteInjectsGenericIoError) {
+  const Status s = InjectedFailure("nobody/armed/this");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE(IsInjected(s));
+}
+
+TEST_F(FaultTest, KnownSitesCatalogIsSortedUniqueAndSpecValid) {
+  const std::vector<SiteInfo>& sites = KnownSites();
+  ASSERT_FALSE(sites.empty());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_FALSE(sites[i].site.empty());
+    EXPECT_FALSE(sites[i].description.empty());
+    if (i > 0) {
+      EXPECT_LT(sites[i - 1].site, sites[i].site)
+          << "catalog must be name-sorted and duplicate-free";
+    }
+    // Every catalog name must be usable as a spec key verbatim.
+    const std::string spec = std::string(sites[i].site) + "=n1";
+    EXPECT_TRUE(Configure(spec).ok()) << spec;
+    Reset();
+  }
+  const std::string rendered = KnownSitesToString();
+  for (const SiteInfo& s : sites) {
+    EXPECT_NE(rendered.find(s.site), std::string::npos);
+  }
+}
+
 TEST_F(FaultTest, InjectedFailureIsRecognizable) {
   Status s = InjectedFailure("core/pvs");
   EXPECT_EQ(s.code(), StatusCode::kIOError);

@@ -1,0 +1,181 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/deadline.h"
+#include "util/fault.h"
+
+namespace boomer {
+namespace {
+
+Status Injected() { return fault::InjectedFailure("test/site"); }
+
+TEST(RetryPolicyTest, NeverRetriesOkOrNonRetryableStatus) {
+  RetryPolicy retry(RetryOptions{});
+  EXPECT_FALSE(retry.ShouldRetry(Status::OK()));
+  EXPECT_FALSE(retry.ShouldRetry(Status::IOError("real disk error")));
+  EXPECT_FALSE(retry.ShouldRetry(Status::Overloaded("real pressure")));
+  EXPECT_EQ(retry.retries(), 0);
+}
+
+TEST(RetryPolicyTest, RetriesInjectedFaultsUpToMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy retry(options);
+  // First attempt happens outside the policy; two retries remain.
+  EXPECT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_FALSE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.retries(), 2);
+}
+
+TEST(RetryPolicyTest, InjectedRetryCanBeDisabled) {
+  RetryOptions options;
+  options.retry_injected = false;
+  RetryPolicy retry(options);
+  EXPECT_FALSE(retry.ShouldRetry(Injected()));
+}
+
+TEST(RetryPolicyTest, RetryCodesExtendTheTransientSet) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.retry_codes = {StatusCode::kOverloaded, StatusCode::kEvicted};
+  RetryPolicy retry(options);
+  EXPECT_TRUE(retry.IsRetryable(Status::Overloaded("full")));
+  EXPECT_TRUE(retry.IsRetryable(Status::Evicted("shed")));
+  EXPECT_FALSE(retry.IsRetryable(Status::IOError("disk")));
+  EXPECT_FALSE(retry.IsRetryable(Status::OK()));
+  // IsRetryable is pure classification: no retry was consumed above.
+  EXPECT_EQ(retry.retries(), 0);
+}
+
+TEST(RetryPolicyTest, SingleAttemptMeansNoRetries) {
+  RetryOptions options;
+  options.max_attempts = 1;
+  RetryPolicy retry(options);
+  EXPECT_FALSE(retry.ShouldRetry(Injected()));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_micros = 100;
+  options.backoff_multiplier = 2.0;
+  options.jitter_fraction = 0.0;
+  RetryPolicy retry(options);
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 100);
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 200);
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 400);
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedBeforeJitter) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_micros = 100;
+  options.backoff_multiplier = 10.0;
+  options.max_backoff_micros = 250;
+  options.jitter_fraction = 0.0;
+  RetryPolicy retry(options);
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 100);
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 250);  // 1000 capped
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 250);
+}
+
+TEST(RetryPolicyTest, JitterStaysInBandAndIsSeedDeterministic) {
+  RetryOptions options;
+  options.max_attempts = 64;
+  options.initial_backoff_micros = 1000;
+  options.backoff_multiplier = 1.0;
+  options.jitter_fraction = 0.5;
+  std::vector<int64_t> a_waits;
+  {
+    RetryPolicy a(options, /*seed=*/42);
+    while (a.ShouldRetry(Injected())) {
+      a_waits.push_back(a.next_backoff_micros());
+      // U[0.5, 1.5] of 1000us.
+      EXPECT_GE(a.next_backoff_micros(), 500);
+      EXPECT_LE(a.next_backoff_micros(), 1500);
+    }
+  }
+  std::vector<int64_t> b_waits;
+  RetryPolicy b(options, /*seed=*/42);
+  while (b.ShouldRetry(Injected())) b_waits.push_back(b.next_backoff_micros());
+  EXPECT_EQ(a_waits, b_waits) << "same seed must stage the same waits";
+
+  std::vector<int64_t> c_waits;
+  RetryPolicy c(options, /*seed=*/43);
+  while (c.ShouldRetry(Injected())) c_waits.push_back(c.next_backoff_micros());
+  EXPECT_NE(a_waits, c_waits) << "different seeds should desynchronize";
+}
+
+TEST(RetryPolicyTest, ZeroBackoffMeansBackoffIsANoop) {
+  RetryOptions options;  // initial_backoff_micros = 0
+  RetryPolicy retry(options);
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.next_backoff_micros(), 0);
+  retry.Backoff();  // must not sleep or crash
+}
+
+TEST(RetryPolicyTest, DeadlineRefusesARetryThatCannotFit) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_micros = 1000;
+  options.jitter_fraction = 0.0;
+  RetryPolicy retry(options);
+  Deadline deadline = Deadline::FromBudgetMicros(2500);
+  retry.AttachDeadline(&deadline);
+  // First retry stages 1000us: fits the 2500us budget.
+  ASSERT_TRUE(retry.ShouldRetry(Injected()));
+  retry.Backoff();
+  EXPECT_EQ(deadline.charged_micros(), 1000);
+  // Second retry would stage 2000us, but only 1500us remain: refused, and
+  // no retry is consumed by the refusal.
+  EXPECT_FALSE(retry.ShouldRetry(Injected()));
+  EXPECT_EQ(retry.retries(), 1);
+}
+
+TEST(RetryPolicyTest, UnboundedDeadlineNeverRefuses) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_micros = 10;
+  RetryPolicy retry(options);
+  Deadline deadline;  // unbounded
+  retry.AttachDeadline(&deadline);
+  int granted = 0;
+  while (retry.ShouldRetry(Injected())) {
+    ++granted;
+    retry.Backoff();
+  }
+  EXPECT_EQ(granted, 4);
+  EXPECT_GT(deadline.charged_micros(), 0);
+}
+
+TEST(RetryPolicyTest, CanonicalLoopShapeTerminates) {
+  // The documented call shape from util/retry.h, against a site that heals
+  // on the third try.
+  RetryOptions options;
+  options.max_attempts = 5;
+  RetryPolicy retry(options);
+  int calls = 0;
+  auto try_once = [&]() -> Status {
+    ++calls;
+    return calls < 3 ? Injected() : Status::OK();
+  };
+  Status st = try_once();
+  while (!st.ok() && retry.ShouldRetry(st)) {
+    retry.Backoff();
+    st = try_once();
+  }
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retry.retries(), 2);
+}
+
+}  // namespace
+}  // namespace boomer

@@ -1,0 +1,688 @@
+// boomer_chaos: composite chaos orchestrator for the serving runtime
+// (DESIGN.md §5g).
+//
+// Where boomer_crashtest sweeps one dimension (SIGKILL at WAL fault sites),
+// this driver composes *four*: adversarial formulation traces
+// (serve/workload.h AdversaryKind), resource-exhaustion faults (the
+// ENOSPC/EIO/alloc error classes of util/fault.h), admission/memory
+// overload (tight ServeOptions), and hard crashes. Each seeded schedule
+// draws one point in that product space and asserts the standing
+// invariants:
+//
+//   * crash schedules: recovery + suffix replay is bit-identical to an
+//     uninterrupted single-threaded replay of the same trace;
+//   * overload schedules: non-truncated completions match the
+//     single-threaded fault-free reference exactly; truncated completions
+//     are subsets with a diagnosed kPersistentFailure; unfinished sessions
+//     carry a typed kOverloaded/kEvicted or injected Status — never a
+//     generic error, never an abort;
+//   * the service never over-admits (peak live sessions <= max_live).
+//
+// A schema-versioned JSON report of every schedule is written at the end
+// (--report, default <dir>/chaos_report.json) so CI can archive the run.
+//
+// Usage:
+//   boomer_chaos [--schedules N] [--sessions N] [--seed S]
+//                [--dir DIR] [--report PATH] [--keep]
+//
+// Exit status 0 iff every schedule held every invariant.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/blender.h"
+#include "core/preprocessor.h"
+#include "graph/generators.h"
+#include "gui/actions.h"
+#include "serve/session_manager.h"
+#include "serve/workload.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace {
+
+using boomer::Status;
+using boomer::StatusCode;
+using boomer::core::Blender;
+using boomer::core::PreprocessResult;
+using boomer::graph::Graph;
+using boomer::gui::ActionTrace;
+using boomer::serve::ClientOptions;
+using boomer::serve::ClientReport;
+using boomer::serve::RecoveryOutcome;
+using boomer::serve::ReplaySummary;
+using boomer::serve::ServeOptions;
+using boomer::serve::SessionId;
+using boomer::serve::SessionManager;
+using boomer::serve::SessionState;
+
+struct Args {
+  size_t schedules = 50;
+  size_t sessions = 6;  // one session per AdversaryKind per schedule
+  uint64_t seed = 211;
+  std::string dir = "/tmp/boomer_chaos";
+  std::string report;  // default: <dir>/chaos_report.json
+  bool keep = false;
+  // Internal child mode (crash schedules re-exec this binary).
+  bool child = false;
+  std::string child_dir;
+  uint64_t child_seed = 0;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--schedules N] [--sessions N] [--seed S]\n"
+               "          [--dir DIR] [--report PATH] [--keep]\n",
+               argv0);
+  std::exit(2);
+}
+
+using Canonical = std::set<std::vector<boomer::graph::VertexId>>;
+
+Canonical Canonicalize(const std::vector<boomer::core::PartialMatch>& ms) {
+  Canonical out;
+  for (const auto& m : ms) out.insert(m.assignment);
+  return out;
+}
+
+/// Parent and child derive the identical graph, preprocessing, and
+/// adversarial traces from the schedule seed — the bit-identical crash
+/// assertion depends on it.
+struct Fixture {
+  Graph graph;
+  std::unique_ptr<PreprocessResult> prep;
+  std::vector<ActionTrace> traces;
+};
+
+bool BuildFixture(size_t sessions, uint64_t seed, Fixture* out) {
+  if (out->prep == nullptr) {
+    // Four labels (vs crashtest's three) keep the hot-label and widened
+    // max-template adversaries expensive but bounded on this graph.
+    auto g_or = boomer::graph::GenerateErdosRenyi(60, 140, 4, 17);
+    if (!g_or.ok()) return false;
+    out->graph = std::move(g_or).value();
+    boomer::core::PreprocessOptions prep_options;
+    prep_options.t_avg_samples = 500;
+    auto prep_or = boomer::core::Preprocess(out->graph, prep_options);
+    if (!prep_or.ok()) return false;
+    out->prep =
+        std::make_unique<PreprocessResult>(std::move(prep_or).value());
+  }
+  // Cycles through every AdversaryKind: with the default 6 sessions each
+  // schedule fields the full adversary roster.
+  out->traces = boomer::serve::AdversarialTraces(out->graph, sessions, seed);
+  return true;
+}
+
+ServeOptions ChildServeOptions(const std::string& dir) {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.max_live_sessions = 16;
+  options.snapshot_dir = dir;
+  options.wal_dir = dir;
+  options.wal_group_commit = 2;
+  return options;
+}
+
+/// Child mode: serve the adversarial workload until the armed crash trigger
+/// SIGKILLs the process (or until completion, when the hit count lies
+/// beyond the workload).
+int RunChild(const Args& args) {
+  Fixture f;
+  if (!BuildFixture(args.sessions, args.child_seed, &f)) {
+    std::fprintf(stderr, "child: fixture construction failed\n");
+    return 3;
+  }
+  SessionManager manager(f.graph, *f.prep, ChildServeOptions(args.child_dir));
+  // Sessions open sequentially before any action, so session id i+1 serves
+  // trace i — the parent relies on this mapping during recovery.
+  std::vector<SessionId> ids;
+  for (size_t i = 0; i < f.traces.size(); ++i) {
+    auto id_or = manager.OpenSession();
+    if (!id_or.ok()) {
+      std::fprintf(stderr, "child: open failed: %s\n",
+                   id_or.status().ToString().c_str());
+      return 3;
+    }
+    ids.push_back(*id_or);
+  }
+  // Round-robin submission interleaves every session's apply stream, so
+  // the crash lands at a different multi-session cut each schedule.
+  size_t longest = 0;
+  for (const ActionTrace& t : f.traces) longest = std::max(longest, t.size());
+  for (size_t step = 0; step < longest; ++step) {
+    for (size_t i = 0; i < f.traces.size(); ++i) {
+      if (step >= f.traces[i].size()) continue;
+      for (;;) {
+        Status s = manager.SubmitAction(ids[i], f.traces[i].at(step));
+        if (s.ok()) break;
+        if (s.code() != StatusCode::kOverloaded) {
+          std::fprintf(stderr, "child: submit failed: %s\n",
+                       s.ToString().c_str());
+          return 3;
+        }
+        (void)manager.WaitIdle(ids[i]);
+      }
+    }
+  }
+  for (SessionId id : ids) {
+    auto result_or = manager.Await(id);
+    if (!result_or.ok() || result_or->state != SessionState::kCompleted) {
+      std::fprintf(stderr, "child: session did not complete\n");
+      return 3;
+    }
+  }
+  return 0;
+}
+
+/// Re-executes this binary in child mode with the schedule's fault spec
+/// armed. Returns the waitpid status, or -1 on spawn failure.
+int SpawnChild(const char* self, const std::string& dir, size_t sessions,
+               uint64_t seed, const std::string& fault_spec) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (pid == 0) {
+    ::setenv("BOOMER_FAULTS", fault_spec.c_str(), 1);
+    const std::string sessions_text = std::to_string(sessions);
+    const std::string seed_text = std::to_string(seed);
+    ::execl(self, self, "--child", "--child-dir", dir.c_str(),
+            "--child-sessions", sessions_text.c_str(), "--child-seed",
+            seed_text.c_str(), static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec %s failed: %s\n", self, std::strerror(errno));
+    ::_exit(127);
+  }
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) < 0) {
+    std::fprintf(stderr, "waitpid failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  return wstatus;
+}
+
+/// Crash-schedule verification: recover the child's directory, drive every
+/// session to completion, and require results bit-identical to an
+/// uninterrupted single-threaded replay. Returns failed assertions.
+size_t RecoverAndVerify(const Fixture& f, const std::string& dir) {
+  size_t failures = 0;
+  SessionManager manager(f.graph, *f.prep, ChildServeOptions(dir));
+  auto outcomes_or = manager.RecoverAll(dir);
+  if (!outcomes_or.ok()) {
+    std::fprintf(stderr, "  FAIL: recovery sweep: %s\n",
+                 outcomes_or.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<const RecoveryOutcome*> by_trace(f.traces.size(), nullptr);
+  for (const RecoveryOutcome& r : *outcomes_or) {
+    if (r.original_id == 0 || r.original_id > f.traces.size()) {
+      std::fprintf(stderr, "  FAIL: recovered unknown session %llu\n",
+                   static_cast<unsigned long long>(r.original_id));
+      ++failures;
+      continue;
+    }
+    by_trace[r.original_id - 1] = &r;
+  }
+  for (size_t i = 0; i < f.traces.size(); ++i) {
+    const ActionTrace& trace = f.traces[i];
+    const RecoveryOutcome* outcome = by_trace[i];
+    if (outcome != nullptr && !outcome->status.ok()) {
+      // SIGKILL never corrupts already-written bytes: every log replays.
+      std::fprintf(stderr, "  FAIL: trace %zu unreplayable: %s\n", i,
+                   outcome->status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    SessionId id = 0;
+    size_t start = 0;
+    if (outcome != nullptr && outcome->new_id != 0) {
+      id = outcome->new_id;
+      start = outcome->actions_replayed;
+    } else {
+      auto id_or = manager.OpenSession();
+      if (!id_or.ok()) {
+        std::fprintf(stderr, "  FAIL: trace %zu reopen: %s\n", i,
+                     id_or.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      id = *id_or;
+    }
+    if (start > trace.size()) {
+      std::fprintf(stderr,
+                   "  FAIL: trace %zu replayed %zu of %zu actions — the "
+                   "log holds more than was ever submitted\n",
+                   i, start, trace.size());
+      ++failures;
+      continue;
+    }
+    Status st = Status::OK();
+    for (size_t a = start; a < trace.size(); ++a) {
+      st = manager.SubmitAction(id, trace.at(a));
+      while (!st.ok() && st.code() == StatusCode::kOverloaded) {
+        st = manager.WaitIdle(id);
+        if (st.ok()) st = manager.SubmitAction(id, trace.at(a));
+      }
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "  FAIL: trace %zu suffix submit: %s\n", i,
+                   st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto result_or = manager.Await(id);
+    if (!result_or.ok() || result_or->state != SessionState::kCompleted) {
+      std::fprintf(stderr,
+                   "  FAIL: trace %zu did not complete after recovery\n", i);
+      ++failures;
+      continue;
+    }
+    Blender reference(f.graph, *f.prep, ServeOptions().blender);
+    Status ref_st = reference.RunTrace(trace);
+    if (!ref_st.ok()) {
+      std::fprintf(stderr, "  FAIL: trace %zu reference replay: %s\n", i,
+                   ref_st.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (Canonicalize(result_or->results) !=
+        Canonicalize(reference.Results())) {
+      std::fprintf(stderr,
+                   "  FAIL: trace %zu results diverge from the "
+                   "uninterrupted replay (%zu vs %zu matches)\n",
+                   i, result_or->results.size(), reference.Results().size());
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+/// The resource-exhaustion fault menu for overload schedules, rotated per
+/// schedule. Every class the registry speaks appears: plain transients,
+/// ENOSPC/EIO at the WAL append and snapshot-publish write boundaries, and
+/// allocation failure at the CAP/drain growth points.
+const char* kFaultMenu[] = {
+    "",  // pure adversarial/overload, no faults
+    "core/pvs=p0.08,core/pool_probe=p0.2",
+    "wal/append/write=p0.04:enospc,wal/append/fsync=p0.03:eio",
+    "io/atomic_write/write=p0.15:enospc,io/atomic_write/rename=p0.15:eio",
+    "cap/add_pair=p0.002:alloc,core/drain_alloc=n2:alloc",
+};
+constexpr size_t kFaultMenuSize = sizeof(kFaultMenu) / sizeof(kFaultMenu[0]);
+
+struct ReferenceRun {
+  Canonical matches;
+  size_t cap_bytes = 0;
+};
+
+struct ScheduleOutcome {
+  size_t index = 0;
+  std::string kind;  // "crash" | "overload"
+  std::string fault_spec;
+  std::string profile;  // "tight" | "generous" | "child"
+  uint64_t seed = 0;
+  size_t sessions = 0;
+  size_t completed = 0;
+  size_t truncated = 0;
+  size_t failures = 0;
+  bool child_crashed = false;
+};
+
+/// Overload-schedule verification, in-process: arm the fault spec, drive
+/// every adversarial trace concurrently through a (possibly tight)
+/// SessionManager, and hold the stress-suite invariants.
+ScheduleOutcome RunOverloadSchedule(Fixture* f, size_t index, uint64_t seed,
+                                    size_t sessions,
+                                    const std::string& fault_spec,
+                                    bool tight, const std::string& dir) {
+  ScheduleOutcome out;
+  out.index = index;
+  out.kind = "overload";
+  out.fault_spec = fault_spec;
+  out.profile = tight ? "tight" : "generous";
+  out.seed = seed;
+  out.sessions = sessions;
+  if (!BuildFixture(sessions, seed, f)) {
+    std::fprintf(stderr, "schedule %zu: fixture construction failed\n",
+                 index);
+    out.failures = 1;
+    return out;
+  }
+
+  ServeOptions options;
+  options.num_workers = 4;
+  options.snapshot_dir = dir;
+  options.wal_dir = dir;  // WAL on: the append boundary must exist to fault
+  options.wal_group_commit = 2;
+  if (tight) {
+    options.max_live_sessions = 3;  // under the client count: sheds
+    options.max_queued_actions = 4;
+  } else {
+    options.max_live_sessions = 8;
+    options.max_queued_actions = 16;
+  }
+
+  // References first, fault-free — they are the ground truth and the
+  // calibration for the tight profile's memory budget.
+  std::vector<ReferenceRun> refs;
+  refs.reserve(f->traces.size());
+  size_t max_cap = 0;
+  for (const ActionTrace& trace : f->traces) {
+    Blender blender(f->graph, *f->prep, options.blender);
+    Status st = blender.RunTrace(trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "schedule %zu: reference replay: %s\n", index,
+                   st.ToString().c_str());
+      out.failures = 1;
+      return out;
+    }
+    ReferenceRun ref;
+    ref.matches = Canonicalize(blender.Results());
+    ref.cap_bytes = blender.cap().ComputeStats().size_bytes;
+    max_cap = std::max(max_cap, ref.cap_bytes);
+    refs.push_back(std::move(ref));
+  }
+  if (tight && max_cap > 0) {
+    // Two grown sessions fit, three do not: eviction churn is guaranteed.
+    options.memory_budget_bytes = 2 * max_cap + max_cap / 2;
+  }
+
+  std::string spec = fault_spec;
+  if (!spec.empty()) {
+    spec += ",seed=" + std::to_string(seed);
+    Status st = boomer::fault::Configure(spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "schedule %zu: bad fault spec: %s\n", index,
+                   st.ToString().c_str());
+      out.failures = 1;
+      return out;
+    }
+  }
+
+  ClientOptions client_options;
+  client_options.client_threads = 8;
+  client_options.max_resumes = 32;
+  client_options.jitter_seed = seed;
+
+  ReplaySummary summary;
+  {
+    SessionManager manager(f->graph, *f->prep, options);
+    summary = boomer::serve::ReplayConcurrently(&manager, f->traces,
+                                                client_options);
+  }
+  boomer::fault::Reset();
+
+  for (size_t i = 0; i < summary.clients.size(); ++i) {
+    const ClientReport& c = summary.clients[i];
+    const ReferenceRun& ref = refs[i];
+    if (!c.completed) {
+      // Unfinished sessions must have been refused in a *typed* way: the
+      // overload protocol's codes, or the injected resource-exhaustion
+      // fault itself (ENOSPC/EIO failing the WAL, alloc refusing growth).
+      const StatusCode code = c.final_status.code();
+      const bool typed = code == StatusCode::kOverloaded ||
+                         code == StatusCode::kEvicted ||
+                         boomer::fault::IsInjected(c.final_status);
+      if (c.final_status.ok() || !typed) {
+        std::fprintf(stderr,
+                     "  FAIL: schedule %zu trace %zu unfinished with "
+                     "untyped status: %s\n",
+                     index, i, c.final_status.ToString().c_str());
+        ++out.failures;
+      }
+      continue;
+    }
+    ++out.completed;
+    const Canonical got = Canonicalize(c.results);
+    if (!c.report.truncated()) {
+      if (got != ref.matches) {
+        std::fprintf(stderr,
+                     "  FAIL: schedule %zu trace %zu diverged from the "
+                     "fault-free replay (%zu vs %zu matches)\n",
+                     index, i, got.size(), ref.matches.size());
+        ++out.failures;
+      }
+    } else {
+      ++out.truncated;
+      // No SRT budget and no watchdog here: the only legal diagnosis is a
+      // persistent processing failure, and the partial answer must be a
+      // subset of the reference — degraded, never wrong.
+      if (c.report.truncation !=
+          boomer::core::TruncationReason::kPersistentFailure) {
+        std::fprintf(stderr,
+                     "  FAIL: schedule %zu trace %zu truncated with "
+                     "unexpected reason %s\n",
+                     index, i,
+                     boomer::core::TruncationReasonName(c.report.truncation));
+        ++out.failures;
+      }
+      if (!std::includes(ref.matches.begin(), ref.matches.end(), got.begin(),
+                         got.end())) {
+        std::fprintf(stderr,
+                     "  FAIL: schedule %zu trace %zu truncated session "
+                     "produced an unsound match\n",
+                     index, i);
+        ++out.failures;
+      }
+    }
+  }
+  if (summary.stats.peak_live_sessions > options.max_live_sessions) {
+    std::fprintf(stderr,
+                 "  FAIL: schedule %zu over-admitted: peak %zu live > "
+                 "max %zu\n",
+                 index, summary.stats.peak_live_sessions,
+                 options.max_live_sessions);
+    ++out.failures;
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string RenderReport(const std::vector<ScheduleOutcome>& outcomes,
+                         size_t total_failures) {
+  std::string json = "{\n  \"schema_version\": 1,\n"
+                     "  \"tool\": \"boomer_chaos\",\n";
+  json += boomer::StrFormat("  \"schedules\": %zu,\n", outcomes.size());
+  json += boomer::StrFormat("  \"failures\": %zu,\n", total_failures);
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ScheduleOutcome& o = outcomes[i];
+    json += boomer::StrFormat(
+        "    {\"index\": %zu, \"kind\": \"%s\", \"profile\": \"%s\", "
+        "\"fault_spec\": \"%s\", \"seed\": %llu, \"sessions\": %zu, "
+        "\"completed\": %zu, \"truncated\": %zu, \"child_crashed\": %s, "
+        "\"failures\": %zu}%s\n",
+        o.index, o.kind.c_str(), o.profile.c_str(),
+        JsonEscape(o.fault_spec).c_str(),
+        static_cast<unsigned long long>(o.seed), o.sessions, o.completed,
+        o.truncated, o.child_crashed ? "true" : "false", o.failures,
+        i + 1 < outcomes.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  auto names_or = boomer::ListDirectory(dir);
+  if (names_or.ok()) {
+    for (const std::string& name : *names_or) {
+      (void)boomer::RemoveFileIfExists(dir + "/" + name);
+    }
+  }
+  (void)::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    auto parse_size = [&](size_t* out) {
+      auto v = boomer::ParseInt64(next());
+      if (!v.ok() || *v < 0) Usage(argv[0]);
+      *out = static_cast<size_t>(*v);
+    };
+    if (flag == "--schedules") {
+      parse_size(&args.schedules);
+    } else if (flag == "--sessions") {
+      parse_size(&args.sessions);
+    } else if (flag == "--seed") {
+      size_t s = 0;
+      parse_size(&s);
+      args.seed = s;
+    } else if (flag == "--dir") {
+      args.dir = next();
+    } else if (flag == "--report") {
+      args.report = next();
+    } else if (flag == "--keep") {
+      args.keep = true;
+    } else if (flag == "--child") {
+      args.child = true;
+    } else if (flag == "--child-dir") {
+      args.child_dir = next();
+    } else if (flag == "--child-sessions") {
+      parse_size(&args.sessions);
+    } else if (flag == "--child-seed") {
+      size_t s = 0;
+      parse_size(&s);
+      args.child_seed = s;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (args.child) return RunChild(args);
+  if (args.report.empty()) args.report = args.dir + "/chaos_report.json";
+
+  if (::mkdir(args.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "mkdir %s failed: %s\n", args.dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+
+  // Crash sites for the every-third crash schedule; the hit-count sweep
+  // lands cuts early, mid, and beyond the workload.
+  const char* kCrashSites[] = {"wal/append/write", "wal/append/fsync"};
+  Fixture fixture;
+  std::vector<ScheduleOutcome> outcomes;
+  outcomes.reserve(args.schedules);
+  size_t total_failures = 0;
+  size_t crashed = 0;
+  size_t crash_schedules = 0;
+  for (size_t k = 0; k < args.schedules; ++k) {
+    const uint64_t seed = args.seed + k;
+    const std::string dir = args.dir + "/schedule-" + std::to_string(k);
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "mkdir %s failed: %s\n", dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+
+    ScheduleOutcome out;
+    if (k % 3 == 2) {
+      // Crash schedule: adversarial traces served by a forked child that
+      // SIGKILLs itself at the armed WAL site; then recover + verify.
+      ++crash_schedules;
+      out.index = k;
+      out.kind = "crash";
+      out.profile = "child";
+      out.seed = seed;
+      out.sessions = args.sessions;
+      const char* site = kCrashSites[(k / 3) % 2];
+      const uint64_t nth = 1 + (k * 5) % 37;
+      out.fault_spec = std::string(site) + "=c" + std::to_string(nth);
+      if (!BuildFixture(args.sessions, seed, &fixture)) {
+        std::fprintf(stderr, "schedule %zu: fixture construction failed\n",
+                     k);
+        out.failures = 1;
+      } else {
+        const int wstatus = SpawnChild(argv[0], dir, args.sessions, seed,
+                                       out.fault_spec);
+        if (wstatus < 0) return 1;
+        bool ok_exit = false;
+        if (WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL) {
+          out.child_crashed = true;
+          ++crashed;
+          ok_exit = true;
+        } else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+          ok_exit = true;  // hit count beyond the workload; recover anyway
+        }
+        if (!ok_exit) {
+          std::fprintf(stderr,
+                       "schedule %zu (%s): child died unexpectedly "
+                       "(wstatus 0x%x)\n",
+                       k, out.fault_spec.c_str(), wstatus);
+          ++out.failures;
+        } else {
+          const size_t failures = RecoverAndVerify(fixture, dir);
+          out.failures += failures;
+          out.completed = failures == 0 ? args.sessions : 0;
+        }
+      }
+    } else {
+      const std::string fault_spec = kFaultMenu[k % kFaultMenuSize];
+      const bool tight = (k / kFaultMenuSize) % 2 == 1 || k % 3 == 1;
+      out = RunOverloadSchedule(&fixture, k, seed, args.sessions, fault_spec,
+                                tight, dir);
+    }
+    if (out.failures > 0) {
+      std::fprintf(stderr, "schedule %zu (%s, %s, seed %llu): %zu "
+                   "failure(s)\n",
+                   k, out.kind.c_str(),
+                   out.fault_spec.empty() ? "no faults"
+                                          : out.fault_spec.c_str(),
+                   static_cast<unsigned long long>(seed), out.failures);
+      total_failures += out.failures;
+    }
+    outcomes.push_back(std::move(out));
+    if (!args.keep) RemoveDirRecursive(dir);
+  }
+
+  const std::string report = RenderReport(outcomes, total_failures);
+  Status report_st = boomer::WriteFileAtomic(args.report, report,
+                                             boomer::FileKind::kText);
+  if (!report_st.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 report_st.ToString().c_str());
+    total_failures += 1;
+  }
+  // The schedule directories are already gone (unless --keep); the work
+  // directory stays behind to carry the report for CI artifact upload.
+
+  std::printf(
+      "%zu schedule(s): %zu crash (%zu SIGKILLed), %zu overload, "
+      "%zu failure(s); report: %s\n",
+      args.schedules, crash_schedules, crashed,
+      args.schedules - crash_schedules, total_failures,
+      args.report.c_str());
+  return total_failures == 0 ? 0 : 1;
+}

@@ -12,7 +12,8 @@
 //                [--dataset er|wordnet|dblp|flickr] [--scale F] [--seed N]
 //                [--snapshot-dir DIR] [--wal-dir DIR] [--recover DIR]
 //                [--wal-commit N] [--degrade-fraction F]
-//                [--retain-corrupt N] [--faults SPEC] [--per-session]
+//                [--retain-corrupt N] [--faults SPEC] [--list-sites]
+//                [--per-session]
 //
 // --dataset er (the default) generates a small Erdős–Rényi graph sized for
 // quick runs; the named analogs accept --scale as the fraction of the
@@ -73,7 +74,8 @@ struct Args {
       "          [--dataset er|wordnet|dblp|flickr] [--scale F] [--seed N]\n"
       "          [--snapshot-dir DIR] [--wal-dir DIR] [--recover DIR]\n"
       "          [--wal-commit N] [--degrade-fraction F]\n"
-      "          [--retain-corrupt N] [--faults SPEC] [--per-session]\n",
+      "          [--retain-corrupt N] [--faults SPEC] [--list-sites]\n"
+      "          [--per-session]\n",
       argv0);
   std::exit(2);
 }
@@ -151,6 +153,10 @@ int main(int argc, char** argv) {
       if (!ParseSize(next(), &args.retain_corrupt)) Usage(argv[0]);
     } else if (flag == "--faults") {
       args.faults = next();
+    } else if (flag == "--list-sites") {
+      // Dump the fault-site catalog (names valid as --faults spec keys).
+      std::fputs(boomer::fault::KnownSitesToString().c_str(), stdout);
+      return 0;
     } else if (flag == "--per-session") {
       args.per_session = true;
     } else {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Correctness gate: project lint (+ its self-test), the clang
-# thread-safety build (when clang is installed), the chaos/crash/bench
-# labels, build + test the tree under ASan/UBSan with -Werror and DCHECKs
-# pinned on, run the concurrency suite under TSan, then (when the binaries
-# exist) clang-format / clang-tidy. Any finding exits non-zero.
+# thread-safety build (when clang is installed), the chaos/crash/
+# chaos-e2e/bench labels, build + test the tree under ASan/UBSan with
+# -Werror and DCHECKs pinned on, run the concurrency suite under TSan,
+# then (when the binaries exist) clang-format / clang-tidy. Any finding
+# exits non-zero.
 #
 # Usage: tools/ci/check.sh [--skip-sanitizers]
 #
@@ -89,6 +90,21 @@ else
   echo "build/ not configured; crash label runs in the sanitizer pass" >&2
 fi
 
+# Composite chaos gate: tools/boomer_chaos composes adversarial traces,
+# resource-exhaustion fault classes, overload profiles, and SIGKILL crashes
+# into 50 seeded schedules and asserts the standing invariants (typed
+# degradation, bit-identical recovery, exact-or-subset results); the JSON
+# report lands in build/tests/chaos_e2e_workdir/ for archiving.
+step "chaos-e2e gate (ctest -L chaos-e2e: composite chaos schedules)"
+if [ -d build ]; then
+  cmake --build build -j "$(nproc)" --target boomer_chaos \
+    || fail "chaos-e2e build"
+  ctest --test-dir build -L chaos-e2e --output-on-failure \
+    || fail "chaos-e2e ctest"
+else
+  echo "build/ not configured; chaos-e2e label runs in the sanitizer pass" >&2
+fi
+
 # Bench pipeline gate: the comparator's self-test plus an end-to-end smoke
 # run of tools/boomer_bench (tiny dataset, 3 iterations, JSON validated and
 # self-compared). Proves the perf-regression tooling works before CI trusts
@@ -154,6 +170,12 @@ if [ "$SKIP_SANITIZERS" -eq 0 ]; then
   # here too (ASan shadows the child as well as the recovering parent).
   step "ctest crash label (asan-ubsan)"
   ctest --preset asan-ubsan -L crash || fail "ctest crash (asan-ubsan)"
+
+  # And the composite chaos schedules: the orchestrator's fault/overload/
+  # crash compositions must hold their invariants without a single wild
+  # read or leak either.
+  step "ctest chaos-e2e label (asan-ubsan)"
+  ctest --preset asan-ubsan -L chaos-e2e || fail "ctest chaos-e2e (asan-ubsan)"
 fi
 
 step "clang-tidy gate"

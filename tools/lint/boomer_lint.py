@@ -59,6 +59,14 @@ compilers cannot:
                    central LockRank enum (LockRank::k...) at the
                    construction site, so the lock-order table in
                    util/mutex.h stays the single source of truth.
+  raw-retry        no hand-rolled retry/backoff loops in src/ — a loop
+                   whose condition counts attempts/retries/backoff is a
+                   private retry policy with its own (usually unjittered,
+                   deadline-blind) semantics.  Retries flow through
+                   RetryPolicy (util/retry.h): seeded jitter, exponential
+                   backoff, deadline awareness, one set of knobs.  The
+                   policy's own implementation is allowlisted; genuine
+                   rejection-sampling loops take a per-line escape.
 
 A line (or its predecessor) containing `boomer-lint-allow(<rule>)` exempts
 that single occurrence; use sparingly and explain why in the comment.
@@ -95,6 +103,12 @@ WAL_BYPASS_ALLOWLIST = {
     "src/util/atomic_file.cc",
 }
 
+# The one blessed retry implementation (util/retry.h) may count attempts.
+RAW_RETRY_ALLOWLIST = {
+    "src/util/retry.h",
+    "src/util/retry.cc",
+}
+
 STDOUT_RE = re.compile(r"std::cout|\bprintf\s*\(|\bputs\s*\(|\bfputs\s*\(")
 OFSTREAM_RE = re.compile(r"std::ofstream\b")
 STDOUT_STDERR_OK_RE = re.compile(r"\bfprintf\s*\(\s*stderr|\bfputs\s*\([^,]*,\s*stderr")
@@ -119,6 +133,13 @@ RAW_MUTEX_RE = re.compile(
 MUTEX_CONSTRUCT_RE = re.compile(
     r"\bMutex\s+\w+\s*[{(]|make_(?:unique|shared)\s*<\s*Mutex\s*>\s*\(")
 RANK_LITERAL_RE = re.compile(r"\bLockRank\s*::\s*k\w+")
+# A for/while whose header manipulates an attempt/retry/backoff counter:
+# `for (int attempt = 0; ...)`, `while (retries < max)`, `backoff *= 2` in
+# the header.  `retry.ShouldRetry(st)` does NOT match (the member access
+# `.` is not a comparison/arithmetic operator).
+RAW_RETRY_RE = re.compile(
+    r"\b(?:for|while)\s*\([^)]*\b(?:attempt|retr[a-z]*|backoff)\w*\s*"
+    r"(?:[<>=!+\-]|\+\+)", re.IGNORECASE)
 GUARD_RE = re.compile(r"^#ifndef\s+(\S+)", re.MULTILINE)
 ALLOW_RE = re.compile(r"boomer-lint-allow\(([a-z-]+)\)")
 ALLOW_FILE_RE = re.compile(r"boomer-lint-allow-file\(([a-z-]+)\)")
@@ -262,6 +283,15 @@ class Linter:
                             "thread-safety and lock-rank checkers; use "
                             "boomer::Mutex/MutexLock/CondVar "
                             "(util/mutex.h)")
+
+            if (in_src and str(rel) not in RAW_RETRY_ALLOWLIST
+                    and "raw-retry" not in file_allowed
+                    and RAW_RETRY_RE.search(line)
+                    and not self.allowed(lines, idx, "raw-retry")):
+                self.report(rel, lineno, "raw-retry",
+                            "hand-rolled retry loops fragment backoff "
+                            "semantics; drive retries through RetryPolicy "
+                            "(util/retry.h)")
 
             if ("rank-literal" not in file_allowed
                     and MUTEX_CONSTRUCT_RE.search(line)

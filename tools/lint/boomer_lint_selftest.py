@@ -226,6 +226,38 @@ class RankLiteral(LintHarness):
             self.assert_clean("rank-literal", "src/core/a.cc", snippet)
 
 
+class RawRetry(LintHarness):
+    def test_positive(self):
+        for snippet in ("for (int attempt = 0; attempt < 3; ++attempt) {}\n",
+                        "for (int attempts = 0; attempts < 32; ++attempts)\n",
+                        "while (retries < max_retries) { Try(); }\n",
+                        "while (retry_count-- > 0) {}\n",
+                        "for (; backoff_us < cap; backoff_us *= 2) {}\n"):
+            self.assert_flags("raw-retry", "src/core/a.cc", snippet)
+
+    def test_negative(self):
+        # The canonical RetryPolicy loop: member calls, no counter math.
+        self.assert_clean("raw-retry", "src/core/a.cc",
+                          "while (!st.ok() && retry.ShouldRetry(st)) {\n"
+                          "  retry.Backoff();\n"
+                          "  st = TryOnce();\n"
+                          "}\n")
+        # The policy implementation itself may count attempts.
+        self.assert_clean("raw-retry", "src/util/retry.cc",
+                          "for (int attempt = 0; attempt < 3; ++attempt) {}\n")
+        # Outside src/ (tests, tools) is out of scope.
+        self.assert_clean("raw-retry", "tests/core/a_test.cc",
+                          "for (int attempt = 0; attempt < 3; ++attempt) {}\n")
+        # Rejection-sampling loops take the per-line escape.
+        self.assert_clean(
+            "raw-retry", "src/core/a.cc",
+            "// boomer-lint-allow(raw-retry): rejection sampling, not retry\n"
+            "for (int attempts = 0; attempts < 32; ++attempts) {}\n")
+        # Unrelated loop counters never match.
+        self.assert_clean("raw-retry", "src/core/a.cc",
+                          "for (size_t i = 0; i < n; ++i) {}\n")
+
+
 class AllowEscapes(LintHarness):
     def test_single_line_allow(self):
         self.assert_clean(
